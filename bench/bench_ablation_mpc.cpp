@@ -1,0 +1,54 @@
+// Ablation — plain FastMPC vs the RobustMPC discount (DESIGN.md §6).
+//
+// The paper pairs CS2P with FastMPC [47]. In our synthetic world, epochs
+// carry transient bursts that a point forecast cannot anticipate; plain MPC
+// rides the forecast with no margin and stalls on every burst, while the
+// RobustMPC variant (from the same paper [47]) discounts the forecast by the
+// recently observed prediction error. This bench quantifies that choice and
+// shows it preserves the predictor ordering the QoE benches rely on: the
+// more accurate predictor is discounted less and keeps its advantage.
+
+#include <cstdio>
+#include <memory>
+
+#include "abr/evaluation.h"
+#include "abr/mpc.h"
+#include "bench/common.h"
+#include "core/engine.h"
+#include "predictors/history.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs2p;
+  auto [train, test] = bench::standard_dataset();
+
+  const Cs2pPredictorModel cs2p(train);
+  const HarmonicMeanModel hm;
+
+  AbrEvaluationOptions options;
+  options.max_sessions = 150;
+  options.min_trace_epochs = options.video.num_chunks;
+
+  std::printf("Ablation: plain FastMPC vs RobustMPC discount\n\n");
+  TextTable table({"strategy", "median n-QoE", "avg kbps", "GoodRatio", "rebuf s"});
+  for (const bool robust : {false, true}) {
+    MpcConfig config;
+    config.robust = robust;
+    const auto mpc = [&] { return std::make_unique<MpcController>(config); };
+    for (const auto& [label, model] :
+         std::vector<std::pair<std::string, const PredictorModel*>>{
+             {"HM", &hm}, {"CS2P", &cs2p}}) {
+      const AbrEvaluation eval = evaluate_abr(
+          label + (robust ? " + RobustMPC" : " + MPC"), model, mpc, test, options);
+      table.add_row({eval.label, format_double(eval.median_n_qoe, 3),
+                     format_double(eval.avg_bitrate_kbps, 0),
+                     format_double(eval.good_ratio, 3),
+                     format_double(eval.mean_rebuffer_seconds, 2)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nexpected: the robust discount removes the burst-driven stalls "
+              "for both arms and CS2P (more accurate, less discounted) keeps "
+              "the higher bitrate and QoE.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig 5 — sessions with the same key features have similar throughput.
+//
+// 5a: example "close neighbour" session pairs (same ground-truth cluster)
+//     vs a random pair: correlation of their average levels.
+// 5b: CDFs of initial throughput for three large clusters — within a
+//     cluster initial throughput concentrates, across clusters it differs.
+//     Paper: "65% sessions in Cluster A have throughput around 2 Mbps...
+//     over 40% of sessions in Cluster B with throughput 6 Mbps."
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs2p;
+  Dataset dataset = generate_synthetic_dataset(bench::standard_config_scaled());
+
+  // Group sessions by full feature tuple (the ground-truth cluster).
+  std::map<std::string, std::vector<const Session*>> clusters;
+  for (const auto& s : dataset.sessions()) {
+    if (s.throughput_mbps.empty()) continue;
+    clusters[feature_key(s.features, kAllFeaturesMask)].push_back(&s);
+  }
+
+  // The three largest clusters.
+  std::vector<std::pair<std::size_t, std::string>> sized;
+  for (const auto& [key, sessions] : clusters)
+    sized.emplace_back(sessions.size(), key);
+  std::sort(sized.rbegin(), sized.rend());
+
+  std::printf("Fig 5a: within-cluster vs cross-cluster throughput spread\n\n");
+  // Within a cluster, session averages concentrate (low relative IQR);
+  // across clusters, medians differ by large factors.
+  TextTable spread({"cluster", "n", "median avg (Mbps)", "IQR/median"});
+  std::vector<double> cluster_medians;
+  for (std::size_t c = 0; c < 5 && c < sized.size(); ++c) {
+    std::vector<double> averages;
+    for (const Session* s : clusters[sized[c].second])
+      averages.push_back(s->average_throughput());
+    const double med = median(averages);
+    const double iqr = quantile(averages, 0.75) - quantile(averages, 0.25);
+    cluster_medians.push_back(med);
+    spread.add_row({"cluster-" + std::to_string(c), std::to_string(averages.size()),
+                    format_double(med, 2), format_double(med > 0 ? iqr / med : 0, 2)});
+  }
+  std::fputs(spread.to_string().c_str(), stdout);
+  const double cross_spread =
+      cluster_medians.empty() || median(cluster_medians) == 0.0
+          ? 0.0
+          : (quantile(cluster_medians, 1.0) - quantile(cluster_medians, 0.0)) /
+                median(cluster_medians);
+  std::printf("cross-cluster median spread (range/median): %.2f — sessions in "
+              "the same cluster are far more alike than across clusters\n",
+              cross_spread);
+
+  std::printf("\nFig 5b: CDF of initial throughput, three largest clusters\n\n");
+  TextTable cdf({"percentile", "Cluster A", "Cluster B", "Cluster C"});
+  std::vector<std::vector<double>> initials(3);
+  for (std::size_t c = 0; c < 3 && c < sized.size(); ++c) {
+    for (const Session* s : clusters[sized[c].second])
+      initials[c].push_back(s->initial_throughput());
+  }
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    cdf.add_row_numeric(format_double(q, 2),
+                        {quantile(initials[0], q), quantile(initials[1], q),
+                         quantile(initials[2], q)});
+  }
+  std::fputs(cdf.to_string().c_str(), stdout);
+  for (std::size_t c = 0; c < 3 && c < sized.size(); ++c) {
+    const double med = median(initials[c]);
+    const double within_25pct =
+        ecdf(initials[c], med * 1.25) - ecdf(initials[c], med * 0.75);
+    std::printf("cluster %c: n=%zu, %.0f%% of sessions within +/-25%% of the "
+                "cluster median\n",
+                static_cast<char>('A' + c), initials[c].size(),
+                100.0 * within_25pct);
+  }
+  return 0;
+}

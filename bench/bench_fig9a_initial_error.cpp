@@ -1,0 +1,76 @@
+// Fig 9a — CDF of the initial-epoch (cold start) prediction error.
+//
+// Paper: "CS2P performs much better in predicting the initial throughput
+// with 20% median error vs 35%+ for other predictors" — compared against
+// GBR, SVR, LM-client (same IP prefix) and LM-server (same server); LS/HM/AR
+// cannot cold-start. Also reproduces the FCC-dataset side experiment: with
+// richer per-session features (more discriminative prefixes), initial
+// accuracy improves further.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/engine.h"
+#include "predictors/evaluation.h"
+#include "predictors/ml_predictors.h"
+#include "predictors/simple_cross.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs2p;
+  auto [train, test] = bench::standard_dataset();
+  std::printf("Fig 9a: initial-epoch prediction error (train %zu / test %zu)\n\n",
+              train.size(), test.size());
+
+  const SvrPredictorModel svr(train);
+  const GbrPredictorModel gbr(train);
+  const FeatureMedianModel lm_client = make_lm_client(train);
+  const FeatureMedianModel lm_server = make_lm_server(train);
+  const GlobalMedianModel global(train);
+  const Cs2pPredictorModel cs2p(train);
+
+  const std::vector<const PredictorModel*> models = {
+      &svr, &gbr, &lm_client, &lm_server, &global, &cs2p};
+
+  EvaluationOptions options;
+  options.max_sessions = 3000;
+
+  TextTable summary({"predictor", "median", "p75", "p90"});
+  TextTable cdf({"error<=", "SVR", "GBR", "LM-client", "LM-server", "Global", "CS2P"});
+  const std::vector<double> grid = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0};
+  std::vector<std::vector<double>> columns;
+
+  for (const PredictorModel* model : models) {
+    const PredictorEvaluation eval = evaluate_predictor(*model, test, options);
+    summary.add_row_numeric(eval.predictor_name,
+                            {eval.initial_median_error, eval.initial_p75_error,
+                             quantile(eval.initial_errors, 0.9)});
+    columns.push_back(ecdf_at(eval.initial_errors, grid));
+  }
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    std::vector<double> row;
+    for (const auto& column : columns) row.push_back(column[g]);
+    cdf.add_row_numeric(format_double(grid[g], 2), row, 2);
+  }
+  std::fputs(summary.to_string().c_str(), stdout);
+  std::printf("\nCDF of initial error (fraction of sessions):\n");
+  std::fputs(cdf.to_string().c_str(), stdout);
+
+  // FCC-style side experiment: a world with MORE discriminative last-mile
+  // features (one prefix per client pool instead of shared prefixes) —
+  // initial prediction gets better, as the paper found on FCC MBA data.
+  SyntheticConfig rich = bench::standard_config_scaled();
+  rich.prefixes_per_isp_city = 6;   // finer-grained last-mile identity
+  rich.num_sessions = rich.num_sessions * 3 / 2;
+  Dataset rich_dataset = generate_synthetic_dataset(rich);
+  auto [rich_train, rich_test] = rich_dataset.split_by_day(1);
+  const Cs2pPredictorModel rich_cs2p(rich_train);
+  const PredictorEvaluation rich_eval =
+      evaluate_predictor(rich_cs2p, rich_test, options);
+  std::printf("\nFCC-style richer-feature world: CS2P initial median error "
+              "%.3f (paper: ~10%% on FCC vs 20%% on iQiyi)\n",
+              rich_eval.initial_median_error);
+  return 0;
+}

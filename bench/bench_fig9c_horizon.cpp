@@ -1,0 +1,49 @@
+// Fig 9c — median prediction error vs lookahead horizon (1-10 epochs).
+//
+// Paper: "CS2P clearly outperforms other predictors, achieving 5%
+// improvement over the second best (GBR). When predicting 10 epochs ahead,
+// CS2P can still achieve as low as 19% prediction error while all other
+// solutions have error >= 27%."
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/engine.h"
+#include "predictors/evaluation.h"
+#include "predictors/ghm.h"
+#include "predictors/history.h"
+#include "predictors/ml_predictors.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cs2p;
+  auto [train, test] = bench::standard_dataset();
+  std::printf("Fig 9c: median of per-session median error vs lookahead horizon\n\n");
+
+  const LastSampleModel ls;
+  const HarmonicMeanModel hm;
+  const AutoRegressiveModel ar;
+  const SvrPredictorModel svr(train);
+  const GbrPredictorModel gbr(train);
+  const Cs2pPredictorModel cs2p(train);
+  const std::vector<const PredictorModel*> models = {&ls, &hm, &ar, &svr, &gbr, &cs2p};
+
+  TextTable table({"horizon", "LS", "HM", "AR", "SVR", "GBR", "CS2P"});
+  EvaluationOptions options;
+  options.max_sessions = 600;
+
+  for (unsigned horizon : {1U, 2U, 3U, 5U, 7U, 10U}) {
+    options.horizon = horizon;
+    std::vector<double> row;
+    for (const PredictorModel* model : models) {
+      const PredictorEvaluation eval = evaluate_predictor(*model, test, options);
+      row.push_back(eval.midstream_summary.median_of_medians);
+    }
+    table.add_row_numeric(std::to_string(horizon), row);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\npaper shape: all errors grow with horizon; CS2P stays lowest "
+              "at every horizon.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// §5.3 / §6 — performance microbenchmarks (google-benchmark).
+//
+// Paper claims to verify:
+//  * online prediction is "two matrix multiplication operations" and takes
+//    < 10 ms on a laptop (ours is ns-scale in C++);
+//  * a trained HMM occupies < 5 KB;
+//  * the deployed server sustains ~500 predictions/second (Node.js; our TCP
+//    service does far more).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "abr/mpc.h"
+#include "bench/common.h"
+#include "core/engine.h"
+#include "dataset/synthetic.h"
+#include "hmm/baum_welch.h"
+#include "hmm/online_filter.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/player.h"
+
+namespace {
+
+using namespace cs2p;
+
+/// Small world shared by the microbenches (built once).
+struct PerfFixture {
+  PerfFixture() {
+    SyntheticConfig config = bench::standard_config();
+    config.num_sessions = 4000;
+    Dataset dataset = generate_synthetic_dataset(config);
+    auto [tr, te] = dataset.split_by_day(1);
+    train = std::move(tr);
+    test = std::move(te);
+    model = std::make_shared<Cs2pPredictorModel>(train);
+    for (const auto& s : test.sessions()) {
+      if (s.throughput_mbps.size() >= 40) {
+        probe = &s;
+        break;
+      }
+    }
+  }
+  Dataset train, test;
+  std::shared_ptr<Cs2pPredictorModel> model;
+  const Session* probe = nullptr;
+};
+
+PerfFixture& fixture() {
+  static PerfFixture instance;
+  return instance;
+}
+
+void BM_HmmPredict(benchmark::State& state) {
+  auto& f = fixture();
+  auto predictor = f.model->make_session(SessionContext::from(*f.probe));
+  predictor->observe(f.probe->throughput_mbps[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor->predict(1));
+  }
+}
+BENCHMARK(BM_HmmPredict);
+
+void BM_HmmObserveAndPredict(benchmark::State& state) {
+  auto& f = fixture();
+  auto predictor = f.model->make_session(SessionContext::from(*f.probe));
+  std::size_t t = 0;
+  for (auto _ : state) {
+    predictor->observe(f.probe->throughput_mbps[t % f.probe->throughput_mbps.size()]);
+    benchmark::DoNotOptimize(predictor->predict(1));
+    ++t;
+  }
+}
+BENCHMARK(BM_HmmObserveAndPredict);
+
+void BM_HmmTrainCluster(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<std::vector<double>> sequences;
+  for (const auto& s : f.train.sessions()) {
+    if (s.throughput_mbps.size() >= 10) sequences.push_back(s.throughput_mbps);
+    if (sequences.size() == 40) break;
+  }
+  BaumWelchConfig config;
+  config.num_states = static_cast<std::size_t>(state.range(0));
+  config.max_iterations = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(train_hmm(sequences, config));
+  }
+}
+BENCHMARK(BM_HmmTrainCluster)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_EngineSessionLookup(benchmark::State& state) {
+  auto& f = fixture();
+  const Cs2pEngine& engine = f.model->engine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.session_model(f.probe->features, f.probe->start_hour));
+  }
+}
+BENCHMARK(BM_EngineSessionLookup);
+
+void BM_MpcDecision(benchmark::State& state) {
+  auto& f = fixture();
+  auto predictor = f.model->make_session(SessionContext::from(*f.probe));
+  predictor->observe(f.probe->throughput_mbps[0]);
+  MpcController controller;
+  VideoSpec video;
+  AbrState abr_state;
+  abr_state.chunk_index = 5;
+  abr_state.buffer_seconds = 12.0;
+  abr_state.last_bitrate_index = 2;
+  abr_state.last_throughput_mbps = f.probe->throughput_mbps[0];
+  abr_state.predictor = predictor.get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.select_bitrate(abr_state, video));
+  }
+}
+BENCHMARK(BM_MpcDecision)->Unit(benchmark::kMicrosecond);
+
+void BM_TcpObserveRoundTrip(benchmark::State& state) {
+  auto& f = fixture();
+  static PredictionServer server(f.model);
+  static PredictionClient client(server.port());
+  static const SessionResponse session =
+      client.hello(f.probe->features, f.probe->start_hour);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.observe(
+        session.session_id,
+        f.probe->throughput_mbps[t % f.probe->throughput_mbps.size()]));
+    ++t;
+  }
+  state.counters["predictions/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TcpObserveRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_ModelFootprint(benchmark::State& state) {
+  auto& f = fixture();
+  const SessionModelRef ref =
+      f.model->engine().session_model(f.probe->features, f.probe->start_hour);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.hmm->byte_size());
+  }
+  state.counters["model_bytes"] = static_cast<double>(ref.hmm->byte_size());
+  state.counters["serialized_bytes"] =
+      static_cast<double>(serialize_hmm(*ref.hmm).size());
+}
+BENCHMARK(BM_ModelFootprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Table 1 — limitations of current initial bitrate selection, quantified.
+//
+// The paper's Table 1 is anecdotal: fixed-bitrate players pick a low rate
+// to avoid stalls ("bitrate too low"), adaptive players ramp up slowly from
+// a conservative start ("a few chunks are wasted to probe throughput"), and
+// throughput prediction buys a high initial bitrate without rebuffering or
+// long startup. This bench reproduces those anecdotes as numbers:
+//
+//   * Fixed-low     — constant 350 kbps (the NFL/Lynda row);
+//   * Cold ramp-up  — HM+MPC starting blind at the lowest rung (Netflix);
+//   * CS2P + MPC    — prediction-driven initial selection.
+//
+// Reported: initial bitrate, chunks wasted before reaching the sustainable
+// rung, startup delay, rebuffering, and QoE over a short Vevo-length clip
+// (where slow ramp-up never converges, the paper's short-video point).
+
+#include <cstdio>
+#include <memory>
+
+#include "abr/controllers.h"
+#include "abr/evaluation.h"
+#include "abr/mpc.h"
+#include "bench/common.h"
+#include "core/engine.h"
+#include "predictors/history.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cs2p;
+
+struct AnecdoteStats {
+  double initial_bitrate = 0.0;    ///< mean chunk-0 bitrate (kbps)
+  double wasted_chunks = 0.0;      ///< mean chunks below the sustainable rung
+  double startup_seconds = 0.0;
+  double rebuffer_seconds = 0.0;
+  double avg_bitrate = 0.0;
+};
+
+AnecdoteStats measure(const PredictorModel* model, const ControllerFactory& make,
+                      const Dataset& test, const VideoSpec& video,
+                      std::size_t max_sessions) {
+  AnecdoteStats out;
+  std::vector<double> initial, wasted, startup, rebuf, bitrate;
+  std::size_t n = 0;
+  for (const auto& session : test.sessions()) {
+    if (session.throughput_mbps.size() < video.num_chunks) continue;
+    if (session.average_throughput() < 0.45) continue;
+    if (++n > max_sessions) break;
+
+    std::unique_ptr<SessionPredictor> predictor;
+    if (model != nullptr)
+      predictor = model->make_session(SessionContext::from(session));
+    const auto controller = make();
+    const ThroughputTrace trace(session.throughput_mbps);
+    const PlaybackResult played =
+        simulate_playback(video, trace, *controller, predictor.get());
+    const QoeBreakdown qoe = compute_qoe(played);
+
+    // "Sustainable rung": the highest ladder bitrate below the session's
+    // median throughput. Chunks rendered below it are the probe waste.
+    const double sustainable =
+        video.bitrates_kbps[highest_sustainable(
+            video, median(session.throughput_mbps) * 1000.0)];
+    std::size_t below = 0;
+    for (const auto& chunk : played.chunks)
+      if (chunk.bitrate_kbps < sustainable) ++below;
+
+    initial.push_back(played.chunks.front().bitrate_kbps);
+    wasted.push_back(static_cast<double>(below));
+    startup.push_back(played.startup_delay_seconds);
+    rebuf.push_back(qoe.rebuffer_seconds);
+    bitrate.push_back(qoe.avg_bitrate_kbps);
+  }
+  out.initial_bitrate = mean(initial);
+  out.wasted_chunks = mean(wasted);
+  out.startup_seconds = mean(startup);
+  out.rebuffer_seconds = mean(rebuf);
+  out.avg_bitrate = mean(bitrate);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cs2p;
+  auto [train, test] = bench::standard_dataset();
+  const Cs2pPredictorModel cs2p(train);
+  const HarmonicMeanModel hm;
+
+  MpcConfig mpc_config;
+  mpc_config.robust = true;
+  const auto mpc = [&] { return std::make_unique<MpcController>(mpc_config); };
+  const auto fixed_low = [] { return std::make_unique<FixedBitrateController>(0); };
+
+  // A short clip (Vevo-style, ~90 s) where slow ramp-up cannot converge.
+  VideoSpec short_clip;
+  short_clip.num_chunks = 15;
+
+  std::printf("Table 1: initial bitrate selection anecdotes, quantified\n");
+  for (const auto& [label, video] :
+       std::vector<std::pair<const char*, VideoSpec>>{
+           {"260-s video", VideoSpec{}}, {"90-s clip", short_clip}}) {
+    std::printf("\n%s:\n", label);
+    TextTable table({"player", "initial kbps", "wasted chunks", "startup s",
+                     "rebuf s", "avg kbps"});
+    const struct {
+      const char* name;
+      const PredictorModel* model;
+      ControllerFactory controller;
+    } rows[] = {
+        {"Fixed-low (NFL/Lynda)", nullptr, fixed_low},
+        {"Cold ramp-up (HM+MPC)", &hm, mpc},
+        {"CS2P + MPC", &cs2p, mpc},
+    };
+    for (const auto& row : rows) {
+      const AnecdoteStats s = measure(row.model, row.controller, test, video, 150);
+      table.add_row({row.name, format_double(s.initial_bitrate, 0),
+                     format_double(s.wasted_chunks, 1),
+                     format_double(s.startup_seconds, 2),
+                     format_double(s.rebuffer_seconds, 2),
+                     format_double(s.avg_bitrate, 0)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+  std::printf("\npaper shape: fixed = low bitrate; cold ramp-up wastes probe "
+              "chunks (worse on short clips); prediction starts high without "
+              "long startup or stalls.\n");
+  return 0;
+}

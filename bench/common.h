@@ -1,0 +1,54 @@
+// Shared configuration of the benchmark harness.
+//
+// Every bench binary reproduces one table/figure of the paper on the same
+// "standard world": a scale model of the iQiyi dataset dense enough that
+// session clusters at the (ISP, City, Server, Prefix) granularity hold
+// dozens-to-hundreds of training sessions, as the paper's 20M-session
+// dataset does at its clustering granularity. Day 0 trains, day 1 tests
+// (§7.1). Everything is deterministic from the seeds below.
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+
+#include "dataset/synthetic.h"
+
+namespace cs2p::bench {
+
+/// World used by all accuracy/QoE benches.
+inline SyntheticConfig standard_config() {
+  SyntheticConfig config;
+  config.num_isps = 6;
+  config.num_provinces = 8;
+  config.cities_per_province = 3;
+  config.num_servers = 12;
+  config.servers_per_province = 2;
+  config.prefixes_per_isp_city = 2;
+  config.num_sessions = 16000;
+  config.days = 2;
+  config.seed = 2016;  // SIGCOMM'16
+  return config;
+}
+
+/// Reads CS2P_BENCH_SESSIONS to scale runs up/down without recompiling.
+inline SyntheticConfig standard_config_scaled() {
+  SyntheticConfig config = standard_config();
+  if (const char* env = std::getenv("CS2P_BENCH_SESSIONS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) config.num_sessions = static_cast<std::size_t>(n);
+  }
+  return config;
+}
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+inline TrainTest standard_dataset() {
+  Dataset dataset = generate_synthetic_dataset(standard_config_scaled());
+  auto [train, test] = dataset.split_by_day(1);
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace cs2p::bench

@@ -1,0 +1,68 @@
+// Model selection: choose the HMM state count by cross-validation (§5.2:
+// "we use cross-validation to learn this critical parameter"; §7.1: 4-fold,
+// the paper lands on N = 6).
+//
+// The sweep trains one HMM per candidate N on a cluster's sessions and
+// scores held-out one-step prediction error; it also demonstrates the
+// predictive-distribution API that powers risk-aware decisions.
+
+#include <cstdio>
+#include <map>
+
+#include "dataset/synthetic.h"
+#include "hmm/model_selection.h"
+#include "hmm/online_filter.h"
+
+int main() {
+  using namespace cs2p;
+
+  // Sessions of one dense ground-truth cluster.
+  SyntheticConfig config;
+  config.num_isps = 6;
+  config.num_provinces = 8;
+  config.cities_per_province = 3;
+  config.num_servers = 12;
+  config.servers_per_province = 2;
+  config.prefixes_per_isp_city = 2;
+  config.num_sessions = 12000;
+  config.seed = 11;
+  Dataset dataset = generate_synthetic_dataset(config);
+
+  // Find the feature tuple with the most sessions.
+  std::map<std::string, std::vector<const Session*>> clusters;
+  for (const auto& s : dataset.sessions())
+    clusters[feature_key(s.features, kAllFeaturesMask)].push_back(&s);
+  const std::vector<const Session*>* biggest = nullptr;
+  for (const auto& [key, sessions] : clusters)
+    if (biggest == nullptr || sessions.size() > biggest->size())
+      biggest = &sessions;
+
+  std::vector<std::vector<double>> sequences;
+  for (const Session* s : *biggest)
+    if (s->throughput_mbps.size() >= 10) sequences.push_back(s->throughput_mbps);
+  std::printf("cluster with %zu usable sessions\n", sequences.size());
+
+  BaumWelchConfig base;
+  base.max_iterations = 40;
+  const ModelSelectionResult result =
+      select_state_count(sequences, {2, 3, 4, 6, 8, 10}, /*folds=*/4, base);
+
+  std::printf("%-10s %-12s\n", "N states", "CV error");
+  for (const auto& score : result.scores)
+    std::printf("%-10zu %-12.4f%s\n", score.num_states, score.cv_error,
+                score.num_states == result.best_num_states ? "  <- selected" : "");
+
+  // Train the winner and show a probabilistic forecast.
+  base.num_states = result.best_num_states;
+  const GaussianHmm model = train_hmm(sequences, base).model;
+  OnlineHmmFilter filter(model);
+  for (double w : sequences.front()) {
+    filter.observe(w);
+    if (filter.observations() == 5) break;
+  }
+  const auto forecast = filter.predict_distribution(1);
+  std::printf("\nafter 5 epochs: next-epoch forecast %.2f Mbps "
+              "(+/- %.2f std), point forecast %.2f Mbps\n",
+              forecast.mean, forecast.std_dev, filter.predict(1));
+  return 0;
+}

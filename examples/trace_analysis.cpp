@@ -1,0 +1,79 @@
+// Trace analysis: reproduce the paper's §3 dataset observations on a
+// generated trace set, and decode a session's hidden states with Viterbi —
+// the "Fig 4a" view of stateful throughput.
+
+#include <cstdio>
+
+#include "dataset/synthetic.h"
+#include "hmm/baum_welch.h"
+#include "hmm/viterbi.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace cs2p;
+
+  SyntheticConfig config;
+  config.num_sessions = 8000;
+  config.seed = 7;
+  SyntheticWorld world(config);
+  Dataset dataset = world.generate();
+
+  const DatasetSummary summary = dataset.summarize();
+  std::printf("sessions: %zu  epochs: %zu\n", summary.num_sessions,
+              summary.total_epochs);
+  for (const auto& [feature, uniques] : summary.unique_values)
+    std::printf("  %-12s %zu unique values\n",
+                std::string(feature_name(feature)).c_str(), uniques);
+  std::printf("median duration: %.0f s, median epoch throughput: %.2f Mbps\n",
+              summary.median_duration_seconds, summary.median_epoch_throughput_mbps);
+
+  // Observation 1: intra-session variability.
+  const auto covs = dataset.per_session_cov();
+  std::printf("\nObservation 1 — per-session throughput CoV:\n");
+  std::printf("  fraction with CoV >= 0.3: %.2f (paper: ~0.5)\n",
+              1.0 - ecdf(covs, 0.3));
+  std::printf("  fraction with CoV >= 0.5: %.2f (paper: >0.2)\n",
+              1.0 - ecdf(covs, 0.5));
+
+  // Observation 2: fit an HMM to one long session and decode its states.
+  const Session* longest = nullptr;
+  for (const auto& s : dataset.sessions())
+    if (longest == nullptr ||
+        s.throughput_mbps.size() > longest->throughput_mbps.size())
+      longest = &s;
+
+  BaumWelchConfig hmm_config;
+  hmm_config.num_states = 4;
+  const auto trained = train_hmm({longest->throughput_mbps}, hmm_config);
+  const auto decoded = viterbi(trained.model, longest->throughput_mbps);
+
+  std::printf("\nObservation 2 — session #%lld (%zu epochs), 4-state HMM fit:\n",
+              static_cast<long long>(longest->id), longest->throughput_mbps.size());
+  for (std::size_t i = 0; i < trained.model.num_states(); ++i)
+    std::printf("  state %zu: N(%.2f, %.2f^2) Mbps, stay prob %.3f\n", i,
+                trained.model.states[i].mean, trained.model.states[i].sigma,
+                trained.model.transition(i, i));
+
+  std::size_t switches = 0;
+  for (std::size_t t = 1; t < decoded.path.size(); ++t)
+    if (decoded.path[t] != decoded.path[t - 1]) ++switches;
+  std::printf("  Viterbi path: %zu state switches over %zu epochs "
+              "(persistent states)\n",
+              switches, decoded.path.size());
+
+  // Observation 3: initial-throughput concentration within a cluster.
+  std::printf("\nObservation 3 — per-prefix initial throughput spread:\n");
+  std::map<std::string, std::vector<double>> by_prefix;
+  for (const auto& s : dataset.sessions())
+    if (!s.throughput_mbps.empty())
+      by_prefix[s.features.client_prefix].push_back(s.initial_throughput());
+  std::size_t shown = 0;
+  for (const auto& [prefix, initials] : by_prefix) {
+    if (initials.size() < 30) continue;
+    std::printf("  %-10s n=%-5zu median=%.2f Mbps IQR=[%.2f, %.2f]\n",
+                prefix.c_str(), initials.size(), median(initials),
+                quantile(initials, 0.25), quantile(initials, 0.75));
+    if (++shown == 5) break;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "abr/controllers.h"
+
+#include <algorithm>
+
+namespace cs2p {
+
+std::size_t highest_sustainable(const VideoSpec& video, double budget_kbps) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < video.bitrates_kbps.size(); ++i)
+    if (video.bitrates_kbps[i] <= budget_kbps) best = i;
+  return best;
+}
+
+std::size_t FixedBitrateController::select_bitrate(const AbrState&,
+                                                   const VideoSpec& video) {
+  return std::min(bitrate_index_, video.bitrates_kbps.size() - 1);
+}
+
+std::size_t RateBasedController::select_bitrate(const AbrState& state,
+                                                const VideoSpec& video) {
+  double predicted_mbps = 0.0;
+  if (state.predictor != nullptr) {
+    if (state.chunk_index == 0) {
+      const auto initial = state.predictor->predict_initial();
+      if (!initial) return 0;  // conservative cold start
+      predicted_mbps = *initial;
+    } else {
+      predicted_mbps = state.predictor->predict(1);
+    }
+  } else {
+    if (state.chunk_index == 0) return 0;
+    predicted_mbps = state.last_throughput_mbps;
+  }
+  return highest_sustainable(video, safety_factor_ * predicted_mbps * 1000.0);
+}
+
+std::size_t BufferBasedController::select_bitrate(const AbrState& state,
+                                                  const VideoSpec& video) {
+  if (state.chunk_index == 0) return 0;  // BB has no cold-start signal
+  const double b = state.buffer_seconds;
+  if (b <= reservoir_) return 0;
+  const std::size_t top = video.bitrates_kbps.size() - 1;
+  if (b >= reservoir_ + cushion_) return top;
+  const double fraction = (b - reservoir_) / cushion_;
+  return static_cast<std::size_t>(fraction * static_cast<double>(top) + 0.5);
+}
+
+}  // namespace cs2p

@@ -1,0 +1,57 @@
+// Baseline ABR controllers (paper §2, §5.3, §7.3):
+//
+//   FixedBitrate — the fixed-bitrate streaming of Table 1.
+//   RateBased    — highest bitrate below (a safety factor times) the
+//                  predicted throughput; the classic throughput-rule.
+//   BufferBased  — BBA-style reservoir/cushion mapping of buffer occupancy
+//                  onto the bitrate ladder [27]; uses no prediction at all.
+//
+// Initial chunk: Rate-based uses the predictor's cold-start estimate when
+// available ("select the highest sustainable bitrate below the predicted
+// initial throughput", §5.3) and the lowest rung otherwise — the
+// conservative ramp-up the paper criticises in Table 1.
+#pragma once
+
+#include "sim/player.h"
+
+namespace cs2p {
+
+/// Index of the highest ladder rung whose bitrate is <= `budget_kbps`
+/// (index 0 when even the lowest rung exceeds the budget).
+std::size_t highest_sustainable(const VideoSpec& video, double budget_kbps) noexcept;
+
+class FixedBitrateController final : public AbrController {
+ public:
+  explicit FixedBitrateController(std::size_t bitrate_index)
+      : bitrate_index_(bitrate_index) {}
+  std::string name() const override { return "Fixed"; }
+  std::size_t select_bitrate(const AbrState&, const VideoSpec& video) override;
+
+ private:
+  std::size_t bitrate_index_;
+};
+
+class RateBasedController final : public AbrController {
+ public:
+  explicit RateBasedController(double safety_factor = 1.0)
+      : safety_factor_(safety_factor) {}
+  std::string name() const override { return "RB"; }
+  std::size_t select_bitrate(const AbrState& state, const VideoSpec& video) override;
+
+ private:
+  double safety_factor_;
+};
+
+class BufferBasedController final : public AbrController {
+ public:
+  BufferBasedController(double reservoir_seconds = 5.0, double cushion_seconds = 20.0)
+      : reservoir_(reservoir_seconds), cushion_(cushion_seconds) {}
+  std::string name() const override { return "BB"; }
+  std::size_t select_bitrate(const AbrState& state, const VideoSpec& video) override;
+
+ private:
+  double reservoir_;
+  double cushion_;
+};
+
+}  // namespace cs2p

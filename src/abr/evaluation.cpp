@@ -1,0 +1,65 @@
+#include "abr/evaluation.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace cs2p {
+
+AbrEvaluation evaluate_abr(const std::string& label, const PredictorModel* model,
+                           const ControllerFactory& make_controller,
+                           const Dataset& test, const AbrEvaluationOptions& options) {
+  AbrEvaluation out;
+  out.label = label;
+
+  OfflineOptimalConfig optimal_config;
+  optimal_config.qoe = options.qoe;
+
+  std::vector<double> n_qoes, bitrates, good_ratios, rebuffers, startups;
+  std::size_t evaluated = 0;
+  for (const auto& session : test.sessions()) {
+    if (options.max_sessions && evaluated >= options.max_sessions) break;
+    if (session.throughput_mbps.size() < options.min_trace_epochs) continue;
+    if (session.average_throughput() < options.min_avg_throughput_mbps) continue;
+    ++evaluated;
+
+    const ThroughputTrace trace(session.throughput_mbps);
+
+    std::unique_ptr<SessionPredictor> predictor;
+    if (model != nullptr) {
+      SessionContext context = SessionContext::from(session);
+      if (options.provide_oracle) context.oracle_series = &session.throughput_mbps;
+      predictor = model->make_session(context);
+    }
+
+    const auto controller = make_controller();
+    const PlaybackResult playback =
+        simulate_playback(options.video, trace, *controller, predictor.get());
+    AbrSessionOutcome outcome;
+    outcome.breakdown = compute_qoe(playback, options.qoe);
+    outcome.qoe = outcome.breakdown.total;
+    outcome.optimal_qoe =
+        offline_optimal_qoe(options.video, trace, optimal_config).qoe;
+    outcome.normalized_qoe =
+        outcome.optimal_qoe > 0.0
+            ? std::max(0.0, outcome.qoe / outcome.optimal_qoe)
+            : 0.0;
+
+    n_qoes.push_back(outcome.normalized_qoe);
+    bitrates.push_back(outcome.breakdown.avg_bitrate_kbps);
+    good_ratios.push_back(outcome.breakdown.good_ratio);
+    rebuffers.push_back(outcome.breakdown.rebuffer_seconds);
+    startups.push_back(outcome.breakdown.startup_seconds);
+    out.outcomes.push_back(std::move(outcome));
+  }
+
+  out.median_n_qoe = median(n_qoes);
+  out.mean_n_qoe = mean(n_qoes);
+  out.avg_bitrate_kbps = mean(bitrates);
+  out.good_ratio = mean(good_ratios);
+  out.mean_rebuffer_seconds = mean(rebuffers);
+  out.mean_startup_seconds = mean(startups);
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,59 @@
+// QoE evaluation harness (paper §7.3): replays test sessions through the
+// player simulator under a (predictor, ABR controller) pairing, and
+// normalises each session's QoE by its offline optimum (n-QoE).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abr/offline_optimal.h"
+#include "dataset/dataset.h"
+#include "predictors/predictor.h"
+#include "sim/player.h"
+
+namespace cs2p {
+
+/// Produces a fresh controller per session (controllers are stateful).
+using ControllerFactory = std::function<std::unique_ptr<AbrController>()>;
+
+struct AbrEvaluationOptions {
+  VideoSpec video;
+  QoeParams qoe;
+  std::size_t max_sessions = 0;       ///< 0 = all eligible sessions
+  std::size_t min_trace_epochs = 10;  ///< skip sessions shorter than this
+  /// Skip sessions whose average throughput cannot sustain even the lowest
+  /// ladder rung — stalling is then unavoidable for every policy including
+  /// the offline optimum, so the session measures nothing about adaptation.
+  /// (Standard trace filtering in the ABR literature.)
+  double min_avg_throughput_mbps = 0.45;
+  bool provide_oracle = false;        ///< let Oracle predictors see the trace
+};
+
+/// Outcome for one session.
+struct AbrSessionOutcome {
+  double qoe = 0.0;
+  double optimal_qoe = 0.0;
+  double normalized_qoe = 0.0;  ///< qoe / optimal (clamped below at 0)
+  QoeBreakdown breakdown;
+};
+
+/// Aggregate over the test set.
+struct AbrEvaluation {
+  std::string label;
+  std::vector<AbrSessionOutcome> outcomes;
+  double median_n_qoe = 0.0;
+  double mean_n_qoe = 0.0;
+  double avg_bitrate_kbps = 0.0;   ///< mean of per-session AvgBitrate
+  double good_ratio = 0.0;         ///< mean of per-session GoodRatio
+  double mean_rebuffer_seconds = 0.0;
+  double mean_startup_seconds = 0.0;
+};
+
+/// Runs the sweep. `model` may be null for predictor-free controllers (BB).
+AbrEvaluation evaluate_abr(const std::string& label, const PredictorModel* model,
+                           const ControllerFactory& make_controller,
+                           const Dataset& test, const AbrEvaluationOptions& options);
+
+}  // namespace cs2p

@@ -1,0 +1,54 @@
+#include "abr/festive.h"
+
+#include <algorithm>
+
+#include "abr/controllers.h"
+#include "util/stats.h"
+
+namespace cs2p {
+
+void FestiveController::reset() {
+  recent_throughput_.clear();
+  up_streak_ = 0;
+}
+
+std::size_t FestiveController::select_bitrate(const AbrState& state,
+                                              const VideoSpec& video) {
+  if (state.chunk_index == 0 || state.last_bitrate_index < 0) {
+    // FESTIVE has no cross-session signal: conservative cold start.
+    return 0;
+  }
+
+  recent_throughput_.push_back(state.last_throughput_mbps);
+  if (recent_throughput_.size() > config_.window)
+    recent_throughput_.erase(recent_throughput_.begin());
+
+  const double estimate_kbps =
+      harmonic_mean(recent_throughput_) * 1000.0 * config_.safety_factor;
+  const auto current = static_cast<std::size_t>(state.last_bitrate_index);
+  const std::size_t target = highest_sustainable(video, estimate_kbps);
+
+  if (target > current) {
+    // Gradual, patience-gated climbing: one rung after `patience`
+    // consecutive up-recommendations, and only if the efficiency gain
+    // outweighs the stability cost of a switch.
+    ++up_streak_;
+    if (up_streak_ < config_.patience) return current;
+    const double gain = video.bitrates_kbps[current + 1] -
+                        video.bitrates_kbps[current];
+    if (gain < config_.stability_weight * video.bitrates_kbps[current])
+      return current;  // not worth the switch
+    up_streak_ = 0;
+    return current + 1;
+  }
+
+  up_streak_ = 0;
+  if (target < current) {
+    // Down-switches happen immediately (safety) but still one rung at a
+    // time — FESTIVE's gradual switching limits oscillation amplitude.
+    return current - 1;
+  }
+  return current;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,42 @@
+// FESTIVE-style controller (Jiang et al., CoNEXT'12 [31]) — the decentralized
+// rate-adaptation baseline the paper repeatedly cites alongside BB and MPC.
+//
+// The implementation captures FESTIVE's three published mechanisms at chunk
+// granularity (its randomized scheduling component concerns multi-player
+// start-time jitter and has no effect in a single-player replay):
+//
+//  * bandwidth estimation by the harmonic mean of the last `window` chunks;
+//  * gradual switching: step at most one ladder rung at a time, and only
+//    climb after `patience` consecutive chunks have recommended a higher
+//    rung (stability against noise);
+//  * delayed update via an efficiency/stability trade-off: a step is taken
+//    only when the estimated efficiency gain outweighs the configured
+//    stability cost.
+#pragma once
+
+#include "sim/player.h"
+
+namespace cs2p {
+
+struct FestiveConfig {
+  std::size_t window = 5;        ///< harmonic-mean window (chunks)
+  unsigned patience = 3;         ///< consecutive up-recommendations to climb
+  double safety_factor = 0.85;   ///< target rate = safety * estimate
+  double stability_weight = 0.3; ///< switch only when gain beats this fraction
+};
+
+class FestiveController final : public AbrController {
+ public:
+  explicit FestiveController(FestiveConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "FESTIVE"; }
+  std::size_t select_bitrate(const AbrState& state, const VideoSpec& video) override;
+  void reset() override;
+
+ private:
+  FestiveConfig config_;
+  std::vector<double> recent_throughput_;
+  unsigned up_streak_ = 0;
+};
+
+}  // namespace cs2p

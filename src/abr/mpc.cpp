@@ -1,0 +1,103 @@
+#include "abr/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "abr/controllers.h"
+#include "util/error_metrics.h"
+
+namespace cs2p {
+
+void MpcController::reset() {
+  recent_errors_.clear();
+  last_forecast_mbps_ = -1.0;
+}
+
+std::size_t MpcController::select_bitrate(const AbrState& state,
+                                          const VideoSpec& video) {
+  const std::size_t ladder = video.bitrates_kbps.size();
+  if (ladder == 0) throw std::invalid_argument("MpcController: empty bitrate ladder");
+
+  // Initial chunk: pick by predicted initial throughput (§5.3).
+  if (state.chunk_index == 0 || state.last_bitrate_index < 0) {
+    if (state.predictor != nullptr) {
+      if (const auto initial = state.predictor->predict_initial()) {
+        last_forecast_mbps_ = *initial;
+        return highest_sustainable(video,
+                                   config_.safety_factor * *initial * 1000.0);
+      }
+    }
+    return 0;
+  }
+
+  if (state.predictor == nullptr)
+    throw std::invalid_argument("MpcController: midstream selection needs a predictor");
+
+  // RobustMPC discount: track how wrong the previous h = 1 forecast was.
+  double discount = 1.0;
+  if (config_.robust) {
+    if (last_forecast_mbps_ > 0.0 && state.last_throughput_mbps > 0.0) {
+      recent_errors_.push_back(absolute_normalized_error(
+          last_forecast_mbps_, state.last_throughput_mbps));
+      if (recent_errors_.size() > config_.robust_window)
+        recent_errors_.erase(recent_errors_.begin());
+    }
+    // Discount by the mean recent error rather than the max: transient
+    // one-epoch bursts hit every predictor's worst-case alike and would
+    // mask genuine accuracy differences, which are exactly what this
+    // mechanism should reward.
+    double sum = 0.0;
+    for (double err : recent_errors_) sum += err;
+    if (!recent_errors_.empty())
+      discount = 1.0 + sum / static_cast<double>(recent_errors_.size());
+  }
+
+  const unsigned horizon = std::max(1U, config_.horizon);
+  std::vector<double> forecast_mbps(horizon);
+  for (unsigned h = 0; h < horizon; ++h) {
+    forecast_mbps[h] = std::max(
+        1e-6, config_.safety_factor * state.predictor->predict(h + 1) / discount);
+  }
+  last_forecast_mbps_ = state.predictor->predict(1);
+
+  // Exhaustive rollout over bitrate sequences (base-`ladder` counter).
+  double best_value = -std::numeric_limits<double>::infinity();
+  std::size_t best_first = 0;
+  std::vector<std::size_t> plan(horizon, 0);
+  const double chunk_s = video.chunk_seconds;
+
+  while (true) {
+    double buffer = state.buffer_seconds;
+    double value = 0.0;
+    double prev_bitrate = video.bitrates_kbps[static_cast<std::size_t>(
+        state.last_bitrate_index)];
+    for (unsigned h = 0; h < horizon; ++h) {
+      const double bitrate = video.bitrates_kbps[plan[h]];
+      const double download =
+          bitrate * chunk_s / 1000.0 / forecast_mbps[h];
+      const double rebuffer = std::max(0.0, download - buffer);
+      buffer = std::max(buffer - download, 0.0) + chunk_s;
+      buffer = std::min(buffer, video.buffer_capacity_seconds);
+      value += bitrate - config_.qoe.lambda * std::abs(bitrate - prev_bitrate) -
+               config_.qoe.mu * rebuffer;
+      prev_bitrate = bitrate;
+    }
+    if (value > best_value) {
+      best_value = value;
+      best_first = plan[0];
+    }
+    // Advance the counter.
+    unsigned digit = 0;
+    while (digit < horizon && ++plan[digit] == ladder) {
+      plan[digit] = 0;
+      ++digit;
+    }
+    if (digit == horizon) break;
+  }
+  return best_first;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,56 @@
+// FastMPC controller (Yin et al. [47], the adaptation algorithm the paper
+// pairs every predictor with in §5.3/§7.3).
+//
+// At each chunk boundary MPC solves, by exhaustive enumeration over the
+// bitrate ladder, the H-step lookahead problem
+//
+//   max_{R_k..R_{k+H-1}}  sum_h [ q(R_h) - lambda |q(R_h) - q(R_{h-1})|
+//                                 - mu * rebuffer_h ]
+//
+// under the simulator's buffer dynamics, using the plugged-in predictor's
+// h-step-ahead throughput forecasts, and applies the first decision. With a
+// 5-rung ladder and H = 5 that is 3125 rollouts per chunk — the table-free
+// equivalent of the paper's FastMPC table enumeration.
+//
+// The initial chunk (no buffer, no current bitrate) cannot be chosen by MPC
+// (§5.3); it uses the highest sustainable bitrate below the predicted
+// initial throughput, or the lowest rung if the predictor cannot cold-start.
+#pragma once
+
+#include <vector>
+
+#include "qoe/qoe.h"
+#include "sim/player.h"
+
+namespace cs2p {
+
+struct MpcConfig {
+  unsigned horizon = 5;     ///< lookahead chunks
+  QoeParams qoe;            ///< objective weights (lambda, mu)
+  double safety_factor = 1.0;  ///< scales predicted throughput (1 = trust)
+
+  /// RobustMPC (Yin et al. [47] §V): divide the forecast by
+  /// (1 + max error of the last `robust_window` forecasts). An accurate
+  /// predictor is discounted little and can safely ride high bitrates; a
+  /// noisy one gets an automatic safety margin. This is how prediction
+  /// accuracy translates into QoE, so the QoE benches enable it for every
+  /// predictor arm equally.
+  bool robust = false;
+  std::size_t robust_window = 5;
+};
+
+class MpcController final : public AbrController {
+ public:
+  explicit MpcController(MpcConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return config_.robust ? "RobustMPC" : "MPC"; }
+  std::size_t select_bitrate(const AbrState& state, const VideoSpec& video) override;
+  void reset() override;
+
+ private:
+  MpcConfig config_;
+  std::vector<double> recent_errors_;  ///< ring of last forecast errors
+  double last_forecast_mbps_ = -1.0;   ///< h = 1 forecast issued last chunk
+};
+
+}  // namespace cs2p

@@ -1,0 +1,111 @@
+#include "abr/offline_optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace cs2p {
+
+OfflineOptimalResult offline_optimal_qoe(const VideoSpec& video,
+                                         const ThroughputTrace& trace,
+                                         const OfflineOptimalConfig& config) {
+  const std::size_t ladder = video.bitrates_kbps.size();
+  const std::size_t chunks = video.num_chunks;
+  if (ladder == 0 || chunks == 0 || config.buffer_quantum_seconds <= 0.0)
+    throw std::invalid_argument("offline_optimal_qoe: malformed configuration");
+
+  const double quantum = config.buffer_quantum_seconds;
+  const auto buffer_levels =
+      static_cast<std::size_t>(video.buffer_capacity_seconds / quantum) + 1;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  auto to_level = [&](double buffer_seconds) {
+    const double clamped =
+        std::clamp(buffer_seconds, 0.0, video.buffer_capacity_seconds);
+    return static_cast<std::size_t>(clamped / quantum + 0.5);
+  };
+
+  // value[r][b]: best achievable QoE from the *current* chunk onward, given
+  // the previous chunk used ladder index r and the buffer is b levels.
+  // Iterate chunks backwards; choice[k][r][b] records the argmax for plan
+  // reconstruction.
+  const std::size_t plane = ladder * buffer_levels;
+  std::vector<double> value(plane, 0.0), next_value(plane, 0.0);
+  std::vector<std::uint8_t> choice(chunks * plane, 0);
+
+  auto idx = [&](std::size_t r, std::size_t b) { return r * buffer_levels + b; };
+
+  for (std::size_t k = chunks; k-- > 1;) {
+    const double throughput = trace.at(k);
+    std::swap(value, next_value);  // next_value now holds chunk k+1's values
+    for (std::size_t r = 0; r < ladder; ++r) {
+      const double prev_bitrate = video.bitrates_kbps[r];
+      for (std::size_t b = 0; b < buffer_levels; ++b) {
+        const double buffer = static_cast<double>(b) * quantum;
+        double best = kNegInf;
+        std::uint8_t best_choice = 0;
+        for (std::size_t c = 0; c < ladder; ++c) {
+          const double bitrate = video.bitrates_kbps[c];
+          const double download = bitrate * video.chunk_seconds / 1000.0 / throughput;
+          const double rebuffer = std::max(0.0, download - buffer);
+          double next_buffer =
+              std::max(buffer - download, 0.0) + video.chunk_seconds;
+          next_buffer = std::min(next_buffer, video.buffer_capacity_seconds);
+          const double reward = bitrate -
+                                config.qoe.lambda * std::abs(bitrate - prev_bitrate) -
+                                config.qoe.mu * rebuffer;
+          const double future =
+              k + 1 < chunks ? next_value[idx(c, to_level(next_buffer))] : 0.0;
+          if (reward + future > best) {
+            best = reward + future;
+            best_choice = static_cast<std::uint8_t>(c);
+          }
+        }
+        value[idx(r, b)] = best;
+        choice[k * plane + idx(r, b)] = best_choice;
+      }
+    }
+  }
+
+  // Chunk 0: empty buffer; the wait is startup delay (penalty mu_s), and the
+  // buffer afterwards holds exactly one chunk.
+  OfflineOptimalResult result;
+  double best0 = kNegInf;
+  std::size_t best0_choice = 0;
+  const double throughput0 = trace.at(0);
+  for (std::size_t c = 0; c < ladder; ++c) {
+    const double bitrate = video.bitrates_kbps[c];
+    const double startup = bitrate * video.chunk_seconds / 1000.0 / throughput0;
+    const double next_buffer =
+        std::min(video.chunk_seconds, video.buffer_capacity_seconds);
+    const double future =
+        chunks > 1 ? value[idx(c, to_level(next_buffer))] : 0.0;
+    const double total = bitrate - config.qoe.mu_s * startup + future;
+    if (total > best0) {
+      best0 = total;
+      best0_choice = c;
+    }
+  }
+  result.qoe = best0;
+
+  // Reconstruct the plan by replaying the (exact, unquantised) dynamics and
+  // reading decisions off the choice table.
+  result.bitrate_plan.resize(chunks);
+  result.bitrate_plan[0] = best0_choice;
+  double buffer = std::min(video.chunk_seconds, video.buffer_capacity_seconds);
+  std::size_t prev = best0_choice;
+  for (std::size_t k = 1; k < chunks; ++k) {
+    const std::size_t c = choice[k * plane + idx(prev, to_level(buffer))];
+    const double bitrate = video.bitrates_kbps[c];
+    const double download = bitrate * video.chunk_seconds / 1000.0 / trace.at(k);
+    buffer = std::max(buffer - download, 0.0) + video.chunk_seconds;
+    buffer = std::min(buffer, video.buffer_capacity_seconds);
+    result.bitrate_plan[k] = c;
+    prev = c;
+  }
+  return result;
+}
+
+}  // namespace cs2p

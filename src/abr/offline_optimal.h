@@ -1,0 +1,33 @@
+// Offline-optimal QoE: the n-QoE normaliser of §7.1 ("the offline optimal
+// QoE ... achieved given perfect throughput information in the entire
+// future, calculated by solving a MILP").
+//
+// Under the chunk-indexed dynamics shared with the simulator, the MILP
+// reduces exactly to a finite-horizon dynamic program over
+// (chunk, previous bitrate, quantised buffer). Buffer is quantised to
+// `buffer_quantum_seconds` (default 0.02 s), which bounds the value error by
+// a few kbps-equivalents — negligible against QoE scores in the thousands.
+#pragma once
+
+#include "qoe/qoe.h"
+#include "sim/player.h"
+
+namespace cs2p {
+
+struct OfflineOptimalConfig {
+  QoeParams qoe;
+  double buffer_quantum_seconds = 0.02;
+};
+
+/// Result of the DP: the optimal value and the bitrate plan achieving it.
+struct OfflineOptimalResult {
+  double qoe = 0.0;
+  std::vector<std::size_t> bitrate_plan;  ///< ladder index per chunk
+};
+
+/// Computes the offline optimum for one trace. Throws on malformed specs.
+OfflineOptimalResult offline_optimal_qoe(const VideoSpec& video,
+                                         const ThroughputTrace& trace,
+                                         const OfflineOptimalConfig& config = {});
+
+}  // namespace cs2p

@@ -1,0 +1,76 @@
+#include "core/cluster_index.h"
+
+#include <algorithm>
+
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace cs2p {
+
+std::string candidate_to_string(const CandidateSpec& candidate) {
+  std::string out = mask_to_string(candidate.mask);
+  out += "@";
+  out += time_granularity_name(candidate.window);
+  return out;
+}
+
+std::vector<CandidateSpec> enumerate_candidates() {
+  std::vector<CandidateSpec> out;
+  out.reserve((kAllFeaturesMask) * all_time_granularities().size());
+  for (FeatureMask mask = 1; mask <= kAllFeaturesMask; ++mask) {
+    for (TimeGranularity g : all_time_granularities()) {
+      out.push_back({mask, g});
+    }
+  }
+  return out;
+}
+
+std::string CandidateIndex::bucket_key(const SessionFeatures& features,
+                                       double start_hour) const {
+  std::string key = feature_key(features, spec_.mask);
+  key += static_cast<char>('0' + block_of(start_hour, spec_.window));
+  return key;
+}
+
+CandidateIndex::CandidateIndex(const Dataset& training, const CandidateSpec& candidate)
+    : spec_(candidate) {
+  std::unordered_map<std::string, std::vector<double>> initials;
+  std::unordered_map<std::string, std::vector<double>> averages;
+  const auto& sessions = training.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& s = sessions[i];
+    if (s.throughput_mbps.empty()) continue;
+    const std::string key = bucket_key(s.features, s.start_hour);
+    clusters_[key].session_indices.push_back(i);
+    initials[key].push_back(s.initial_throughput());
+    averages[key].push_back(s.average_throughput());
+  }
+  for (auto& [key, cluster] : clusters_) {
+    cluster.initial_median = median(initials[key]);
+    auto& avg = averages[key];
+    std::sort(avg.begin(), avg.end());
+    cluster.average_median = quantile_sorted(avg, 0.5);
+    const double iqr =
+        quantile_sorted(avg, 0.75) - quantile_sorted(avg, 0.25);
+    cluster.average_dispersion =
+        cluster.average_median > 0.0 ? iqr / cluster.average_median : 0.0;
+  }
+}
+
+const Cluster* CandidateIndex::find(const SessionFeatures& features,
+                                    double start_hour) const {
+  const auto it = clusters_.find(bucket_key(features, start_hour));
+  return it == clusters_.end() ? nullptr : &it->second;
+}
+
+ClusterIndex::ClusterIndex(const Dataset& training, std::vector<CandidateSpec> candidates)
+    : training_(&training), candidates_(std::move(candidates)) {
+  // Candidate indexes are independent: build them in parallel. Slots are
+  // pre-sized so each worker writes a distinct element.
+  per_candidate_.resize(candidates_.size());
+  parallel_for(candidates_.size(), [&](std::size_t c) {
+    per_candidate_[c] = CandidateIndex(training, candidates_[c]);
+  });
+}
+
+}  // namespace cs2p

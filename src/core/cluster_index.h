@@ -1,0 +1,94 @@
+// Cluster index: Agg(M, s) lookups over the training set (paper §5.1).
+//
+// A clustering *candidate* M is a (feature subset, time granularity) pair.
+// For every candidate, the index hashes each training session by the
+// concatenation of its selected feature values and its time-of-day block;
+// Agg(M, s) is then the bucket the probe session s falls into. Per-bucket
+// initial-throughput medians are precomputed since the initial predictor is
+// F(S) = Median(S) (Eq. 6) and the feature-selection step (Eq. 3) evaluates
+// that median against thousands of estimation sessions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time_window.h"
+#include "dataset/dataset.h"
+
+namespace cs2p {
+
+/// One clustering candidate M: which features to match, at what time
+/// granularity.
+struct CandidateSpec {
+  FeatureMask mask = 0;
+  TimeGranularity window = TimeGranularity::kAll;
+
+  bool operator==(const CandidateSpec&) const = default;
+};
+
+/// "ISP+City@daypart"-style label.
+std::string candidate_to_string(const CandidateSpec& candidate);
+
+/// Every non-empty feature subset crossed with every time granularity
+/// (2^6 - 1 masks x 3 windows = 189 candidates by default).
+std::vector<CandidateSpec> enumerate_candidates();
+
+/// One cluster (bucket) of training sessions under a candidate.
+struct Cluster {
+  std::vector<std::size_t> session_indices;  ///< into the training dataset
+  double initial_median = 0.0;               ///< median initial throughput
+  double average_median = 0.0;  ///< median of per-session average throughput
+  /// IQR of per-session average throughput over its median — the Fig 6
+  /// "how stable is throughput when these features are pinned" statistic.
+  double average_dispersion = 0.0;
+  std::size_t size() const noexcept { return session_indices.size(); }
+};
+
+/// Buckets of one candidate.
+class CandidateIndex {
+ public:
+  CandidateIndex() = default;  ///< empty index (for container pre-sizing)
+  CandidateIndex(const Dataset& training, const CandidateSpec& candidate);
+
+  /// The cluster a session with these features/time falls into, or nullptr.
+  const Cluster* find(const SessionFeatures& features, double start_hour) const;
+
+  const CandidateSpec& candidate() const noexcept { return spec_; }
+  std::size_t num_clusters() const noexcept { return clusters_.size(); }
+
+  /// Iteration support (benches inspect cluster-size distributions).
+  const std::unordered_map<std::string, Cluster>& clusters() const noexcept {
+    return clusters_;
+  }
+
+ private:
+  std::string bucket_key(const SessionFeatures& features, double start_hour) const;
+
+  CandidateSpec spec_;
+  std::unordered_map<std::string, Cluster> clusters_;
+};
+
+/// The full index: one CandidateIndex per candidate, sharing the training
+/// dataset (held by reference — the dataset must outlive the index).
+class ClusterIndex {
+ public:
+  /// Builds buckets for `candidates` (default: enumerate_candidates()).
+  ClusterIndex(const Dataset& training, std::vector<CandidateSpec> candidates);
+
+  const std::vector<CandidateSpec>& candidates() const noexcept { return candidates_; }
+  const CandidateIndex& index_for(std::size_t candidate_id) const {
+    return per_candidate_[candidate_id];
+  }
+  std::size_t num_candidates() const noexcept { return per_candidate_.size(); }
+  const Dataset& training() const noexcept { return *training_; }
+
+ private:
+  const Dataset* training_;
+  std::vector<CandidateSpec> candidates_;
+  std::vector<CandidateIndex> per_candidate_;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,169 @@
+#include "core/engine.h"
+
+#include <stdexcept>
+
+#include "predictors/hmm_session.h"
+#include "util/stats.h"
+
+namespace cs2p {
+namespace {
+
+/// Deterministically subsamples up to `cap` sequences from the sessions at
+/// `indices` (even stride, so long and short sessions stay represented).
+std::vector<std::vector<double>> gather_sequences(const Dataset& training,
+                                                  const std::vector<std::size_t>& indices,
+                                                  std::size_t cap) {
+  std::vector<std::vector<double>> sequences;
+  if (indices.empty() || cap == 0) return sequences;
+  const std::size_t stride = indices.size() > cap ? indices.size() / cap : 1;
+  for (std::size_t i = 0; i < indices.size() && sequences.size() < cap; i += stride) {
+    const auto& series = training.sessions()[indices[i]].throughput_mbps;
+    if (series.size() >= 2) sequences.push_back(series);
+  }
+  return sequences;
+}
+
+}  // namespace
+
+Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config)
+    : training_(std::move(training)),
+      config_(config),
+      index_(training_, enumerate_candidates()),
+      selector_(index_, config.selector) {
+  std::vector<double> initials;
+  std::vector<std::size_t> all_indices;
+  for (std::size_t i = 0; i < training_.size(); ++i) {
+    const auto& s = training_.sessions()[i];
+    if (s.throughput_mbps.empty()) continue;
+    initials.push_back(s.initial_throughput());
+    all_indices.push_back(i);
+  }
+  if (initials.empty())
+    throw std::invalid_argument("Cs2pEngine: training set has no observations");
+
+  global_initial_ = config_.median_initial ? median(initials) : mean(initials);
+
+  auto sequences =
+      gather_sequences(training_, all_indices, config_.max_global_sequences);
+  if (sequences.empty())
+    throw std::invalid_argument("Cs2pEngine: no usable training sequences");
+  global_hmm_ = train_hmm(sequences, config_.hmm).model;
+}
+
+double Cs2pEngine::cluster_initial(const Cluster& cluster) const {
+  if (config_.median_initial) return cluster.initial_median;
+  std::vector<double> initials;
+  initials.reserve(cluster.size());
+  for (std::size_t i : cluster.session_indices)
+    initials.push_back(training_.sessions()[i].initial_throughput());
+  return mean(initials);
+}
+
+const GaussianHmm& Cs2pEngine::cluster_hmm(const Cluster& cluster) const {
+  {
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = hmm_cache_.find(&cluster);
+    if (it != hmm_cache_.end()) return *it->second;
+  }
+
+  // Train outside the lock: EM dominates, and a rare duplicate training of
+  // the same cluster is harmless (first insert wins).
+  auto sequences = gather_sequences(training_, cluster.session_indices,
+                                    config_.max_sequences_per_cluster);
+  std::unique_ptr<GaussianHmm> model;
+  if (sequences.empty()) {
+    model = std::make_unique<GaussianHmm>(global_hmm_);
+  } else {
+    model = std::make_unique<GaussianHmm>(train_hmm(sequences, config_.hmm).model);
+  }
+
+  std::scoped_lock lock(cache_mutex_);
+  const auto [it, inserted] = hmm_cache_.emplace(&cluster, std::move(model));
+  if (inserted) ++stats_.clusters_trained;
+  return *it->second;
+}
+
+SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
+                                          double start_hour) const {
+  const SelectionResult selection = selector_.select(features, start_hour);
+  {
+    std::scoped_lock lock(cache_mutex_);
+    ++stats_.sessions_served;
+    if (!selection.found) ++stats_.global_fallbacks;
+  }
+
+  SessionModelRef ref;
+  if (!selection.found) {
+    ref.hmm = &global_hmm_;
+    ref.initial_prediction = global_initial_;
+    ref.used_global_model = true;
+    ref.cluster_label = "(global)";
+    return ref;
+  }
+
+  const CandidateIndex& candidate = index_.index_for(selection.candidate_id);
+  const Cluster* cluster = candidate.find(features, start_hour);
+  // select() only returns candidates with a usable cluster for this session.
+  ref.hmm = &cluster_hmm(*cluster);
+  ref.initial_prediction = cluster_initial(*cluster);
+  ref.cluster_label = candidate_to_string(candidate.candidate());
+  ref.cluster_size = cluster->size();
+  return ref;
+}
+
+std::size_t Cs2pEngine::warm_up(std::size_t max_clusters) const {
+  std::size_t before = 0;
+  {
+    std::scoped_lock lock(cache_mutex_);
+    before = hmm_cache_.size();
+  }
+  for (const auto& session : training_.sessions()) {
+    if (session.throughput_mbps.empty()) continue;
+    const SelectionResult selection =
+        selector_.select(session.features, session.start_hour);
+    if (!selection.found) continue;
+    const Cluster* cluster = index_.index_for(selection.candidate_id)
+                                 .find(session.features, session.start_hour);
+    if (cluster != nullptr) (void)cluster_hmm(*cluster);
+    if (max_clusters > 0) {
+      std::scoped_lock lock(cache_mutex_);
+      if (hmm_cache_.size() - before >= max_clusters) break;
+    }
+  }
+  std::scoped_lock lock(cache_mutex_);
+  return hmm_cache_.size() - before;
+}
+
+EngineStats Cs2pEngine::stats() const {
+  std::scoped_lock lock(cache_mutex_);
+  return stats_;
+}
+
+Cs2pPredictorModel::Cs2pPredictorModel(Dataset training, Cs2pConfig config)
+    : engine_(std::make_shared<Cs2pEngine>(std::move(training), config)) {}
+
+Cs2pPredictorModel::Cs2pPredictorModel(std::shared_ptr<const Cs2pEngine> engine)
+    : engine_(std::move(engine)) {
+  if (!engine_) throw std::invalid_argument("Cs2pPredictorModel: null engine");
+}
+
+std::unique_ptr<SessionPredictor> Cs2pPredictorModel::make_session(
+    const SessionContext& context) const {
+  const SessionModelRef ref =
+      engine_->session_model(context.features, context.start_hour);
+  return std::make_unique<HmmSessionPredictor>(*ref.hmm, ref.initial_prediction,
+                                               engine_->config().prediction_rule);
+}
+
+std::optional<DownloadableModel> Cs2pPredictorModel::downloadable_model(
+    const SessionContext& context) const {
+  const SessionModelRef ref =
+      engine_->session_model(context.features, context.start_hour);
+  DownloadableModel out;
+  out.initial_mbps = ref.initial_prediction;
+  out.used_global_model = ref.used_global_model;
+  out.hmm = *ref.hmm;
+  return out;
+}
+
+}  // namespace cs2p

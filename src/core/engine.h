@@ -1,0 +1,117 @@
+// The CS2P Prediction Engine (paper §4-§5): the trained artifact that video
+// servers or clients query for per-session throughput models.
+//
+// Offline (construction): builds the cluster index over the training set,
+// precomputes the feature-selection error table, and trains the global
+// fallback HMM. Per-cluster HMMs are trained lazily on first use and cached,
+// mirroring the paper's per-day offline training that "can be easily
+// parallelized" — here we simply amortise it across queries.
+//
+// Online: session_model() maps a new session to its best cluster (M*_s),
+// returning the cluster's HMM and median initial throughput — or the global
+// model when no cluster survives the min-size threshold (the paper measures
+// ~4% of sessions on the global model).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/feature_selector.h"
+#include "hmm/baum_welch.h"
+#include "hmm/online_filter.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+struct Cs2pConfig {
+  FeatureSelectorConfig selector;
+  BaumWelchConfig hmm;  ///< per-cluster HMM training (N = 6 by default)
+  std::size_t max_sequences_per_cluster = 60;  ///< EM cost bound
+  std::size_t max_global_sequences = 1200;
+  PredictionRule prediction_rule = PredictionRule::kMleState;
+  bool median_initial = true;  ///< false: mean (ablation of Eq. 6)
+};
+
+/// What the engine hands out for one session.
+struct SessionModelRef {
+  const GaussianHmm* hmm = nullptr;  ///< owned by the engine
+  double initial_prediction = 0.0;   ///< Mbps
+  bool used_global_model = false;
+  std::string cluster_label;         ///< candidate description, for logs
+  std::size_t cluster_size = 0;
+};
+
+/// Engine usage counters (coverage diagnostics for §7.4).
+struct EngineStats {
+  std::size_t sessions_served = 0;
+  std::size_t global_fallbacks = 0;
+  std::size_t clusters_trained = 0;
+};
+
+class Cs2pEngine {
+ public:
+  /// Copies the training dataset (the engine must outlive external data).
+  /// Throws std::invalid_argument on an empty or all-empty training set.
+  Cs2pEngine(Dataset training, Cs2pConfig config = {});
+
+  /// Resolves the prediction model for a new session.
+  SessionModelRef session_model(const SessionFeatures& features,
+                                double start_hour) const;
+
+  /// Pre-trains cluster HMMs for the feature tuples seen in training — the
+  /// paper's per-day offline training (§6: "we do it on a per-day basis"),
+  /// so that serving threads never pay EM latency. Returns the number of
+  /// distinct cluster models trained. `max_clusters` bounds the work
+  /// (0 = unlimited).
+  std::size_t warm_up(std::size_t max_clusters = 0) const;
+
+  const Cs2pConfig& config() const noexcept { return config_; }
+  EngineStats stats() const;
+
+  const GaussianHmm& global_hmm() const noexcept { return global_hmm_; }
+  double global_initial() const noexcept { return global_initial_; }
+  const ClusterIndex& cluster_index() const noexcept { return index_; }
+  const FeatureSelector& selector() const noexcept { return selector_; }
+  const Dataset& training() const noexcept { return training_; }
+
+ private:
+  const GaussianHmm& cluster_hmm(const Cluster& cluster) const;
+  double cluster_initial(const Cluster& cluster) const;
+
+  Dataset training_;
+  Cs2pConfig config_;
+  ClusterIndex index_;
+  FeatureSelector selector_;
+  GaussianHmm global_hmm_;
+  double global_initial_ = 0.0;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<const Cluster*, std::unique_ptr<GaussianHmm>> hmm_cache_;
+  mutable EngineStats stats_;
+};
+
+/// PredictorModel adapter so the engine plugs into the shared evaluation and
+/// simulation harnesses alongside every baseline.
+class Cs2pPredictorModel final : public PredictorModel {
+ public:
+  /// Trains an engine on `training`.
+  explicit Cs2pPredictorModel(Dataset training, Cs2pConfig config = {});
+
+  /// Shares an existing engine.
+  explicit Cs2pPredictorModel(std::shared_ptr<const Cs2pEngine> engine);
+
+  std::string name() const override { return "CS2P"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+  std::optional<DownloadableModel> downloadable_model(
+      const SessionContext& context) const override;
+
+  const Cs2pEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  std::shared_ptr<const Cs2pEngine> engine_;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,143 @@
+#include "core/feature_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error_metrics.h"
+#include "util/parallel.h"
+
+namespace cs2p {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string isp_city_key(const SessionFeatures& features) {
+  std::string key(features.isp);
+  key += '\x1f';
+  key += features.city;
+  return key;
+}
+
+}  // namespace
+
+FeatureSelector::FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config)
+    : index_(&index), config_(config) {
+  const auto& sessions = index.training().sessions();
+
+  // Neighbourhood maps for Est(s).
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i].throughput_mbps.empty()) continue;
+    by_isp_city_[isp_city_key(sessions[i].features)].push_back(i);
+    by_isp_[sessions[i].features.isp].push_back(i);
+  }
+
+  // err(M, s') table. The cluster median includes s' itself; with clusters
+  // at least min_cluster_size strong the self-inclusion bias is negligible.
+  error_table_.assign(index.num_candidates(),
+                      std::vector<double>(sessions.size(), kInf));
+  // Rows are independent per candidate: fill them in parallel.
+  parallel_for(index.num_candidates(), [&](std::size_t c) {
+    const CandidateIndex& cand = index.index_for(c);
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const auto& s = sessions[i];
+      if (s.throughput_mbps.empty()) continue;
+      const Cluster* cluster = cand.find(s.features, s.start_hour);
+      if (cluster == nullptr || cluster->size() < config_.min_cluster_size) continue;
+      // Score the candidate on how well its cluster predicts BOTH the
+      // session's initial throughput (Eq. 6 drives initial selection) and
+      // its whole-session average (a cluster whose sessions share one
+      // throughput process has a tight average, so this term steers the
+      // choice toward clusters that are pure enough for the HMM).
+      const double initial_err =
+          absolute_normalized_error(cluster->initial_median, s.initial_throughput());
+      const double average_err =
+          absolute_normalized_error(cluster->average_median, s.average_throughput());
+      // The dispersion term is the Fig 6 statistic: a cluster whose sessions
+      // share one throughput process is tight, one that merely matches on
+      // incidental features is spread out.
+      error_table_[c][i] =
+          0.5 * (initial_err + average_err) + 0.5 * cluster->average_dispersion;
+    }
+  });
+}
+
+std::vector<std::size_t> FeatureSelector::estimation_set(
+    const SessionFeatures& features) const {
+  auto take = [this](const std::vector<std::size_t>& pool) {
+    std::vector<std::size_t> out = pool;
+    if (out.size() > config_.estimation_set_size)
+      out.resize(config_.estimation_set_size);
+    return out;
+  };
+
+  if (const auto it = by_isp_city_.find(isp_city_key(features));
+      it != by_isp_city_.end() && it->second.size() >= 5) {
+    return take(it->second);
+  }
+  if (const auto it = by_isp_.find(features.isp);
+      it != by_isp_.end() && !it->second.empty()) {
+    return take(it->second);
+  }
+  // Last resort: a slice of everything.
+  std::vector<std::size_t> out;
+  const std::size_t n = index_->training().size();
+  for (std::size_t i = 0; i < n && out.size() < config_.estimation_set_size; ++i)
+    out.push_back(i);
+  return out;
+}
+
+const FeatureSelector::Ranking& FeatureSelector::ranking_for(
+    const std::vector<std::size_t>& est, const std::string& est_key) const {
+  std::scoped_lock lock(cache_mutex_);
+  const auto cached = ranking_cache_.find(est_key);
+  if (cached != ranking_cache_.end()) return cached->second;
+
+  Ranking ranking;
+  ranking.reserve(index_->num_candidates());
+  for (std::size_t c = 0; c < index_->num_candidates(); ++c) {
+    double sum = 0.0;
+    std::size_t usable = 0;
+    for (std::size_t i : est) {
+      const double err = error_table_[c][i];
+      if (std::isinf(err)) continue;
+      sum += err;
+      ++usable;
+    }
+    // Candidates must be usable for a meaningful slice of the estimation
+    // set; otherwise their mean error is computed on too biased a subset.
+    if (usable * 4 < est.size() || usable < 3) {
+      ranking.emplace_back(kInf, c);
+    } else {
+      ranking.emplace_back(sum / static_cast<double>(usable), c);
+    }
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return ranking_cache_.emplace(est_key, std::move(ranking)).first->second;
+}
+
+SelectionResult FeatureSelector::select(const SessionFeatures& features,
+                                        double start_hour) const {
+  std::string est_key;
+  if (const auto it = by_isp_city_.find(isp_city_key(features));
+      it != by_isp_city_.end() && it->second.size() >= 5) {
+    est_key = isp_city_key(features);
+  } else if (by_isp_.contains(features.isp)) {
+    est_key = features.isp;
+  }  // else: empty key = global slice
+
+  const auto est = estimation_set(features);
+  const Ranking& ranking = ranking_for(est, est_key);
+
+  for (const auto& [mean_err, candidate_id] : ranking) {
+    if (std::isinf(mean_err)) break;  // ranking is sorted; the rest are unusable
+    const Cluster* cluster =
+        index_->index_for(candidate_id).find(features, start_hour);
+    if (cluster != nullptr && cluster->size() >= config_.min_cluster_size) {
+      return {true, candidate_id, mean_err};
+    }
+  }
+  return {};  // regress to the global model
+}
+
+}  // namespace cs2p

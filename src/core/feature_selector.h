@@ -1,0 +1,80 @@
+// Data-driven selection of the best feature set M*_s (paper §5.1, Eq. 2-3).
+//
+// Offline, every training session s' gets an error score per candidate M:
+//   err(M, s') = Err( Median(Agg(M, s')), s'_w )          (Eq. 1, initial w)
+// with err = +inf when Agg(M, s') is smaller than the min-cluster-size
+// threshold (such clusters are "removed from consideration").
+//
+// For a new session s, Est(s) — training sessions likely to share s's best
+// model — is approximated by sessions matching s on ISP+City (relaxing to
+// ISP, then to everything, when too few match), and
+//   M*_s = argmin_M  mean_{s' in Est(s)} err(M, s')       (Eq. 3)
+// Selection results are cached per Est-key since every session from the same
+// neighbourhood shares the same Est set.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster_index.h"
+
+namespace cs2p {
+
+struct FeatureSelectorConfig {
+  std::size_t min_cluster_size = 20;     ///< Agg smaller than this is discarded
+  std::size_t estimation_set_size = 40;  ///< cap on |Est(s)|
+};
+
+/// Outcome of a best-candidate query.
+struct SelectionResult {
+  bool found = false;          ///< false -> fall back to the global model
+  std::size_t candidate_id = 0;
+  double estimated_error = std::numeric_limits<double>::infinity();
+};
+
+class FeatureSelector {
+ public:
+  /// Precomputes the err(M, s') table over the index's training set.
+  FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config = {});
+
+  /// Best candidate for a session with the given features/start time.
+  /// Returns found = false when no candidate yields a usable cluster for
+  /// this session (the caller then regresses to the global model).
+  SelectionResult select(const SessionFeatures& features, double start_hour) const;
+
+  /// err(M, s') for inspection/tests: row = candidate id, col = training
+  /// session index; +inf marks unusable clusters.
+  double error_entry(std::size_t candidate_id, std::size_t session_index) const {
+    return error_table_[candidate_id][session_index];
+  }
+
+  const FeatureSelectorConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Training-session indices forming Est for an (ISP, City) neighbourhood.
+  std::vector<std::size_t> estimation_set(const SessionFeatures& features) const;
+
+  const ClusterIndex* index_;
+  FeatureSelectorConfig config_;
+  std::vector<std::vector<double>> error_table_;  ///< [candidate][session]
+
+  /// ISP+City -> training session indices (relaxation path uses ISP alone).
+  std::unordered_map<std::string, std::vector<std::size_t>> by_isp_city_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_isp_;
+
+  /// Candidates ranked by mean err over one Est set, best first. Cached per
+  /// Est-neighbourhood key; the final pick still checks that the candidate
+  /// yields a usable cluster for the *probe* session.
+  using Ranking = std::vector<std::pair<double, std::size_t>>;
+  const Ranking& ranking_for(const std::vector<std::size_t>& est,
+                             const std::string& est_key) const;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<std::string, Ranking> ranking_cache_;
+};
+
+}  // namespace cs2p

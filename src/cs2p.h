@@ -1,0 +1,47 @@
+// Umbrella header: the full public API of the cs2p library.
+//
+//   #include "cs2p.h"
+//
+// Pulls in the prediction engine, every baseline predictor, the dataset
+// tooling, the player simulator + ABR controllers, the QoE model, and the
+// TCP prediction service. Fine-grained headers remain available for
+// consumers who want shorter compile times.
+#pragma once
+
+// Data: session schema, containers, synthetic world.
+#include "dataset/dataset.h"     // IWYU pragma: export
+#include "dataset/session.h"     // IWYU pragma: export
+#include "dataset/synthetic.h"   // IWYU pragma: export
+
+// HMM substrate.
+#include "hmm/baum_welch.h"      // IWYU pragma: export
+#include "hmm/forward_backward.h"// IWYU pragma: export
+#include "hmm/model.h"           // IWYU pragma: export
+#include "hmm/model_selection.h" // IWYU pragma: export
+#include "hmm/online_filter.h"   // IWYU pragma: export
+#include "hmm/viterbi.h"         // IWYU pragma: export
+
+// Predictors: interface, CS2P engine, baselines, evaluation harness.
+#include "core/engine.h"             // IWYU pragma: export
+#include "predictors/evaluation.h"   // IWYU pragma: export
+#include "predictors/ghm.h"          // IWYU pragma: export
+#include "predictors/history.h"      // IWYU pragma: export
+#include "predictors/hmm_session.h"  // IWYU pragma: export
+#include "predictors/ml_predictors.h"// IWYU pragma: export
+#include "predictors/oracle.h"       // IWYU pragma: export
+#include "predictors/predictor.h"    // IWYU pragma: export
+#include "predictors/simple_cross.h" // IWYU pragma: export
+
+// Playback: simulator, ABR controllers, QoE.
+#include "abr/controllers.h"     // IWYU pragma: export
+#include "abr/evaluation.h"      // IWYU pragma: export
+#include "abr/festive.h"         // IWYU pragma: export
+#include "abr/mpc.h"             // IWYU pragma: export
+#include "abr/offline_optimal.h" // IWYU pragma: export
+#include "qoe/qoe.h"             // IWYU pragma: export
+#include "sim/player.h"          // IWYU pragma: export
+
+// Deployment: TCP prediction service.
+#include "net/client.h"          // IWYU pragma: export
+#include "net/server.h"          // IWYU pragma: export
+#include "net/wire.h"            // IWYU pragma: export

@@ -1,0 +1,127 @@
+#include "dataset/dataset.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace cs2p {
+
+Dataset::Dataset(std::vector<Session> sessions) : sessions_(std::move(sessions)) {}
+
+void Dataset::add(Session session) { sessions_.push_back(std::move(session)); }
+
+std::vector<const Session*> Dataset::on_day(int day) const {
+  std::vector<const Session*> out;
+  for (const auto& s : sessions_)
+    if (s.day == day) out.push_back(&s);
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split_by_day(int first_test_day) const {
+  Dataset train, test;
+  for (const auto& s : sessions_) {
+    if (s.day < first_test_day) train.add(s);
+    else test.add(s);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+DatasetSummary Dataset::summarize() const {
+  DatasetSummary out;
+  out.num_sessions = sessions_.size();
+  std::map<FeatureId, std::set<std::string, std::less<>>> uniques;
+  for (const auto& s : sessions_) {
+    out.total_epochs += s.throughput_mbps.size();
+    for (FeatureId id : all_features())
+      uniques[id].insert(std::string(s.features.value(id)));
+  }
+  for (FeatureId id : all_features())
+    out.unique_values[id] = uniques[id].size();
+  out.median_duration_seconds = median(durations_seconds());
+  out.median_epoch_throughput_mbps = median(all_epoch_throughputs());
+  return out;
+}
+
+std::vector<double> Dataset::durations_seconds() const {
+  std::vector<double> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s.duration_seconds());
+  return out;
+}
+
+std::vector<double> Dataset::all_epoch_throughputs() const {
+  std::vector<double> out;
+  for (const auto& s : sessions_)
+    out.insert(out.end(), s.throughput_mbps.begin(), s.throughput_mbps.end());
+  return out;
+}
+
+std::vector<double> Dataset::per_session_cov() const {
+  std::vector<double> out;
+  for (const auto& s : sessions_) {
+    if (s.throughput_mbps.size() < 2) continue;
+    out.push_back(coefficient_of_variation(s.throughput_mbps));
+  }
+  return out;
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  CsvTable table;
+  table.header = {"id",     "isp",    "as",   "province", "city",
+                  "server", "prefix", "day",  "start_hour", "epoch_seconds",
+                  "series"};
+  table.rows.reserve(sessions_.size());
+  for (const auto& s : sessions_) {
+    std::ostringstream series;
+    series.precision(17);
+    for (std::size_t i = 0; i < s.throughput_mbps.size(); ++i) {
+      if (i) series << ' ';
+      series << s.throughput_mbps[i];
+    }
+    table.rows.push_back({std::to_string(s.id), s.features.isp, s.features.as_number,
+                          s.features.province, s.features.city, s.features.server,
+                          s.features.client_prefix, std::to_string(s.day),
+                          std::to_string(s.start_hour), std::to_string(s.epoch_seconds),
+                          series.str()});
+  }
+  write_csv_file(path, table);
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  const CsvTable table = read_csv_file(path);
+  const char* required[] = {"id",     "isp",    "as",  "province",   "city",
+                            "server", "prefix", "day", "start_hour", "epoch_seconds",
+                            "series"};
+  std::map<std::string, int> cols;
+  for (const char* name : required) {
+    const int c = table.column(name);
+    if (c < 0)
+      throw std::runtime_error(std::string("Dataset::load_csv: missing column ") + name);
+    cols[name] = c;
+  }
+
+  Dataset out;
+  for (const auto& row : table.rows) {
+    Session s;
+    s.id = std::stoll(row[static_cast<std::size_t>(cols["id"])]);
+    s.features.isp = row[static_cast<std::size_t>(cols["isp"])];
+    s.features.as_number = row[static_cast<std::size_t>(cols["as"])];
+    s.features.province = row[static_cast<std::size_t>(cols["province"])];
+    s.features.city = row[static_cast<std::size_t>(cols["city"])];
+    s.features.server = row[static_cast<std::size_t>(cols["server"])];
+    s.features.client_prefix = row[static_cast<std::size_t>(cols["prefix"])];
+    s.day = std::stoi(row[static_cast<std::size_t>(cols["day"])]);
+    s.start_hour = std::stod(row[static_cast<std::size_t>(cols["start_hour"])]);
+    s.epoch_seconds = std::stod(row[static_cast<std::size_t>(cols["epoch_seconds"])]);
+    std::istringstream series(row[static_cast<std::size_t>(cols["series"])]);
+    double v = 0.0;
+    while (series >> v) s.throughput_mbps.push_back(v);
+    out.add(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,64 @@
+// Dataset container: a collection of sessions plus the summary statistics
+// and train/test split helpers the evaluation needs (§7.1: "train on day 1,
+// test on day 2").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/session.h"
+
+namespace cs2p {
+
+/// Table 2-style summary of a dataset.
+struct DatasetSummary {
+  std::size_t num_sessions = 0;
+  std::size_t total_epochs = 0;
+  std::map<FeatureId, std::size_t> unique_values;  ///< per-feature cardinality
+  double median_duration_seconds = 0.0;
+  double median_epoch_throughput_mbps = 0.0;
+};
+
+/// An owning collection of sessions.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Session> sessions);
+
+  const std::vector<Session>& sessions() const noexcept { return sessions_; }
+  std::vector<Session>& sessions() noexcept { return sessions_; }
+  std::size_t size() const noexcept { return sessions_.size(); }
+  bool empty() const noexcept { return sessions_.empty(); }
+
+  void add(Session session);
+
+  /// Pointers to the sessions recorded on `day`.
+  std::vector<const Session*> on_day(int day) const;
+
+  /// Splits into (train, test) by day threshold: sessions with
+  /// day < first_test_day train, the rest test.
+  std::pair<Dataset, Dataset> split_by_day(int first_test_day) const;
+
+  DatasetSummary summarize() const;
+
+  /// Flattened series for Fig 3: all session durations (s) and all
+  /// per-epoch throughput samples (Mbps).
+  std::vector<double> durations_seconds() const;
+  std::vector<double> all_epoch_throughputs() const;
+
+  /// Coefficient of variation of throughput per session (Observation 1);
+  /// sessions with < 2 epochs are skipped.
+  std::vector<double> per_session_cov() const;
+
+  /// CSV round-trip. One row per session; the throughput series is stored
+  /// space-separated in a single quoted cell.
+  void save_csv(const std::string& path) const;
+  static Dataset load_csv(const std::string& path);
+
+ private:
+  std::vector<Session> sessions_;
+};
+
+}  // namespace cs2p

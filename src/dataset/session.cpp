@@ -1,0 +1,56 @@
+#include "dataset/session.h"
+
+#include "util/stats.h"
+
+namespace cs2p {
+
+std::string_view feature_name(FeatureId id) noexcept {
+  switch (id) {
+    case FeatureId::kIsp: return "ISP";
+    case FeatureId::kAs: return "AS";
+    case FeatureId::kProvince: return "Province";
+    case FeatureId::kCity: return "City";
+    case FeatureId::kServer: return "Server";
+    case FeatureId::kClientPrefix: return "ClientPrefix";
+  }
+  return "?";
+}
+
+std::string_view SessionFeatures::value(FeatureId id) const noexcept {
+  switch (id) {
+    case FeatureId::kIsp: return isp;
+    case FeatureId::kAs: return as_number;
+    case FeatureId::kProvince: return province;
+    case FeatureId::kCity: return city;
+    case FeatureId::kServer: return server;
+    case FeatureId::kClientPrefix: return client_prefix;
+  }
+  return {};
+}
+
+std::string mask_to_string(FeatureMask mask) {
+  if (mask == 0) return "(global)";
+  std::string out;
+  for (FeatureId id : all_features()) {
+    if (!mask_contains(mask, id)) continue;
+    if (!out.empty()) out += "+";
+    out += feature_name(id);
+  }
+  return out;
+}
+
+std::string feature_key(const SessionFeatures& features, FeatureMask mask) {
+  std::string key;
+  for (FeatureId id : all_features()) {
+    if (!mask_contains(mask, id)) continue;
+    key += features.value(id);
+    key += '\x1f';  // ASCII unit separator: cannot appear in feature values
+  }
+  return key;
+}
+
+double Session::average_throughput() const noexcept {
+  return mean(throughput_mbps);
+}
+
+}  // namespace cs2p

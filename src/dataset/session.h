@@ -1,0 +1,100 @@
+// Session schema: the features of Table 2 plus the per-epoch throughput
+// series recorded for each video session.
+//
+// A "session" is one client-server HTTP connection downloading video chunks;
+// throughput is averaged per fixed-length epoch (6 s in the paper). Features
+// are the spatial attributes CS2P clusters on: ISP, AS, Province, City,
+// Server and the client's IP /16 prefix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs2p {
+
+/// The session features CS2P may cluster on (Table 2). kClientPrefix stands
+/// in for "ClientIP": the paper's last-mile baselines group by IP /16 prefix
+/// rather than exact address.
+enum class FeatureId : std::uint8_t {
+  kIsp = 0,
+  kAs,
+  kProvince,
+  kCity,
+  kServer,
+  kClientPrefix,
+};
+
+inline constexpr std::size_t kNumFeatures = 6;
+
+/// All feature ids in declaration order.
+constexpr std::array<FeatureId, kNumFeatures> all_features() noexcept {
+  return {FeatureId::kIsp,    FeatureId::kAs,     FeatureId::kProvince,
+          FeatureId::kCity,   FeatureId::kServer, FeatureId::kClientPrefix};
+}
+
+/// Human-readable feature name ("ISP", "City", ...).
+std::string_view feature_name(FeatureId id) noexcept;
+
+/// Spatial attributes of one session.
+struct SessionFeatures {
+  std::string isp;
+  std::string as_number;
+  std::string province;
+  std::string city;
+  std::string server;
+  std::string client_prefix;
+
+  /// Value of the given feature.
+  std::string_view value(FeatureId id) const noexcept;
+
+  bool operator==(const SessionFeatures&) const = default;
+};
+
+/// A set of features encoded as a bitmask over FeatureId. Subset enumeration
+/// in the clustering step iterates masks 1..2^n-1.
+using FeatureMask = std::uint32_t;
+
+inline constexpr FeatureMask kAllFeaturesMask = (1U << kNumFeatures) - 1;
+
+constexpr bool mask_contains(FeatureMask mask, FeatureId id) noexcept {
+  return (mask >> static_cast<unsigned>(id)) & 1U;
+}
+
+/// "ISP+City+Server"-style label for logs and bench output.
+std::string mask_to_string(FeatureMask mask);
+
+/// Concatenated key of the feature values selected by `mask` (used to hash
+/// sessions into clusters). Stable: fields are joined in FeatureId order
+/// with an unlikely separator.
+std::string feature_key(const SessionFeatures& features, FeatureMask mask);
+
+/// One recorded video session.
+struct Session {
+  std::int64_t id = 0;
+  SessionFeatures features;
+  int day = 0;              ///< dataset day index (0-based)
+  double start_hour = 0.0;  ///< local time-of-day in [0, 24)
+  double epoch_seconds = 6.0;
+  std::vector<double> throughput_mbps;  ///< one sample per epoch
+
+  /// Absolute start time in hours since day 0 midnight.
+  double start_time_hours() const noexcept { return day * 24.0 + start_hour; }
+
+  double duration_seconds() const noexcept {
+    return static_cast<double>(throughput_mbps.size()) * epoch_seconds;
+  }
+
+  /// Throughput of the first epoch (the "initial throughput" the paper's
+  /// initial-bitrate selection predicts); 0 for an empty session.
+  double initial_throughput() const noexcept {
+    return throughput_mbps.empty() ? 0.0 : throughput_mbps.front();
+  }
+
+  double average_throughput() const noexcept;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,318 @@
+#include "dataset/synthetic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+namespace {
+
+/// SplitMix64-style avalanche used for deterministic combination factors.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Parses the trailing integer of names like "ISP3" or "City7-2" (after the
+/// last non-digit). Throws on malformed identifiers.
+std::size_t trailing_number(std::string_view name) {
+  std::size_t pos = name.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1]))) --pos;
+  if (pos == name.size())
+    throw std::invalid_argument("SyntheticWorld: malformed entity name: " +
+                                std::string(name));
+  std::size_t value = 0;
+  const auto* begin = name.data() + pos;
+  const auto* end = name.data() + name.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw std::invalid_argument("SyntheticWorld: malformed entity name: " +
+                                std::string(name));
+  return value;
+}
+
+/// Relative diurnal demand: low at night, peaks in the evening. Integrates
+/// to ~1 over 24 h when used as categorical weights per hour.
+double diurnal_weight(double hour) noexcept {
+  // Two bumps: mid-day and a stronger evening peak (video watching).
+  const double day_bump = std::exp(-0.5 * std::pow((hour - 13.0) / 3.0, 2.0));
+  const double evening_bump = 2.0 * std::exp(-0.5 * std::pow((hour - 20.5) / 2.2, 2.0));
+  return 0.15 + day_bump + evening_bump;
+}
+
+}  // namespace
+
+SyntheticWorld::SyntheticWorld(SyntheticConfig config) : config_(std::move(config)) {
+  if (config_.num_isps == 0 || config_.num_provinces == 0 ||
+      config_.cities_per_province == 0 || config_.num_servers == 0 ||
+      config_.max_flows == 0 || config_.days <= 0) {
+    throw std::invalid_argument("SyntheticWorld: all entity counts must be positive");
+  }
+  Rng rng(config_.seed);
+  world_salt_ = rng();
+
+  isps_.reserve(config_.num_isps);
+  for (std::size_t i = 0; i < config_.num_isps; ++i) {
+    IspInfo info{};
+    // Base capacity spread over roughly [2.5, 25] Mbps, log-uniform, which
+    // matches the residential-broadband-like distribution of Fig 3b.
+    info.base_capacity_mbps = 2.5 * std::exp(rng.uniform(0.0, std::log(10.0)));
+    // Zipf-ish popularity: a few big ISPs dominate.
+    info.popularity = 1.0 / static_cast<double>(i + 1);
+    info.num_ases = 1 + rng.uniform_index(3);  // 1-3 ASes per ISP
+    isps_.push_back(info);
+  }
+
+  cities_.reserve(config_.num_provinces * config_.cities_per_province);
+  for (std::size_t p = 0; p < config_.num_provinces; ++p) {
+    for (std::size_t c = 0; c < config_.cities_per_province; ++c) {
+      CityInfo info{};
+      info.province = p;
+      info.congestion = rng.uniform(0.5, 1.1);
+      info.popularity = 0.3 + rng.uniform();
+      cities_.push_back(info);
+    }
+  }
+
+  servers_.reserve(config_.num_servers);
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    servers_.push_back({rng.uniform(0.6, 1.1)});
+  }
+}
+
+std::string SyntheticWorld::isp_name(std::size_t i) const {
+  return "ISP" + std::to_string(i);
+}
+
+std::string SyntheticWorld::city_name(std::size_t province, std::size_t city) const {
+  return "City" + std::to_string(province) + "-" + std::to_string(city);
+}
+
+std::string SyntheticWorld::server_name(std::size_t s) const {
+  return "Server" + std::to_string(s);
+}
+
+double SyntheticWorld::combo_factor(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                                    double lo, double hi) const noexcept {
+  const std::uint64_t h =
+      mix(world_salt_ ^ mix(a + 1) ^ mix((b + 1) * 0x9e3779b9ULL) ^
+          mix((c + 1) * 0x85ebca6bULL));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo + (hi - lo) * unit;
+}
+
+std::size_t SyntheticWorld::isp_index(std::string_view name) const {
+  const std::size_t i = trailing_number(name);
+  if (i >= isps_.size())
+    throw std::invalid_argument("SyntheticWorld: unknown ISP " + std::string(name));
+  return i;
+}
+
+std::size_t SyntheticWorld::city_index(std::string_view name) const {
+  // "City<p>-<c>": parse both numbers.
+  const auto dash = name.rfind('-');
+  if (dash == std::string_view::npos)
+    throw std::invalid_argument("SyntheticWorld: malformed city " + std::string(name));
+  const std::size_t c = trailing_number(name);
+  const std::size_t p = trailing_number(name.substr(0, dash));
+  const std::size_t idx = p * config_.cities_per_province + c;
+  if (p >= config_.num_provinces || c >= config_.cities_per_province)
+    throw std::invalid_argument("SyntheticWorld: unknown city " + std::string(name));
+  return idx;
+}
+
+std::size_t SyntheticWorld::server_index(std::string_view name) const {
+  const std::size_t s = trailing_number(name);
+  if (s >= servers_.size())
+    throw std::invalid_argument("SyntheticWorld: unknown server " + std::string(name));
+  return s;
+}
+
+std::size_t SyntheticWorld::prefix_index(std::string_view name) const {
+  return trailing_number(name);
+}
+
+ClusterProfile SyntheticWorld::profile_for(const SessionFeatures& features) const {
+  const std::size_t isp = isp_index(features.isp);
+  const std::size_t city = city_index(features.city);
+  const std::size_t server = server_index(features.server);
+  const std::size_t prefix = prefix_index(features.client_prefix);
+
+  // High-dimensional interaction: for about half of the (ISP, City, Server)
+  // triples — "the common case, rather than an anomalous corner case"
+  // (Observation 4 / Fig 6) — throughput depends on the full triple rather
+  // than decomposing into per-feature factors. The other half decomposes,
+  // so coarser feature combinations are genuinely homogeneous for them.
+  const double interaction_roll = combo_factor(isp, city, server ^ 0x77, 0.0, 1.0);
+  const double interaction =
+      interaction_roll < 0.5 ? combo_factor(isp, city, server, 0.55, 1.45) : 1.0;
+
+  // Last-mile multiplier per prefix: ~15% of prefixes are severely
+  // bottlenecked (satellite-like), for which the last mile dominates; the
+  // rest see no last-mile limit at all. This is the "impact of the same
+  // feature varies across sessions" half of Observation 4.
+  const double roll = combo_factor(prefix, isp, 0xbeef, 0.0, 1.0);
+  const double last_mile =
+      roll < 0.15 ? combo_factor(prefix, isp, 0xcafe, 0.25, 0.4) : 1.0;
+
+  ClusterProfile profile;
+  profile.capacity_mbps = isps_[isp].base_capacity_mbps * cities_[city].congestion *
+                          servers_[server].load_factor * interaction * last_mile;
+
+  const std::size_t k_states = config_.max_flows;
+  profile.state_means.resize(k_states);
+  profile.state_sigmas.resize(k_states);
+  for (std::size_t k = 0; k < k_states; ++k) {
+    // TCP fair-sharing intuition: k+1 flows at the bottleneck each get an
+    // equal share of the capacity.
+    profile.state_means[k] = profile.capacity_mbps / static_cast<double>(k + 1);
+    profile.state_sigmas[k] =
+        std::max(0.01, 0.05 * profile.state_means[k]);
+  }
+
+  // Sticky chain with mostly-adjacent transitions (flows arrive/depart one
+  // at a time). Stay probability varies per cluster.
+  const double stay = combo_factor(isp ^ 0x5a5a, city, server, 0.93, 0.985);
+  profile.transition = Matrix(k_states, k_states, 0.0);
+  for (std::size_t i = 0; i < k_states; ++i) {
+    if (k_states == 1) {
+      profile.transition(0, 0) = 1.0;
+      break;
+    }
+    profile.transition(i, i) = stay;
+    const double leave = 1.0 - stay;
+    const bool has_prev = i > 0;
+    const bool has_next = i + 1 < k_states;
+    if (has_prev && has_next) {
+      // Balanced arrivals/departures in steady state: without symmetry the
+      // chain would drift systematically, which neither real traces nor the
+      // paper's example models (Fig 8) show.
+      profile.transition(i, i - 1) = 0.5 * leave;
+      profile.transition(i, i + 1) = 0.5 * leave;
+    } else if (has_prev) {
+      profile.transition(i, i - 1) = leave;
+    } else {
+      profile.transition(i, i + 1) = leave;
+    }
+  }
+
+  profile.peak_shift = combo_factor(isp, city, 0xfeed, 0.5, 2.0);
+  return profile;
+}
+
+Vec SyntheticWorld::initial_state_distribution(const ClusterProfile& profile,
+                                               double hour) const {
+  const std::size_t k_states = profile.state_means.size();
+  // Contention pressure rises at peak hours: weight state k proportionally
+  // to exp(-|k - target|), target sliding from low-contention (off-peak)
+  // to high-contention (peak).
+  const double peak = (diurnal_weight(hour) - 0.15) / 3.0;  // ~[0, 1]
+  const double target =
+      std::min<double>(static_cast<double>(k_states - 1),
+                       profile.peak_shift * peak * static_cast<double>(k_states - 1));
+  Vec weights(k_states);
+  for (std::size_t k = 0; k < k_states; ++k)
+    weights[k] = std::exp(-2.5 * std::abs(static_cast<double>(k) - target));
+  normalize_in_place(weights);
+  return weights;
+}
+
+Dataset SyntheticWorld::generate() {
+  Rng rng(config_.seed ^ 0xabcdef12345678ULL);
+  Dataset dataset;
+
+  // Popularity weights.
+  std::vector<double> isp_weights;
+  for (const auto& isp : isps_) isp_weights.push_back(isp.popularity);
+  std::vector<double> city_weights;
+  for (const auto& city : cities_) city_weights.push_back(city.popularity);
+  std::vector<double> hour_weights(24);
+  for (int h = 0; h < 24; ++h) hour_weights[static_cast<std::size_t>(h)] =
+      diurnal_weight(static_cast<double>(h) + 0.5);
+
+  for (std::size_t n = 0; n < config_.num_sessions; ++n) {
+    Session s;
+    s.id = static_cast<std::int64_t>(n);
+    s.epoch_seconds = config_.epoch_seconds;
+
+    const std::size_t isp = rng.categorical(isp_weights);
+    const std::size_t city = rng.categorical(city_weights);
+    const std::size_t province = cities_[city].province;
+
+    // Geographic server affinity: most sessions hit one of the province's
+    // assigned servers; a minority go anywhere (CDN spill-over).
+    std::size_t server = 0;
+    if (rng.bernoulli(0.85) && config_.servers_per_province > 0) {
+      const std::size_t slot = rng.uniform_index(config_.servers_per_province);
+      server = (province * config_.servers_per_province + slot) % config_.num_servers;
+    } else {
+      server = rng.uniform_index(config_.num_servers);
+    }
+
+    const std::size_t prefix_slot = rng.uniform_index(config_.prefixes_per_isp_city);
+    // Prefix identity is global: "Pfx<isp>_<city>_<slot>" with a numeric
+    // suffix that encodes all three so profile_for can recover it.
+    const std::size_t prefix_id =
+        (isp * cities_.size() + city) * config_.prefixes_per_isp_city + prefix_slot;
+
+    s.features.isp = isp_name(isp);
+    s.features.as_number =
+        "AS" + std::to_string(isp * 10 + rng.uniform_index(isps_[isp].num_ases));
+    s.features.province = "Province" + std::to_string(province);
+    s.features.city = city_name(province, city % config_.cities_per_province);
+    s.features.server = server_name(server);
+    s.features.client_prefix = "Pfx" + std::to_string(prefix_id);
+
+    s.day = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(config_.days)));
+    s.start_hour = static_cast<double>(rng.categorical(hour_weights)) + rng.uniform();
+
+    const ClusterProfile profile = profile_for(s.features);
+
+    // Duration in epochs: log-normal, clamped.
+    const double raw_epochs =
+        rng.log_normal(config_.log_duration_mu, config_.log_duration_sigma);
+    const auto epochs = std::clamp<std::size_t>(
+        static_cast<std::size_t>(raw_epochs), config_.min_epochs, config_.max_epochs);
+
+    // Sample the hidden path and emit throughput.
+    const Vec init = initial_state_distribution(profile, s.start_hour);
+    std::size_t state = rng.categorical(init);
+    s.throughput_mbps.reserve(epochs);
+    // Log-AR(1) measurement noise with stationary std observation_noise:
+    // z_t = rho z_{t-1} + eta_t, eta ~ N(0, noise^2 (1 - rho^2)).
+    const double rho = std::clamp(config_.noise_rho, -0.99, 0.99);
+    const double innovation_sigma =
+        config_.observation_noise * std::sqrt(1.0 - rho * rho);
+    double log_noise = rng.gaussian(0.0, config_.observation_noise);
+    for (std::size_t t = 0; t < epochs; ++t) {
+      if (t > 0) {
+        Vec row(profile.transition.row(state).begin(),
+                profile.transition.row(state).end());
+        state = rng.categorical(row);
+        log_noise = rho * log_noise + rng.gaussian(0.0, innovation_sigma);
+      }
+      double w = rng.gaussian(profile.state_means[state], profile.state_sigmas[state]);
+      // Multiplicative measurement noise (TCP sawtooth) plus occasional
+      // transient bursts (cross-traffic spikes) that do not change state.
+      w *= std::exp(log_noise);
+      if (rng.bernoulli(config_.burst_probability))
+        w *= rng.uniform(config_.burst_low, config_.burst_high);
+      s.throughput_mbps.push_back(std::max(w, config_.min_throughput_mbps));
+    }
+    dataset.add(std::move(s));
+  }
+  return dataset;
+}
+
+Dataset generate_synthetic_dataset(const SyntheticConfig& config) {
+  SyntheticWorld world(config);
+  return world.generate();
+}
+
+}  // namespace cs2p

@@ -1,0 +1,84 @@
+#include "hmm/forward_backward.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+
+ForwardResult forward(const GaussianHmm& model, std::span<const double> obs) {
+  if (obs.empty()) throw std::invalid_argument("forward: empty observation sequence");
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = obs.size();
+
+  ForwardResult out;
+  out.alpha = Matrix(t_len, n);
+  out.scale.resize(t_len);
+
+  // t = 0: alpha_0 = pi .* e(w_0), normalised.
+  Vec e = model.emission_probabilities(obs[0]);
+  Vec alpha = hadamard(model.initial, e);
+  double c = normalize_in_place(alpha);
+  // A zero normaliser means the first observation is impossible under every
+  // state; normalize_in_place already reset alpha to uniform. Use a tiny
+  // scale so the log-likelihood reflects the surprise without being -inf.
+  out.scale[0] = c > 0.0 ? c : 1e-300;
+  for (std::size_t i = 0; i < n; ++i) out.alpha(0, i) = alpha[i];
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    Vec propagated = vec_mat(alpha, model.transition);
+    e = model.emission_probabilities(obs[t]);
+    alpha = hadamard(propagated, e);
+    c = normalize_in_place(alpha);
+    out.scale[t] = c > 0.0 ? c : 1e-300;
+    for (std::size_t i = 0; i < n; ++i) out.alpha(t, i) = alpha[i];
+  }
+
+  out.log_likelihood = 0.0;
+  for (double s : out.scale) out.log_likelihood += std::log(s);
+  return out;
+}
+
+BackwardResult backward(const GaussianHmm& model, std::span<const double> obs,
+                        std::span<const double> scale) {
+  if (obs.empty()) throw std::invalid_argument("backward: empty observation sequence");
+  if (scale.size() != obs.size())
+    throw std::invalid_argument("backward: scale length mismatch");
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = obs.size();
+
+  BackwardResult out;
+  out.beta = Matrix(t_len, n);
+  for (std::size_t i = 0; i < n; ++i) out.beta(t_len - 1, i) = 1.0;
+
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    const Vec e = model.emission_probabilities(obs[t + 1]);
+    const double c = scale[t + 1] > 0.0 ? scale[t + 1] : 1e-300;
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        sum += model.transition(i, j) * e[j] * out.beta(t + 1, j);
+      out.beta(t, i) = sum / c;
+    }
+  }
+  return out;
+}
+
+double log_likelihood(const GaussianHmm& model, std::span<const double> obs) {
+  return forward(model, obs).log_likelihood;
+}
+
+Matrix posterior_marginals(const GaussianHmm& model, std::span<const double> obs) {
+  const ForwardResult fwd = forward(model, obs);
+  const BackwardResult bwd = backward(model, obs, fwd.scale);
+  const std::size_t n = model.num_states();
+  Matrix gamma(obs.size(), n);
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    Vec g(n);
+    for (std::size_t i = 0; i < n; ++i) g[i] = fwd.alpha(t, i) * bwd.beta(t, i);
+    normalize_in_place(g);
+    for (std::size_t i = 0; i < n; ++i) gamma(t, i) = g[i];
+  }
+  return gamma;
+}
+
+}  // namespace cs2p

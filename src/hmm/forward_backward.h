@@ -1,0 +1,42 @@
+// Scaled forward-backward recursion for Gaussian HMMs.
+//
+// Standard Rabiner-style scaling: at each step the forward variable alpha_t
+// is normalised to sum to 1 and the scaling factor c_t is retained, so the
+// sequence log-likelihood is sum_t log(c_t) and no underflow occurs on long
+// sessions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hmm/model.h"
+
+namespace cs2p {
+
+/// Output of the forward pass.
+struct ForwardResult {
+  Matrix alpha;            ///< T x N, alpha(t, i) = P(X_t = i | w_1..w_t)
+  std::vector<double> scale;  ///< c_t, the per-step normalisers
+  double log_likelihood = 0.0;
+};
+
+/// Output of the backward pass (uses the forward scales).
+struct BackwardResult {
+  Matrix beta;  ///< T x N, scaled backward variables
+};
+
+/// Runs the scaled forward recursion over an observation sequence.
+/// Requires a validated model and a non-empty sequence.
+ForwardResult forward(const GaussianHmm& model, std::span<const double> obs);
+
+/// Runs the scaled backward recursion (needs the forward scales).
+BackwardResult backward(const GaussianHmm& model, std::span<const double> obs,
+                        std::span<const double> scale);
+
+/// Sequence log-likelihood log P(w_1..w_T | theta).
+double log_likelihood(const GaussianHmm& model, std::span<const double> obs);
+
+/// Posterior state marginals gamma(t, i) = P(X_t = i | w_1..w_T).
+Matrix posterior_marginals(const GaussianHmm& model, std::span<const double> obs);
+
+}  // namespace cs2p

@@ -1,0 +1,130 @@
+#include "hmm/model.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/gaussian.h"
+
+namespace cs2p {
+
+Vec GaussianHmm::emission_probabilities(double w) const {
+  Vec e(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    e[i] = gaussian_pdf(w, states[i].mean, states[i].sigma);
+  return e;
+}
+
+Vec GaussianHmm::emission_log_probabilities(double w) const {
+  Vec e(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    e[i] = gaussian_log_pdf(w, states[i].mean, states[i].sigma);
+  return e;
+}
+
+void GaussianHmm::validate(double tol) const {
+  const std::size_t n = states.size();
+  if (n == 0) throw std::invalid_argument("GaussianHmm: no states");
+  if (initial.size() != n)
+    throw std::invalid_argument("GaussianHmm: initial size != num states");
+  if (transition.rows() != n || transition.cols() != n)
+    throw std::invalid_argument("GaussianHmm: transition shape mismatch");
+
+  double pi_sum = 0.0;
+  for (double p : initial) {
+    if (p < -tol) throw std::invalid_argument("GaussianHmm: negative initial prob");
+    pi_sum += p;
+  }
+  if (std::abs(pi_sum - 1.0) > tol)
+    throw std::invalid_argument("GaussianHmm: initial distribution not stochastic");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (transition(i, j) < -tol)
+        throw std::invalid_argument("GaussianHmm: negative transition prob");
+      row_sum += transition(i, j);
+    }
+    if (std::abs(row_sum - 1.0) > tol)
+      throw std::invalid_argument("GaussianHmm: transition row not stochastic");
+  }
+
+  for (const auto& s : states) {
+    if (!(s.sigma > 0.0) || !std::isfinite(s.sigma) || !std::isfinite(s.mean))
+      throw std::invalid_argument("GaussianHmm: bad emission parameters");
+  }
+}
+
+std::size_t GaussianHmm::byte_size() const noexcept {
+  const std::size_t n = states.size();
+  // pi (N) + P (N^2) + (mu, sigma) per state, all doubles.
+  return sizeof(double) * (n + n * n + 2 * n);
+}
+
+Vec GaussianHmm::stationary_distribution(int iterations) const {
+  Vec pi(states.size(), 1.0 / static_cast<double>(states.size()));
+  for (int it = 0; it < iterations; ++it) {
+    Vec next = vec_mat(pi, transition);
+    normalize_in_place(next);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < pi.size(); ++i)
+      diff = std::max(diff, std::abs(next[i] - pi[i]));
+    pi = std::move(next);
+    if (diff < 1e-12) break;
+  }
+  return pi;
+}
+
+std::string serialize_hmm(const GaussianHmm& model) {
+  std::ostringstream os;
+  os.precision(17);
+  const std::size_t n = model.num_states();
+  os << "cs2p-hmm-v1 " << n << "\n";
+  os << "initial";
+  for (double p : model.initial) os << ' ' << p;
+  os << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << "row";
+    for (std::size_t j = 0; j < n; ++j) os << ' ' << model.transition(i, j);
+    os << "\n";
+  }
+  for (const auto& s : model.states) os << "state " << s.mean << ' ' << s.sigma << "\n";
+  return os.str();
+}
+
+GaussianHmm deserialize_hmm(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::size_t n = 0;
+  if (!(is >> magic >> n) || magic != "cs2p-hmm-v1" || n == 0)
+    throw std::runtime_error("deserialize_hmm: bad header");
+
+  GaussianHmm model;
+  model.initial.resize(n);
+  model.transition = Matrix(n, n);
+  model.states.resize(n);
+
+  std::string tag;
+  if (!(is >> tag) || tag != "initial")
+    throw std::runtime_error("deserialize_hmm: expected initial");
+  for (double& p : model.initial)
+    if (!(is >> p)) throw std::runtime_error("deserialize_hmm: truncated initial");
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> tag) || tag != "row")
+      throw std::runtime_error("deserialize_hmm: expected row");
+    for (std::size_t j = 0; j < n; ++j)
+      if (!(is >> model.transition(i, j)))
+        throw std::runtime_error("deserialize_hmm: truncated row");
+  }
+  for (auto& s : model.states) {
+    if (!(is >> tag) || tag != "state")
+      throw std::runtime_error("deserialize_hmm: expected state");
+    if (!(is >> s.mean >> s.sigma))
+      throw std::runtime_error("deserialize_hmm: truncated state");
+  }
+  model.validate(1e-3);
+  return model;
+}
+
+}  // namespace cs2p

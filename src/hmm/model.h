@@ -1,0 +1,59 @@
+// Gaussian-emission Hidden Markov Model (paper §5.2).
+//
+// The throughput W_t of a session is modelled as emitted from a hidden state
+// X_t in {x_1..x_N} that evolves as a Markov chain: intuitively, the state is
+// "how many flows share the bottleneck" and the emission is the share of
+// capacity the session observes, W_t | X_t = x ~ N(mu_x, sigma_x^2).
+//
+// The model is deliberately tiny: the paper stresses a trained HMM occupies
+// < 5 KB and a prediction costs two matrix multiplications, so that clients
+// can run their own copies (§5.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cs2p {
+
+/// One hidden state's Gaussian emission parameters, in Mbps.
+struct EmissionState {
+  double mean = 0.0;
+  double sigma = 1.0;
+};
+
+/// A fully-parameterised HMM: theta = {pi_0, P, {(mu_x, sigma_x)}}.
+struct GaussianHmm {
+  Vec initial;                        ///< pi_0, length N, sums to 1
+  Matrix transition;                  ///< P, N x N, rows sum to 1
+  std::vector<EmissionState> states;  ///< length N
+
+  std::size_t num_states() const noexcept { return states.size(); }
+
+  /// Emission probability vector e(w) = (f(w | x_1), ..., f(w | x_N)).
+  Vec emission_probabilities(double w) const;
+
+  /// Same in log space (used by forward-backward for numerical work).
+  Vec emission_log_probabilities(double w) const;
+
+  /// Verifies structural invariants: matching sizes, stochastic rows/initial
+  /// (within `tol`), positive sigmas. Throws std::invalid_argument otherwise.
+  void validate(double tol = 1e-6) const;
+
+  /// Serialized size in bytes (the <5 KB footprint claim of §5.3).
+  std::size_t byte_size() const noexcept;
+
+  /// Stationary distribution of P (power iteration). Useful as a fallback
+  /// prior when a session starts with no observations.
+  Vec stationary_distribution(int iterations = 200) const;
+};
+
+/// Text serialization (versioned, line oriented). Round-trips exactly enough
+/// precision for prediction equality in tests.
+std::string serialize_hmm(const GaussianHmm& model);
+GaussianHmm deserialize_hmm(const std::string& text);
+
+}  // namespace cs2p

@@ -1,0 +1,43 @@
+// Cross-validated selection of the HMM state count (paper §5.2, §7.1).
+//
+// "Smaller N yields simpler models, but may be inadequate ... a large N
+// leads to overfitting. We use cross-validation to learn this critical
+// parameter." The paper uses 4-fold CV and lands on N = 6. The CV criterion
+// here is the mean one-step-ahead absolute normalized prediction error on
+// held-out sequences — the quantity the system actually optimises for.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hmm/baum_welch.h"
+
+namespace cs2p {
+
+/// Per-candidate CV outcome.
+struct StateCountScore {
+  std::size_t num_states = 0;
+  double cv_error = 0.0;  ///< mean held-out one-step prediction error
+};
+
+/// Result of the model-selection sweep.
+struct ModelSelectionResult {
+  std::size_t best_num_states = 0;
+  std::vector<StateCountScore> scores;  ///< one entry per candidate, in order
+};
+
+/// Evaluates mean one-step-ahead prediction error of `model` on sequences
+/// (each sequence replayed through a fresh online filter).
+double one_step_cv_error(const GaussianHmm& model,
+                         const std::vector<std::vector<double>>& sequences);
+
+/// k-fold cross-validation over `candidate_states`. Sequences are split into
+/// `folds` groups round-robin; for each candidate N the reported score is
+/// the mean held-out error across folds. Ties break toward the smaller N.
+/// Throws std::invalid_argument on empty inputs or folds < 2.
+ModelSelectionResult select_state_count(
+    const std::vector<std::vector<double>>& sequences,
+    const std::vector<std::size_t>& candidate_states, int folds,
+    const BaumWelchConfig& base_config);
+
+}  // namespace cs2p

@@ -1,0 +1,72 @@
+#include "hmm/online_filter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+
+OnlineHmmFilter::OnlineHmmFilter(GaussianHmm model, PredictionRule rule)
+    : model_(std::move(model)), rule_(rule) {
+  model_.validate(1e-3);
+  belief_ = model_.initial;
+}
+
+double OnlineHmmFilter::predict(unsigned steps_ahead) const {
+  if (steps_ahead == 0)
+    throw std::invalid_argument("OnlineHmmFilter::predict: steps_ahead must be >= 1");
+  // pi_{t+tau|t} = pi_{t|t} P^tau. For tau == 1 this is a single
+  // vector-matrix product; the generic path uses repeated squaring.
+  Vec projected = steps_ahead == 1
+                      ? vec_mat(belief_, model_.transition)
+                      : vec_mat(belief_, model_.transition.pow(steps_ahead));
+  normalize_in_place(projected);
+  if (rule_ == PredictionRule::kMleState) {
+    return model_.states[argmax(projected)].mean;
+  }
+  double expectation = 0.0;
+  for (std::size_t i = 0; i < projected.size(); ++i)
+    expectation += projected[i] * model_.states[i].mean;
+  return expectation;
+}
+
+OnlineHmmFilter::Forecast OnlineHmmFilter::predict_distribution(
+    unsigned steps_ahead) const {
+  if (steps_ahead == 0)
+    throw std::invalid_argument(
+        "OnlineHmmFilter::predict_distribution: steps_ahead must be >= 1");
+  Vec projected = steps_ahead == 1
+                      ? vec_mat(belief_, model_.transition)
+                      : vec_mat(belief_, model_.transition.pow(steps_ahead));
+  normalize_in_place(projected);
+
+  // Mixture moments: E[W] = sum p_x mu_x;
+  // Var[W] = sum p_x (sigma_x^2 + mu_x^2) - E[W]^2.
+  Forecast out;
+  double second_moment = 0.0;
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    const auto& state = model_.states[i];
+    out.mean += projected[i] * state.mean;
+    second_moment +=
+        projected[i] * (state.sigma * state.sigma + state.mean * state.mean);
+  }
+  const double variance = std::max(0.0, second_moment - out.mean * out.mean);
+  out.std_dev = std::sqrt(variance);
+  return out;
+}
+
+void OnlineHmmFilter::observe(double throughput) {
+  Vec propagated = observations_ == 0 ? belief_ : vec_mat(belief_, model_.transition);
+  Vec corrected = hadamard(propagated, model_.emission_probabilities(throughput));
+  normalize_in_place(corrected);  // degenerate likelihood -> uniform belief
+  belief_ = std::move(corrected);
+  ++observations_;
+}
+
+void OnlineHmmFilter::reset() {
+  belief_ = model_.initial;
+  observations_ = 0;
+}
+
+std::size_t OnlineHmmFilter::mle_state() const { return argmax(belief_); }
+
+}  // namespace cs2p

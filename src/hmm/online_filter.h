@@ -1,0 +1,74 @@
+// Online throughput prediction with a trained HMM (paper Algorithm 1).
+//
+// Per epoch t the player:
+//   1. propagates the state belief,      pi_{t|t-1} = pi_{t-1|t-1} P
+//   2. predicts via the MLE state,       W_hat_t = mu_{argmax pi_{t|t-1}}
+//   3. selects a bitrate with W_hat_t,
+//   4. measures the actual throughput w_t,
+//   5. updates the belief (forward step) pi_{t|t} ∝ pi_{t|t-1} ∘ e(w_t).
+//
+// The filter owns a copy of its (small) model so a client can run fully
+// decentralised, as §5.3 describes.
+#pragma once
+
+#include <cstddef>
+
+#include "hmm/model.h"
+
+namespace cs2p {
+
+/// How the point prediction is extracted from the state belief.
+/// The paper uses the MLE state's mean (Eq. 8); the posterior-mean variant is
+/// kept for the ablation bench.
+enum class PredictionRule {
+  kMleState,      ///< mu of argmax-probability state (paper's choice)
+  kPosteriorMean  ///< sum_x pi(x) * mu_x
+};
+
+/// Stateful per-session HMM filter.
+class OnlineHmmFilter {
+ public:
+  /// Takes ownership of a validated model. Belief starts at model.initial.
+  explicit OnlineHmmFilter(GaussianHmm model,
+                           PredictionRule rule = PredictionRule::kMleState);
+
+  /// Predicts throughput `steps_ahead` epochs into the future from the
+  /// current belief (steps_ahead = 1 is "next epoch"). Requires >= 1.
+  double predict(unsigned steps_ahead = 1) const;
+
+  /// Moments of the full predictive distribution of W_{t+steps_ahead}:
+  /// the Gaussian mixture sum_x pi(x) N(mu_x, sigma_x^2) under the
+  /// propagated belief. Powers risk-aware consumers (e.g. predicting total
+  /// rebuffer time at session start, §7.5) that a point forecast cannot.
+  struct Forecast {
+    double mean = 0.0;
+    double std_dev = 0.0;
+  };
+  Forecast predict_distribution(unsigned steps_ahead = 1) const;
+
+  /// Conditions the belief on an observed throughput and advances one epoch:
+  /// performs the propagate-then-correct forward step.
+  void observe(double throughput);
+
+  /// Resets the belief to the model's initial distribution.
+  void reset();
+
+  /// Current belief pi_{t|t} (after the last observe()).
+  const Vec& belief() const noexcept { return belief_; }
+
+  /// Most likely current state index under the belief.
+  std::size_t mle_state() const;
+
+  const GaussianHmm& model() const noexcept { return model_; }
+
+  /// Number of observations consumed since construction/reset.
+  std::size_t observations() const noexcept { return observations_; }
+
+ private:
+  GaussianHmm model_;
+  PredictionRule rule_;
+  Vec belief_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace cs2p

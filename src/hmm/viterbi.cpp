@@ -1,0 +1,53 @@
+#include "hmm/viterbi.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cs2p {
+
+ViterbiResult viterbi(const GaussianHmm& model, std::span<const double> obs) {
+  if (obs.empty()) throw std::invalid_argument("viterbi: empty observation sequence");
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = obs.size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  auto log_or_neg_inf = [](double p) { return p > 0.0 ? std::log(p) : kNegInf; };
+
+  Matrix delta(t_len, n, kNegInf);
+  std::vector<std::vector<std::size_t>> backpointer(
+      t_len, std::vector<std::size_t>(n, 0));
+
+  Vec log_e = model.emission_log_probabilities(obs[0]);
+  for (std::size_t i = 0; i < n; ++i)
+    delta(0, i) = log_or_neg_inf(model.initial[i]) + log_e[i];
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    log_e = model.emission_log_probabilities(obs[t]);
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = kNegInf;
+      std::size_t best_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double candidate = delta(t - 1, i) + log_or_neg_inf(model.transition(i, j));
+        if (candidate > best) {
+          best = candidate;
+          best_i = i;
+        }
+      }
+      delta(t, j) = best + log_e[j];
+      backpointer[t][j] = best_i;
+    }
+  }
+
+  ViterbiResult out;
+  out.path.resize(t_len);
+  std::size_t last = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (delta(t_len - 1, i) > delta(t_len - 1, last)) last = i;
+  out.log_probability = delta(t_len - 1, last);
+  out.path[t_len - 1] = last;
+  for (std::size_t t = t_len - 1; t-- > 0;) out.path[t] = backpointer[t + 1][out.path[t + 1]];
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,24 @@
+// Viterbi decoding: most likely hidden state path for a session trace.
+//
+// Not needed by the online predictor, but used to visualise the stateful
+// structure of sessions (Fig 4a) and to sanity-check trained models in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hmm/model.h"
+
+namespace cs2p {
+
+/// Result of Viterbi decoding.
+struct ViterbiResult {
+  std::vector<std::size_t> path;  ///< state index per epoch
+  double log_probability = 0.0;   ///< log P(path, observations | theta)
+};
+
+/// Computes the MAP state path in log space. Requires a non-empty sequence.
+ViterbiResult viterbi(const GaussianHmm& model, std::span<const double> obs);
+
+}  // namespace cs2p

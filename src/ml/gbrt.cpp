@@ -1,0 +1,177 @@
+#include "ml/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cs2p {
+namespace {
+
+double mean_of(std::span<const double> targets, std::span<const std::size_t> idx,
+               std::size_t begin, std::size_t end) {
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += targets[idx[i]];
+  const auto n = static_cast<double>(end - begin);
+  return n > 0.0 ? sum / n : 0.0;
+}
+
+}  // namespace
+
+int RegressionTree::build(const std::vector<Vec>& rows,
+                          std::span<const double> targets,
+                          std::vector<std::size_t>& indices, std::size_t begin,
+                          std::size_t end, int depth, int max_depth,
+                          std::size_t min_samples_leaf) {
+  const std::size_t count = end - begin;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = mean_of(targets, indices, begin, end);
+
+  if (depth >= max_depth || count < 2 * min_samples_leaf) return node_id;
+
+  const std::size_t d = rows.front().size();
+
+  // Exact split search: for each feature, sort this node's indices by the
+  // feature value and scan prefix sums.
+  double best_gain = 1e-12;  // require strictly positive gain
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double t = targets[indices[i]];
+    total_sum += t;
+    total_sq += t * t;
+  }
+  const double parent_sse = total_sq - total_sum * total_sum / static_cast<double>(count);
+
+  std::vector<std::size_t> scratch(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   indices.begin() + static_cast<std::ptrdiff_t>(end));
+  for (std::size_t f = 0; f < d; ++f) {
+    std::sort(scratch.begin(), scratch.end(), [&](std::size_t a, std::size_t b) {
+      return rows[a][f] < rows[b][f];
+    });
+    double left_sum = 0.0, left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      const double t = targets[scratch[i]];
+      left_sum += t;
+      left_sq += t * t;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = count - left_n;
+      if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+      const double x_here = rows[scratch[i]][f];
+      const double x_next = rows[scratch[i + 1]][f];
+      if (x_here == x_next) continue;  // can't split between equal values
+
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double left_sse = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x_here + x_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition indices[begin, end) around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return rows[i][static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // numeric edge case
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = build(rows, targets, indices, begin, mid, depth + 1, max_depth,
+                         min_samples_leaf);
+  const int right =
+      build(rows, targets, indices, mid, end, depth + 1, max_depth, min_samples_leaf);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+void RegressionTree::fit(const std::vector<Vec>& rows, std::span<const double> targets,
+                         std::span<const std::size_t> indices, int max_depth,
+                         std::size_t min_samples_leaf) {
+  if (indices.empty()) throw std::invalid_argument("RegressionTree::fit: no samples");
+  nodes_.clear();
+  std::vector<std::size_t> idx(indices.begin(), indices.end());
+  build(rows, targets, idx, 0, idx.size(), 0, max_depth, min_samples_leaf);
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) throw std::logic_error("RegressionTree::predict: not fitted");
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& n = nodes_[static_cast<std::size_t>(node)];
+    const auto f = static_cast<std::size_t>(n.feature);
+    node = features[f] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+void GradientBoostedTrees::fit(const std::vector<Vec>& rows, std::span<const double> y,
+                               const GbrtConfig& config) {
+  if (rows.empty()) throw std::invalid_argument("GradientBoostedTrees::fit: no rows");
+  if (rows.size() != y.size())
+    throw std::invalid_argument("GradientBoostedTrees::fit: X/y size mismatch");
+  const std::size_t d = rows.front().size();
+  for (const auto& row : rows)
+    if (row.size() != d)
+      throw std::invalid_argument("GradientBoostedTrees::fit: ragged rows");
+
+  trees_.clear();
+  learning_rate_ = config.learning_rate;
+  base_prediction_ = mean(y);
+  base_set_ = true;
+
+  std::vector<double> current(rows.size(), base_prediction_);
+  std::vector<double> residuals(rows.size());
+  Rng rng(config.seed);
+
+  for (int round = 0; round < config.num_trees; ++round) {
+    for (std::size_t i = 0; i < rows.size(); ++i) residuals[i] = y[i] - current[i];
+
+    // Row subsampling without replacement.
+    std::vector<std::size_t> sample;
+    if (config.subsample >= 1.0) {
+      sample.resize(rows.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) sample[i] = i;
+    } else {
+      const auto target =
+          std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       config.subsample * static_cast<double>(rows.size())));
+      auto perm = rng.permutation(rows.size());
+      perm.resize(target);
+      sample = std::move(perm);
+    }
+
+    RegressionTree tree;
+    tree.fit(rows, residuals, sample, config.max_depth, config.min_samples_leaf);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      current[i] += learning_rate_ * tree.predict(rows[i]);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoostedTrees::predict(std::span<const double> features) const {
+  if (!base_set_) throw std::logic_error("GradientBoostedTrees::predict: not fitted");
+  double out = base_prediction_;
+  for (const auto& tree : trees_) out += learning_rate_ * tree.predict(features);
+  return out;
+}
+
+}  // namespace cs2p

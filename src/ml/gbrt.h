@@ -1,0 +1,73 @@
+// Gradient Boosted Regression Trees (paper baseline GBR [41]).
+//
+// Squared-error boosting: each round fits a depth-limited CART regression
+// tree to the current residuals and adds it with shrinkage. Handles the
+// one-hot/ordinal feature vectors produced for session features; split
+// search is exact over sorted unique thresholds per feature.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cs2p {
+
+struct GbrtConfig {
+  int num_trees = 60;
+  int max_depth = 3;
+  std::size_t min_samples_leaf = 5;
+  double learning_rate = 0.1;   ///< shrinkage
+  double subsample = 0.8;       ///< row sampling fraction per tree
+  std::uint64_t seed = 13;
+};
+
+/// A single fitted regression tree (kept as a flat node array).
+class RegressionTree {
+ public:
+  /// Fits to (rows, targets) restricted to `indices`.
+  void fit(const std::vector<Vec>& rows, std::span<const double> targets,
+           std::span<const std::size_t> indices, int max_depth,
+           std::size_t min_samples_leaf);
+
+  double predict(std::span<const double> features) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    double value = 0.0;      ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const std::vector<Vec>& rows, std::span<const double> targets,
+            std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+            int depth, int max_depth, std::size_t min_samples_leaf);
+
+  std::vector<Node> nodes_;
+};
+
+/// The boosted ensemble.
+class GradientBoostedTrees {
+ public:
+  void fit(const std::vector<Vec>& rows, std::span<const double> y,
+           const GbrtConfig& config = {});
+
+  double predict(std::span<const double> features) const;
+
+  bool trained() const noexcept { return !trees_.empty() || base_set_; }
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+
+ private:
+  std::vector<RegressionTree> trees_;
+  double base_prediction_ = 0.0;
+  double learning_rate_ = 0.1;
+  bool base_set_ = false;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,74 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Vec solve_linear_system(Matrix a, Vec b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    if (std::abs(a(pivot, col)) < 1e-12)
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  Vec x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+Vec ridge_regression(const std::vector<Vec>& rows, std::span<const double> y,
+                     double lambda) {
+  if (rows.empty()) throw std::invalid_argument("ridge_regression: no rows");
+  if (rows.size() != y.size())
+    throw std::invalid_argument("ridge_regression: X/y size mismatch");
+  const std::size_t d = rows.front().size();
+  for (const auto& row : rows)
+    if (row.size() != d)
+      throw std::invalid_argument("ridge_regression: ragged feature rows");
+
+  Matrix xtx(d, d, 0.0);
+  Vec xty(d, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      xty[i] += rows[r][i] * y[r];
+      for (std::size_t j = i; j < d; ++j) xtx(i, j) += rows[r][i] * rows[r][j];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    xtx(i, i) += lambda;
+    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
+  }
+  return solve_linear_system(std::move(xtx), std::move(xty));
+}
+
+}  // namespace cs2p

@@ -1,0 +1,30 @@
+// Ridge-regularised linear least squares.
+//
+// Used to fit the AR(k) baseline predictor's coefficients and as a generic
+// building block. Problems are tiny (k <= ~10 lags, or a few dozen one-hot
+// features), so the solver forms the normal equations and uses Gaussian
+// elimination with partial pivoting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cs2p {
+
+/// Solves A x = b for square A by Gaussian elimination with partial
+/// pivoting. Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error on a (numerically) singular system.
+Vec solve_linear_system(Matrix a, Vec b);
+
+/// Fits w to minimise ||X w - y||^2 + lambda ||w||^2.
+/// `rows` are feature vectors of equal length; `lambda >= 0`.
+/// An intercept is NOT added implicitly — append a 1-feature if wanted.
+Vec ridge_regression(const std::vector<Vec>& rows, std::span<const double> y,
+                     double lambda);
+
+/// Dot product of equally-sized vectors.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cs2p

@@ -1,0 +1,71 @@
+#include "ml/svr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linear.h"
+#include "util/rng.h"
+
+namespace cs2p {
+
+void LinearSvr::fit(const std::vector<Vec>& rows, std::span<const double> y,
+                    const SvrConfig& config) {
+  if (rows.empty()) throw std::invalid_argument("LinearSvr::fit: no rows");
+  if (rows.size() != y.size())
+    throw std::invalid_argument("LinearSvr::fit: X/y size mismatch");
+  const std::size_t d = rows.front().size();
+  if (d == 0) throw std::invalid_argument("LinearSvr::fit: empty feature vectors");
+  for (const auto& row : rows)
+    if (row.size() != d) throw std::invalid_argument("LinearSvr::fit: ragged rows");
+
+  Vec w(d, 0.0);
+  double b = 0.0;
+  // Polyak-Ruppert averaging for a stabler final model.
+  Vec w_avg(d, 0.0);
+  double b_avg = 0.0;
+  std::size_t averaged_steps = 0;
+
+  Rng rng(config.seed);
+  std::size_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto order = rng.permutation(rows.size());
+    for (std::size_t idx : order) {
+      ++step;
+      const double eta = config.learning_rate / std::sqrt(static_cast<double>(step));
+      const Vec& x = rows[idx];
+      const double residual = dot(w, x) + b - y[idx];
+
+      // Subgradient of the epsilon-insensitive loss.
+      double g = 0.0;
+      if (residual > config.epsilon) g = 1.0;
+      else if (residual < -config.epsilon) g = -1.0;
+
+      for (std::size_t j = 0; j < d; ++j)
+        w[j] -= eta * (config.lambda * w[j] + g * x[j]);
+      b -= eta * g;
+
+      // Average over the second half of training.
+      if (epoch >= config.epochs / 2) {
+        ++averaged_steps;
+        for (std::size_t j = 0; j < d; ++j) w_avg[j] += w[j];
+        b_avg += b;
+      }
+    }
+  }
+
+  if (averaged_steps > 0) {
+    for (double& wj : w_avg) wj /= static_cast<double>(averaged_steps);
+    weights_ = std::move(w_avg);
+    bias_ = b_avg / static_cast<double>(averaged_steps);
+  } else {
+    weights_ = std::move(w);
+    bias_ = b;
+  }
+}
+
+double LinearSvr::predict(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("LinearSvr::predict: model not trained");
+  return dot(weights_, features) + bias_;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,51 @@
+// Linear epsilon-insensitive Support Vector Regression (paper baseline SVR).
+//
+// The paper's SVR baseline [34] predicts session throughput from session
+// features. We implement the primal linear epsilon-SVR objective
+//   min_w  lambda/2 ||w||^2 + (1/m) sum_i max(0, |w.x_i + b - y_i| - eps)
+// with averaged stochastic subgradient descent. Categorical session features
+// are one-hot encoded upstream, so a linear model in that space is a
+// per-category offset model — expressive enough to serve as a faithful
+// baseline while remaining dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace cs2p {
+
+struct SvrConfig {
+  double epsilon = 0.1;       ///< insensitive-tube half-width (Mbps)
+  double lambda = 1e-4;       ///< L2 regularisation strength
+  int epochs = 40;            ///< SGD passes over the data
+  double learning_rate = 0.1; ///< initial step size (decays 1/sqrt(t))
+  std::uint64_t seed = 11;    ///< shuffling seed
+};
+
+/// Trained linear SVR model.
+class LinearSvr {
+ public:
+  LinearSvr() = default;
+
+  /// Fits on `rows` (equal-length feature vectors) and targets `y`.
+  /// Throws std::invalid_argument on empty or ragged input.
+  void fit(const std::vector<Vec>& rows, std::span<const double> y,
+           const SvrConfig& config = {});
+
+  /// Predicts for one feature vector; requires fit() to have run and the
+  /// dimension to match the training data.
+  double predict(std::span<const double> features) const;
+
+  bool trained() const noexcept { return !weights_.empty(); }
+  const Vec& weights() const noexcept { return weights_; }
+  double bias() const noexcept { return bias_; }
+
+ private:
+  Vec weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,88 @@
+#include "net/client.h"
+
+#include <stdexcept>
+
+namespace cs2p {
+
+PredictionClient::PredictionClient(std::uint16_t port)
+    : connection_(connect_loopback(port)) {}
+
+Response PredictionClient::round_trip(const Request& request) {
+  std::scoped_lock lock(mutex_);
+  send_frame(connection_, serialize_request(request));
+  const auto frame = recv_frame(connection_);
+  if (!frame) throw std::runtime_error("PredictionClient: server closed connection");
+  Response response = parse_response(*frame);
+  if (const auto* err = std::get_if<ErrorResponse>(&response))
+    throw std::runtime_error("PredictionClient: server error: " + err->message);
+  return response;
+}
+
+SessionResponse PredictionClient::hello(const SessionFeatures& features,
+                                        double start_hour) {
+  const Response response = round_trip(HelloRequest{features, start_hour});
+  if (const auto* session = std::get_if<SessionResponse>(&response)) return *session;
+  throw std::runtime_error("PredictionClient: unexpected response to HELLO");
+}
+
+double PredictionClient::observe(std::uint64_t session_id, double throughput_mbps) {
+  const Response response = round_trip(ObserveRequest{session_id, throughput_mbps});
+  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
+  throw std::runtime_error("PredictionClient: unexpected response to OBSERVE");
+}
+
+double PredictionClient::predict(std::uint64_t session_id, unsigned steps_ahead) {
+  const Response response = round_trip(PredictRequest{session_id, steps_ahead});
+  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
+  throw std::runtime_error("PredictionClient: unexpected response to PREDICT");
+}
+
+DownloadableModel PredictionClient::download_model(const SessionFeatures& features,
+                                                   double start_hour) {
+  const Response response = round_trip(ModelRequest{features, start_hour});
+  if (const auto* model = std::get_if<ModelResponse>(&response)) {
+    DownloadableModel out;
+    out.initial_mbps = model->initial_mbps;
+    out.used_global_model = model->used_global_model;
+    out.hmm = deserialize_hmm(model->serialized_hmm);
+    return out;
+  }
+  throw std::runtime_error("PredictionClient: unexpected response to MODEL");
+}
+
+void PredictionClient::bye(std::uint64_t session_id) {
+  const Response response = round_trip(ByeRequest{session_id});
+  if (!std::holds_alternative<OkResponse>(response))
+    throw std::runtime_error("PredictionClient: unexpected response to BYE");
+}
+
+RemoteSessionPredictor::RemoteSessionPredictor(PredictionClient& client,
+                                               const SessionFeatures& features,
+                                               double start_hour)
+    : client_(&client) {
+  const SessionResponse session = client_->hello(features, start_hour);
+  session_id_ = session.session_id;
+  initial_mbps_ = session.initial_mbps;
+  last_forecast_ = session.initial_mbps;
+}
+
+RemoteSessionPredictor::~RemoteSessionPredictor() {
+  try {
+    client_->bye(session_id_);
+  } catch (const std::exception&) {
+    // Destructor must not throw; a dead server just leaks the remote entry.
+  }
+}
+
+double RemoteSessionPredictor::predict(unsigned steps_ahead) const {
+  if (!has_observed_) return initial_mbps_;
+  if (steps_ahead <= 1) return last_forecast_;
+  return client_->predict(session_id_, steps_ahead);
+}
+
+void RemoteSessionPredictor::observe(double throughput_mbps) {
+  last_forecast_ = client_->observe(session_id_, throughput_mbps);
+  has_observed_ = true;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,75 @@
+// PredictionClient: the player-side stub of the prediction service.
+//
+// RemoteSessionPredictor implements the SessionPredictor interface over the
+// wire, so the player simulator can be pointed at a live PredictionServer
+// unchanged — this is how the pilot-deployment bench (§7.5) drives CS2P+MPC
+// through a real TCP round-trip per chunk, like the dash.js player posting
+// to the Node.js server in §6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+/// One TCP connection to a PredictionServer. Thread-safe (per-call lock).
+class PredictionClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  explicit PredictionClient(std::uint16_t port);
+
+  /// Registers a session; returns the server's session handle + initial
+  /// prediction. Throws std::runtime_error on server-reported errors.
+  SessionResponse hello(const SessionFeatures& features, double start_hour);
+
+  /// Reports a measurement; returns the next-epoch forecast.
+  double observe(std::uint64_t session_id, double throughput_mbps);
+
+  /// Requests an h-step-ahead forecast without new data.
+  double predict(std::uint64_t session_id, unsigned steps_ahead);
+
+  /// Ends a session server-side.
+  void bye(std::uint64_t session_id);
+
+  /// Downloads the compact per-session model for local execution (§5.3's
+  /// client-side solution): no per-epoch round trips afterwards. Throws
+  /// std::runtime_error when the server's model family cannot export one.
+  DownloadableModel download_model(const SessionFeatures& features,
+                                   double start_hour);
+
+ private:
+  Response round_trip(const Request& request);
+
+  std::mutex mutex_;
+  FdHandle connection_;
+};
+
+/// SessionPredictor adapter over a PredictionClient. The client must
+/// outlive the predictor.
+class RemoteSessionPredictor final : public SessionPredictor {
+ public:
+  RemoteSessionPredictor(PredictionClient& client, const SessionFeatures& features,
+                         double start_hour);
+  ~RemoteSessionPredictor() override;
+
+  RemoteSessionPredictor(const RemoteSessionPredictor&) = delete;
+  RemoteSessionPredictor& operator=(const RemoteSessionPredictor&) = delete;
+
+  std::optional<double> predict_initial() const override { return initial_mbps_; }
+  double predict(unsigned steps_ahead) const override;
+  void observe(double throughput_mbps) override;
+
+ private:
+  PredictionClient* client_;
+  std::uint64_t session_id_ = 0;
+  double initial_mbps_ = 0.0;
+  double last_forecast_ = 0.0;
+  bool has_observed_ = false;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,140 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+namespace cs2p {
+
+PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
+                                   std::uint16_t port)
+    : model_(std::move(model)) {
+  if (!model_) throw std::invalid_argument("PredictionServer: null model");
+  auto [listener, bound_port] = listen_loopback(port);
+  listener_ = std::move(listener);
+  port_ = bound_port;
+  // Non-blocking + poll: closing a listening fd does not wake a blocked
+  // accept(2), so the accept loop must poll and re-check the stop flag.
+  set_nonblocking(listener_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+PredictionServer::~PredictionServer() { stop(); }
+
+void PredictionServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.reset();
+  std::vector<std::thread> workers;
+  {
+    std::scoped_lock lock(workers_mutex_);
+    workers = std::move(workers_);
+    // shutdown(2) DOES wake a blocked recv(2); close alone would not free
+    // workers waiting on idle client connections.
+    for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& worker : workers)
+    if (worker.joinable()) worker.join();
+}
+
+void PredictionServer::accept_loop() {
+  while (!stopping_.load()) {
+    try {
+      if (!wait_readable(listener_, /*timeout_ms=*/100)) continue;
+    } catch (const std::exception&) {
+      break;  // listener torn down
+    }
+    FdHandle connection = try_accept(listener_);
+    if (!connection.valid()) continue;  // spurious wakeup or shutdown
+    std::scoped_lock lock(workers_mutex_);
+    live_connection_fds_.push_back(connection.get());
+    workers_.emplace_back(
+        [this, conn = std::move(connection)]() mutable {
+          serve_connection(std::move(conn));
+        });
+  }
+}
+
+void PredictionServer::serve_connection(FdHandle connection) {
+  try {
+    while (!stopping_.load()) {
+      const auto frame = recv_frame(connection);
+      if (!frame) break;  // client hung up
+      Response response;
+      try {
+        response = handle(parse_request(*frame));
+      } catch (const std::exception& e) {
+        response = ErrorResponse{e.what()};
+      }
+      // Count before replying: once the client sees the response, the
+      // request must already be visible in requests_handled().
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(connection, serialize_response(response));
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: drop the connection, keep serving others.
+  }
+  std::scoped_lock lock(workers_mutex_);
+  std::erase(live_connection_fds_, connection.get());
+}
+
+Response PredictionServer::handle(const Request& request) {
+  if (const auto* hello = std::get_if<HelloRequest>(&request)) {
+    SessionContext context;
+    context.features = hello->features;
+    context.start_hour = hello->start_hour;
+    auto predictor = model_->make_session(context);
+
+    SessionResponse response;
+    response.initial_mbps = predictor->predict_initial().value_or(0.0);
+    // Cluster metadata is predictor-specific; expose what we can.
+    response.cluster_label = model_->name();
+
+    std::scoped_lock lock(sessions_mutex_);
+    response.session_id = next_session_id_++;
+    sessions_.emplace(response.session_id, std::move(predictor));
+    return response;
+  }
+
+  if (const auto* observe = std::get_if<ObserveRequest>(&request)) {
+    std::scoped_lock lock(sessions_mutex_);
+    const auto it = sessions_.find(observe->session_id);
+    if (it == sessions_.end()) return ErrorResponse{"unknown session"};
+    it->second->observe(observe->throughput_mbps);
+    return PredictionResponse{it->second->predict(1)};
+  }
+
+  if (const auto* predict = std::get_if<PredictRequest>(&request)) {
+    std::scoped_lock lock(sessions_mutex_);
+    const auto it = sessions_.find(predict->session_id);
+    if (it == sessions_.end()) return ErrorResponse{"unknown session"};
+    if (predict->steps_ahead == 0) return ErrorResponse{"steps_ahead must be >= 1"};
+    return PredictionResponse{it->second->predict(predict->steps_ahead)};
+  }
+
+  if (const auto* bye = std::get_if<ByeRequest>(&request)) {
+    std::scoped_lock lock(sessions_mutex_);
+    sessions_.erase(bye->session_id);
+    return OkResponse{};
+  }
+
+  if (const auto* model = std::get_if<ModelRequest>(&request)) {
+    SessionContext context;
+    context.features = model->features;
+    context.start_hour = model->start_hour;
+    const auto downloadable = model_->downloadable_model(context);
+    if (!downloadable)
+      return ErrorResponse{"model download unsupported by " + model_->name()};
+    ModelResponse response;
+    response.initial_mbps = downloadable->initial_mbps;
+    response.used_global_model = downloadable->used_global_model;
+    response.serialized_hmm = serialize_hmm(downloadable->hmm);
+    return response;
+  }
+  return ErrorResponse{"unhandled request"};
+}
+
+}  // namespace cs2p

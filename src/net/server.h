@@ -1,0 +1,65 @@
+// PredictionServer: the deployed Prediction Engine (paper §6).
+//
+// Holds a trained PredictorModel (normally Cs2pPredictorModel) and serves
+// the wire protocol of net/wire.h over loopback TCP. One thread per
+// connection; per-session predictor state lives in a shared table so a
+// session can in principle migrate between connections (the paper's
+// server-side solution keeps all per-session state at the server).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+class PredictionServer {
+ public:
+  /// Starts serving immediately on 127.0.0.1:`port` (0 = ephemeral).
+  /// The model must outlive the server.
+  PredictionServer(std::shared_ptr<const PredictorModel> model,
+                   std::uint16_t port = 0);
+
+  /// Stops accepting, closes connections, joins all threads.
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Served-request counter (for the throughput microbench).
+  std::uint64_t requests_handled() const noexcept { return requests_.load(); }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(FdHandle connection);
+  Response handle(const Request& request);
+
+  std::shared_ptr<const PredictorModel> model_;
+  FdHandle listener_;
+  std::uint16_t port_ = 0;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<SessionPredictor>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<int> live_connection_fds_;  ///< shut down on stop() to wake recv
+};
+
+}  // namespace cs2p

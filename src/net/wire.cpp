@@ -1,0 +1,223 @@
+#include "net/wire.h"
+
+#include <array>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cs2p {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view payload) {
+  std::vector<std::string> tokens;
+  std::istringstream is{std::string(payload)};
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+double parse_double(const std::string& token, const char* what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("wire: bad number for ") + what);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw std::runtime_error(std::string("wire: bad integer for ") + what);
+  return value;
+}
+
+void require_token(std::string_view value, const char* what) {
+  if (value.empty() ||
+      value.find_first_of(" \t\r\n") != std::string_view::npos) {
+    throw std::runtime_error(std::string("wire: feature value for ") + what +
+                             " must be a non-empty whitespace-free token");
+  }
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void send_frame(const FdHandle& socket, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw std::runtime_error("wire: frame too large");
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  std::array<std::byte, 4> header{
+      static_cast<std::byte>((size >> 24) & 0xff),
+      static_cast<std::byte>((size >> 16) & 0xff),
+      static_cast<std::byte>((size >> 8) & 0xff),
+      static_cast<std::byte>(size & 0xff),
+  };
+  send_all(socket, header);
+  send_all(socket, std::as_bytes(std::span(payload.data(), payload.size())));
+}
+
+std::optional<std::string> recv_frame(const FdHandle& socket) {
+  std::array<std::byte, 4> header{};
+  if (!recv_all(socket, header)) return std::nullopt;
+  const std::uint32_t size = (std::to_integer<std::uint32_t>(header[0]) << 24) |
+                             (std::to_integer<std::uint32_t>(header[1]) << 16) |
+                             (std::to_integer<std::uint32_t>(header[2]) << 8) |
+                             std::to_integer<std::uint32_t>(header[3]);
+  if (size > kMaxFrameBytes) throw std::runtime_error("wire: oversized frame");
+  std::string payload(size, '\0');
+  if (size > 0 &&
+      !recv_all(socket, std::as_writable_bytes(std::span(payload.data(), size))))
+    throw std::runtime_error("wire: connection closed mid-frame");
+  return payload;
+}
+
+std::string serialize_request(const Request& request) {
+  std::ostringstream os;
+  os.precision(17);
+  if (const auto* hello = std::get_if<HelloRequest>(&request)) {
+    const auto& f = hello->features;
+    for (FeatureId id : all_features()) require_token(f.value(id), "HELLO");
+    os << "HELLO " << f.isp << ' ' << f.as_number << ' ' << f.province << ' '
+       << f.city << ' ' << f.server << ' ' << f.client_prefix << ' '
+       << hello->start_hour;
+  } else if (const auto* observe = std::get_if<ObserveRequest>(&request)) {
+    os << "OBSERVE " << observe->session_id << ' ' << observe->throughput_mbps;
+  } else if (const auto* predict = std::get_if<PredictRequest>(&request)) {
+    os << "PREDICT " << predict->session_id << ' ' << predict->steps_ahead;
+  } else if (const auto* bye = std::get_if<ByeRequest>(&request)) {
+    os << "BYE " << bye->session_id;
+  } else if (const auto* model = std::get_if<ModelRequest>(&request)) {
+    const auto& f = model->features;
+    for (FeatureId id : all_features()) require_token(f.value(id), "MODEL");
+    os << "MODEL " << f.isp << ' ' << f.as_number << ' ' << f.province << ' '
+       << f.city << ' ' << f.server << ' ' << f.client_prefix << ' '
+       << model->start_hour;
+  }
+  return os.str();
+}
+
+Request parse_request(std::string_view payload) {
+  const auto tokens = tokenize(payload);
+  if (tokens.empty()) throw std::runtime_error("wire: empty request");
+  const std::string& verb = tokens[0];
+  if (verb == "HELLO") {
+    if (tokens.size() != 8) throw std::runtime_error("wire: HELLO wants 7 fields");
+    HelloRequest hello;
+    hello.features.isp = tokens[1];
+    hello.features.as_number = tokens[2];
+    hello.features.province = tokens[3];
+    hello.features.city = tokens[4];
+    hello.features.server = tokens[5];
+    hello.features.client_prefix = tokens[6];
+    hello.start_hour = parse_double(tokens[7], "start_hour");
+    return hello;
+  }
+  if (verb == "OBSERVE") {
+    if (tokens.size() != 3) throw std::runtime_error("wire: OBSERVE wants 2 fields");
+    return ObserveRequest{parse_u64(tokens[1], "session_id"),
+                          parse_double(tokens[2], "throughput")};
+  }
+  if (verb == "PREDICT") {
+    if (tokens.size() != 3) throw std::runtime_error("wire: PREDICT wants 2 fields");
+    return PredictRequest{
+        parse_u64(tokens[1], "session_id"),
+        static_cast<unsigned>(parse_u64(tokens[2], "steps_ahead"))};
+  }
+  if (verb == "BYE") {
+    if (tokens.size() != 2) throw std::runtime_error("wire: BYE wants 1 field");
+    return ByeRequest{parse_u64(tokens[1], "session_id")};
+  }
+  if (verb == "MODEL") {
+    if (tokens.size() != 8) throw std::runtime_error("wire: MODEL wants 7 fields");
+    ModelRequest model;
+    model.features.isp = tokens[1];
+    model.features.as_number = tokens[2];
+    model.features.province = tokens[3];
+    model.features.city = tokens[4];
+    model.features.server = tokens[5];
+    model.features.client_prefix = tokens[6];
+    model.start_hour = parse_double(tokens[7], "start_hour");
+    return model;
+  }
+  throw std::runtime_error("wire: unknown request verb " + verb);
+}
+
+std::string serialize_response(const Response& response) {
+  std::ostringstream os;
+  os.precision(17);
+  if (const auto* session = std::get_if<SessionResponse>(&response)) {
+    os << "SESSION " << session->session_id << ' '
+       << format_double(session->initial_mbps) << ' '
+       << (session->used_global_model ? 1 : 0) << ' '
+       << (session->cluster_label.empty() ? "-" : session->cluster_label);
+  } else if (const auto* pred = std::get_if<PredictionResponse>(&response)) {
+    os << "PRED " << format_double(pred->mbps);
+  } else if (std::holds_alternative<OkResponse>(response)) {
+    os << "OK";
+  } else if (const auto* err = std::get_if<ErrorResponse>(&response)) {
+    os << "ERR " << err->message;
+  } else if (const auto* model = std::get_if<ModelResponse>(&response)) {
+    // Header line, then the serialized model verbatim.
+    os << "MODEL " << format_double(model->initial_mbps) << ' '
+       << (model->used_global_model ? 1 : 0) << '\n'
+       << model->serialized_hmm;
+  }
+  return os.str();
+}
+
+Response parse_response(std::string_view payload) {
+  // MODEL responses carry a raw body after the header line; handle them
+  // before whitespace tokenization.
+  if (payload.starts_with("MODEL ")) {
+    const auto newline = payload.find('\n');
+    if (newline == std::string_view::npos)
+      throw std::runtime_error("wire: MODEL response missing body");
+    const auto header = tokenize(payload.substr(0, newline));
+    if (header.size() != 3)
+      throw std::runtime_error("wire: MODEL header wants 2 fields");
+    ModelResponse model;
+    model.initial_mbps = parse_double(header[1], "initial_mbps");
+    model.used_global_model = parse_u64(header[2], "global_flag") != 0;
+    model.serialized_hmm = std::string(payload.substr(newline + 1));
+    return model;
+  }
+  const auto tokens = tokenize(payload);
+  if (tokens.empty()) throw std::runtime_error("wire: empty response");
+  const std::string& verb = tokens[0];
+  if (verb == "SESSION") {
+    if (tokens.size() != 5) throw std::runtime_error("wire: SESSION wants 4 fields");
+    SessionResponse session;
+    session.session_id = parse_u64(tokens[1], "session_id");
+    session.initial_mbps = parse_double(tokens[2], "initial_mbps");
+    session.used_global_model = parse_u64(tokens[3], "global_flag") != 0;
+    session.cluster_label = tokens[4] == "-" ? std::string{} : tokens[4];
+    return session;
+  }
+  if (verb == "PRED") {
+    if (tokens.size() != 2) throw std::runtime_error("wire: PRED wants 1 field");
+    return PredictionResponse{parse_double(tokens[1], "mbps")};
+  }
+  if (verb == "OK") return OkResponse{};
+  if (verb == "ERR") {
+    const auto pos = payload.find("ERR") + 3;
+    std::string message;
+    if (payload.size() > pos + 1) message = std::string(payload.substr(pos + 1));
+    return ErrorResponse{std::move(message)};
+  }
+  throw std::runtime_error("wire: unknown response verb " + verb);
+}
+
+}  // namespace cs2p

@@ -1,0 +1,98 @@
+// Wire protocol of the prediction service (paper §6).
+//
+// The paper's player sends an HTTP POST with the last epoch's measured
+// throughput and receives the next prediction in ~5 ms. We use the same
+// request/response shape over a persistent TCP connection with 4-byte
+// big-endian length framing and a line-oriented payload:
+//
+//   client -> server
+//     HELLO <isp> <as> <province> <city> <server> <prefix> <hour>
+//     OBSERVE <session-id> <mbps>          (report measurement, get forecast)
+//     PREDICT <session-id> <steps-ahead>   (extra forecast, no new data)
+//     MODEL <isp> <as> <province> <city> <server> <prefix> <hour>
+//                                          (download the compact per-session
+//                                           model for client-side execution,
+//                                           the paper's decentralized mode)
+//     BYE <session-id>
+//   server -> client
+//     SESSION <session-id> <initial-mbps> <global 0|1> <cluster-label>
+//     PRED <mbps>
+//     MODEL <initial-mbps> <global 0|1> \n <serialized hmm ...>
+//     OK
+//     ERR <message>
+//
+// Feature values must be whitespace-free tokens (true for every dataset this
+// library produces); HELLO validates this instead of escaping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "dataset/session.h"
+#include "net/socket.h"
+
+namespace cs2p {
+
+/// Maximum accepted frame payload; guards against malformed length prefixes.
+inline constexpr std::uint32_t kMaxFrameBytes = 64 * 1024;
+
+/// Sends one length-prefixed frame.
+void send_frame(const FdHandle& socket, std::string_view payload);
+
+/// Receives one frame; nullopt on clean EOF. Throws on oversized/bad frames.
+std::optional<std::string> recv_frame(const FdHandle& socket);
+
+// -- Typed messages ---------------------------------------------------------
+
+struct HelloRequest {
+  SessionFeatures features;
+  double start_hour = 0.0;
+};
+struct ObserveRequest {
+  std::uint64_t session_id = 0;
+  double throughput_mbps = 0.0;
+};
+struct PredictRequest {
+  std::uint64_t session_id = 0;
+  unsigned steps_ahead = 1;
+};
+struct ByeRequest {
+  std::uint64_t session_id = 0;
+};
+struct ModelRequest {
+  SessionFeatures features;
+  double start_hour = 0.0;
+};
+using Request = std::variant<HelloRequest, ObserveRequest, PredictRequest,
+                             ByeRequest, ModelRequest>;
+
+struct SessionResponse {
+  std::uint64_t session_id = 0;
+  double initial_mbps = 0.0;
+  bool used_global_model = false;
+  std::string cluster_label;
+};
+struct PredictionResponse {
+  double mbps = 0.0;
+};
+struct OkResponse {};
+struct ErrorResponse {
+  std::string message;
+};
+struct ModelResponse {
+  double initial_mbps = 0.0;
+  bool used_global_model = false;
+  std::string serialized_hmm;  ///< text form (see hmm/model.h)
+};
+using Response = std::variant<SessionResponse, PredictionResponse, OkResponse,
+                              ErrorResponse, ModelResponse>;
+
+/// Parse/serialize. parse_* throws std::runtime_error on malformed payloads.
+std::string serialize_request(const Request& request);
+Request parse_request(std::string_view payload);
+std::string serialize_response(const Response& response);
+Response parse_response(std::string_view payload);
+
+}  // namespace cs2p

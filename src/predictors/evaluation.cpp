@@ -1,0 +1,51 @@
+#include "predictors/evaluation.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace cs2p {
+
+PredictorEvaluation evaluate_predictor(const PredictorModel& model,
+                                       const Dataset& test,
+                                       const EvaluationOptions& options) {
+  PredictorEvaluation out;
+  out.predictor_name = model.name();
+  const unsigned horizon = std::max(1U, options.horizon);
+
+  std::size_t evaluated = 0;
+  for (const auto& session : test.sessions()) {
+    if (options.max_sessions && evaluated >= options.max_sessions) break;
+    const auto& series = session.throughput_mbps;
+    if (series.empty()) continue;
+    ++evaluated;
+
+    SessionContext context = SessionContext::from(session);
+    if (options.provide_oracle) context.oracle_series = &series;
+    const auto predictor = model.make_session(context);
+
+    if (const auto initial = predictor->predict_initial()) {
+      out.initial_errors.push_back(absolute_normalized_error(*initial, series[0]));
+    }
+
+    // Midstream: after observing epochs [0, t], forecast epoch t + horizon.
+    std::vector<double> errors;
+    for (std::size_t t = 0; t + horizon < series.size(); ++t) {
+      predictor->observe(series[t]);
+      const double forecast = predictor->predict(horizon);
+      errors.push_back(absolute_normalized_error(forecast, series[t + horizon]));
+    }
+    if (!errors.empty()) {
+      auto summary = summarize_session_errors(errors);
+      out.midstream_median_errors.push_back(summary.session_median);
+      out.midstream_sessions.push_back(summary);
+    }
+  }
+
+  out.midstream_summary = summarize_across_sessions(out.midstream_sessions);
+  out.initial_median_error = median(out.initial_errors);
+  out.initial_p75_error = quantile(out.initial_errors, 0.75);
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,54 @@
+// Prediction-accuracy evaluation harness (paper §7.2).
+//
+// Replays each test session through a predictor exactly as a player would:
+// the initial prediction is requested before any observation, then for every
+// later epoch the predictor forecasts `horizon` epochs ahead and is
+// subsequently fed the measured value. Errors are the absolute normalized
+// error of Eq. 1, summarised per session and across sessions the way Fig 9
+// reports them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "predictors/predictor.h"
+#include "util/error_metrics.h"
+
+namespace cs2p {
+
+struct EvaluationOptions {
+  unsigned horizon = 1;           ///< epochs ahead for midstream forecasts
+  std::size_t max_sessions = 0;   ///< 0 = evaluate on every test session
+  bool provide_oracle = false;    ///< expose the true series (Oracle only)
+};
+
+/// Accuracy results for one predictor on one test set.
+struct PredictorEvaluation {
+  std::string predictor_name;
+
+  /// One initial-epoch error per session (empty when the predictor cannot
+  /// cold-start, e.g. LS/HM/AR).
+  std::vector<double> initial_errors;
+
+  /// Per-session midstream error summaries (sessions with >= horizon + 1
+  /// epochs only).
+  std::vector<SessionErrorSummary> midstream_sessions;
+
+  /// Convenience: per-session median midstream errors (the series behind
+  /// the Fig 9b CDF).
+  std::vector<double> midstream_median_errors;
+
+  CrossSessionSummary midstream_summary;
+  double initial_median_error = 0.0;  ///< median over initial_errors
+  double initial_p75_error = 0.0;
+};
+
+/// Runs the replay. Sessions shorter than horizon + 1 epochs contribute only
+/// initial errors.
+PredictorEvaluation evaluate_predictor(const PredictorModel& model,
+                                       const Dataset& test,
+                                       const EvaluationOptions& options = {});
+
+}  // namespace cs2p

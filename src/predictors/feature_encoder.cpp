@@ -1,0 +1,83 @@
+#include "predictors/feature_encoder.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace cs2p {
+
+void FeatureEncoder::fit(const Dataset& training, double smoothing) {
+  if (training.empty()) throw std::invalid_argument("FeatureEncoder::fit: empty dataset");
+
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : training.sessions()) {
+    if (s.throughput_mbps.empty()) continue;
+    total += s.average_throughput();
+    ++count;
+  }
+  if (count == 0) throw std::invalid_argument("FeatureEncoder::fit: no observations");
+  global_mean_ = total / static_cast<double>(count);
+
+  value_means_.assign(kNumFeatures, {});
+  std::vector<std::unordered_map<std::string, std::pair<double, std::size_t>>> acc(
+      kNumFeatures);
+  for (const auto& s : training.sessions()) {
+    if (s.throughput_mbps.empty()) continue;
+    const double y = s.average_throughput();
+    for (FeatureId id : all_features()) {
+      auto& slot = acc[static_cast<std::size_t>(id)][std::string(s.features.value(id))];
+      slot.first += y;
+      slot.second += 1;
+    }
+  }
+  for (std::size_t f = 0; f < kNumFeatures; ++f) {
+    for (const auto& [value, sum_count] : acc[f]) {
+      const auto [sum, n] = sum_count;
+      value_means_[f][value] =
+          (sum + smoothing * global_mean_) / (static_cast<double>(n) + smoothing);
+    }
+  }
+  fitted_ = true;
+}
+
+std::size_t FeatureEncoder::dimension() const noexcept {
+  return kNumFeatures + 2;  // encoded features + (sin, cos) of time-of-day
+}
+
+Vec FeatureEncoder::encode(const SessionFeatures& features, double start_hour) const {
+  if (!fitted_) throw std::logic_error("FeatureEncoder::encode: not fitted");
+  Vec out;
+  out.reserve(dimension());
+  for (FeatureId id : all_features()) {
+    const auto& map = value_means_[static_cast<std::size_t>(id)];
+    const auto it = map.find(std::string(features.value(id)));
+    out.push_back(it != map.end() ? it->second : global_mean_);
+  }
+  const double angle = 2.0 * std::numbers::pi * start_hour / 24.0;
+  out.push_back(std::sin(angle));
+  out.push_back(std::cos(angle));
+  return out;
+}
+
+Vec FeatureEncoder::encode_with_history(const SessionFeatures& features,
+                                        double start_hour,
+                                        std::span<const double> history) const {
+  Vec out = encode(features, start_hour);
+  if (history.empty()) {
+    out.push_back(0.0);
+    out.push_back(global_mean_);
+    out.push_back(global_mean_);
+    out.push_back(global_mean_);
+  } else {
+    out.push_back(1.0);
+    out.push_back(history.back());
+    out.push_back(harmonic_mean(history));
+    out.push_back(mean(history));
+  }
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,51 @@
+// Target encoding of categorical session features for the ML baselines.
+//
+// SVR and GBR need numeric feature vectors. One-hot encoding over thousands
+// of prefixes is wasteful for trees and slow for SGD, so each categorical
+// value is replaced by the mean initial throughput of the *training*
+// sessions carrying that value (classic target/mean encoding with an
+// additive-smoothing prior toward the global mean). Unknown values at test
+// time encode as the global mean.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/matrix.h"
+
+namespace cs2p {
+
+/// Learned per-feature value -> mean-throughput maps.
+class FeatureEncoder {
+ public:
+  /// Fits the encoding on training sessions. `smoothing` is the pseudo-count
+  /// pulling rare values toward the global mean.
+  void fit(const Dataset& training, double smoothing = 5.0);
+
+  /// Encodes a session's categorical features plus the time-of-day (as two
+  /// cyclic components) into a dense vector. Requires fit().
+  Vec encode(const SessionFeatures& features, double start_hour) const;
+
+  /// Width of the encoded vector.
+  std::size_t dimension() const noexcept;
+
+  /// Appends the midstream history block to an encoded vector:
+  /// [has_history, last, harmonic_mean, mean] of the observed samples.
+  /// With empty history the block is [0, global_mean, global_mean,
+  /// global_mean] so cold-start rows live in the same space.
+  Vec encode_with_history(const SessionFeatures& features, double start_hour,
+                          std::span<const double> history) const;
+
+  double global_mean() const noexcept { return global_mean_; }
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  std::vector<std::unordered_map<std::string, double>> value_means_;
+  double global_mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,115 @@
+#include "predictors/history.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/linear.h"
+#include "util/stats.h"
+
+namespace cs2p {
+namespace {
+
+/// Shared base: accumulates the session's own history.
+class HistorySession : public SessionPredictor {
+ public:
+  void observe(double throughput_mbps) override { history_.push_back(throughput_mbps); }
+
+ protected:
+  void require_history() const {
+    if (history_.empty())
+      throw std::logic_error("history predictor: predict() before any observation");
+  }
+  std::vector<double> history_;
+};
+
+class LastSampleSession final : public HistorySession {
+ public:
+  double predict(unsigned) const override {
+    require_history();
+    return history_.back();
+  }
+};
+
+class HarmonicMeanSession final : public HistorySession {
+ public:
+  explicit HarmonicMeanSession(std::size_t window) : window_(window) {}
+
+  double predict(unsigned) const override {
+    require_history();
+    const std::size_t n = history_.size();
+    const std::size_t use = window_ == 0 ? n : std::min(window_, n);
+    return harmonic_mean(
+        std::span<const double>(history_.data() + (n - use), use));
+  }
+
+ private:
+  std::size_t window_;
+};
+
+class AutoRegressiveSession final : public HistorySession {
+ public:
+  AutoRegressiveSession(std::size_t order, double ridge_lambda)
+      : order_(order), ridge_lambda_(ridge_lambda) {}
+
+  double predict(unsigned steps_ahead) const override {
+    require_history();
+    // Need at least order_ + 2 samples to fit order_ + intercept coefficients
+    // on >= 2 equations; fall back to the running mean before that.
+    if (history_.size() < order_ + 2) {
+      double forecast = mean(history_);
+      return std::max(forecast, 0.0);
+    }
+
+    // Fit w on rows [w_{t-1}..w_{t-k}, 1] -> w_t over the whole history.
+    std::vector<Vec> rows;
+    std::vector<double> targets;
+    for (std::size_t t = order_; t < history_.size(); ++t) {
+      Vec row;
+      row.reserve(order_ + 1);
+      for (std::size_t lag = 1; lag <= order_; ++lag)
+        row.push_back(history_[t - lag]);
+      row.push_back(1.0);  // intercept
+      rows.push_back(std::move(row));
+      targets.push_back(history_[t]);
+    }
+    const Vec coef = ridge_regression(rows, targets, ridge_lambda_);
+
+    // Iterate the recurrence for multi-step-ahead forecasts.
+    std::vector<double> extended = history_;
+    double forecast = extended.back();
+    for (unsigned step = 0; step < std::max(1U, steps_ahead); ++step) {
+      Vec row;
+      row.reserve(order_ + 1);
+      for (std::size_t lag = 1; lag <= order_; ++lag)
+        row.push_back(extended[extended.size() - lag]);
+      row.push_back(1.0);
+      forecast = dot(coef, row);
+      extended.push_back(forecast);
+    }
+    return std::max(forecast, 0.0);
+  }
+
+ private:
+  std::size_t order_;
+  double ridge_lambda_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionPredictor> LastSampleModel::make_session(
+    const SessionContext&) const {
+  return std::make_unique<LastSampleSession>();
+}
+
+std::unique_ptr<SessionPredictor> HarmonicMeanModel::make_session(
+    const SessionContext&) const {
+  return std::make_unique<HarmonicMeanSession>(window_);
+}
+
+std::unique_ptr<SessionPredictor> AutoRegressiveModel::make_session(
+    const SessionContext&) const {
+  return std::make_unique<AutoRegressiveSession>(order_, ridge_lambda_);
+}
+
+}  // namespace cs2p

@@ -1,0 +1,54 @@
+// History-based baseline predictors (paper §3 Observation 1, §7.1):
+//
+//   LS — Last Sample: the previous epoch's throughput.
+//   HM — Harmonic Mean of all previous samples in the session (the
+//        predictor MPC [47] ships with; robust to outliers).
+//   AR — Auto-Regressive model of order k, refit on the session's own
+//        history each epoch by ridge least squares (with a mean fallback
+//        until enough lags exist).
+//
+// None of them can produce an initial (cold-start) prediction.
+#pragma once
+
+#include <cstddef>
+
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+/// Last-Sample model.
+class LastSampleModel final : public PredictorModel {
+ public:
+  std::string name() const override { return "LS"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+};
+
+/// Harmonic-Mean model. `window` limits how many recent samples are used
+/// (0 = all history, the paper's configuration).
+class HarmonicMeanModel final : public PredictorModel {
+ public:
+  explicit HarmonicMeanModel(std::size_t window = 0) : window_(window) {}
+  std::string name() const override { return "HM"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Auto-Regressive model of order `order`, refit per session online.
+class AutoRegressiveModel final : public PredictorModel {
+ public:
+  explicit AutoRegressiveModel(std::size_t order = 3, double ridge_lambda = 1e-3)
+      : order_(order), ridge_lambda_(ridge_lambda) {}
+  std::string name() const override { return "AR"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  std::size_t order_;
+  double ridge_lambda_;
+};
+
+}  // namespace cs2p

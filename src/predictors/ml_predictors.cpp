@@ -1,0 +1,105 @@
+#include "predictors/ml_predictors.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+/// Builds (feature, target) rows: for each sampled epoch t of each session,
+/// features encode the session + history w_0..w_{t-1} and the target is w_t.
+/// t = 0 rows (empty history) teach the models cold-start prediction.
+void build_training_rows(const Dataset& training, const FeatureEncoder& encoder,
+                         const MlTrainingConfig& config, std::vector<Vec>& rows,
+                         std::vector<double>& targets) {
+  Rng rng(config.seed);
+  for (const auto& s : training.sessions()) {
+    const auto& series = s.throughput_mbps;
+    if (series.empty()) continue;
+    const std::size_t budget =
+        std::min<std::size_t>(config.max_examples_per_session, series.size());
+    // Sample distinct epochs; always include t = 0 for cold-start coverage.
+    std::vector<std::size_t> picks{0};
+    while (picks.size() < budget) {
+      const std::size_t t = rng.uniform_index(series.size());
+      if (std::find(picks.begin(), picks.end(), t) == picks.end()) picks.push_back(t);
+    }
+    for (std::size_t t : picks) {
+      rows.push_back(encoder.encode_with_history(
+          s.features, s.start_hour,
+          std::span<const double>(series.data(), t)));
+      targets.push_back(series[t]);
+      if (rows.size() >= config.max_total_examples) return;
+    }
+  }
+}
+
+/// Shared per-session state: accumulates history, re-encodes, calls a
+/// regression function.
+class MlSession final : public SessionPredictor {
+ public:
+  MlSession(const FeatureEncoder& encoder, SessionContext context,
+            std::function<double(const Vec&)> regress)
+      : encoder_(encoder), context_(std::move(context)), regress_(std::move(regress)) {}
+
+  std::optional<double> predict_initial() const override {
+    return std::max(0.0, regress_(encoder_.encode_with_history(
+                        context_.features, context_.start_hour, {})));
+  }
+
+  double predict(unsigned) const override {
+    return std::max(0.0, regress_(encoder_.encode_with_history(
+                        context_.features, context_.start_hour, history_)));
+  }
+
+  void observe(double throughput_mbps) override { history_.push_back(throughput_mbps); }
+
+ private:
+  const FeatureEncoder& encoder_;
+  SessionContext context_;
+  std::function<double(const Vec&)> regress_;
+  std::vector<double> history_;
+};
+
+}  // namespace
+
+SvrPredictorModel::SvrPredictorModel(const Dataset& training,
+                                     const MlTrainingConfig& train_config,
+                                     const SvrConfig& svr_config) {
+  encoder_.fit(training);
+  std::vector<Vec> rows;
+  std::vector<double> targets;
+  build_training_rows(training, encoder_, train_config, rows, targets);
+  if (rows.empty())
+    throw std::invalid_argument("SvrPredictorModel: no training examples");
+  svr_.fit(rows, targets, svr_config);
+}
+
+std::unique_ptr<SessionPredictor> SvrPredictorModel::make_session(
+    const SessionContext& context) const {
+  return std::make_unique<MlSession>(
+      encoder_, context, [this](const Vec& x) { return svr_.predict(x); });
+}
+
+GbrPredictorModel::GbrPredictorModel(const Dataset& training,
+                                     const MlTrainingConfig& train_config,
+                                     const GbrtConfig& gbrt_config) {
+  encoder_.fit(training);
+  std::vector<Vec> rows;
+  std::vector<double> targets;
+  build_training_rows(training, encoder_, train_config, rows, targets);
+  if (rows.empty())
+    throw std::invalid_argument("GbrPredictorModel: no training examples");
+  gbrt_.fit(rows, targets, gbrt_config);
+}
+
+std::unique_ptr<SessionPredictor> GbrPredictorModel::make_session(
+    const SessionContext& context) const {
+  return std::make_unique<MlSession>(
+      encoder_, context, [this](const Vec& x) { return gbrt_.predict(x); });
+}
+
+}  // namespace cs2p

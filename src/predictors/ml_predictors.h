@@ -1,0 +1,61 @@
+// Machine-learning baseline predictors (paper §7.1): SVR [34] and GBR [41],
+// trained "using all the sessions in our dataset with the same session
+// feature set as we list in Table 2".
+//
+// Both models regress next-epoch throughput on the target-encoded session
+// features plus a summary of the session's observed history (empty at the
+// initial epoch), so one model serves both the initial (Fig 9a) and the
+// midstream (Fig 9b) evaluation. Multi-step-ahead prediction returns the
+// same value: the features barely change within a lookahead horizon, which
+// matches the slow error growth of these baselines in Fig 9c.
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+#include "ml/gbrt.h"
+#include "ml/svr.h"
+#include "predictors/feature_encoder.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+/// How training examples are drawn from sessions.
+struct MlTrainingConfig {
+  std::size_t max_examples_per_session = 8;  ///< epoch subsampling bound
+  std::size_t max_total_examples = 60000;
+  std::uint64_t seed = 17;
+};
+
+/// SVR baseline.
+class SvrPredictorModel final : public PredictorModel {
+ public:
+  /// Trains on `training`; throws std::invalid_argument when empty.
+  SvrPredictorModel(const Dataset& training, const MlTrainingConfig& train_config = {},
+                    const SvrConfig& svr_config = {});
+
+  std::string name() const override { return "SVR"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  FeatureEncoder encoder_;
+  LinearSvr svr_;
+};
+
+/// GBR baseline.
+class GbrPredictorModel final : public PredictorModel {
+ public:
+  GbrPredictorModel(const Dataset& training, const MlTrainingConfig& train_config = {},
+                    const GbrtConfig& gbrt_config = {});
+
+  std::string name() const override { return "GBR"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  FeatureEncoder encoder_;
+  GradientBoostedTrees gbrt_;
+};
+
+}  // namespace cs2p

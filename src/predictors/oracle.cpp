@@ -1,0 +1,39 @@
+#include "predictors/oracle.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cs2p {
+namespace {
+
+class OracleSession final : public SessionPredictor {
+ public:
+  explicit OracleSession(std::vector<double> series) : series_(std::move(series)) {}
+
+  std::optional<double> predict_initial() const override {
+    return series_.empty() ? std::optional<double>{} : series_.front();
+  }
+
+  double predict(unsigned steps_ahead) const override {
+    const std::size_t target = position_ + std::max(1U, steps_ahead) - 1;
+    if (series_.empty()) return 0.0;
+    return series_[std::min(target, series_.size() - 1)];
+  }
+
+  void observe(double) override { ++position_; }
+
+ private:
+  std::vector<double> series_;
+  std::size_t position_ = 0;  ///< index of the next (unobserved) epoch
+};
+
+}  // namespace
+
+std::unique_ptr<SessionPredictor> OracleModel::make_session(
+    const SessionContext& context) const {
+  if (context.oracle_series == nullptr)
+    throw std::invalid_argument("OracleModel: context carries no oracle series");
+  return std::make_unique<OracleSession>(*context.oracle_series);
+}
+
+}  // namespace cs2p

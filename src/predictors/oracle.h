@@ -1,0 +1,21 @@
+// Oracle predictor: returns the session's true future throughput.
+//
+// Used only by the evaluation harness to compute the offline-optimal QoE
+// normaliser (n-QoE, §7.1) and as a sanity upper bound in tests. It reads
+// SessionContext::oracle_series, which real predictors must ignore.
+#pragma once
+
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+class OracleModel final : public PredictorModel {
+ public:
+  std::string name() const override { return "Oracle"; }
+
+  /// Throws std::invalid_argument if the context carries no oracle series.
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+};
+
+}  // namespace cs2p

@@ -1,0 +1,72 @@
+#include "predictors/simple_cross.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace cs2p {
+namespace {
+
+/// Constant predictor: same value for initial and every midstream epoch.
+class ConstantSession final : public SessionPredictor {
+ public:
+  explicit ConstantSession(double value) : value_(value) {}
+  std::optional<double> predict_initial() const override { return value_; }
+  double predict(unsigned) const override { return value_; }
+  void observe(double) override {}
+
+ private:
+  double value_;
+};
+
+}  // namespace
+
+FeatureMedianModel::FeatureMedianModel(const Dataset& training, FeatureId feature,
+                                       std::string name)
+    : feature_(feature), name_(std::move(name)) {
+  if (training.empty())
+    throw std::invalid_argument("FeatureMedianModel: empty training set");
+
+  std::unordered_map<std::string, std::vector<double>> groups;
+  std::vector<double> all;
+  for (const auto& s : training.sessions()) {
+    if (s.throughput_mbps.empty()) continue;
+    groups[std::string(s.features.value(feature_))].push_back(s.initial_throughput());
+    all.push_back(s.initial_throughput());
+  }
+  if (all.empty())
+    throw std::invalid_argument("FeatureMedianModel: no observations");
+  global_median_ = median(all);
+  medians_.reserve(groups.size());
+  for (auto& [value, samples] : groups) medians_[value] = median(samples);
+}
+
+std::unique_ptr<SessionPredictor> FeatureMedianModel::make_session(
+    const SessionContext& context) const {
+  const auto it = medians_.find(std::string(context.features.value(feature_)));
+  return std::make_unique<ConstantSession>(it != medians_.end() ? it->second
+                                                                : global_median_);
+}
+
+FeatureMedianModel make_lm_client(const Dataset& training) {
+  return FeatureMedianModel(training, FeatureId::kClientPrefix, "LM-client");
+}
+
+FeatureMedianModel make_lm_server(const Dataset& training) {
+  return FeatureMedianModel(training, FeatureId::kServer, "LM-server");
+}
+
+GlobalMedianModel::GlobalMedianModel(const Dataset& training) {
+  std::vector<double> all;
+  for (const auto& s : training.sessions())
+    if (!s.throughput_mbps.empty()) all.push_back(s.initial_throughput());
+  if (all.empty()) throw std::invalid_argument("GlobalMedianModel: no observations");
+  median_ = median(all);
+}
+
+std::unique_ptr<SessionPredictor> GlobalMedianModel::make_session(
+    const SessionContext&) const {
+  return std::make_unique<ConstantSession>(median_);
+}
+
+}  // namespace cs2p

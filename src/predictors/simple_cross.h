@@ -1,0 +1,55 @@
+// Simple cross-session baselines (paper §3 Observation 4 and Fig 9a):
+//
+//   LM-client — last-mile client predictor: the median throughput of
+//               training sessions sharing the client's IP prefix.
+//   LM-server — the median over sessions hitting the same server.
+//   GlobalMedian — the median over ALL training sessions (the "global
+//               average" end of the spectrum discussed in §4).
+//
+// Each predicts a per-session constant (initial and midstream alike) — they
+// have no notion of intra-session dynamics, which is exactly why the paper
+// finds them inaccurate midstream.
+#pragma once
+
+#include <unordered_map>
+
+#include "dataset/dataset.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+/// Median-by-one-feature predictor (covers LM-client and LM-server).
+class FeatureMedianModel final : public PredictorModel {
+ public:
+  /// Groups training sessions by `feature` and stores the median of their
+  /// initial throughputs per group; a global median covers unseen values.
+  FeatureMedianModel(const Dataset& training, FeatureId feature, std::string name);
+
+  std::string name() const override { return name_; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  FeatureId feature_;
+  std::string name_;
+  std::unordered_map<std::string, double> medians_;
+  double global_median_ = 0.0;
+};
+
+/// Convenience factories matching the paper's names.
+FeatureMedianModel make_lm_client(const Dataset& training);
+FeatureMedianModel make_lm_server(const Dataset& training);
+
+/// Global-median predictor.
+class GlobalMedianModel final : public PredictorModel {
+ public:
+  explicit GlobalMedianModel(const Dataset& training);
+  std::string name() const override { return "GlobalMedian"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext& context) const override;
+
+ private:
+  double median_ = 0.0;
+};
+
+}  // namespace cs2p

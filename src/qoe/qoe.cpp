@@ -1,0 +1,51 @@
+#include "qoe/qoe.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+
+double qoe_from_series(std::span<const double> bitrates_kbps,
+                       std::span<const double> rebuffer_seconds,
+                       double startup_delay_seconds, const QoeParams& params) {
+  if (bitrates_kbps.size() != rebuffer_seconds.size())
+    throw std::invalid_argument("qoe_from_series: size mismatch");
+  double quality = 0.0;
+  double switching = 0.0;
+  double rebuffer = 0.0;
+  for (std::size_t k = 0; k < bitrates_kbps.size(); ++k) {
+    quality += bitrates_kbps[k];
+    rebuffer += rebuffer_seconds[k];
+    if (k + 1 < bitrates_kbps.size())
+      switching += std::abs(bitrates_kbps[k + 1] - bitrates_kbps[k]);
+  }
+  return quality - params.lambda * switching - params.mu * rebuffer -
+         params.mu_s * startup_delay_seconds;
+}
+
+QoeBreakdown compute_qoe(const PlaybackResult& playback, const QoeParams& params) {
+  QoeBreakdown out;
+  out.startup_seconds = playback.startup_delay_seconds;
+
+  std::size_t good_chunks = 0;
+  double prev_bitrate = -1.0;
+  for (const auto& chunk : playback.chunks) {
+    out.quality_sum_kbps += chunk.bitrate_kbps;
+    out.rebuffer_seconds += chunk.rebuffer_seconds;
+    if (chunk.rebuffer_seconds <= 0.0) ++good_chunks;
+    if (prev_bitrate >= 0.0 && chunk.bitrate_kbps != prev_bitrate) {
+      out.switching_penalty_kbps += std::abs(chunk.bitrate_kbps - prev_bitrate);
+      ++out.num_switches;
+    }
+    prev_bitrate = chunk.bitrate_kbps;
+  }
+
+  const auto n = playback.chunks.size();
+  out.avg_bitrate_kbps = n ? out.quality_sum_kbps / static_cast<double>(n) : 0.0;
+  out.good_ratio = n ? static_cast<double>(good_chunks) / static_cast<double>(n) : 0.0;
+  out.total = out.quality_sum_kbps - params.lambda * out.switching_penalty_kbps -
+              params.mu * out.rebuffer_seconds - params.mu_s * out.startup_seconds;
+  return out;
+}
+
+}  // namespace cs2p

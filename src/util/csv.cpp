@@ -1,0 +1,115 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cs2p {
+namespace {
+
+/// Splits one logical CSV record starting at `pos`; advances `pos` past the
+/// record's trailing newline. Handles quoted cells spanning newlines.
+std::vector<std::string> parse_record(std::string_view text, std::size_t& pos) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          cell.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        cells.push_back(std::move(cell));
+        cell.clear();
+      } else if (c == '\n') {
+        ++pos;
+        cells.push_back(std::move(cell));
+        return cells;
+      } else if (c != '\r') {
+        cell.push_back(c);
+      }
+    }
+    ++pos;
+  }
+  if (in_quotes) throw std::runtime_error("CSV: unterminated quoted cell");
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+int CsvTable::column(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t pos = 0;
+  if (pos < text.size()) table.header = parse_record(text, pos);
+  while (pos < text.size()) {
+    auto row = parse_record(text, pos);
+    if (row.size() == 1 && row[0].empty()) continue;  // blank trailing line
+    if (row.size() != table.header.size())
+      throw std::runtime_error("CSV: row width differs from header");
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("CSV: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string csv_escape(std::string_view cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string_view::npos)
+    return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size())
+      throw std::runtime_error("CSV: row width differs from header");
+    write_row(row);
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("CSV: cannot open " + path + " for write");
+  write_csv(out, table);
+}
+
+}  // namespace cs2p

@@ -1,0 +1,39 @@
+// Minimal CSV reading/writing for trace import/export.
+//
+// Supports the subset of RFC 4180 the project needs: comma separation,
+// double-quote quoting with embedded commas/quotes/newlines, and a header
+// row. Sufficient to round-trip generated session traces and to import
+// externally collected throughput logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cs2p {
+
+/// One parsed CSV table: header + rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Column index for `name`, or -1 if absent.
+  int column(std::string_view name) const noexcept;
+};
+
+/// Parses CSV text. Throws std::runtime_error on unterminated quotes or rows
+/// whose cell count differs from the header.
+CsvTable parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error if unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+/// Escapes a cell if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view cell);
+
+/// Writes header + rows; every row must match the header width.
+void write_csv(std::ostream& out, const CsvTable& table);
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace cs2p

@@ -1,0 +1,42 @@
+#include "util/error_metrics.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace cs2p {
+
+double absolute_normalized_error(double predicted, double actual) noexcept {
+  if (actual == 0.0) return std::abs(predicted);
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+SessionErrorSummary summarize_session_errors(std::span<const double> errors) {
+  SessionErrorSummary s;
+  s.session_median = median(errors);
+  s.session_mean = mean(errors);
+  s.session_p90 = quantile(errors, 0.9);
+  return s;
+}
+
+CrossSessionSummary summarize_across_sessions(
+    std::span<const SessionErrorSummary> sessions) {
+  std::vector<double> medians, means, p90s;
+  medians.reserve(sessions.size());
+  means.reserve(sessions.size());
+  p90s.reserve(sessions.size());
+  for (const auto& s : sessions) {
+    medians.push_back(s.session_median);
+    means.push_back(s.session_mean);
+    p90s.push_back(s.session_p90);
+  }
+  CrossSessionSummary out;
+  out.median_of_medians = median(medians);
+  out.p75_of_medians = quantile(medians, 0.75);
+  out.p90_of_medians = quantile(medians, 0.9);
+  out.mean_of_means = mean(means);
+  out.median_of_p90s = median(p90s);
+  return out;
+}
+
+}  // namespace cs2p

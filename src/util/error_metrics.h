@@ -1,0 +1,41 @@
+// Prediction-error metrics (Eq. 1 of the paper) and cross-session summaries.
+//
+// The paper reports the *absolute normalized prediction error*
+//   Err(pred, actual) = |pred - actual| / actual
+// and summarises it within and across sessions several ways (median of
+// per-session medians, 90th percentile of per-session medians, ...). The
+// ErrorSummary helpers mirror those aggregations so bench binaries can print
+// the same rows as the figures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cs2p {
+
+/// |pred - actual| / actual. Returns |pred| when actual == 0 (a session with
+/// zero measured throughput contributes its absolute miss rather than inf).
+double absolute_normalized_error(double predicted, double actual) noexcept;
+
+/// Per-session error series -> one scalar per session.
+struct SessionErrorSummary {
+  double session_median = 0.0;
+  double session_mean = 0.0;
+  double session_p90 = 0.0;
+};
+
+SessionErrorSummary summarize_session_errors(std::span<const double> errors);
+
+/// Cross-session aggregation of per-session summaries.
+struct CrossSessionSummary {
+  double median_of_medians = 0.0;  ///< headline number in Fig 9
+  double p75_of_medians = 0.0;
+  double p90_of_medians = 0.0;
+  double mean_of_means = 0.0;
+  double median_of_p90s = 0.0;
+};
+
+CrossSessionSummary summarize_across_sessions(
+    std::span<const SessionErrorSummary> sessions);
+
+}  // namespace cs2p

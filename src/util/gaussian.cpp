@@ -1,0 +1,19 @@
+#include "util/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace cs2p {
+
+double gaussian_log_pdf(double x, double mean, double sigma) noexcept {
+  const double s = std::max(sigma, kMinEmissionSigma);
+  const double z = (x - mean) / s;
+  return -0.5 * z * z - std::log(s) - 0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double gaussian_pdf(double x, double mean, double sigma) noexcept {
+  return std::exp(gaussian_log_pdf(x, mean, sigma));
+}
+
+}  // namespace cs2p

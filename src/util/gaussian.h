@@ -1,0 +1,17 @@
+// Univariate Gaussian density helpers for HMM emissions.
+#pragma once
+
+namespace cs2p {
+
+/// Minimum emission standard deviation. Baum-Welch can collapse a state's
+/// variance to ~0 when few observations are assigned to it; flooring sigma
+/// keeps likelihoods finite and the forward filter numerically stable.
+inline constexpr double kMinEmissionSigma = 1e-3;
+
+/// N(mean, sigma^2) density at x. sigma is floored at kMinEmissionSigma.
+double gaussian_pdf(double x, double mean, double sigma) noexcept;
+
+/// log N(mean, sigma^2) at x, same flooring.
+double gaussian_log_pdf(double x, double mean, double sigma) noexcept;
+
+}  // namespace cs2p

@@ -1,0 +1,144 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cs2p {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_)
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::span<double> Matrix::row(std::size_t r) noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix multiply: inner dimension mismatch");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix add: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::pow(unsigned p) const {
+  if (rows_ != cols_) throw std::invalid_argument("Matrix::pow: not square");
+  Matrix result = Matrix::identity(rows_);
+  Matrix base = *this;
+  while (p > 0) {
+    if (p & 1U) result = result * base;
+    base = base * base;
+    p >>= 1U;
+  }
+  return result;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_)
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  return worst;
+}
+
+Vec vec_mat(std::span<const double> v, const Matrix& m) {
+  if (v.size() != m.rows())
+    throw std::invalid_argument("vec_mat: dimension mismatch");
+  Vec out(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const auto row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += vi * row[j];
+  }
+  return out;
+}
+
+Vec hadamard(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hadamard: size mismatch");
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+double vec_sum(std::span<const double> v) noexcept {
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum;
+}
+
+double normalize_in_place(Vec& v) noexcept {
+  const double sum = vec_sum(v);
+  if (sum <= 0.0 || !std::isfinite(sum)) {
+    const double uniform = v.empty() ? 0.0 : 1.0 / static_cast<double>(v.size());
+    for (double& x : v) x = uniform;
+    return sum;
+  }
+  for (double& x : v) x /= sum;
+  return sum;
+}
+
+std::size_t argmax(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("argmax: empty input");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+}  // namespace cs2p

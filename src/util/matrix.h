@@ -1,0 +1,89 @@
+// Small dense matrix/vector algebra for HMM filtering and training.
+//
+// The HMM online predictor needs exactly the operations below (row-vector x
+// matrix products, Hadamard products, matrix powers for multi-step-ahead
+// prediction), on matrices whose dimension is the number of hidden states
+// (N <= ~16). A hand-rolled row-major container keeps the footprint tiny —
+// the paper highlights that a trained model fits in < 5 KB and a prediction
+// costs two matrix multiplications.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace cs2p {
+
+using Vec = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept;
+  std::span<const double> row(std::size_t r) const noexcept;
+
+  /// Underlying contiguous storage (row-major), e.g. for serialization.
+  std::span<const double> data() const noexcept { return data_; }
+  std::span<double> data() noexcept { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix& operator*=(double scalar) noexcept;
+
+  /// Matrix power by repeated squaring; requires a square matrix, p >= 0.
+  Matrix pow(unsigned p) const;
+
+  Matrix transposed() const;
+
+  /// Max |a_ij - b_ij|; matrices must have identical shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Row vector times matrix: out_j = sum_i v_i * m(i, j).
+/// Requires v.size() == m.rows().
+Vec vec_mat(std::span<const double> v, const Matrix& m);
+
+/// Element-wise (Hadamard) product; sizes must match.
+Vec hadamard(std::span<const double> a, std::span<const double> b);
+
+/// Sum of elements.
+double vec_sum(std::span<const double> v) noexcept;
+
+/// Scales `v` so its elements sum to 1; returns the pre-normalisation sum.
+/// A non-positive sum leaves a uniform distribution (degenerate input guard
+/// for the forward filter when an observation has ~zero likelihood in every
+/// state).
+double normalize_in_place(Vec& v) noexcept;
+
+/// Index of the maximum element; requires non-empty input.
+std::size_t argmax(std::span<const double> v);
+
+}  // namespace cs2p

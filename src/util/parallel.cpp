@@ -1,0 +1,55 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cs2p {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads) {
+  if (n == 0) return;
+  unsigned workers = max_threads != 0 ? max_threads
+                                      : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = static_cast<unsigned>(n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      {
+        std::scoped_lock lock(error_mutex);
+        if (first_error) return;  // stop pulling new work after a failure
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& thread : threads) thread.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cs2p

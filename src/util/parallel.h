@@ -1,0 +1,22 @@
+// Minimal data-parallel helper for embarrassingly parallel index builds.
+//
+// The CS2P engine constructs one cluster index per candidate feature set
+// (189 of them) and a per-candidate error table — all independent work
+// items. parallel_for splits [0, n) across a bounded worker pool; with
+// hardware_concurrency() == 1 (or n below the grain) it degrades to a
+// serial loop with zero thread overhead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace cs2p {
+
+/// Invokes fn(i) for every i in [0, n), possibly concurrently. fn must be
+/// safe to call from multiple threads for distinct i. Exceptions thrown by
+/// fn propagate to the caller (the first one wins; remaining work may or
+/// may not run). `max_threads` == 0 uses the hardware concurrency.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned max_threads = 0);
+
+}  // namespace cs2p

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components in the library (trace generation, EM
+// initialization, SGD shuffling, ...) draw from cs2p::Rng so that every
+// experiment is reproducible from a single seed. The generator is
+// xoshiro256** seeded through SplitMix64, which is fast, has a 2^256-1
+// period, and passes BigCrush; std::mt19937 is deliberately avoided because
+// its state is large and its distributions are not portable across standard
+// library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cs2p {
+
+/// xoshiro256** engine with convenience samplers. Satisfies
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard normal via Box-Muller (cached pair).
+  double gaussian() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double gaussian(double mean, double sigma) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double log_normal(double mu, double sigma) noexcept;
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Samples an index according to `weights` (non-negative, not all zero).
+  /// Falls back to the last index on accumulated floating-point shortfall.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of [0, n) indices.
+  std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace cs2p

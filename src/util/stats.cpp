@@ -1,0 +1,178 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace cs2p {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double coefficient_of_variation(std::span<const double> xs) noexcept {
+  const double mu = mean(xs);
+  if (mu == 0.0) return 0.0;
+  return stddev(xs) / mu;
+}
+
+double harmonic_mean(std::span<const double> xs) noexcept {
+  double inv_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      inv_sum += 1.0 / x;
+      ++n;
+    }
+  }
+  if (n == 0 || inv_sum == 0.0) return 0.0;
+  return static_cast<double>(n) / inv_sum;
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double ecdf(std::span<const double> xs, double value) noexcept {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs)
+    if (x <= value) ++count;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+std::vector<std::pair<double, double>> ecdf_points(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> points;
+  points.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    points.emplace_back(sorted[i],
+                        static_cast<double>(i + 1) / static_cast<double>(sorted.size()));
+  }
+  return points;
+}
+
+std::vector<double> ecdf_at(std::span<const double> xs, std::span<const double> at) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(at.size());
+  for (double v : at) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), v);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double entropy_from_counts(std::span<const std::size_t> counts) noexcept {
+  double total = 0.0;
+  for (std::size_t c : counts) total += static_cast<double>(c);
+  if (total == 0.0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double relative_information_gain(std::span<const int> labels_y,
+                                 std::span<const int> labels_x) {
+  if (labels_y.size() != labels_x.size())
+    throw std::invalid_argument("relative_information_gain: size mismatch");
+  if (labels_y.empty()) return 0.0;
+
+  std::map<int, std::size_t> y_counts;
+  std::map<int, std::map<int, std::size_t>> x_to_y_counts;
+  std::map<int, std::size_t> x_counts;
+  for (std::size_t i = 0; i < labels_y.size(); ++i) {
+    ++y_counts[labels_y[i]];
+    ++x_counts[labels_x[i]];
+    ++x_to_y_counts[labels_x[i]][labels_y[i]];
+  }
+
+  std::vector<std::size_t> yc;
+  yc.reserve(y_counts.size());
+  for (const auto& [label, count] : y_counts) yc.push_back(count);
+  const double h_y = entropy_from_counts(yc);
+  if (h_y == 0.0) return 0.0;
+
+  const auto n = static_cast<double>(labels_y.size());
+  double h_y_given_x = 0.0;
+  for (const auto& [x, ys] : x_to_y_counts) {
+    std::vector<std::size_t> cond;
+    cond.reserve(ys.size());
+    for (const auto& [label, count] : ys) cond.push_back(count);
+    const double weight = static_cast<double>(x_counts[x]) / n;
+    h_y_given_x += weight * entropy_from_counts(cond);
+  }
+  return 1.0 - h_y_given_x / h_y;
+}
+
+std::vector<int> equal_frequency_bins(std::span<const double> xs, int bins) {
+  if (bins <= 0) throw std::invalid_argument("equal_frequency_bins: bins must be > 0");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) - 1);
+  for (int b = 1; b < bins; ++b) {
+    edges.push_back(quantile_sorted(sorted, static_cast<double>(b) / bins));
+  }
+  std::vector<int> labels;
+  labels.reserve(xs.size());
+  for (double x : xs) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    labels.push_back(static_cast<int>(it - edges.begin()));
+  }
+  return labels;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,67 @@
+// Summary statistics used throughout the CS2P pipeline.
+//
+// These helpers operate on plain vectors of doubles (throughput samples in
+// Mbps, per-session errors, ...). Quantiles use linear interpolation between
+// order statistics (type-7, the default of R/NumPy) so that the CDF tables
+// printed by the benchmark harness are directly comparable with the paper's
+// figures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cs2p {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased (n-1) sample standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation: stddev / mean. 0 when the mean is 0.
+/// The paper's Observation 1 reports "normalized stddev" per session.
+double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// Harmonic mean over strictly positive samples; non-positive samples are
+/// ignored (matches how video players compute HM over throughput samples).
+double harmonic_mean(std::span<const double> xs) noexcept;
+
+/// Median (type-7 quantile at q = 0.5); 0 for an empty input.
+double median(std::span<const double> xs);
+
+/// Type-7 quantile for q in [0, 1]; 0 for an empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// In-place-free variant for callers that already hold sorted data.
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+/// Empirical CDF evaluated at `value`: fraction of samples <= value.
+double ecdf(std::span<const double> xs, double value) noexcept;
+
+/// Points of the empirical CDF: (value, P[X <= value]) at every sample.
+/// Useful for emitting figure series (Fig 3, 5, 9 of the paper).
+std::vector<std::pair<double, double>> ecdf_points(std::span<const double> xs);
+
+/// Evaluates the ECDF of `xs` at each of `at` (which need not be sorted).
+std::vector<double> ecdf_at(std::span<const double> xs, std::span<const double> at);
+
+/// Pearson correlation; 0 when either side has no variance. Sizes must match.
+double correlation(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Shannon entropy (bits) of a discrete label distribution given by counts.
+double entropy_from_counts(std::span<const std::size_t> counts) noexcept;
+
+/// Relative information gain RIG(Y|X) = 1 - H(Y|X)/H(Y) for discretised
+/// variables, as used in Observation 4 to measure how much a session feature
+/// explains throughput. `labels_y` and `labels_x` are parallel arrays of
+/// discrete category ids.
+double relative_information_gain(std::span<const int> labels_y,
+                                 std::span<const int> labels_x);
+
+/// Discretises real values into `bins` equal-frequency bins, returning a
+/// category id per sample (used to feed relative_information_gain).
+std::vector<int> equal_frequency_bins(std::span<const double> xs, int bins);
+
+}  // namespace cs2p

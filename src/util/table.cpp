@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace cs2p {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total_width = 0;
+  for (std::size_t w : widths) total_width += w + 2;
+  out << std::string(total_width, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace cs2p

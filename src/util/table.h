@@ -1,0 +1,38 @@
+// Aligned plain-text table printer for the benchmark harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// this helper keeps their output uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cs2p {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; width may differ from the header (short rows are padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed `precision` decimals.
+std::string format_double(double v, int precision = 3);
+
+}  // namespace cs2p

@@ -1,0 +1,79 @@
+// Shared helpers for the HMM test suites: small reference models and
+// brute-force path enumeration to validate the dynamic-programming
+// recursions against first principles.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "hmm/model.h"
+#include "util/gaussian.h"
+#include "util/rng.h"
+
+namespace cs2p::testing_support {
+
+/// A well-separated 2-state model: sticky chain, distant means.
+inline GaussianHmm two_state_model() {
+  GaussianHmm model;
+  model.initial = {0.6, 0.4};
+  model.transition = Matrix{{0.9, 0.1}, {0.2, 0.8}};
+  model.states = {{1.0, 0.1}, {5.0, 0.5}};
+  return model;
+}
+
+/// A 3-state model with asymmetric structure.
+inline GaussianHmm three_state_model() {
+  GaussianHmm model;
+  model.initial = {0.5, 0.3, 0.2};
+  model.transition =
+      Matrix{{0.8, 0.15, 0.05}, {0.1, 0.85, 0.05}, {0.05, 0.15, 0.8}};
+  model.states = {{1.0, 0.2}, {2.5, 0.3}, {6.0, 0.8}};
+  return model;
+}
+
+/// Brute-force P(obs | model) by enumerating every hidden path.
+inline double brute_force_likelihood(const GaussianHmm& model,
+                                     std::span<const double> obs) {
+  const std::size_t n = model.num_states();
+  const std::size_t t_len = obs.size();
+  std::vector<std::size_t> path(t_len, 0);
+  double total = 0.0;
+  while (true) {
+    double p = model.initial[path[0]] *
+               gaussian_pdf(obs[0], model.states[path[0]].mean,
+                            model.states[path[0]].sigma);
+    for (std::size_t t = 1; t < t_len && p > 0.0; ++t) {
+      p *= model.transition(path[t - 1], path[t]) *
+           gaussian_pdf(obs[t], model.states[path[t]].mean,
+                        model.states[path[t]].sigma);
+    }
+    total += p;
+    // Advance the path counter.
+    std::size_t digit = 0;
+    while (digit < t_len && ++path[digit] == n) {
+      path[digit] = 0;
+      ++digit;
+    }
+    if (digit == t_len) break;
+  }
+  return total;
+}
+
+/// Samples an observation sequence from a model.
+inline std::vector<double> sample_sequence(const GaussianHmm& model,
+                                           std::size_t length, Rng& rng) {
+  std::vector<double> obs;
+  obs.reserve(length);
+  std::size_t state = rng.categorical(model.initial);
+  for (std::size_t t = 0; t < length; ++t) {
+    if (t > 0) {
+      Vec row(model.transition.row(state).begin(), model.transition.row(state).end());
+      state = rng.categorical(row);
+    }
+    obs.push_back(rng.gaussian(model.states[state].mean, model.states[state].sigma));
+  }
+  return obs;
+}
+
+}  // namespace cs2p::testing_support

@@ -1,0 +1,221 @@
+// Tests for the ABR controllers (abr/controllers.h, abr/mpc.h).
+
+#include <gtest/gtest.h>
+
+#include "abr/controllers.h"
+#include "abr/mpc.h"
+
+namespace cs2p {
+namespace {
+
+VideoSpec ladder_video() {
+  VideoSpec video;
+  video.bitrates_kbps = {350.0, 600.0, 1000.0, 2000.0, 3000.0};
+  video.chunk_seconds = 6.0;
+  video.num_chunks = 10;
+  video.buffer_capacity_seconds = 30.0;
+  return video;
+}
+
+/// Predictor stub with scripted values.
+class Scripted final : public SessionPredictor {
+ public:
+  Scripted(std::optional<double> initial, double midstream)
+      : initial_(initial), midstream_(midstream) {}
+  std::optional<double> predict_initial() const override { return initial_; }
+  double predict(unsigned) const override { return midstream_; }
+  void observe(double) override {}
+
+ private:
+  std::optional<double> initial_;
+  double midstream_;
+};
+
+AbrState midstream_state(SessionPredictor* predictor, double buffer,
+                         int last_index, double last_throughput) {
+  AbrState state;
+  state.chunk_index = 3;
+  state.buffer_seconds = buffer;
+  state.last_bitrate_index = last_index;
+  state.last_throughput_mbps = last_throughput;
+  state.predictor = predictor;
+  return state;
+}
+
+TEST(HighestSustainable, LadderWalk) {
+  const VideoSpec video = ladder_video();
+  EXPECT_EQ(highest_sustainable(video, 100.0), 0u);   // below the ladder
+  EXPECT_EQ(highest_sustainable(video, 600.0), 1u);   // exact match
+  EXPECT_EQ(highest_sustainable(video, 1999.0), 2u);
+  EXPECT_EQ(highest_sustainable(video, 99999.0), 4u);
+}
+
+TEST(FixedController, ClampedToLadder) {
+  FixedBitrateController fixed(99);
+  EXPECT_EQ(fixed.select_bitrate(AbrState{}, ladder_video()), 4u);
+}
+
+TEST(RateBased, UsesInitialPredictionForFirstChunk) {
+  Scripted predictor(2.5, 0.0);  // 2.5 Mbps initial forecast
+  RateBasedController rb;
+  AbrState state;
+  state.chunk_index = 0;
+  state.predictor = &predictor;
+  EXPECT_EQ(rb.select_bitrate(state, ladder_video()), 3u);  // 2000 kbps
+}
+
+TEST(RateBased, ColdStartWithoutPredictionIsLowest) {
+  Scripted predictor(std::nullopt, 0.0);
+  RateBasedController rb;
+  AbrState state;
+  state.chunk_index = 0;
+  state.predictor = &predictor;
+  EXPECT_EQ(rb.select_bitrate(state, ladder_video()), 0u);
+}
+
+TEST(RateBased, MidstreamFollowsForecast) {
+  Scripted predictor(std::nullopt, 1.05);
+  RateBasedController rb;
+  EXPECT_EQ(rb.select_bitrate(midstream_state(&predictor, 10.0, 2, 1.0),
+                              ladder_video()),
+            2u);  // 1000 kbps under 1050 kbps forecast
+}
+
+TEST(RateBased, SafetyFactorScales) {
+  Scripted predictor(std::nullopt, 1.05);
+  RateBasedController conservative(0.5);
+  EXPECT_EQ(conservative.select_bitrate(midstream_state(&predictor, 10.0, 2, 1.0),
+                                        ladder_video()),
+            0u);  // 525 kbps budget -> 350
+}
+
+TEST(RateBased, NoPredictorFallsBackToLastThroughput) {
+  RateBasedController rb;
+  EXPECT_EQ(rb.select_bitrate(midstream_state(nullptr, 10.0, 2, 2.1),
+                              ladder_video()),
+            3u);
+}
+
+TEST(BufferBased, ReservoirCushionMapping) {
+  BufferBasedController bb(5.0, 20.0);
+  const VideoSpec video = ladder_video();
+  EXPECT_EQ(bb.select_bitrate(midstream_state(nullptr, 2.0, 0, 1.0), video), 0u);
+  EXPECT_EQ(bb.select_bitrate(midstream_state(nullptr, 26.0, 0, 1.0), video), 4u);
+  // Mid-cushion: linear interpolation.
+  const std::size_t mid = bb.select_bitrate(midstream_state(nullptr, 15.0, 0, 1.0),
+                                            video);
+  EXPECT_EQ(mid, 2u);
+}
+
+TEST(BufferBased, FirstChunkIsLowest) {
+  BufferBasedController bb;
+  AbrState state;
+  state.chunk_index = 0;
+  EXPECT_EQ(bb.select_bitrate(state, ladder_video()), 0u);
+}
+
+TEST(Mpc, InitialChunkUsesPrediction) {
+  Scripted predictor(3.5, 0.0);
+  MpcController mpc;
+  AbrState state;
+  state.chunk_index = 0;
+  state.predictor = &predictor;
+  EXPECT_EQ(mpc.select_bitrate(state, ladder_video()), 4u);  // 3000 < 3500
+}
+
+TEST(Mpc, AccuratePredictionRidesNearCapacity) {
+  // Forecast 2.1 Mbps, 8-s buffer: 3000 kbps would stall inside the horizon
+  // (8.6-s downloads vs 6-s chunks); 2000 kbps is sustainable; anything
+  // lower leaves QoE on the table. Note: with a buffer deeper than the
+  // lookahead can drain, plain MPC knowingly over-commits — that horizon
+  // myopia is inherent to FastMPC and exercised in the QoE benches.
+  Scripted predictor(std::nullopt, 2.1);
+  MpcController mpc;
+  EXPECT_EQ(mpc.select_bitrate(midstream_state(&predictor, 8.0, 3, 2.1),
+                               ladder_video()),
+            3u);
+}
+
+TEST(Mpc, LowForecastBacksOff) {
+  Scripted predictor(std::nullopt, 0.4);
+  MpcController mpc;
+  const std::size_t choice = mpc.select_bitrate(
+      midstream_state(&predictor, 8.0, 3, 0.4), ladder_video());
+  EXPECT_LE(choice, 1u);
+}
+
+TEST(Mpc, SwitchingPenaltySmoothsOneEpochBlips) {
+  // The forecast dips slightly below the current rung with a moderate
+  // buffer: holding 2000 kbps on a 1.9 Mbps forecast drains ~0.3 s per
+  // chunk and never stalls within the horizon, and dropping a rung would
+  // pay the switching penalty for nothing.
+  Scripted predictor(std::nullopt, 1.9);
+  MpcController mpc;
+  const std::size_t choice = mpc.select_bitrate(
+      midstream_state(&predictor, 10.0, 3, 1.9), ladder_video());
+  EXPECT_EQ(choice, 3u);
+}
+
+TEST(Mpc, MidstreamWithoutPredictorThrows) {
+  MpcController mpc;
+  EXPECT_THROW(
+      mpc.select_bitrate(midstream_state(nullptr, 10.0, 2, 1.0), ladder_video()),
+      std::invalid_argument);
+}
+
+TEST(Mpc, EmptyLadderThrows) {
+  MpcController mpc;
+  VideoSpec video = ladder_video();
+  video.bitrates_kbps.clear();
+  Scripted predictor(1.0, 1.0);
+  EXPECT_THROW(mpc.select_bitrate(midstream_state(&predictor, 10.0, 0, 1.0), video),
+               std::invalid_argument);
+}
+
+TEST(RobustMpc, DiscountGrowsWithObservedError) {
+  // Scripted predictor massively over-predicts; RobustMPC must end up more
+  // conservative than plain MPC after a few chunks of feedback.
+  MpcConfig robust_config;
+  robust_config.robust = true;
+  MpcController robust(robust_config);
+  MpcController plain;
+
+  Scripted predictor(std::nullopt, 3.2);  // forecast 3.2 Mbps every chunk
+  // Simulate 4 decision rounds where the realized throughput was only 1.0.
+  std::size_t robust_choice = 0, plain_choice = 0;
+  for (int round = 0; round < 4; ++round) {
+    robust_choice =
+        robust.select_bitrate(midstream_state(&predictor, 10.0, 3, 1.0),
+                              ladder_video());
+    plain_choice = plain.select_bitrate(midstream_state(&predictor, 10.0, 3, 1.0),
+                                        ladder_video());
+  }
+  EXPECT_LT(robust_choice, plain_choice);
+}
+
+TEST(RobustMpc, ResetClearsErrorWindow) {
+  MpcConfig config;
+  config.robust = true;
+  MpcController mpc(config);
+  Scripted predictor(std::nullopt, 3.2);
+  for (int round = 0; round < 4; ++round)
+    mpc.select_bitrate(midstream_state(&predictor, 10.0, 3, 1.0), ladder_video());
+  mpc.reset();
+  // After reset there is no error history: first decision trusts the
+  // forecast fully again (same as a fresh controller).
+  MpcController fresh(config);
+  EXPECT_EQ(mpc.select_bitrate(midstream_state(&predictor, 10.0, 3, 1.0),
+                               ladder_video()),
+            fresh.select_bitrate(midstream_state(&predictor, 10.0, 3, 1.0),
+                                 ladder_video()));
+}
+
+TEST(Mpc, NameReflectsMode) {
+  MpcConfig config;
+  EXPECT_EQ(MpcController(config).name(), "MPC");
+  config.robust = true;
+  EXPECT_EQ(MpcController(config).name(), "RobustMPC");
+}
+
+}  // namespace
+}  // namespace cs2p

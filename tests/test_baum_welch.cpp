@@ -1,0 +1,184 @@
+// Tests for Baum-Welch EM training (hmm/baum_welch.h).
+
+#include "hmm/baum_welch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hmm/forward_backward.h"
+#include "hmm_test_util.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::sample_sequence;
+using testing_support::two_state_model;
+
+TEST(Kmeans1d, RecoversSeparatedCentroids) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.gaussian(1.0, 0.05));
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.gaussian(5.0, 0.05));
+  const auto centroids = kmeans_1d(xs, 2, rng);
+  ASSERT_EQ(centroids.size(), 2u);
+  EXPECT_NEAR(centroids[0], 1.0, 0.1);
+  EXPECT_NEAR(centroids[1], 5.0, 0.1);
+}
+
+TEST(Kmeans1d, CentroidsAreSorted) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  const auto centroids = kmeans_1d(xs, 4, rng);
+  EXPECT_TRUE(std::is_sorted(centroids.begin(), centroids.end()));
+}
+
+TEST(Kmeans1d, MoreClustersThanPointsDuplicates) {
+  Rng rng(3);
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const auto centroids = kmeans_1d(xs, 5, rng);
+  EXPECT_EQ(centroids.size(), 5u);
+  for (double c : centroids) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Kmeans1d, ErrorPaths) {
+  Rng rng(4);
+  EXPECT_THROW(kmeans_1d({}, 2, rng), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(kmeans_1d(xs, 0, rng), std::invalid_argument);
+}
+
+TEST(BaumWelch, RecoverTwoStateParameters) {
+  // Generate data from a known model and check EM finds parameters close to
+  // the truth (states are sorted by mean, so indices are comparable).
+  const GaussianHmm truth = two_state_model();
+  Rng rng(42);
+  std::vector<std::vector<double>> sequences;
+  for (int s = 0; s < 40; ++s) sequences.push_back(sample_sequence(truth, 80, rng));
+
+  BaumWelchConfig config;
+  config.num_states = 2;
+  config.max_iterations = 80;
+  config.min_sigma = 0.01;
+  const BaumWelchResult result = train_hmm(sequences, config);
+
+  EXPECT_NEAR(result.model.states[0].mean, 1.0, 0.1);
+  EXPECT_NEAR(result.model.states[1].mean, 5.0, 0.25);
+  EXPECT_NEAR(result.model.states[0].sigma, 0.1, 0.05);
+  EXPECT_NEAR(result.model.transition(0, 0), 0.9, 0.05);
+  EXPECT_NEAR(result.model.transition(1, 1), 0.8, 0.07);
+}
+
+TEST(BaumWelch, LikelihoodImprovesOverInitialization) {
+  const GaussianHmm truth = testing_support::three_state_model();
+  Rng rng(7);
+  std::vector<std::vector<double>> sequences;
+  for (int s = 0; s < 15; ++s) sequences.push_back(sample_sequence(truth, 60, rng));
+
+  BaumWelchConfig one_iter;
+  one_iter.num_states = 3;
+  one_iter.max_iterations = 1;
+  BaumWelchConfig many_iters = one_iter;
+  many_iters.max_iterations = 50;
+
+  const double ll_start = train_hmm(sequences, one_iter).final_log_likelihood;
+  const double ll_end = train_hmm(sequences, many_iters).final_log_likelihood;
+  EXPECT_GT(ll_end, ll_start);
+}
+
+TEST(BaumWelch, ResultIsValidStochasticModel) {
+  Rng rng(9);
+  const GaussianHmm truth = two_state_model();
+  std::vector<std::vector<double>> sequences = {sample_sequence(truth, 50, rng),
+                                                sample_sequence(truth, 30, rng)};
+  BaumWelchConfig config;
+  config.num_states = 4;  // over-parameterised on purpose
+  const BaumWelchResult result = train_hmm(sequences, config);
+  EXPECT_NO_THROW(result.model.validate(1e-6));
+  EXPECT_EQ(result.model.num_states(), 4u);
+}
+
+TEST(BaumWelch, StatesSortedByMean) {
+  Rng rng(11);
+  const GaussianHmm truth = testing_support::three_state_model();
+  std::vector<std::vector<double>> sequences = {sample_sequence(truth, 200, rng)};
+  BaumWelchConfig config;
+  config.num_states = 3;
+  const auto result = train_hmm(sequences, config);
+  for (std::size_t i = 1; i < 3; ++i)
+    EXPECT_LE(result.model.states[i - 1].mean, result.model.states[i].mean);
+}
+
+TEST(BaumWelch, SigmaFloorHolds) {
+  // Constant observations would collapse variance to zero without a floor.
+  std::vector<std::vector<double>> sequences = {
+      std::vector<double>(50, 2.0), std::vector<double>(50, 2.0)};
+  BaumWelchConfig config;
+  config.num_states = 2;
+  config.min_sigma = 0.05;
+  const auto result = train_hmm(sequences, config);
+  for (const auto& state : result.model.states)
+    EXPECT_GE(state.sigma, 0.05 - 1e-12);
+}
+
+TEST(BaumWelch, SingleStateModel) {
+  std::vector<std::vector<double>> sequences = {{1.0, 1.2, 0.8, 1.1, 0.9}};
+  BaumWelchConfig config;
+  config.num_states = 1;
+  const auto result = train_hmm(sequences, config);
+  EXPECT_NEAR(result.model.states[0].mean, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(result.model.transition(0, 0), 1.0);
+}
+
+TEST(BaumWelch, ShortAndEmptySequencesHandled) {
+  std::vector<std::vector<double>> sequences = {{1.0}, {}, {2.0, 2.1, 1.9}};
+  BaumWelchConfig config;
+  config.num_states = 2;
+  EXPECT_NO_THROW(train_hmm(sequences, config));
+}
+
+TEST(BaumWelch, ErrorPaths) {
+  BaumWelchConfig config;
+  config.num_states = 0;
+  EXPECT_THROW(train_hmm({{1.0, 2.0}}, config), std::invalid_argument);
+  config.num_states = 2;
+  EXPECT_THROW(train_hmm({}, config), std::invalid_argument);
+  EXPECT_THROW(train_hmm({{}, {}}, config), std::invalid_argument);
+}
+
+TEST(BaumWelch, DeterministicForFixedSeed) {
+  Rng rng(13);
+  const GaussianHmm truth = two_state_model();
+  std::vector<std::vector<double>> sequences = {sample_sequence(truth, 100, rng)};
+  BaumWelchConfig config;
+  config.num_states = 2;
+  const auto a = train_hmm(sequences, config);
+  const auto b = train_hmm(sequences, config);
+  EXPECT_DOUBLE_EQ(a.final_log_likelihood, b.final_log_likelihood);
+  EXPECT_DOUBLE_EQ(a.model.states[0].mean, b.model.states[0].mean);
+}
+
+// Property sweep: training converges and yields valid models across state
+// counts (parameterised gtest).
+class BaumWelchStateSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaumWelchStateSweep, TrainsValidModel) {
+  Rng rng(100 + GetParam());
+  const GaussianHmm truth = testing_support::three_state_model();
+  std::vector<std::vector<double>> sequences;
+  for (int s = 0; s < 10; ++s) sequences.push_back(sample_sequence(truth, 50, rng));
+  BaumWelchConfig config;
+  config.num_states = GetParam();
+  const auto result = train_hmm(sequences, config);
+  EXPECT_NO_THROW(result.model.validate(1e-6));
+  EXPECT_GT(result.iterations_run, 0);
+  // Held-in likelihood should be finite.
+  EXPECT_TRUE(std::isfinite(result.final_log_likelihood));
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, BaumWelchStateSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,84 @@
+// Tests for the tool command-line parser (tools/cli.h).
+
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p::cli {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("tool", "test parser");
+  parser.add_option("name", "a string option", "default");
+  parser.add_option("count", "an integer option", "3");
+  parser.add_option("rate", "a double option", "0.5");
+  parser.add_option("empty", "an option without default");
+  return parser;
+}
+
+bool parse(ArgParser& parser, std::vector<std::string> argv_strings) {
+  std::vector<char*> argv;
+  argv_strings.insert(argv_strings.begin(), "tool");
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {}));
+  EXPECT_EQ(parser.get("name"), "default");
+  EXPECT_EQ(parser.get_long("count"), 3);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_FALSE(parser.has("empty"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--name", "custom", "--count", "7"}));
+  EXPECT_EQ(parser.get("name"), "custom");
+  EXPECT_EQ(parser.get_long("count"), 7);
+}
+
+TEST(Cli, EqualsForm) {
+  ArgParser parser = make_parser();
+  ASSERT_TRUE(parse(parser, {"--rate=1.25", "--empty=x"}));
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 1.25);
+  EXPECT_TRUE(parser.has("empty"));
+  EXPECT_EQ(parser.get("empty"), "x");
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--nope", "1"}));
+}
+
+TEST(Cli, MissingValueRejected) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--name"}));
+}
+
+TEST(Cli, PositionalRejected) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"stray"}));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  ArgParser parser = make_parser();
+  EXPECT_FALSE(parse(parser, {"--help"}));
+}
+
+TEST(Cli, UnregisteredAccessThrows) {
+  const ArgParser parser = make_parser();
+  EXPECT_THROW(parser.get("never-registered"), std::logic_error);
+}
+
+TEST(Cli, UsageMentionsOptions) {
+  ArgParser parser = make_parser();
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs2p::cli

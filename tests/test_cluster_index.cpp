@@ -1,0 +1,119 @@
+// Tests for the Agg(M, s) cluster index (core/cluster_index.h).
+
+#include "core/cluster_index.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+Session make_session(const std::string& isp, const std::string& city,
+                     double hour, std::vector<double> series) {
+  Session s;
+  s.features = {isp, "AS0", "P0", city, "S0", "Pfx0"};
+  s.start_hour = hour;
+  s.throughput_mbps = std::move(series);
+  return s;
+}
+
+constexpr FeatureMask isp_mask() {
+  return 1U << static_cast<unsigned>(FeatureId::kIsp);
+}
+constexpr FeatureMask isp_city_mask() {
+  return isp_mask() | (1U << static_cast<unsigned>(FeatureId::kCity));
+}
+
+TEST(Candidates, EnumerationCoversAllSubsetsAndWindows) {
+  const auto candidates = enumerate_candidates();
+  // (2^6 - 1) masks x 3 time granularities.
+  EXPECT_EQ(candidates.size(), 63u * 3u);
+  // All distinct.
+  for (std::size_t i = 0; i < candidates.size(); ++i)
+    for (std::size_t j = i + 1; j < candidates.size(); ++j)
+      ASSERT_FALSE(candidates[i] == candidates[j]);
+}
+
+TEST(Candidates, ToString) {
+  EXPECT_EQ(candidate_to_string({isp_city_mask(), TimeGranularity::kDaypart}),
+            "ISP+City@daypart");
+}
+
+TEST(TimeWindows, BlockBoundaries) {
+  EXPECT_EQ(num_blocks(TimeGranularity::kAll), 1);
+  EXPECT_EQ(num_blocks(TimeGranularity::kDaypart), 4);
+  EXPECT_EQ(num_blocks(TimeGranularity::kTriHour), 8);
+  EXPECT_EQ(block_of(0.0, TimeGranularity::kDaypart), 0);
+  EXPECT_EQ(block_of(5.99, TimeGranularity::kDaypart), 0);
+  EXPECT_EQ(block_of(6.0, TimeGranularity::kDaypart), 1);
+  EXPECT_EQ(block_of(23.99, TimeGranularity::kDaypart), 3);
+  EXPECT_EQ(block_of(25.0, TimeGranularity::kDaypart), 3);  // clamped
+  EXPECT_EQ(block_of(4.0, TimeGranularity::kTriHour), 1);
+}
+
+TEST(CandidateIndex, GroupsByMaskedFeatures) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {1.0}));
+  train.add(make_session("A", "Y", 2.0, {2.0}));
+  train.add(make_session("B", "X", 3.0, {3.0}));
+
+  const CandidateIndex by_isp(train, {isp_mask(), TimeGranularity::kAll});
+  EXPECT_EQ(by_isp.num_clusters(), 2u);
+  const Cluster* a = by_isp.find(train.sessions()[0].features, 12.0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_DOUBLE_EQ(a->initial_median, 1.5);
+
+  const CandidateIndex by_isp_city(train, {isp_city_mask(), TimeGranularity::kAll});
+  EXPECT_EQ(by_isp_city.num_clusters(), 3u);
+}
+
+TEST(CandidateIndex, TimeWindowSplitsClusters) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {1.0}));    // daypart 0
+  train.add(make_session("A", "X", 13.0, {3.0}));   // daypart 2
+  const CandidateIndex index(train, {isp_mask(), TimeGranularity::kDaypart});
+  EXPECT_EQ(index.num_clusters(), 2u);
+  const Cluster* morning = index.find(train.sessions()[0].features, 2.0);
+  ASSERT_NE(morning, nullptr);
+  EXPECT_EQ(morning->size(), 1u);
+  EXPECT_EQ(index.find(train.sessions()[0].features, 7.0), nullptr);
+}
+
+TEST(CandidateIndex, SkipsEmptySessions) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {}));
+  const CandidateIndex index(train, {isp_mask(), TimeGranularity::kAll});
+  EXPECT_EQ(index.num_clusters(), 0u);
+}
+
+TEST(CandidateIndex, MediansComputedPerCluster) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {1.0, 3.0}));  // avg 2
+  train.add(make_session("A", "X", 2.0, {3.0, 5.0}));  // avg 4
+  train.add(make_session("A", "X", 3.0, {5.0, 7.0}));  // avg 6
+  const CandidateIndex index(train, {isp_mask(), TimeGranularity::kAll});
+  const Cluster* c = index.find(train.sessions()[0].features, 0.0);
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->initial_median, 3.0);
+  EXPECT_DOUBLE_EQ(c->average_median, 4.0);
+  EXPECT_DOUBLE_EQ(c->average_dispersion, 2.0 / 4.0);  // IQR([2,4,6]) = 2
+}
+
+TEST(ClusterIndex, BuildsAllCandidates) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {1.0}));
+  const ClusterIndex index(train, enumerate_candidates());
+  EXPECT_EQ(index.num_candidates(), 189u);
+  EXPECT_EQ(index.index_for(0).num_clusters(), 1u);
+}
+
+TEST(ClusterIndex, FindMissReturnsNull) {
+  Dataset train;
+  train.add(make_session("A", "X", 1.0, {1.0}));
+  const CandidateIndex index(train, {isp_mask(), TimeGranularity::kAll});
+  SessionFeatures other = {"Z", "AS0", "P0", "X", "S0", "Pfx0"};
+  EXPECT_EQ(index.find(other, 1.0), nullptr);
+}
+
+}  // namespace
+}  // namespace cs2p

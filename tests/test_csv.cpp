@@ -1,0 +1,103 @@
+// Tests for the CSV reader/writer (util/csv.h).
+
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cs2p {
+namespace {
+
+TEST(Csv, ParseSimple) {
+  const auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(table.header.size(), 3u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][2], "6");
+}
+
+TEST(Csv, ColumnLookup) {
+  const auto table = parse_csv("x,y\n1,2\n");
+  EXPECT_EQ(table.column("y"), 1);
+  EXPECT_EQ(table.column("missing"), -1);
+}
+
+TEST(Csv, QuotedCells) {
+  const auto table = parse_csv("a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "hello, world");
+  EXPECT_EQ(table.rows[0][1], "say \"hi\"");
+}
+
+TEST(Csv, QuotedNewline) {
+  const auto table = parse_csv("a\n\"line1\nline2\"\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, CrLfHandled) {
+  const auto table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(Csv, EscapePassthroughAndQuoting) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(Csv, WriteParseRoundTrip) {
+  CsvTable table;
+  table.header = {"name", "value"};
+  table.rows = {{"x", "1,5"}, {"multi\nline", "\"quoted\""}};
+  std::ostringstream out;
+  write_csv(out, table);
+  const auto parsed = parse_csv(out.str());
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_EQ(parsed.rows[0][1], "1,5");
+  EXPECT_EQ(parsed.rows[1][0], "multi\nline");
+  EXPECT_EQ(parsed.rows[1][1], "\"quoted\"");
+}
+
+TEST(Csv, WriteRejectsRaggedRows) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"only-one"}};
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, table), std::runtime_error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cs2p_csv_test.csv";
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"alpha", "1"}, {"beta", "2"}};
+  write_csv_file(path, table);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/xyz.csv"), std::runtime_error);
+}
+
+TEST(Csv, EmptyInput) {
+  const auto table = parse_csv("");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+}  // namespace
+}  // namespace cs2p

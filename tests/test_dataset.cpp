@@ -1,0 +1,143 @@
+// Tests for the session schema and dataset container (dataset/).
+
+#include "dataset/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cs2p {
+namespace {
+
+Session make_session(std::int64_t id, int day, std::vector<double> series) {
+  Session s;
+  s.id = id;
+  s.day = day;
+  s.start_hour = 12.0;
+  s.features = {"ISP0", "AS1", "Province2", "City2-1", "Server3", "Pfx7"};
+  s.throughput_mbps = std::move(series);
+  return s;
+}
+
+TEST(SessionSchema, FeatureValueAccessor) {
+  const SessionFeatures f = {"isp", "as", "prov", "city", "srv", "pfx"};
+  EXPECT_EQ(f.value(FeatureId::kIsp), "isp");
+  EXPECT_EQ(f.value(FeatureId::kAs), "as");
+  EXPECT_EQ(f.value(FeatureId::kProvince), "prov");
+  EXPECT_EQ(f.value(FeatureId::kCity), "city");
+  EXPECT_EQ(f.value(FeatureId::kServer), "srv");
+  EXPECT_EQ(f.value(FeatureId::kClientPrefix), "pfx");
+}
+
+TEST(SessionSchema, FeatureNames) {
+  EXPECT_EQ(feature_name(FeatureId::kIsp), "ISP");
+  EXPECT_EQ(feature_name(FeatureId::kClientPrefix), "ClientPrefix");
+}
+
+TEST(SessionSchema, MaskHelpers) {
+  const FeatureMask mask =
+      (1U << static_cast<unsigned>(FeatureId::kIsp)) |
+      (1U << static_cast<unsigned>(FeatureId::kCity));
+  EXPECT_TRUE(mask_contains(mask, FeatureId::kIsp));
+  EXPECT_FALSE(mask_contains(mask, FeatureId::kServer));
+  EXPECT_EQ(mask_to_string(mask), "ISP+City");
+  EXPECT_EQ(mask_to_string(0), "(global)");
+}
+
+TEST(SessionSchema, FeatureKeyDependsOnlyOnSelectedFeatures) {
+  SessionFeatures a = {"isp", "as", "prov", "city", "srv", "pfx"};
+  SessionFeatures b = a;
+  b.server = "other-server";
+  const FeatureMask isp_city =
+      (1U << static_cast<unsigned>(FeatureId::kIsp)) |
+      (1U << static_cast<unsigned>(FeatureId::kCity));
+  EXPECT_EQ(feature_key(a, isp_city), feature_key(b, isp_city));
+  EXPECT_NE(feature_key(a, kAllFeaturesMask), feature_key(b, kAllFeaturesMask));
+}
+
+TEST(SessionSchema, SessionDerivedQuantities) {
+  const Session s = make_session(1, 0, {2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.duration_seconds(), 18.0);
+  EXPECT_DOUBLE_EQ(s.initial_throughput(), 2.0);
+  EXPECT_DOUBLE_EQ(s.average_throughput(), 4.0);
+  EXPECT_DOUBLE_EQ(s.start_time_hours(), 12.0);
+  const Session empty = make_session(2, 1, {});
+  EXPECT_DOUBLE_EQ(empty.initial_throughput(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.start_time_hours(), 36.0);
+}
+
+TEST(Dataset, SplitByDay) {
+  Dataset dataset;
+  dataset.add(make_session(1, 0, {1.0}));
+  dataset.add(make_session(2, 0, {2.0}));
+  dataset.add(make_session(3, 1, {3.0}));
+  auto [train, test] = dataset.split_by_day(1);
+  EXPECT_EQ(train.size(), 2u);
+  EXPECT_EQ(test.size(), 1u);
+  EXPECT_EQ(test.sessions()[0].id, 3);
+}
+
+TEST(Dataset, OnDay) {
+  Dataset dataset;
+  dataset.add(make_session(1, 0, {1.0}));
+  dataset.add(make_session(2, 1, {2.0}));
+  const auto day1 = dataset.on_day(1);
+  ASSERT_EQ(day1.size(), 1u);
+  EXPECT_EQ(day1[0]->id, 2);
+}
+
+TEST(Dataset, SummarizeCountsUniques) {
+  Dataset dataset;
+  Session a = make_session(1, 0, {1.0, 2.0});
+  Session b = make_session(2, 0, {3.0});
+  b.features.isp = "ISP9";
+  dataset.add(a);
+  dataset.add(b);
+  const DatasetSummary summary = dataset.summarize();
+  EXPECT_EQ(summary.num_sessions, 2u);
+  EXPECT_EQ(summary.total_epochs, 3u);
+  EXPECT_EQ(summary.unique_values.at(FeatureId::kIsp), 2u);
+  EXPECT_EQ(summary.unique_values.at(FeatureId::kCity), 1u);
+}
+
+TEST(Dataset, CovSkipsShortSessions) {
+  Dataset dataset;
+  dataset.add(make_session(1, 0, {1.0}));            // too short
+  dataset.add(make_session(2, 0, {1.0, 3.0, 2.0}));  // counted
+  EXPECT_EQ(dataset.per_session_cov().size(), 1u);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset dataset;
+  dataset.add(make_session(7, 1, {1.5, 2.25, 0.125}));
+  Session other = make_session(9, 0, {});
+  other.features.city = "City0-0";
+  dataset.add(other);
+
+  const std::string path = ::testing::TempDir() + "/cs2p_dataset_test.csv";
+  dataset.save_csv(path);
+  const Dataset loaded = Dataset::load_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  const Session& restored = loaded.sessions()[0];
+  EXPECT_EQ(restored.id, 7);
+  EXPECT_EQ(restored.day, 1);
+  EXPECT_EQ(restored.features.city, "City2-1");
+  ASSERT_EQ(restored.throughput_mbps.size(), 3u);
+  EXPECT_DOUBLE_EQ(restored.throughput_mbps[1], 2.25);
+  EXPECT_TRUE(loaded.sessions()[1].throughput_mbps.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadCsvMissingColumnThrows) {
+  const std::string path = ::testing::TempDir() + "/cs2p_bad.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("id,isp\n1,ISP0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(Dataset::load_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cs2p

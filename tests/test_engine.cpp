@@ -1,0 +1,153 @@
+// Tests for the CS2P prediction engine (core/engine.h).
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+
+namespace cs2p {
+namespace {
+
+SyntheticConfig engine_world() {
+  SyntheticConfig config;
+  config.num_isps = 3;
+  config.num_provinces = 3;
+  config.cities_per_province = 2;
+  config.num_servers = 4;
+  config.prefixes_per_isp_city = 1;
+  config.num_sessions = 2500;
+  config.seed = 31;
+  return config;
+}
+
+Cs2pConfig fast_config() {
+  Cs2pConfig config;
+  config.hmm.num_states = 3;
+  config.hmm.max_iterations = 12;
+  config.selector.min_cluster_size = 10;
+  config.max_sequences_per_cluster = 25;
+  config.max_global_sequences = 150;
+  return config;
+}
+
+TEST(Engine, RejectsEmptyTraining) {
+  EXPECT_THROW(Cs2pEngine(Dataset{}, fast_config()), std::invalid_argument);
+}
+
+TEST(Engine, ServesValidSessionModels) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pEngine engine(std::move(train), fast_config());
+
+  std::size_t checked = 0;
+  for (const auto& s : test.sessions()) {
+    if (++checked > 100) break;
+    const SessionModelRef ref = engine.session_model(s.features, s.start_hour);
+    ASSERT_NE(ref.hmm, nullptr);
+    EXPECT_NO_THROW(ref.hmm->validate(1e-3));
+    EXPECT_GT(ref.initial_prediction, 0.0);
+    if (!ref.used_global_model) {
+      EXPECT_GE(ref.cluster_size, fast_config().selector.min_cluster_size);
+      EXPECT_FALSE(ref.cluster_label.empty());
+    }
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.sessions_served, 100u);
+  // Most sessions should land on a cluster (the paper reports ~4% fallback).
+  EXPECT_LT(static_cast<double>(stats.global_fallbacks) / 100.0, 0.5);
+}
+
+TEST(Engine, ClusterModelsAreCached) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pEngine engine(std::move(train), fast_config());
+
+  const auto& probe = test.sessions()[0];
+  const SessionModelRef a = engine.session_model(probe.features, probe.start_hour);
+  const SessionModelRef b = engine.session_model(probe.features, probe.start_hour);
+  EXPECT_EQ(a.hmm, b.hmm);  // same pointer = cached, no retraining
+  const EngineStats stats = engine.stats();
+  EXPECT_LE(stats.clusters_trained, 1u);
+}
+
+TEST(Engine, GlobalFallbackForAlienSessions) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pEngine engine(std::move(train), fast_config());
+  SessionFeatures alien = {"ISP-x", "AS-x", "P-x", "C-x", "S-x", "Pfx-x"};
+  const SessionModelRef ref = engine.session_model(alien, 12.0);
+  EXPECT_TRUE(ref.used_global_model);
+  EXPECT_EQ(ref.hmm, &engine.global_hmm());
+  EXPECT_DOUBLE_EQ(ref.initial_prediction, engine.global_initial());
+}
+
+TEST(Engine, ModelFootprintUnder5KB) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pEngine engine(std::move(train), fast_config());
+  const auto& probe = test.sessions()[0];
+  const SessionModelRef ref = engine.session_model(probe.features, probe.start_hour);
+  EXPECT_LT(ref.hmm->byte_size(), 5u * 1024u);  // §5.3 claim
+  EXPECT_LT(serialize_hmm(*ref.hmm).size(), 5u * 1024u);
+}
+
+TEST(Engine, WarmUpPreTrainsClusters) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pEngine engine(std::move(train), fast_config());
+  const std::size_t trained = engine.warm_up(/*max_clusters=*/5);
+  EXPECT_GE(trained, 1u);
+  EXPECT_LE(trained, 5u);
+  // A subsequent full warm-up trains the rest; second call is a no-op.
+  const std::size_t rest = engine.warm_up();
+  const std::size_t again = engine.warm_up();
+  EXPECT_EQ(again, 0u);
+  (void)rest;
+}
+
+TEST(Engine, MeanInitialAblation) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  Cs2pConfig median_config = fast_config();
+  Cs2pConfig mean_config = fast_config();
+  mean_config.median_initial = false;
+  const Cs2pEngine median_engine(train, median_config);
+  const Cs2pEngine mean_engine(train, mean_config);
+  EXPECT_NE(median_engine.global_initial(), mean_engine.global_initial());
+}
+
+TEST(PredictorModelAdapter, ImplementsTheSharedInterface) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  const Cs2pPredictorModel model(std::move(train), fast_config());
+  EXPECT_EQ(model.name(), "CS2P");
+
+  const auto& probe = test.sessions()[0];
+  auto predictor = model.make_session(SessionContext::from(probe));
+  const auto initial = predictor->predict_initial();
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_GT(*initial, 0.0);
+  // Cold predict (before any observation) returns the initial value.
+  EXPECT_DOUBLE_EQ(predictor->predict(1), *initial);
+  predictor->observe(probe.throughput_mbps[0]);
+  EXPECT_GT(predictor->predict(1), 0.0);
+  EXPECT_GT(predictor->predict(10), 0.0);
+}
+
+TEST(PredictorModelAdapter, NullEngineThrows) {
+  EXPECT_THROW(Cs2pPredictorModel(std::shared_ptr<const Cs2pEngine>{}),
+               std::invalid_argument);
+}
+
+TEST(PredictorModelAdapter, SharedEngineReuse) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  auto engine = std::make_shared<Cs2pEngine>(std::move(train), fast_config());
+  const Cs2pPredictorModel a(engine);
+  const Cs2pPredictorModel b(engine);
+  EXPECT_EQ(&a.engine(), &b.engine());
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,59 @@
+// Tests for prediction-error metrics (util/error_metrics.h).
+
+#include "util/error_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cs2p {
+namespace {
+
+TEST(ErrorMetrics, Equation1) {
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(1.2, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(0.8, 1.0), 0.2);
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(2.0, 2.0), 0.0);
+}
+
+TEST(ErrorMetrics, NegativeActualUsesMagnitude) {
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(-1.0, -2.0), 0.5);
+}
+
+TEST(ErrorMetrics, ZeroActualFallsBackToAbsolute) {
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(0.7, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(absolute_normalized_error(-0.7, 0.0), 0.7);
+}
+
+TEST(ErrorMetrics, SessionSummary) {
+  const std::vector<double> errors = {0.1, 0.2, 0.3, 0.4, 1.0};
+  const auto summary = summarize_session_errors(errors);
+  EXPECT_DOUBLE_EQ(summary.session_median, 0.3);
+  EXPECT_DOUBLE_EQ(summary.session_mean, 0.4);
+  EXPECT_NEAR(summary.session_p90, 0.76, 1e-12);
+}
+
+TEST(ErrorMetrics, CrossSessionSummary) {
+  std::vector<SessionErrorSummary> sessions;
+  for (double m : {0.1, 0.2, 0.3}) {
+    SessionErrorSummary s;
+    s.session_median = m;
+    s.session_mean = m + 0.05;
+    s.session_p90 = m * 2;
+    sessions.push_back(s);
+  }
+  const auto cross = summarize_across_sessions(sessions);
+  EXPECT_DOUBLE_EQ(cross.median_of_medians, 0.2);
+  EXPECT_NEAR(cross.mean_of_means, 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(cross.median_of_p90s, 0.4);
+  EXPECT_NEAR(cross.p90_of_medians, 0.28, 1e-12);
+}
+
+TEST(ErrorMetrics, EmptyInputsAreZero) {
+  const auto summary = summarize_session_errors({});
+  EXPECT_DOUBLE_EQ(summary.session_median, 0.0);
+  const auto cross = summarize_across_sessions({});
+  EXPECT_DOUBLE_EQ(cross.median_of_medians, 0.0);
+}
+
+}  // namespace
+}  // namespace cs2p

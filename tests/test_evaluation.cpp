@@ -1,0 +1,116 @@
+// Tests for the prediction-accuracy replay harness (predictors/evaluation.h).
+
+#include "predictors/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "predictors/history.h"
+#include "predictors/oracle.h"
+
+namespace cs2p {
+namespace {
+
+/// A model that always predicts a fixed constant.
+class ConstantModel final : public PredictorModel {
+ public:
+  explicit ConstantModel(double value) : value_(value) {}
+  std::string name() const override { return "Const"; }
+  std::unique_ptr<SessionPredictor> make_session(const SessionContext&) const override {
+    class S final : public SessionPredictor {
+     public:
+      explicit S(double v) : v_(v) {}
+      std::optional<double> predict_initial() const override { return v_; }
+      double predict(unsigned) const override { return v_; }
+      void observe(double) override {}
+
+     private:
+      double v_;
+    };
+    return std::make_unique<S>(value_);
+  }
+
+ private:
+  double value_;
+};
+
+Dataset fixed_dataset() {
+  Dataset d;
+  Session a;
+  a.features = {"I", "A", "P", "C", "S", "X"};
+  a.throughput_mbps = {2.0, 2.0, 2.0, 2.0};
+  d.add(a);
+  Session b = a;
+  b.throughput_mbps = {4.0, 4.0, 4.0, 4.0};
+  d.add(b);
+  return d;
+}
+
+TEST(Evaluation, OracleHasZeroError) {
+  const OracleModel oracle;
+  EvaluationOptions options;
+  options.provide_oracle = true;
+  const auto eval = evaluate_predictor(oracle, fixed_dataset(), options);
+  EXPECT_DOUBLE_EQ(eval.initial_median_error, 0.0);
+  EXPECT_DOUBLE_EQ(eval.midstream_summary.median_of_medians, 0.0);
+}
+
+TEST(Evaluation, ConstantModelErrorsComputedExactly) {
+  // Predicting 2.0 against sessions at 2.0 and 4.0: errors 0 and 0.5.
+  const ConstantModel model(2.0);
+  const auto eval = evaluate_predictor(model, fixed_dataset());
+  ASSERT_EQ(eval.initial_errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(eval.initial_errors[0], 0.0);
+  EXPECT_DOUBLE_EQ(eval.initial_errors[1], 0.5);
+  EXPECT_DOUBLE_EQ(eval.initial_median_error, 0.25);
+  ASSERT_EQ(eval.midstream_median_errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(eval.midstream_median_errors[0], 0.0);
+  EXPECT_DOUBLE_EQ(eval.midstream_median_errors[1], 0.5);
+}
+
+TEST(Evaluation, HistoryModelsSkipInitial) {
+  const LastSampleModel ls;
+  const auto eval = evaluate_predictor(ls, fixed_dataset());
+  EXPECT_TRUE(eval.initial_errors.empty());
+  // Constant series: LS is perfect midstream.
+  EXPECT_DOUBLE_EQ(eval.midstream_summary.median_of_medians, 0.0);
+}
+
+TEST(Evaluation, HorizonShiftsTarget) {
+  // Session 1, 2, 3, 4, 5: with horizon 2, after observing w_0 = 1 the
+  // target is w_2 = 3; LS predicts 1 -> error 2/3.
+  Dataset d;
+  Session s;
+  s.features = {"I", "A", "P", "C", "S", "X"};
+  s.throughput_mbps = {1.0, 2.0, 3.0, 4.0, 5.0};
+  d.add(s);
+  const LastSampleModel ls;
+  EvaluationOptions options;
+  options.horizon = 2;
+  const auto eval = evaluate_predictor(ls, d, options);
+  ASSERT_EQ(eval.midstream_sessions.size(), 1u);
+  // Errors: |1-3|/3, |2-4|/4, |3-5|/5 = 2/3, 1/2, 2/5 -> median = 1/2.
+  EXPECT_NEAR(eval.midstream_median_errors[0], 0.5, 1e-12);
+}
+
+TEST(Evaluation, MaxSessionsLimits) {
+  const ConstantModel model(1.0);
+  EvaluationOptions options;
+  options.max_sessions = 1;
+  const auto eval = evaluate_predictor(model, fixed_dataset(), options);
+  EXPECT_EQ(eval.initial_errors.size(), 1u);
+}
+
+TEST(Evaluation, SessionsShorterThanHorizonOnlyCountInitial) {
+  Dataset d;
+  Session s;
+  s.features = {"I", "A", "P", "C", "S", "X"};
+  s.throughput_mbps = {3.0};
+  d.add(s);
+  const ConstantModel model(3.0);
+  const auto eval = evaluate_predictor(model, d);
+  EXPECT_EQ(eval.initial_errors.size(), 1u);
+  EXPECT_TRUE(eval.midstream_sessions.empty());
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,101 @@
+// Tests for categorical target encoding (predictors/feature_encoder.h).
+
+#include "predictors/feature_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+Session make_session(const std::string& isp, double level) {
+  Session s;
+  s.features = {isp, "AS0", "P0", "C0", "S0", "Pfx0"};
+  s.throughput_mbps = {level, level, level};
+  s.start_hour = 12.0;
+  return s;
+}
+
+Dataset two_isp_dataset() {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) d.add(make_session("fast-isp", 8.0));
+  for (int i = 0; i < 50; ++i) d.add(make_session("slow-isp", 1.0));
+  return d;
+}
+
+TEST(FeatureEncoder, FitRequiresData) {
+  FeatureEncoder encoder;
+  EXPECT_THROW(encoder.fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(FeatureEncoder, EncodeBeforeFitThrows) {
+  const FeatureEncoder encoder;
+  EXPECT_THROW(encoder.encode(SessionFeatures{}, 0.0), std::logic_error);
+}
+
+TEST(FeatureEncoder, EncodesKnownValuesToGroupMeans) {
+  FeatureEncoder encoder;
+  encoder.fit(two_isp_dataset(), /*smoothing=*/0.0);
+  const Vec fast = encoder.encode({"fast-isp", "AS0", "P0", "C0", "S0", "Pfx0"}, 12.0);
+  const Vec slow = encoder.encode({"slow-isp", "AS0", "P0", "C0", "S0", "Pfx0"}, 12.0);
+  ASSERT_EQ(fast.size(), encoder.dimension());
+  EXPECT_NEAR(fast[0], 8.0, 1e-9);   // ISP slot
+  EXPECT_NEAR(slow[0], 1.0, 1e-9);
+  // Shared features encode to the same (global) value.
+  EXPECT_DOUBLE_EQ(fast[3], slow[3]);
+}
+
+TEST(FeatureEncoder, UnknownValueEncodesToGlobalMean) {
+  FeatureEncoder encoder;
+  encoder.fit(two_isp_dataset());
+  const Vec v = encoder.encode({"never-seen", "AS0", "P0", "C0", "S0", "Pfx0"}, 12.0);
+  EXPECT_NEAR(v[0], encoder.global_mean(), 1e-9);
+}
+
+TEST(FeatureEncoder, SmoothingPullsRareValuesTowardGlobalMean) {
+  Dataset d = two_isp_dataset();
+  d.add(make_session("rare-isp", 100.0));  // single extreme session
+  FeatureEncoder raw, smoothed;
+  raw.fit(d, 0.0);
+  smoothed.fit(d, 10.0);
+  const SessionFeatures rare = {"rare-isp", "AS0", "P0", "C0", "S0", "Pfx0"};
+  EXPECT_NEAR(raw.encode(rare, 0.0)[0], 100.0, 1e-9);
+  EXPECT_LT(smoothed.encode(rare, 0.0)[0], 30.0);
+  EXPECT_GT(smoothed.encode(rare, 0.0)[0], smoothed.global_mean() - 1e-9);
+}
+
+TEST(FeatureEncoder, TimeOfDayIsCyclic) {
+  FeatureEncoder encoder;
+  encoder.fit(two_isp_dataset());
+  const SessionFeatures f = {"fast-isp", "AS0", "P0", "C0", "S0", "Pfx0"};
+  const Vec at_0 = encoder.encode(f, 0.0);
+  const Vec at_24 = encoder.encode(f, 24.0);
+  const std::size_t d = encoder.dimension();
+  EXPECT_NEAR(at_0[d - 2], at_24[d - 2], 1e-9);
+  EXPECT_NEAR(at_0[d - 1], at_24[d - 1], 1e-9);
+}
+
+TEST(FeatureEncoder, HistoryBlockColdStart) {
+  FeatureEncoder encoder;
+  encoder.fit(two_isp_dataset());
+  const SessionFeatures f = {"fast-isp", "AS0", "P0", "C0", "S0", "Pfx0"};
+  const Vec cold = encoder.encode_with_history(f, 12.0, {});
+  ASSERT_EQ(cold.size(), encoder.dimension() + 4);
+  EXPECT_DOUBLE_EQ(cold[encoder.dimension()], 0.0);  // has_history flag
+  EXPECT_DOUBLE_EQ(cold[encoder.dimension() + 1], encoder.global_mean());
+}
+
+TEST(FeatureEncoder, HistoryBlockWithSamples) {
+  FeatureEncoder encoder;
+  encoder.fit(two_isp_dataset());
+  const SessionFeatures f = {"fast-isp", "AS0", "P0", "C0", "S0", "Pfx0"};
+  const std::vector<double> history = {2.0, 4.0};
+  const Vec v = encoder.encode_with_history(f, 12.0, history);
+  const std::size_t base = encoder.dimension();
+  EXPECT_DOUBLE_EQ(v[base], 1.0);       // has_history
+  EXPECT_DOUBLE_EQ(v[base + 1], 4.0);   // last
+  EXPECT_NEAR(v[base + 2], 8.0 / 3.0, 1e-12);  // harmonic mean
+  EXPECT_DOUBLE_EQ(v[base + 3], 3.0);   // mean
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,126 @@
+// Tests for the data-driven feature-set selection (core/feature_selector.h).
+
+#include "core/feature_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+/// Builds a training set where throughput is fully determined by the City
+/// feature (two cities at far-apart levels), with enough sessions per city
+/// to pass the min-cluster-size threshold. The ISP feature is shared, so an
+/// ISP-only cluster mixes both levels and predicts poorly.
+Dataset city_determined_dataset(std::size_t per_city, double noise_seed = 3.0) {
+  Dataset train;
+  Rng rng(static_cast<std::uint64_t>(noise_seed));
+  std::int64_t id = 0;
+  for (const auto& [city, level] :
+       std::vector<std::pair<std::string, double>>{{"low-city", 1.0},
+                                                   {"high-city", 8.0}}) {
+    for (std::size_t i = 0; i < per_city; ++i) {
+      Session s;
+      s.id = id++;
+      s.features = {"ISP0", "AS0", "P0", city, "S0", "Pfx-" + city};
+      s.start_hour = rng.uniform(0.0, 24.0);
+      const double w = level * (1.0 + rng.uniform(-0.05, 0.05));
+      s.throughput_mbps = {w, w, w};
+      train.add(s);
+    }
+  }
+  return train;
+}
+
+TEST(FeatureSelector, PrefersTheDiscriminativeFeature) {
+  const Dataset train = city_determined_dataset(60);
+  const ClusterIndex index(train, enumerate_candidates());
+  FeatureSelectorConfig config;
+  config.min_cluster_size = 10;
+  const FeatureSelector selector(index, config);
+
+  const SelectionResult result =
+      selector.select(train.sessions()[0].features, 12.0);
+  ASSERT_TRUE(result.found);
+  const CandidateSpec chosen = index.candidates()[result.candidate_id];
+  // Any usable candidate must include a city-determining feature (City or
+  // the per-city prefix); ISP-only candidates mix both levels.
+  EXPECT_TRUE(mask_contains(chosen.mask, FeatureId::kCity) ||
+              mask_contains(chosen.mask, FeatureId::kClientPrefix))
+      << candidate_to_string(chosen);
+  EXPECT_LT(result.estimated_error, 0.2);
+}
+
+TEST(FeatureSelector, ErrorTableMarksSmallClustersUnusable) {
+  const Dataset train = city_determined_dataset(5);  // below threshold
+  const ClusterIndex index(train, enumerate_candidates());
+  FeatureSelectorConfig config;
+  config.min_cluster_size = 50;
+  const FeatureSelector selector(index, config);
+  for (std::size_t c = 0; c < index.num_candidates(); ++c)
+    EXPECT_TRUE(std::isinf(selector.error_entry(c, 0)));
+}
+
+TEST(FeatureSelector, FallsBackWhenNothingUsable) {
+  const Dataset train = city_determined_dataset(5);
+  const ClusterIndex index(train, enumerate_candidates());
+  FeatureSelectorConfig config;
+  config.min_cluster_size = 50;
+  const FeatureSelector selector(index, config);
+  const SelectionResult result =
+      selector.select(train.sessions()[0].features, 12.0);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(FeatureSelector, UnseenFeatureValuesFallBack) {
+  const Dataset train = city_determined_dataset(60);
+  const ClusterIndex index(train, enumerate_candidates());
+  const FeatureSelector selector(index, {});
+  SessionFeatures alien = {"ISP-never", "AS-never", "P-never", "C-never",
+                           "S-never", "Pfx-never"};
+  const SelectionResult result = selector.select(alien, 12.0);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(FeatureSelector, ErrorEntriesReflectClusterQuality) {
+  const Dataset train = city_determined_dataset(60);
+  const ClusterIndex index(train, enumerate_candidates());
+  FeatureSelectorConfig config;
+  config.min_cluster_size = 10;
+  const FeatureSelector selector(index, config);
+
+  // Locate the ISP-only any-time candidate and the City-only any-time one.
+  std::size_t isp_only = 0, city_only = 0;
+  for (std::size_t c = 0; c < index.num_candidates(); ++c) {
+    const auto& spec = index.candidates()[c];
+    if (spec.window != TimeGranularity::kAll) continue;
+    if (spec.mask == (1U << static_cast<unsigned>(FeatureId::kIsp))) isp_only = c;
+    if (spec.mask == (1U << static_cast<unsigned>(FeatureId::kCity))) city_only = c;
+  }
+  // For any session, the city-only candidate predicts nearly exactly; the
+  // ISP-only candidate straddles the two levels.
+  double isp_err = 0.0, city_err = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    isp_err += selector.error_entry(isp_only, i);
+    city_err += selector.error_entry(city_only, i);
+  }
+  EXPECT_LT(city_err, isp_err);
+}
+
+TEST(FeatureSelector, SelectionIsDeterministic) {
+  const Dataset train = city_determined_dataset(40);
+  const ClusterIndex index(train, enumerate_candidates());
+  FeatureSelectorConfig config;
+  config.min_cluster_size = 10;
+  const FeatureSelector selector(index, config);
+  const auto a = selector.select(train.sessions()[3].features, 9.0);
+  const auto b = selector.select(train.sessions()[3].features, 9.0);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.candidate_id, b.candidate_id);
+}
+
+}  // namespace
+}  // namespace cs2p

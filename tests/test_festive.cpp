@@ -1,0 +1,136 @@
+// Tests for the FESTIVE-style controller (abr/festive.h).
+
+#include "abr/festive.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+VideoSpec ladder_video() {
+  VideoSpec video;
+  video.bitrates_kbps = {350.0, 600.0, 1000.0, 2000.0, 3000.0};
+  return video;
+}
+
+AbrState state_at(std::size_t chunk, double buffer, int last_index,
+                  double last_throughput) {
+  AbrState state;
+  state.chunk_index = chunk;
+  state.buffer_seconds = buffer;
+  state.last_bitrate_index = last_index;
+  state.last_throughput_mbps = last_throughput;
+  return state;
+}
+
+TEST(Festive, ColdStartIsLowestRung) {
+  FestiveController festive;
+  EXPECT_EQ(festive.select_bitrate(state_at(0, 0.0, -1, 0.0), ladder_video()), 0u);
+}
+
+TEST(Festive, ClimbsOnlyAfterPatience) {
+  FestiveConfig config;
+  config.patience = 3;
+  config.stability_weight = 0.0;  // isolate the patience mechanism
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  // Throughput easily supports a higher rung every chunk.
+  std::size_t choice = 0;
+  for (unsigned k = 1; k <= 2; ++k) {
+    choice = festive.select_bitrate(state_at(k, 10.0, 1, 5.0), video);
+    EXPECT_EQ(choice, 1u) << "climbed before patience at chunk " << k;
+  }
+  choice = festive.select_bitrate(state_at(3, 10.0, 1, 5.0), video);
+  EXPECT_EQ(choice, 2u);  // one rung, not a jump to the top
+}
+
+TEST(Festive, OneRungAtATimeUpward) {
+  FestiveConfig config;
+  config.patience = 1;
+  config.stability_weight = 0.0;
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  const std::size_t choice = festive.select_bitrate(state_at(1, 10.0, 0, 50.0), video);
+  EXPECT_EQ(choice, 1u);
+}
+
+TEST(Festive, DropsImmediatelyOnCollapse) {
+  FestiveController festive;
+  const VideoSpec video = ladder_video();
+  const std::size_t choice =
+      festive.select_bitrate(state_at(1, 10.0, 4, 0.3), video);
+  EXPECT_EQ(choice, 3u);  // one rung down right away
+}
+
+TEST(Festive, HoldsWhenEstimateMatchesCurrent) {
+  FestiveConfig config;
+  config.safety_factor = 1.0;
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  // 1.05 Mbps harmonic estimate -> target rung 1000 kbps == current.
+  const std::size_t choice =
+      festive.select_bitrate(state_at(1, 10.0, 2, 1.05), video);
+  EXPECT_EQ(choice, 2u);
+}
+
+TEST(Festive, StabilityWeightBlocksMarginalClimbs) {
+  FestiveConfig config;
+  config.patience = 1;
+  config.stability_weight = 10.0;  // absurdly high: never worth switching up
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  for (unsigned k = 1; k < 6; ++k) {
+    EXPECT_EQ(festive.select_bitrate(state_at(k, 10.0, 1, 9.0), video), 1u);
+  }
+}
+
+TEST(Festive, ResetClearsState) {
+  FestiveConfig config;
+  config.patience = 2;
+  config.stability_weight = 0.0;
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  festive.select_bitrate(state_at(1, 10.0, 1, 5.0), video);  // streak 1
+  festive.reset();
+  // After reset the streak starts over: still no climb on the next call.
+  EXPECT_EQ(festive.select_bitrate(state_at(1, 10.0, 1, 5.0), video), 1u);
+}
+
+TEST(Festive, HarmonicWindowAbsorbsOneOutlier) {
+  FestiveConfig config;
+  config.patience = 1;
+  config.stability_weight = 0.0;
+  config.window = 5;
+  FestiveController festive(config);
+  const VideoSpec video = ladder_video();
+  // Build a history of strong throughput at the top rung.
+  std::size_t choice = 4;
+  for (unsigned k = 1; k <= 4; ++k)
+    choice = festive.select_bitrate(state_at(k, 20.0, 4, 5.0), video);
+  EXPECT_EQ(choice, 4u);
+  // One deep outlier: the harmonic mean drops sharply (that is HM's known
+  // sensitivity to small samples), so FESTIVE steps down one rung but the
+  // window keeps it from collapsing to the bottom.
+  choice = festive.select_bitrate(state_at(5, 20.0, 4, 0.5), video);
+  EXPECT_EQ(choice, 3u);
+}
+
+TEST(Festive, EndToEndPlaybackIsStable) {
+  // On a steady 2.4-Mbps trace FESTIVE must converge to 2000 kbps and stay.
+  FestiveController festive;
+  VideoSpec video = ladder_video();
+  video.chunk_seconds = 6.0;
+  video.num_chunks = 30;
+  video.buffer_capacity_seconds = 30.0;
+  const ThroughputTrace trace(std::vector<double>(30, 2.4));
+  const PlaybackResult result = simulate_playback(video, trace, festive, nullptr);
+  EXPECT_DOUBLE_EQ(result.chunks.back().bitrate_kbps, 2000.0);
+  std::size_t switches = 0;
+  for (std::size_t k = 1; k < result.chunks.size(); ++k)
+    if (result.chunks[k].bitrate_kbps != result.chunks[k - 1].bitrate_kbps)
+      ++switches;
+  EXPECT_LE(switches, 4u);  // the ramp up, then stable
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,143 @@
+// Tests for the scaled forward-backward recursion, validated against
+// brute-force path enumeration.
+
+#include "hmm/forward_backward.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm_test_util.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::brute_force_likelihood;
+using testing_support::three_state_model;
+using testing_support::two_state_model;
+
+TEST(Forward, LikelihoodMatchesBruteForceTwoState) {
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.1, 0.9, 4.8, 5.2};
+  const double brute = brute_force_likelihood(model, obs);
+  EXPECT_NEAR(log_likelihood(model, obs), std::log(brute), 1e-9);
+}
+
+TEST(Forward, LikelihoodMatchesBruteForceThreeState) {
+  const GaussianHmm model = three_state_model();
+  const std::vector<double> obs = {1.0, 2.4, 2.6, 6.1, 5.5};
+  const double brute = brute_force_likelihood(model, obs);
+  EXPECT_NEAR(log_likelihood(model, obs), std::log(brute), 1e-9);
+}
+
+TEST(Forward, SingleObservation) {
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.0};
+  EXPECT_NEAR(log_likelihood(model, obs),
+              std::log(brute_force_likelihood(model, obs)), 1e-9);
+}
+
+TEST(Forward, AlphaRowsAreDistributions) {
+  const GaussianHmm model = three_state_model();
+  const std::vector<double> obs = {1.0, 1.2, 6.0, 2.4};
+  const ForwardResult fwd = forward(model, obs);
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(fwd.alpha(t, i), 0.0);
+      sum += fwd.alpha(t, i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Forward, EmptySequenceThrows) {
+  EXPECT_THROW(forward(two_state_model(), std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Forward, NoUnderflowOnLongSequence) {
+  const GaussianHmm model = two_state_model();
+  std::vector<double> obs(2000, 1.0);
+  const double ll = log_likelihood(model, obs);
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(Forward, ImpossibleObservationStaysFinite) {
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.0, 1e9, 1.0};
+  const double ll = log_likelihood(model, obs);
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, -100.0);
+}
+
+TEST(Backward, ScaleLengthMismatchThrows) {
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.0, 2.0};
+  const std::vector<double> bad_scale = {1.0};
+  EXPECT_THROW(backward(model, obs, bad_scale), std::invalid_argument);
+}
+
+TEST(Posterior, MarginalsSumToOne) {
+  const GaussianHmm model = three_state_model();
+  const std::vector<double> obs = {1.0, 2.5, 2.4, 6.2, 1.1};
+  const Matrix gamma = posterior_marginals(model, obs);
+  ASSERT_EQ(gamma.rows(), obs.size());
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(gamma(t, i), -1e-15);
+      sum += gamma(t, i);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Posterior, ClearObservationsPinTheState) {
+  const GaussianHmm model = two_state_model();
+  // Observations sit exactly on state means: posteriors should be decisive.
+  const std::vector<double> obs = {1.0, 1.0, 5.0, 5.0};
+  const Matrix gamma = posterior_marginals(model, obs);
+  EXPECT_GT(gamma(0, 0), 0.99);
+  EXPECT_GT(gamma(3, 1), 0.99);
+}
+
+TEST(Posterior, MarginalsMatchBruteForce) {
+  // gamma(t, i) = P(X_t = i | obs) computed by enumerating paths.
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.2, 4.5, 4.9};
+  const Matrix gamma = posterior_marginals(model, obs);
+
+  const std::size_t n = model.num_states();
+  const double total = brute_force_likelihood(model, obs);
+  for (std::size_t t_check = 0; t_check < obs.size(); ++t_check) {
+    for (std::size_t state = 0; state < n; ++state) {
+      // Sum over paths with X_{t_check} = state.
+      std::vector<std::size_t> path(obs.size(), 0);
+      double mass = 0.0;
+      while (true) {
+        if (path[t_check] == state) {
+          double p = model.initial[path[0]] *
+                     gaussian_pdf(obs[0], model.states[path[0]].mean,
+                                  model.states[path[0]].sigma);
+          for (std::size_t t = 1; t < obs.size(); ++t)
+            p *= model.transition(path[t - 1], path[t]) *
+                 gaussian_pdf(obs[t], model.states[path[t]].mean,
+                              model.states[path[t]].sigma);
+          mass += p;
+        }
+        std::size_t digit = 0;
+        while (digit < obs.size() && ++path[digit] == n) {
+          path[digit] = 0;
+          ++digit;
+        }
+        if (digit == obs.size()) break;
+      }
+      EXPECT_NEAR(gamma(t_check, state), mass / total, 1e-9)
+          << "t=" << t_check << " state=" << state;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cs2p

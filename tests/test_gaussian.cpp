@@ -1,0 +1,57 @@
+// Tests for Gaussian density helpers (util/gaussian.h).
+
+#include "util/gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cs2p {
+namespace {
+
+TEST(Gaussian, PeakValueStandardNormal) {
+  EXPECT_NEAR(gaussian_pdf(0.0, 0.0, 1.0), 0.3989422804, 1e-9);
+}
+
+TEST(Gaussian, SymmetryAroundMean) {
+  EXPECT_DOUBLE_EQ(gaussian_pdf(2.0, 5.0, 1.5), gaussian_pdf(8.0, 5.0, 1.5));
+}
+
+TEST(Gaussian, LogPdfConsistentWithPdf) {
+  for (double x : {-2.0, 0.0, 1.3, 7.7}) {
+    EXPECT_NEAR(std::exp(gaussian_log_pdf(x, 1.0, 2.0)), gaussian_pdf(x, 1.0, 2.0),
+                1e-12);
+  }
+}
+
+TEST(Gaussian, NumericIntegralIsOne) {
+  double integral = 0.0;
+  const double step = 0.001;
+  for (double x = -8.0; x < 8.0; x += step)
+    integral += gaussian_pdf(x, 0.0, 1.0) * step;
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(Gaussian, SigmaFloorPreventsInfiniteDensity) {
+  // sigma = 0 would blow up; the floor keeps values finite.
+  const double at_mean = gaussian_pdf(1.0, 1.0, 0.0);
+  EXPECT_TRUE(std::isfinite(at_mean));
+  EXPECT_GT(at_mean, 0.0);
+  EXPECT_DOUBLE_EQ(at_mean, gaussian_pdf(1.0, 1.0, kMinEmissionSigma));
+}
+
+TEST(Gaussian, FarTailIsFiniteInLogSpace) {
+  const double log_p = gaussian_log_pdf(1000.0, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(log_p));
+  EXPECT_LT(log_p, -100000.0);
+  // In linear space it underflows to zero gracefully.
+  EXPECT_DOUBLE_EQ(gaussian_pdf(1000.0, 0.0, 1.0), 0.0);
+}
+
+TEST(Gaussian, WiderSigmaFlattens) {
+  EXPECT_GT(gaussian_pdf(0.0, 0.0, 1.0), gaussian_pdf(0.0, 0.0, 3.0));
+  EXPECT_LT(gaussian_pdf(5.0, 0.0, 1.0), gaussian_pdf(5.0, 0.0, 3.0));
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,111 @@
+// Tests for the Gaussian HMM model type (hmm/model.h).
+
+#include "hmm/model.h"
+
+#include <gtest/gtest.h>
+
+#include "hmm_test_util.h"
+#include "util/gaussian.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::two_state_model;
+
+TEST(HmmModel, ValidateAcceptsWellFormed) {
+  EXPECT_NO_THROW(two_state_model().validate());
+}
+
+TEST(HmmModel, ValidateRejectsEmptyModel) {
+  GaussianHmm model;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(HmmModel, ValidateRejectsNonStochasticInitial) {
+  GaussianHmm model = two_state_model();
+  model.initial = {0.6, 0.6};
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(HmmModel, ValidateRejectsNegativeProbabilities) {
+  GaussianHmm model = two_state_model();
+  model.transition(0, 0) = 1.1;
+  model.transition(0, 1) = -0.1;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(HmmModel, ValidateRejectsShapeMismatch) {
+  GaussianHmm model = two_state_model();
+  model.initial.push_back(0.0);
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(HmmModel, ValidateRejectsBadSigma) {
+  GaussianHmm model = two_state_model();
+  model.states[0].sigma = 0.0;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+}
+
+TEST(HmmModel, EmissionVectorMatchesPdf) {
+  const GaussianHmm model = two_state_model();
+  const Vec e = model.emission_probabilities(1.0);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e[0], gaussian_pdf(1.0, 1.0, 0.1));
+  EXPECT_DOUBLE_EQ(e[1], gaussian_pdf(1.0, 5.0, 0.5));
+}
+
+TEST(HmmModel, LogEmissionConsistent) {
+  const GaussianHmm model = two_state_model();
+  const Vec e = model.emission_probabilities(2.0);
+  const Vec log_e = model.emission_log_probabilities(2.0);
+  for (std::size_t i = 0; i < e.size(); ++i)
+    EXPECT_NEAR(std::exp(log_e[i]), e[i], 1e-12);
+}
+
+TEST(HmmModel, ByteSizeUnder5KB) {
+  // The paper's §5.3 footprint claim: even a 16-state model is < 5 KB.
+  GaussianHmm model;
+  const std::size_t n = 16;
+  model.initial.assign(n, 1.0 / n);
+  model.transition = Matrix(n, n, 1.0 / n);
+  model.states.assign(n, {1.0, 0.1});
+  EXPECT_LT(model.byte_size(), 5u * 1024u);
+}
+
+TEST(HmmModel, SerializeRoundTrip) {
+  const GaussianHmm model = testing_support::three_state_model();
+  const GaussianHmm restored = deserialize_hmm(serialize_hmm(model));
+  ASSERT_EQ(restored.num_states(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(restored.initial[i], model.initial[i]);
+    EXPECT_DOUBLE_EQ(restored.states[i].mean, model.states[i].mean);
+    EXPECT_DOUBLE_EQ(restored.states[i].sigma, model.states[i].sigma);
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(restored.transition(i, j), model.transition(i, j));
+  }
+}
+
+TEST(HmmModel, DeserializeRejectsGarbage) {
+  EXPECT_THROW(deserialize_hmm("not-a-model"), std::runtime_error);
+  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 0\n"), std::runtime_error);
+  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 2\ninitial 0.5"), std::runtime_error);
+}
+
+TEST(HmmModel, SerializedSizeUnder5KB) {
+  const std::string text = serialize_hmm(testing_support::three_state_model());
+  EXPECT_LT(text.size(), 5u * 1024u);
+}
+
+TEST(HmmModel, StationaryDistributionFixedPoint) {
+  const GaussianHmm model = two_state_model();
+  const Vec pi = model.stationary_distribution();
+  const Vec next = vec_mat(pi, model.transition);
+  ASSERT_EQ(pi.size(), 2u);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  EXPECT_NEAR(pi[0], next[0], 1e-9);
+  // Analytic stationary of {{0.9,0.1},{0.2,0.8}} is (2/3, 1/3).
+  EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,159 @@
+// Tests for the small dense matrix algebra (util/matrix.h).
+
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace cs2p {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(m * i, m), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(i * m, m), 0.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, NonSquareMultiply) {
+  const Matrix a{{1.0, 0.0, 2.0}};           // 1x3
+  const Matrix b{{1.0}, {2.0}, {3.0}};       // 3x1
+  const Matrix c = a * b;                    // 1x1 = 7
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+}
+
+TEST(Matrix, AddAndScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.5);
+  EXPECT_THROW(a += Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, PowZeroIsIdentity) {
+  const Matrix a{{0.5, 0.5}, {0.25, 0.75}};
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a.pow(0), Matrix::identity(2)), 0.0);
+}
+
+TEST(Matrix, PowMatchesRepeatedMultiply) {
+  const Matrix a{{0.9, 0.1}, {0.2, 0.8}};
+  Matrix expected = a;
+  for (int i = 1; i < 5; ++i) expected = expected * a;
+  EXPECT_LT(Matrix::max_abs_diff(a.pow(5), expected), 1e-12);
+}
+
+TEST(Matrix, PowNonSquareThrows) {
+  EXPECT_THROW(Matrix(2, 3).pow(2), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, StochasticPowStaysStochastic) {
+  const Matrix p{{0.95, 0.05}, {0.1, 0.9}};
+  const Matrix p10 = p.pow(10);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_GE(p10(r, c), 0.0);
+      row_sum += p10(r, c);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-12);
+  }
+}
+
+TEST(VecOps, VecMatKnown) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vec v = {1.0, 1.0};
+  const Vec out = vec_mat(v, m);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(VecOps, VecMatDimensionMismatchThrows) {
+  const Matrix m(3, 2);
+  const Vec v = {1.0, 2.0};
+  EXPECT_THROW(vec_mat(v, m), std::invalid_argument);
+}
+
+TEST(VecOps, Hadamard) {
+  const Vec a = {1.0, 2.0, 3.0};
+  const Vec b = {2.0, 0.5, -1.0};
+  const Vec c = hadamard(a, b);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], -3.0);
+  EXPECT_THROW(hadamard(a, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(VecOps, NormalizeInPlace) {
+  Vec v = {1.0, 3.0};
+  const double sum = normalize_in_place(v);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(VecOps, NormalizeDegenerateFallsBackToUniform) {
+  Vec v = {0.0, 0.0, 0.0};
+  normalize_in_place(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 1.0 / 3.0);
+}
+
+TEST(VecOps, ArgmaxAndErrors) {
+  const Vec v = {0.1, 0.7, 0.2};
+  EXPECT_EQ(argmax(v), 1u);
+  EXPECT_THROW(argmax(Vec{}), std::invalid_argument);
+}
+
+TEST(VecOps, ArgmaxTiesPickFirst) {
+  const Vec v = {0.5, 0.5};
+  EXPECT_EQ(argmax(v), 0u);
+}
+
+}  // namespace
+}  // namespace cs2p

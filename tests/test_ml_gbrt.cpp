@@ -1,0 +1,171 @@
+// Tests for gradient boosted regression trees (ml/gbrt.h).
+
+#include "ml/gbrt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+TEST(RegressionTree, FitsStepFunction) {
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  for (double x = 0.0; x < 10.0; x += 0.25) {
+    rows.push_back({x});
+    y.push_back(x < 5.0 ? 1.0 : 3.0);
+  }
+  std::vector<std::size_t> idx(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) idx[i] = i;
+
+  RegressionTree tree;
+  tree.fit(rows, y, idx, /*max_depth=*/2, /*min_samples_leaf=*/2);
+  EXPECT_NEAR(tree.predict(Vec{2.0}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(Vec{8.0}), 3.0, 1e-9);
+}
+
+TEST(RegressionTree, RespectsMinSamplesLeaf) {
+  std::vector<Vec> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  std::vector<std::size_t> idx = {0, 1, 2};
+  RegressionTree tree;
+  tree.fit(rows, y, idx, 5, /*min_samples_leaf=*/3);
+  // Cannot split 3 samples into two leaves of >= 3: stays a stump.
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_NEAR(tree.predict(Vec{1.0}), 2.0, 1e-12);
+}
+
+TEST(RegressionTree, NoSplitOnConstantFeature) {
+  std::vector<Vec> rows = {{1.0}, {1.0}, {1.0}, {1.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  std::vector<std::size_t> idx = {0, 1, 2, 3};
+  RegressionTree tree;
+  tree.fit(rows, y, idx, 3, 1);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RegressionTree, EmptyIndicesThrows) {
+  RegressionTree tree;
+  std::vector<Vec> rows = {{1.0}};
+  std::vector<double> y = {1.0};
+  EXPECT_THROW(tree.fit(rows, y, {}, 2, 1), std::invalid_argument);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  const RegressionTree tree;
+  EXPECT_THROW(tree.predict(Vec{1.0}), std::logic_error);
+}
+
+TEST(Gbrt, FitsNonlinearFunction) {
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.uniform(0.0, 6.28);
+    rows.push_back({x});
+    y.push_back(std::sin(x));
+  }
+  GradientBoostedTrees gbrt;
+  GbrtConfig config;
+  config.num_trees = 120;
+  config.max_depth = 3;
+  config.subsample = 1.0;
+  gbrt.fit(rows, y, config);
+  for (double x : {0.5, 1.5, 3.0, 5.0}) {
+    EXPECT_NEAR(gbrt.predict(Vec{x}), std::sin(x), 0.15) << "x=" << x;
+  }
+}
+
+TEST(Gbrt, UsesInteractionFeatures) {
+  // Nested interaction: the second feature only matters when the first is
+  // set. (Pure XOR is famously unsplittable for greedy CART — zero marginal
+  // gain on either feature — so we use an interaction with marginal signal.)
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  for (int a = 0; a <= 1; ++a)
+    for (int b = 0; b <= 1; ++b)
+      for (int rep = 0; rep < 25; ++rep) {
+        rows.push_back({static_cast<double>(a), static_cast<double>(b)});
+        y.push_back(a == 0 ? 0.0 : (b == 0 ? 1.0 : 3.0));
+      }
+  GradientBoostedTrees gbrt;
+  GbrtConfig config;
+  config.num_trees = 80;
+  config.max_depth = 2;
+  config.min_samples_leaf = 2;
+  config.subsample = 1.0;
+  gbrt.fit(rows, y, config);
+  EXPECT_NEAR(gbrt.predict(Vec{0.0, 0.0}), 0.0, 0.1);
+  EXPECT_NEAR(gbrt.predict(Vec{0.0, 1.0}), 0.0, 0.1);
+  EXPECT_NEAR(gbrt.predict(Vec{1.0, 0.0}), 1.0, 0.1);
+  EXPECT_NEAR(gbrt.predict(Vec{1.0, 1.0}), 3.0, 0.1);
+}
+
+TEST(Gbrt, MoreTreesReduceTrainingError) {
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    rows.push_back({x});
+    y.push_back(x * x / 10.0);
+  }
+  auto training_mse = [&](int trees) {
+    GradientBoostedTrees gbrt;
+    GbrtConfig config;
+    config.num_trees = trees;
+    config.subsample = 1.0;
+    gbrt.fit(rows, y, config);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double diff = gbrt.predict(rows[i]) - y[i];
+      mse += diff * diff;
+    }
+    return mse / static_cast<double>(rows.size());
+  };
+  EXPECT_LT(training_mse(60), training_mse(5));
+}
+
+TEST(Gbrt, PredictBeforeFitThrows) {
+  const GradientBoostedTrees gbrt;
+  EXPECT_THROW(gbrt.predict(Vec{1.0}), std::logic_error);
+}
+
+TEST(Gbrt, ErrorPaths) {
+  GradientBoostedTrees gbrt;
+  EXPECT_THROW(gbrt.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gbrt.fit({{1.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(gbrt.fit({{1.0}, {1.0, 2.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Gbrt, DeterministicForFixedSeed) {
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.uniform(0.0, 1.0)});
+    y.push_back(rows.back()[0] * 2.0);
+  }
+  GradientBoostedTrees a, b;
+  a.fit(rows, y);
+  b.fit(rows, y);
+  EXPECT_DOUBLE_EQ(a.predict(Vec{0.3}), b.predict(Vec{0.3}));
+}
+
+TEST(Gbrt, ZeroTreesPredictsBase) {
+  std::vector<Vec> rows = {{1.0}, {2.0}};
+  std::vector<double> y = {1.0, 3.0};
+  GradientBoostedTrees gbrt;
+  GbrtConfig config;
+  config.num_trees = 0;
+  gbrt.fit(rows, y, config);
+  EXPECT_DOUBLE_EQ(gbrt.predict(Vec{5.0}), 2.0);  // mean of targets
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,93 @@
+// Tests for the linear algebra solvers (ml/linear.h).
+
+#include "ml/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+TEST(Dot, BasicAndErrors) {
+  const Vec a = {1.0, 2.0, 3.0};
+  const Vec b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_THROW(dot(a, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vec b = {5.0, 10.0};
+  const Vec x = solve_linear_system(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // A zero on the diagonal forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vec b = {2.0, 3.0};
+  const Vec x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Vec b = {1.0, 2.0};
+  EXPECT_THROW(solve_linear_system(a, b), std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_linear_system(Matrix(2, 3), Vec{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_linear_system(Matrix(2, 2), Vec{1.0}), std::invalid_argument);
+}
+
+TEST(RidgeRegression, ExactFitWithoutRegularization) {
+  // y = 2 x1 - x2 + 3 (intercept as a constant 1 feature).
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  for (double x1 : {0.0, 1.0, 2.0, 3.0}) {
+    for (double x2 : {0.0, 1.0, 2.0}) {
+      rows.push_back({x1, x2, 1.0});
+      y.push_back(2.0 * x1 - x2 + 3.0);
+    }
+  }
+  const Vec w = ridge_regression(rows, y, 0.0);
+  EXPECT_NEAR(w[0], 2.0, 1e-9);
+  EXPECT_NEAR(w[1], -1.0, 1e-9);
+  EXPECT_NEAR(w[2], 3.0, 1e-9);
+}
+
+TEST(RidgeRegression, RegularizationShrinksWeights) {
+  std::vector<Vec> rows = {{1.0}, {2.0}, {3.0}};
+  std::vector<double> y = {2.0, 4.0, 6.0};
+  const Vec exact = ridge_regression(rows, y, 0.0);
+  const Vec shrunk = ridge_regression(rows, y, 10.0);
+  EXPECT_NEAR(exact[0], 2.0, 1e-9);
+  EXPECT_LT(shrunk[0], exact[0]);
+  EXPECT_GT(shrunk[0], 0.0);
+}
+
+TEST(RidgeRegression, HandlesCollinearFeaturesWithRegularization) {
+  // Duplicate features: singular without lambda, solvable with it.
+  std::vector<Vec> rows = {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(ridge_regression(rows, y, 0.0), std::runtime_error);
+  const Vec w = ridge_regression(rows, y, 1e-3);
+  EXPECT_NEAR(w[0], w[1], 1e-9);  // symmetric split
+}
+
+TEST(RidgeRegression, ErrorPaths) {
+  EXPECT_THROW(ridge_regression({}, {}, 0.0), std::invalid_argument);
+  EXPECT_THROW(ridge_regression({{1.0}}, std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ridge_regression({{1.0}, {1.0, 2.0}}, std::vector<double>{1.0, 2.0},
+                                0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,95 @@
+// Tests for linear epsilon-SVR (ml/svr.h).
+
+#include "ml/svr.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+TEST(LinearSvr, FitsCleanLinearFunction) {
+  // y = 3 x - 1 with no noise: SVR should recover it within the tube width.
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  for (double x = 0.0; x < 4.0; x += 0.1) {
+    rows.push_back({x});
+    y.push_back(3.0 * x - 1.0);
+  }
+  LinearSvr svr;
+  SvrConfig config;
+  config.epochs = 200;
+  config.epsilon = 0.05;
+  svr.fit(rows, y, config);
+  EXPECT_TRUE(svr.trained());
+  for (double x : {0.5, 1.5, 3.5}) {
+    EXPECT_NEAR(svr.predict(Vec{x}), 3.0 * x - 1.0, 0.3);
+  }
+}
+
+TEST(LinearSvr, RobustToOutliers) {
+  // The epsilon-insensitive loss caps each point's pull: a single wild
+  // outlier must not drag the fit far (unlike least squares).
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    rows.push_back({x});
+    y.push_back(2.0 * x + rng.gaussian(0.0, 0.05));
+  }
+  rows.push_back({2.0});
+  y.push_back(1000.0);  // outlier
+  LinearSvr svr;
+  SvrConfig config;
+  config.epochs = 120;
+  svr.fit(rows, y, config);
+  EXPECT_NEAR(svr.predict(Vec{2.0}), 4.0, 1.0);
+}
+
+TEST(LinearSvr, MultiDimensional) {
+  std::vector<Vec> rows;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    rows.push_back({a, b});
+    y.push_back(1.0 * a - 2.0 * b + 0.5);
+  }
+  LinearSvr svr;
+  SvrConfig config;
+  config.epochs = 200;
+  config.epsilon = 0.02;
+  svr.fit(rows, y, config);
+  EXPECT_NEAR(svr.predict(Vec{0.5, 0.5}), 0.0, 0.2);
+  EXPECT_NEAR(svr.predict(Vec{1.0, 0.0}), 1.5, 0.25);
+}
+
+TEST(LinearSvr, PredictBeforeFitThrows) {
+  const LinearSvr svr;
+  EXPECT_THROW(svr.predict(Vec{1.0}), std::logic_error);
+}
+
+TEST(LinearSvr, FitErrorPaths) {
+  LinearSvr svr;
+  EXPECT_THROW(svr.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(svr.fit({{1.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(svr.fit({{}}, std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(svr.fit({{1.0}, {1.0, 2.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearSvr, DeterministicForFixedSeed) {
+  std::vector<Vec> rows = {{1.0}, {2.0}, {3.0}, {4.0}};
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0};
+  LinearSvr a, b;
+  a.fit(rows, y);
+  b.fit(rows, y);
+  EXPECT_DOUBLE_EQ(a.predict(Vec{2.5}), b.predict(Vec{2.5}));
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,72 @@
+// Tests for cross-validated HMM state-count selection.
+
+#include "hmm/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "hmm/online_filter.h"
+#include "hmm_test_util.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::sample_sequence;
+using testing_support::two_state_model;
+
+TEST(ModelSelection, OneStepErrorZeroForPerfectlyPredictableData) {
+  // A 1-state model over a constant series predicts exactly.
+  GaussianHmm model;
+  model.initial = {1.0};
+  model.transition = Matrix{{1.0}};
+  model.states = {{2.0, 0.1}};
+  const std::vector<std::vector<double>> sequences = {{2.0, 2.0, 2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(one_step_cv_error(model, sequences), 0.0);
+}
+
+TEST(ModelSelection, OneStepErrorSkipsShortSequences) {
+  GaussianHmm model;
+  model.initial = {1.0};
+  model.transition = Matrix{{1.0}};
+  model.states = {{2.0, 0.1}};
+  EXPECT_DOUBLE_EQ(one_step_cv_error(model, {{1.0}, {}}), 0.0);
+}
+
+TEST(ModelSelection, PrefersEnoughStatesOverTooFew) {
+  // Data from a 2-state model with far-apart means: a 1-state model must be
+  // clearly worse than 2+ states under CV error.
+  const GaussianHmm truth = two_state_model();
+  Rng rng(21);
+  std::vector<std::vector<double>> sequences;
+  for (int s = 0; s < 16; ++s) sequences.push_back(sample_sequence(truth, 60, rng));
+
+  BaumWelchConfig base;
+  base.max_iterations = 40;
+  const auto result = select_state_count(sequences, {1, 2, 3}, 4, base);
+  ASSERT_EQ(result.scores.size(), 3u);
+  EXPECT_GE(result.best_num_states, 2u);
+  // The 1-state score must be clearly the worst.
+  EXPECT_GT(result.scores[0].cv_error, result.scores[1].cv_error);
+}
+
+TEST(ModelSelection, ScoresReportedPerCandidate) {
+  const GaussianHmm truth = two_state_model();
+  Rng rng(23);
+  std::vector<std::vector<double>> sequences;
+  for (int s = 0; s < 8; ++s) sequences.push_back(sample_sequence(truth, 40, rng));
+  BaumWelchConfig base;
+  const auto result = select_state_count(sequences, {2, 4}, 2, base);
+  ASSERT_EQ(result.scores.size(), 2u);
+  EXPECT_EQ(result.scores[0].num_states, 2u);
+  EXPECT_EQ(result.scores[1].num_states, 4u);
+  for (const auto& score : result.scores) EXPECT_GE(score.cv_error, 0.0);
+}
+
+TEST(ModelSelection, ErrorPaths) {
+  BaumWelchConfig base;
+  EXPECT_THROW(select_state_count({}, {2}, 2, base), std::invalid_argument);
+  EXPECT_THROW(select_state_count({{1.0, 2.0}}, {}, 2, base), std::invalid_argument);
+  EXPECT_THROW(select_state_count({{1.0, 2.0}}, {2}, 1, base), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs2p

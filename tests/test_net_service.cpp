@@ -1,0 +1,152 @@
+// Integration tests for the TCP prediction service (net/server.h, client.h).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+namespace {
+
+/// Deterministic in-process model: initial = 2.0, forecast = last + 1.
+class EchoPlusOneModel final : public PredictorModel {
+ public:
+  std::string name() const override { return "EchoPlusOne"; }
+  std::unique_ptr<SessionPredictor> make_session(const SessionContext&) const override {
+    class S final : public SessionPredictor {
+     public:
+      std::optional<double> predict_initial() const override { return 2.0; }
+      double predict(unsigned steps) const override {
+        return last_ + static_cast<double>(steps);
+      }
+      void observe(double w) override { last_ = w; }
+
+     private:
+      double last_ = 0.0;
+    };
+    return std::make_unique<S>();
+  }
+};
+
+SessionFeatures features() {
+  return {"ISP0", "AS0", "P0", "C0", "S0", "Pfx0"};
+}
+
+TEST(PredictionService, HelloObservePredictBye) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+
+  const SessionResponse session = client.hello(features(), 10.0);
+  EXPECT_GT(session.session_id, 0u);
+  EXPECT_DOUBLE_EQ(session.initial_mbps, 2.0);
+
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 5.0), 6.0);
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 7.0), 8.0);
+  EXPECT_DOUBLE_EQ(client.predict(session.session_id, 3), 10.0);
+  EXPECT_NO_THROW(client.bye(session.session_id));
+}
+
+TEST(PredictionService, UnknownSessionIsAnError) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  EXPECT_THROW(client.observe(424242, 1.0), std::runtime_error);
+  EXPECT_THROW(client.predict(424242, 1), std::runtime_error);
+}
+
+TEST(PredictionService, ByeInvalidatesSession) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 1.0);
+  client.bye(session.session_id);
+  EXPECT_THROW(client.observe(session.session_id, 1.0), std::runtime_error);
+}
+
+TEST(PredictionService, ZeroStepsAheadIsAnError) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 1.0);
+  EXPECT_THROW(client.predict(session.session_id, 0), std::runtime_error);
+}
+
+TEST(PredictionService, MultipleSessionsAreIsolated) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  const auto a = client.hello(features(), 1.0);
+  const auto b = client.hello(features(), 2.0);
+  EXPECT_NE(a.session_id, b.session_id);
+  client.observe(a.session_id, 10.0);
+  client.observe(b.session_id, 20.0);
+  EXPECT_DOUBLE_EQ(client.predict(a.session_id, 1), 11.0);
+  EXPECT_DOUBLE_EQ(client.predict(b.session_id, 1), 21.0);
+}
+
+TEST(PredictionService, ConcurrentClients) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  constexpr int kClients = 8;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &failures, c] {
+      try {
+        PredictionClient client(server.port());
+        const auto session = client.hello(features(), static_cast<double>(c));
+        for (int r = 0; r < kRounds; ++r) {
+          const double forecast = client.observe(session.session_id, c + r);
+          if (forecast != c + r + 1.0) ++failures;
+        }
+        client.bye(session.session_id);
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_handled(),
+            static_cast<std::uint64_t>(kClients * (kRounds + 2)));
+}
+
+TEST(PredictionService, RemoteSessionPredictorAdapter) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  RemoteSessionPredictor predictor(client, features(), 9.0);
+  EXPECT_DOUBLE_EQ(predictor.predict_initial().value(), 2.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(1), 2.0);  // cold: initial value
+  predictor.observe(4.0);
+  EXPECT_DOUBLE_EQ(predictor.predict(1), 5.0);   // cached from OBSERVE
+  EXPECT_DOUBLE_EQ(predictor.predict(3), 7.0);   // extra round trip
+}
+
+TEST(PredictionService, ModelDownloadUnsupportedByGenericModel) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  EXPECT_THROW(client.download_model(features(), 1.0), std::runtime_error);
+}
+
+TEST(PredictionService, ServerStopsCleanly) {
+  auto server = std::make_unique<PredictionServer>(
+      std::make_shared<EchoPlusOneModel>());
+  const std::uint16_t port = server->port();
+  PredictionClient client(port);
+  const auto session = client.hello(features(), 1.0);
+  (void)session;
+  server->stop();
+  // A second stop must be harmless; destruction too.
+  server->stop();
+  server.reset();
+  SUCCEED();
+}
+
+TEST(PredictionService, NullModelThrows) {
+  EXPECT_THROW(PredictionServer(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs2p

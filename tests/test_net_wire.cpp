@@ -1,0 +1,205 @@
+// Tests for the wire protocol (net/wire.h): parse/serialize round trips,
+// malformed-input handling, and framing over a real loopback socket.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+SessionFeatures sample_features() {
+  return {"ISP1", "AS10", "Province2", "City2-1", "Server3", "Pfx42"};
+}
+
+TEST(Wire, HelloRoundTrip) {
+  const HelloRequest hello{sample_features(), 13.75};
+  const Request parsed = parse_request(serialize_request(hello));
+  const auto* out = std::get_if<HelloRequest>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->features, sample_features());
+  EXPECT_DOUBLE_EQ(out->start_hour, 13.75);
+}
+
+TEST(Wire, ObservePredictByeRoundTrip) {
+  {
+    const Request parsed = parse_request(serialize_request(ObserveRequest{7, 2.5}));
+    const auto* out = std::get_if<ObserveRequest>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->session_id, 7u);
+    EXPECT_DOUBLE_EQ(out->throughput_mbps, 2.5);
+  }
+  {
+    const Request parsed = parse_request(serialize_request(PredictRequest{9, 5}));
+    const auto* out = std::get_if<PredictRequest>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->steps_ahead, 5u);
+  }
+  {
+    const Request parsed = parse_request(serialize_request(ByeRequest{11}));
+    ASSERT_NE(std::get_if<ByeRequest>(&parsed), nullptr);
+  }
+}
+
+TEST(Wire, ResponseRoundTrips) {
+  {
+    const SessionResponse in{42, 3.25, true, "ISP+City@daypart"};
+    const Response parsed = parse_response(serialize_response(in));
+    const auto* out = std::get_if<SessionResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->session_id, 42u);
+    EXPECT_DOUBLE_EQ(out->initial_mbps, 3.25);
+    EXPECT_TRUE(out->used_global_model);
+    EXPECT_EQ(out->cluster_label, "ISP+City@daypart");
+  }
+  {
+    const Response parsed = parse_response(serialize_response(PredictionResponse{1.5}));
+    const auto* out = std::get_if<PredictionResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_DOUBLE_EQ(out->mbps, 1.5);
+  }
+  {
+    const Response parsed = parse_response(serialize_response(OkResponse{}));
+    EXPECT_NE(std::get_if<OkResponse>(&parsed), nullptr);
+  }
+  {
+    const Response parsed =
+        parse_response(serialize_response(ErrorResponse{"something broke"}));
+    const auto* out = std::get_if<ErrorResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->message, "something broke");
+  }
+}
+
+TEST(Wire, EmptyClusterLabelUsesPlaceholder) {
+  const SessionResponse in{1, 2.0, false, ""};
+  const Response parsed = parse_response(serialize_response(in));
+  const auto* out = std::get_if<SessionResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->cluster_label.empty());
+}
+
+TEST(Wire, ModelRequestRoundTrip) {
+  const ModelRequest request{sample_features(), 7.25};
+  const Request parsed = parse_request(serialize_request(request));
+  const auto* out = std::get_if<ModelRequest>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->features, sample_features());
+  EXPECT_DOUBLE_EQ(out->start_hour, 7.25);
+}
+
+TEST(Wire, ModelResponseRoundTrip) {
+  ModelResponse in;
+  in.initial_mbps = 2.75;
+  in.used_global_model = true;
+  in.serialized_hmm = "cs2p-hmm-v1 1\ninitial 1\nrow 1\nstate 2.5 0.3\n";
+  const Response parsed = parse_response(serialize_response(in));
+  const auto* out = std::get_if<ModelResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_DOUBLE_EQ(out->initial_mbps, 2.75);
+  EXPECT_TRUE(out->used_global_model);
+  EXPECT_EQ(out->serialized_hmm, in.serialized_hmm);
+}
+
+TEST(Wire, ModelResponseWithoutBodyThrows) {
+  EXPECT_THROW(parse_response("MODEL 1.0 0"), std::runtime_error);
+  EXPECT_THROW(parse_response("MODEL 1.0\nbody"), std::runtime_error);
+}
+
+TEST(Wire, MalformedRequestsThrow) {
+  EXPECT_THROW(parse_request(""), std::runtime_error);
+  EXPECT_THROW(parse_request("NONSENSE 1 2"), std::runtime_error);
+  EXPECT_THROW(parse_request("HELLO too few"), std::runtime_error);
+  EXPECT_THROW(parse_request("OBSERVE 1"), std::runtime_error);
+  EXPECT_THROW(parse_request("OBSERVE x 2.0"), std::runtime_error);
+  EXPECT_THROW(parse_request("PREDICT 1 x"), std::runtime_error);
+  EXPECT_THROW(parse_request("BYE"), std::runtime_error);
+  EXPECT_THROW(parse_request("MODEL just one"), std::runtime_error);
+}
+
+TEST(Wire, MalformedResponsesThrow) {
+  EXPECT_THROW(parse_response(""), std::runtime_error);
+  EXPECT_THROW(parse_response("WHAT 1"), std::runtime_error);
+  EXPECT_THROW(parse_response("PRED"), std::runtime_error);
+  EXPECT_THROW(parse_response("SESSION 1 2.0 1"), std::runtime_error);
+}
+
+TEST(Wire, HelloRejectsWhitespaceFeatureValues) {
+  HelloRequest hello{sample_features(), 1.0};
+  hello.features.city = "two words";
+  EXPECT_THROW(serialize_request(hello), std::runtime_error);
+  hello.features.city = "";
+  EXPECT_THROW(serialize_request(hello), std::runtime_error);
+}
+
+TEST(Wire, FuzzedPayloadsThrowButNeverCrash) {
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    std::string payload;
+    const std::size_t length = rng.uniform_index(40);
+    for (std::size_t c = 0; c < length; ++c)
+      payload.push_back(static_cast<char>(rng.uniform_index(96) + 32));
+    try {
+      (void)parse_request(payload);
+    } catch (const std::runtime_error&) {
+    }
+    try {
+      (void)parse_response(payload);
+    } catch (const std::runtime_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Wire, FrameRoundTripOverLoopback) {
+  auto [listener, port] = listen_loopback(0);
+  std::thread server([&listener] {
+    FdHandle conn = accept_connection(listener);
+    ASSERT_TRUE(conn.valid());
+    const auto frame = recv_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    send_frame(conn, "echo:" + *frame);
+    // Client closes; next recv sees clean EOF.
+    EXPECT_FALSE(recv_frame(conn).has_value());
+  });
+
+  {
+    FdHandle client = connect_loopback(port);
+    send_frame(client, "hello world");
+    const auto reply = recv_frame(client);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(*reply, "echo:hello world");
+  }
+  server.join();
+}
+
+TEST(Wire, EmptyFrameAllowed) {
+  auto [listener, port] = listen_loopback(0);
+  std::thread server([&listener] {
+    FdHandle conn = accept_connection(listener);
+    const auto frame = recv_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frame->empty());
+    send_frame(conn, "");
+  });
+  FdHandle client = connect_loopback(port);
+  send_frame(client, "");
+  const auto reply = recv_frame(client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->empty());
+  server.join();
+}
+
+TEST(Wire, OversizedFrameRejected) {
+  const std::string too_big(kMaxFrameBytes + 1, 'x');
+  auto [listener, port] = listen_loopback(0);
+  FdHandle client = connect_loopback(port);
+  EXPECT_THROW(send_frame(client, too_big), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,167 @@
+// Tests for the offline-optimal DP (abr/offline_optimal.h).
+
+#include "abr/offline_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "abr/controllers.h"
+#include "abr/mpc.h"
+#include "predictors/oracle.h"
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+VideoSpec tiny_video() {
+  VideoSpec video;
+  video.bitrates_kbps = {500.0, 1500.0};
+  video.chunk_seconds = 4.0;
+  video.num_chunks = 3;
+  video.buffer_capacity_seconds = 12.0;
+  return video;
+}
+
+/// Brute force over all bitrate plans for small instances, replaying the
+/// exact simulator dynamics.
+double brute_force_optimal(const VideoSpec& video, const ThroughputTrace& trace,
+                           const QoeParams& qoe) {
+  const std::size_t ladder = video.bitrates_kbps.size();
+  std::vector<std::size_t> plan(video.num_chunks, 0);
+  double best = -std::numeric_limits<double>::infinity();
+  while (true) {
+    // Replay.
+    std::vector<double> bitrates, rebuffers;
+    double buffer = 0.0;
+    double startup = 0.0;
+    for (std::size_t k = 0; k < video.num_chunks; ++k) {
+      const double bitrate = video.bitrates_kbps[plan[k]];
+      const double download = bitrate * video.chunk_seconds / 1000.0 / trace.at(k);
+      double rebuffer = 0.0;
+      if (k == 0) {
+        startup = download;
+        buffer = video.chunk_seconds;
+      } else {
+        rebuffer = std::max(0.0, download - buffer);
+        buffer = std::max(buffer - download, 0.0) + video.chunk_seconds;
+      }
+      buffer = std::min(buffer, video.buffer_capacity_seconds);
+      bitrates.push_back(bitrate);
+      rebuffers.push_back(rebuffer);
+    }
+    best = std::max(best, qoe_from_series(bitrates, rebuffers, startup, qoe));
+
+    std::size_t digit = 0;
+    while (digit < plan.size() && ++plan[digit] == ladder) {
+      plan[digit] = 0;
+      ++digit;
+    }
+    if (digit == plan.size()) break;
+  }
+  return best;
+}
+
+TEST(OfflineOptimal, MatchesBruteForceOnTinyInstances) {
+  const VideoSpec video = tiny_video();
+  OfflineOptimalConfig config;
+  config.buffer_quantum_seconds = 0.01;
+  for (const auto& trace_values :
+       {std::vector<double>{2.0, 2.0, 2.0}, std::vector<double>{0.6, 2.0, 0.6},
+        std::vector<double>{3.0, 0.4, 3.0}}) {
+    const ThroughputTrace trace(trace_values);
+    const double brute = brute_force_optimal(video, trace, config.qoe);
+    const auto result = offline_optimal_qoe(video, trace, config);
+    EXPECT_NEAR(result.qoe, brute, std::abs(brute) * 1e-3 + 1.0);
+  }
+}
+
+TEST(OfflineOptimal, PlanIsWithinLadder) {
+  const VideoSpec video = tiny_video();
+  const ThroughputTrace trace({1.0, 2.0, 0.5});
+  const auto result = offline_optimal_qoe(video, trace);
+  ASSERT_EQ(result.bitrate_plan.size(), video.num_chunks);
+  for (std::size_t choice : result.bitrate_plan)
+    EXPECT_LT(choice, video.bitrates_kbps.size());
+}
+
+TEST(OfflineOptimal, DominatesHeuristicControllers) {
+  // The DP value must upper-bound the QoE of any online policy on the same
+  // dynamics (up to quantisation slack).
+  VideoSpec video;
+  video.bitrates_kbps = {350.0, 600.0, 1000.0, 2000.0, 3000.0};
+  video.num_chunks = 30;
+  Rng rng(17);
+  std::vector<double> trace_values;
+  for (int i = 0; i < 30; ++i) trace_values.push_back(rng.uniform(0.5, 4.0));
+  const ThroughputTrace trace(trace_values);
+
+  const auto optimal = offline_optimal_qoe(video, trace);
+
+  BufferBasedController bb;
+  const auto bb_result = simulate_playback(video, trace, bb, nullptr);
+  EXPECT_GE(optimal.qoe + 5.0, compute_qoe(bb_result).total);
+
+  const OracleModel oracle_model;
+  SessionContext context;
+  context.oracle_series = &trace_values;
+  auto oracle = oracle_model.make_session(context);
+  MpcController mpc;
+  const auto mpc_result = simulate_playback(video, trace, mpc, oracle.get());
+  EXPECT_GE(optimal.qoe + 5.0, compute_qoe(mpc_result).total);
+}
+
+TEST(OfflineOptimal, SingleChunkVideo) {
+  VideoSpec video = tiny_video();
+  video.num_chunks = 1;
+  const ThroughputTrace trace({2.0});
+  const auto result = offline_optimal_qoe(video, trace);
+  ASSERT_EQ(result.bitrate_plan.size(), 1u);
+  // At mu_s = 300/s: 1500 kbps costs 3 s startup = 900 penalty -> net 600;
+  // 500 kbps costs 1 s = 300 -> net 200. The optimum takes the higher rung.
+  EXPECT_EQ(result.bitrate_plan[0], 1u);
+}
+
+TEST(OfflineOptimal, HighStartupPenaltyPrefersLowFirstChunk) {
+  VideoSpec video = tiny_video();
+  video.num_chunks = 1;
+  OfflineOptimalConfig config;
+  config.qoe.mu_s = 3000.0;
+  const ThroughputTrace trace({2.0});
+  const auto result = offline_optimal_qoe(video, trace, config);
+  EXPECT_EQ(result.bitrate_plan[0], 0u);
+}
+
+TEST(OfflineOptimal, MalformedConfigThrows) {
+  VideoSpec video = tiny_video();
+  const ThroughputTrace trace({1.0});
+  video.bitrates_kbps.clear();
+  EXPECT_THROW(offline_optimal_qoe(video, trace), std::invalid_argument);
+  video = tiny_video();
+  OfflineOptimalConfig config;
+  config.buffer_quantum_seconds = 0.0;
+  EXPECT_THROW(offline_optimal_qoe(video, trace, config), std::invalid_argument);
+}
+
+// Property sweep: optimal >= simulated QoE across random traces.
+class OptimalDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalDominance, UpperBoundsBufferBased) {
+  VideoSpec video;
+  video.bitrates_kbps = {350.0, 600.0, 1000.0, 2000.0, 3000.0};
+  video.num_chunks = 20;
+  Rng rng(GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(rng.uniform(0.4, 6.0));
+  const ThroughputTrace trace(values);
+  const auto optimal = offline_optimal_qoe(video, trace);
+  BufferBasedController bb;
+  const auto played = simulate_playback(video, trace, bb, nullptr);
+  EXPECT_GE(optimal.qoe + 5.0, compute_qoe(played).total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalDominance,
+                         ::testing::Values(1, 5, 9, 13, 21, 33, 77, 123));
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,189 @@
+// Tests for the online HMM filter implementing Algorithm 1.
+
+#include "hmm/online_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "hmm_test_util.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::two_state_model;
+
+TEST(OnlineFilter, StartsAtInitialBelief) {
+  OnlineHmmFilter filter(two_state_model());
+  ASSERT_EQ(filter.belief().size(), 2u);
+  EXPECT_DOUBLE_EQ(filter.belief()[0], 0.6);
+  EXPECT_DOUBLE_EQ(filter.belief()[1], 0.4);
+  EXPECT_EQ(filter.observations(), 0u);
+}
+
+TEST(OnlineFilter, RejectsInvalidModel) {
+  GaussianHmm model = two_state_model();
+  model.initial = {0.5, 0.6};
+  EXPECT_THROW(OnlineHmmFilter{model}, std::invalid_argument);
+}
+
+TEST(OnlineFilter, FirstObservationConditionsWithoutPropagation) {
+  // pi_{1|1} proportional to pi_1 .* e(w): check against hand computation.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  const Vec e = model.emission_probabilities(1.0);
+  Vec expected = hadamard(model.initial, e);
+  normalize_in_place(expected);
+  EXPECT_NEAR(filter.belief()[0], expected[0], 1e-12);
+  EXPECT_NEAR(filter.belief()[1], expected[1], 1e-12);
+}
+
+TEST(OnlineFilter, SecondObservationPropagatesFirst) {
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  const Vec after_first = filter.belief();
+  filter.observe(5.0);
+  Vec expected = hadamard(vec_mat(after_first, model.transition),
+                          model.emission_probabilities(5.0));
+  normalize_in_place(expected);
+  EXPECT_NEAR(filter.belief()[0], expected[0], 1e-12);
+  EXPECT_NEAR(filter.belief()[1], expected[1], 1e-12);
+}
+
+TEST(OnlineFilter, PredictIsMleStateMean) {
+  // Eq. 8: prediction = mean of argmax state of the propagated belief.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);  // state 0 nearly certain
+  EXPECT_DOUBLE_EQ(filter.predict(1), 1.0);
+  filter.observe(5.0);
+  filter.observe(5.0);  // state 1 nearly certain
+  EXPECT_DOUBLE_EQ(filter.predict(1), 5.0);
+}
+
+TEST(OnlineFilter, PredictZeroStepsThrows) {
+  OnlineHmmFilter filter(two_state_model());
+  EXPECT_THROW(filter.predict(0), std::invalid_argument);
+}
+
+TEST(OnlineFilter, MultiStepUsesMatrixPower) {
+  // pi P^tau must drive the multi-step prediction: from a sticky state the
+  // far-future prediction eventually flips to the stationary argmax.
+  GaussianHmm model = two_state_model();
+  // Make state 1 dominant in the long run.
+  model.transition = Matrix{{0.6, 0.4}, {0.05, 0.95}};
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);  // currently state 0
+  EXPECT_DOUBLE_EQ(filter.predict(1), 1.0);
+  EXPECT_DOUBLE_EQ(filter.predict(50), 5.0);  // stationary mass on state 1
+}
+
+TEST(OnlineFilter, MultiStepConsistentWithPow) {
+  const GaussianHmm model = testing_support::three_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(2.4);
+  filter.observe(2.6);
+  // Manual tau = 3 computation.
+  Vec projected = vec_mat(filter.belief(), model.transition.pow(3));
+  normalize_in_place(projected);
+  const double expected = model.states[argmax(projected)].mean;
+  EXPECT_DOUBLE_EQ(filter.predict(3), expected);
+}
+
+TEST(OnlineFilter, PosteriorMeanRule) {
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter mle(model, PredictionRule::kMleState);
+  OnlineHmmFilter post(model, PredictionRule::kPosteriorMean);
+  mle.observe(2.0);  // ambiguous observation
+  post.observe(2.0);
+  const double mle_pred = mle.predict(1);
+  const double post_pred = post.predict(1);
+  // MLE snaps to a state mean; posterior mean is a convex combination.
+  EXPECT_TRUE(mle_pred == 1.0 || mle_pred == 5.0);
+  EXPECT_GT(post_pred, 0.9);
+  EXPECT_LT(post_pred, 5.1);
+}
+
+TEST(OnlineFilter, BeliefStaysNormalized) {
+  Rng rng(5);
+  const GaussianHmm model = testing_support::three_state_model();
+  OnlineHmmFilter filter(model);
+  for (int i = 0; i < 200; ++i) {
+    filter.observe(rng.uniform(0.5, 7.0));
+    double sum = 0.0;
+    for (double p : filter.belief()) {
+      ASSERT_GE(p, 0.0);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(OnlineFilter, OutlierObservationDoesNotPoisonBelief) {
+  // A wildly impossible observation must not produce NaNs; the filter
+  // recovers on the next plausible sample.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  filter.observe(1e12);
+  for (double p : filter.belief()) EXPECT_TRUE(std::isfinite(p));
+  filter.observe(5.0);
+  filter.observe(5.0);
+  EXPECT_DOUBLE_EQ(filter.predict(1), 5.0);
+}
+
+TEST(OnlineFilter, PredictiveDistributionMoments) {
+  // Certain state: mixture collapses to that state's Gaussian.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  filter.observe(1.0);  // belief ~ state 0
+  const auto f = filter.predict_distribution(1);
+  // Next epoch: 90% state 0 (mu 1, sigma .1), 10% state 1 (mu 5, sigma .5).
+  const double mean = 0.9 * 1.0 + 0.1 * 5.0;
+  EXPECT_NEAR(f.mean, mean, 0.02);
+  const double second = 0.9 * (0.01 + 1.0) + 0.1 * (0.25 + 25.0);
+  EXPECT_NEAR(f.std_dev, std::sqrt(second - mean * mean), 0.05);
+}
+
+TEST(OnlineFilter, PredictiveDistributionWidensWithHorizon) {
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  const auto near = filter.predict_distribution(1);
+  const auto far = filter.predict_distribution(20);
+  EXPECT_GT(far.std_dev, near.std_dev);  // mixing -> more state uncertainty
+}
+
+TEST(OnlineFilter, PredictiveDistributionZeroStepsThrows) {
+  OnlineHmmFilter filter(two_state_model());
+  EXPECT_THROW(filter.predict_distribution(0), std::invalid_argument);
+}
+
+TEST(OnlineFilter, ResetRestoresInitialState) {
+  OnlineHmmFilter filter(two_state_model());
+  filter.observe(5.0);
+  filter.reset();
+  EXPECT_EQ(filter.observations(), 0u);
+  EXPECT_DOUBLE_EQ(filter.belief()[0], 0.6);
+}
+
+TEST(OnlineFilter, MleStateIndex) {
+  OnlineHmmFilter filter(two_state_model());
+  filter.observe(5.0);
+  EXPECT_EQ(filter.mle_state(), 1u);
+}
+
+TEST(OnlineFilter, TracksStateSwitches) {
+  // Feed a sequence that dwells in state 0 then switches to state 1: the
+  // filter's one-step prediction should follow with at most one epoch lag.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  for (int i = 0; i < 10; ++i) filter.observe(1.0);
+  EXPECT_DOUBLE_EQ(filter.predict(1), 1.0);
+  filter.observe(5.0);
+  EXPECT_DOUBLE_EQ(filter.predict(1), 5.0);
+}
+
+}  // namespace
+}  // namespace cs2p

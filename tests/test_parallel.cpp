@@ -1,0 +1,64 @@
+// Tests for the data-parallel helper (util/parallel.h).
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cs2p {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SerialFallbackWithOneThread) {
+  // max_threads = 1 must run in-order on the calling thread.
+  std::vector<std::size_t> order;
+  parallel_for(100, [&](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ResultsMatchSerialComputation) {
+  constexpr std::size_t kN = 5000;
+  std::vector<double> parallel_out(kN), serial_out(kN);
+  auto work = [](std::size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 10; ++k) x = x * 1.000001 + 0.5;
+    return x;
+  };
+  parallel_for(kN, [&](std::size_t i) { parallel_out[i] = work(i); });
+  for (std::size_t i = 0; i < kN; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsFine) {
+  std::atomic<int> count{0};
+  parallel_for(3, [&](std::size_t) { count.fetch_add(1); }, 64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace cs2p

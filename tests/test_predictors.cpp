@@ -1,0 +1,235 @@
+// Tests for the baseline predictor families (predictors/).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/synthetic.h"
+#include "predictors/ghm.h"
+#include "predictors/history.h"
+#include "predictors/ml_predictors.h"
+#include "predictors/oracle.h"
+#include "predictors/simple_cross.h"
+
+namespace cs2p {
+namespace {
+
+SessionContext dummy_context() {
+  SessionContext context;
+  context.features = {"ISP0", "AS0", "Province0", "City0-0", "Server0", "Pfx0"};
+  context.start_hour = 10.0;
+  return context;
+}
+
+Dataset tiny_dataset() {
+  SyntheticConfig config;
+  config.num_isps = 3;
+  config.num_provinces = 2;
+  config.cities_per_province = 2;
+  config.num_servers = 4;
+  config.num_sessions = 800;
+  config.seed = 77;
+  return generate_synthetic_dataset(config);
+}
+
+// ---- History-based predictors ----------------------------------------------
+
+TEST(LastSample, PredictsLastObservation) {
+  const LastSampleModel model;
+  auto p = model.make_session(dummy_context());
+  EXPECT_FALSE(p->predict_initial().has_value());
+  p->observe(3.0);
+  EXPECT_DOUBLE_EQ(p->predict(1), 3.0);
+  EXPECT_DOUBLE_EQ(p->predict(7), 3.0);  // flat multi-step
+  p->observe(5.5);
+  EXPECT_DOUBLE_EQ(p->predict(1), 5.5);
+}
+
+TEST(LastSample, PredictWithoutObservationThrows) {
+  const LastSampleModel model;
+  auto p = model.make_session(dummy_context());
+  EXPECT_THROW(p->predict(1), std::logic_error);
+}
+
+TEST(HarmonicMean, MatchesClosedForm) {
+  const HarmonicMeanModel model;
+  auto p = model.make_session(dummy_context());
+  p->observe(1.0);
+  p->observe(2.0);
+  p->observe(4.0);
+  EXPECT_NEAR(p->predict(1), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(HarmonicMean, WindowLimitsHistory) {
+  const HarmonicMeanModel model(/*window=*/2);
+  auto p = model.make_session(dummy_context());
+  p->observe(100.0);  // should fall out of the window
+  p->observe(2.0);
+  p->observe(2.0);
+  EXPECT_NEAR(p->predict(1), 2.0, 1e-12);
+}
+
+TEST(HarmonicMean, RobustToLowOutlier) {
+  // HM is dominated by small samples — that's its known conservatism.
+  const HarmonicMeanModel model;
+  auto p = model.make_session(dummy_context());
+  p->observe(10.0);
+  p->observe(0.1);
+  EXPECT_LT(p->predict(1), 0.25);
+}
+
+TEST(AutoRegressive, LearnsLinearTrendOnRichHistory) {
+  const AutoRegressiveModel model(2);
+  auto p = model.make_session(dummy_context());
+  // Simple AR(1)-style geometric decay toward 0: w_t = 0.5 w_{t-1}.
+  double w = 64.0;
+  for (int i = 0; i < 12; ++i) {
+    p->observe(w);
+    w *= 0.5;
+  }
+  // Next value is w (already halved); prediction should be close.
+  EXPECT_NEAR(p->predict(1), w, 0.3);
+}
+
+TEST(AutoRegressive, FallsBackToMeanOnShortHistory) {
+  const AutoRegressiveModel model(3);
+  auto p = model.make_session(dummy_context());
+  p->observe(2.0);
+  p->observe(4.0);
+  EXPECT_DOUBLE_EQ(p->predict(1), 3.0);
+}
+
+TEST(AutoRegressive, NeverNegative) {
+  const AutoRegressiveModel model(2);
+  auto p = model.make_session(dummy_context());
+  for (double w : {5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.2, 0.1})
+    p->observe(w);
+  EXPECT_GE(p->predict(5), 0.0);
+}
+
+// ---- Simple cross-session predictors ---------------------------------------
+
+TEST(FeatureMedian, GroupsByFeature) {
+  Dataset train;
+  auto add = [&train](const std::string& prefix, double level) {
+    Session s;
+    s.features = {"ISP0", "AS0", "P0", "C0", "S0", prefix};
+    s.throughput_mbps = {level, level};
+    train.add(s);
+  };
+  for (int i = 0; i < 10; ++i) add("fast", 9.0);
+  for (int i = 0; i < 10; ++i) add("slow", 1.0);
+
+  const FeatureMedianModel model(train, FeatureId::kClientPrefix, "LM-client");
+  SessionContext fast = dummy_context();
+  fast.features.client_prefix = "fast";
+  auto p = model.make_session(fast);
+  EXPECT_DOUBLE_EQ(p->predict_initial().value(), 9.0);
+  EXPECT_DOUBLE_EQ(p->predict(1), 9.0);
+  p->observe(1.0);  // observations don't move a constant predictor
+  EXPECT_DOUBLE_EQ(p->predict(1), 9.0);
+}
+
+TEST(FeatureMedian, UnknownValueUsesGlobalMedian) {
+  Dataset train;
+  Session s;
+  s.features = {"ISP0", "AS0", "P0", "C0", "S0", "known"};
+  s.throughput_mbps = {4.0};
+  train.add(s);
+  const FeatureMedianModel model(train, FeatureId::kClientPrefix, "LM-client");
+  SessionContext unknown = dummy_context();
+  unknown.features.client_prefix = "unknown";
+  EXPECT_DOUBLE_EQ(model.make_session(unknown)->predict_initial().value(), 4.0);
+}
+
+TEST(FeatureMedian, EmptyTrainingThrows) {
+  EXPECT_THROW(FeatureMedianModel(Dataset{}, FeatureId::kServer, "x"),
+               std::invalid_argument);
+}
+
+TEST(GlobalMedian, UsesAllSessions) {
+  Dataset train;
+  for (double level : {1.0, 2.0, 3.0}) {
+    Session s;
+    s.features = dummy_context().features;
+    s.throughput_mbps = {level};
+    train.add(s);
+  }
+  const GlobalMedianModel model(train);
+  EXPECT_DOUBLE_EQ(model.make_session(dummy_context())->predict_initial().value(),
+                   2.0);
+}
+
+// ---- Oracle -----------------------------------------------------------------
+
+TEST(Oracle, SeesTheFuture) {
+  const OracleModel model;
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0};
+  SessionContext context = dummy_context();
+  context.oracle_series = &series;
+  auto p = model.make_session(context);
+  EXPECT_DOUBLE_EQ(p->predict_initial().value(), 1.0);
+  EXPECT_DOUBLE_EQ(p->predict(1), 1.0);
+  p->observe(1.0);
+  EXPECT_DOUBLE_EQ(p->predict(1), 2.0);
+  EXPECT_DOUBLE_EQ(p->predict(2), 3.0);
+  EXPECT_DOUBLE_EQ(p->predict(99), 4.0);  // clamped to the last epoch
+}
+
+TEST(Oracle, RequiresSeries) {
+  const OracleModel model;
+  EXPECT_THROW(model.make_session(dummy_context()), std::invalid_argument);
+}
+
+// ---- Trained models ----------------------------------------------------------
+
+TEST(Ghm, TrainsAndPredicts) {
+  const Dataset dataset = tiny_dataset();
+  GhmConfig config;
+  config.training.num_states = 3;
+  config.training.max_iterations = 15;
+  config.max_training_sequences = 100;
+  const GlobalHmmModel model(dataset, config);
+  EXPECT_EQ(model.model().num_states(), 3u);
+
+  auto p = model.make_session(dummy_context());
+  const auto initial = p->predict_initial();
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_GT(*initial, 0.0);
+  p->observe(2.0);
+  EXPECT_GT(p->predict(1), 0.0);
+}
+
+TEST(Ghm, EmptyTrainingThrows) {
+  EXPECT_THROW(GlobalHmmModel(Dataset{}), std::invalid_argument);
+}
+
+TEST(MlPredictors, SvrAndGbrProduceFiniteForecasts) {
+  const Dataset dataset = tiny_dataset();
+  MlTrainingConfig training;
+  training.max_total_examples = 3000;
+  const SvrPredictorModel svr(dataset, training);
+  const GbrPredictorModel gbr(dataset, training, GbrtConfig{.num_trees = 20});
+
+  for (const PredictorModel* model :
+       std::initializer_list<const PredictorModel*>{&svr, &gbr}) {
+    SessionContext context = SessionContext::from(dataset.sessions()[0]);
+    auto p = model->make_session(context);
+    const auto initial = p->predict_initial();
+    ASSERT_TRUE(initial.has_value());
+    EXPECT_GE(*initial, 0.0);
+    p->observe(1.5);
+    p->observe(2.5);
+    const double forecast = p->predict(1);
+    EXPECT_TRUE(std::isfinite(forecast));
+    EXPECT_GE(forecast, 0.0);
+  }
+}
+
+TEST(MlPredictors, EmptyTrainingThrows) {
+  EXPECT_THROW(SvrPredictorModel(Dataset{}), std::invalid_argument);
+  EXPECT_THROW(GbrPredictorModel(Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cs2p

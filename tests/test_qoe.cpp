@@ -1,0 +1,94 @@
+// Tests for the linear QoE model (qoe/qoe.h).
+
+#include "qoe/qoe.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+QoeParams unit_params() {
+  QoeParams p;
+  p.lambda = 1.0;
+  p.mu = 10.0;
+  p.mu_s = 5.0;
+  return p;
+}
+
+TEST(Qoe, SeriesFormHandComputed) {
+  const std::vector<double> bitrates = {1000.0, 2000.0, 2000.0};
+  const std::vector<double> rebuffer = {0.0, 1.0, 0.0};
+  // quality 5000, switching |2000-1000| = 1000, rebuf 1 * 10, startup 2 * 5.
+  EXPECT_DOUBLE_EQ(qoe_from_series(bitrates, rebuffer, 2.0, unit_params()),
+                   5000.0 - 1000.0 - 10.0 - 10.0);
+}
+
+TEST(Qoe, SeriesSizeMismatchThrows) {
+  EXPECT_THROW(qoe_from_series(std::vector<double>{1.0},
+                               std::vector<double>{0.0, 0.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Qoe, BreakdownMatchesSeriesForm) {
+  PlaybackResult playback;
+  playback.startup_delay_seconds = 2.0;
+  for (double bitrate : {1000.0, 2000.0, 2000.0}) {
+    ChunkRecord c;
+    c.bitrate_kbps = bitrate;
+    playback.chunks.push_back(c);
+  }
+  playback.chunks[1].rebuffer_seconds = 1.0;
+  const QoeBreakdown out = compute_qoe(playback, unit_params());
+  const std::vector<double> bitrates = {1000.0, 2000.0, 2000.0};
+  const std::vector<double> rebuffer = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(out.total, qoe_from_series(bitrates, rebuffer, 2.0, unit_params()));
+}
+
+TEST(Qoe, ComponentFields) {
+  PlaybackResult playback;
+  playback.startup_delay_seconds = 0.5;
+  const double bitrates[] = {600.0, 600.0, 1000.0, 600.0};
+  for (double b : bitrates) {
+    ChunkRecord c;
+    c.bitrate_kbps = b;
+    playback.chunks.push_back(c);
+  }
+  playback.chunks[2].rebuffer_seconds = 2.0;
+  const QoeBreakdown out = compute_qoe(playback, unit_params());
+  EXPECT_DOUBLE_EQ(out.quality_sum_kbps, 2800.0);
+  EXPECT_DOUBLE_EQ(out.avg_bitrate_kbps, 700.0);
+  EXPECT_EQ(out.num_switches, 2u);
+  EXPECT_DOUBLE_EQ(out.switching_penalty_kbps, 800.0);
+  EXPECT_DOUBLE_EQ(out.rebuffer_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(out.good_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(out.startup_seconds, 0.5);
+}
+
+TEST(Qoe, EmptyPlayback) {
+  const QoeBreakdown out = compute_qoe(PlaybackResult{});
+  EXPECT_DOUBLE_EQ(out.total, 0.0);
+  EXPECT_DOUBLE_EQ(out.avg_bitrate_kbps, 0.0);
+  EXPECT_DOUBLE_EQ(out.good_ratio, 0.0);
+}
+
+TEST(Qoe, NoSwitchNoPenalty) {
+  PlaybackResult playback;
+  for (int i = 0; i < 5; ++i) {
+    ChunkRecord c;
+    c.bitrate_kbps = 3000.0;
+    playback.chunks.push_back(c);
+  }
+  const QoeBreakdown out = compute_qoe(playback, unit_params());
+  EXPECT_EQ(out.num_switches, 0u);
+  EXPECT_DOUBLE_EQ(out.switching_penalty_kbps, 0.0);
+  EXPECT_DOUBLE_EQ(out.good_ratio, 1.0);
+}
+
+TEST(Qoe, DefaultParamsPenalizeRebufferHarderThanStartup) {
+  const QoeParams defaults;
+  EXPECT_GT(defaults.mu, defaults.mu_s);
+  EXPECT_DOUBLE_EQ(defaults.lambda, 1.0);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,122 @@
+// Property suite: simulator + controller invariants that must hold for any
+// trace and any controller (parameterised sweep over seeds x controllers).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "abr/controllers.h"
+#include "abr/festive.h"
+#include "abr/mpc.h"
+#include "abr/offline_optimal.h"
+#include "predictors/oracle.h"
+#include "sim/player.h"
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+enum class ControllerKind { kFixed, kRate, kBuffer, kFestive, kMpc };
+
+struct Combo {
+  std::uint64_t seed;
+  ControllerKind kind;
+};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  const char* names[] = {"Fixed", "Rate", "Buffer", "Festive", "Mpc"};
+  return std::string(names[static_cast<int>(info.param.kind)]) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+std::unique_ptr<AbrController> make_controller(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kFixed: return std::make_unique<FixedBitrateController>(2);
+    case ControllerKind::kRate: return std::make_unique<RateBasedController>();
+    case ControllerKind::kBuffer: return std::make_unique<BufferBasedController>();
+    case ControllerKind::kFestive: return std::make_unique<FestiveController>();
+    case ControllerKind::kMpc: return std::make_unique<MpcController>();
+  }
+  return nullptr;
+}
+
+class SimInvariants : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SimInvariants, PlaybackIsWellFormed) {
+  const auto [seed, kind] = GetParam();
+  Rng rng(seed);
+  VideoSpec video;
+  video.num_chunks = 25;
+
+  // Random but playable trace: levels 0.5-6 Mbps with occasional dips.
+  std::vector<double> trace_values;
+  double level = rng.uniform(1.0, 4.0);
+  for (std::size_t t = 0; t < 30; ++t) {
+    if (rng.bernoulli(0.1)) level = rng.uniform(0.5, 6.0);
+    trace_values.push_back(level * rng.uniform(0.7, 1.3));
+  }
+  const ThroughputTrace trace(trace_values);
+
+  // MPC and RB need a predictor; give them the oracle.
+  const OracleModel oracle_model;
+  SessionContext context;
+  context.oracle_series = &trace_values;
+  std::unique_ptr<SessionPredictor> predictor;
+  if (kind == ControllerKind::kMpc || kind == ControllerKind::kRate)
+    predictor = oracle_model.make_session(context);
+
+  const auto controller = make_controller(kind);
+  const PlaybackResult result =
+      simulate_playback(video, trace, *controller, predictor.get());
+
+  // Invariant 1: exactly one record per chunk, all fields sane.
+  ASSERT_EQ(result.chunks.size(), video.num_chunks);
+  EXPECT_GT(result.startup_delay_seconds, 0.0);
+  for (std::size_t k = 0; k < result.chunks.size(); ++k) {
+    const auto& chunk = result.chunks[k];
+    EXPECT_GE(chunk.rebuffer_seconds, 0.0);
+    EXPECT_GT(chunk.download_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(chunk.actual_throughput_mbps, trace.at(k));
+    bool on_ladder = false;
+    for (double rung : video.bitrates_kbps)
+      on_ladder |= chunk.bitrate_kbps == rung;
+    EXPECT_TRUE(on_ladder) << "chunk " << k << " bitrate off ladder";
+  }
+  // Invariant 2: the first chunk never rebuffers (its wait is startup).
+  EXPECT_DOUBLE_EQ(result.chunks.front().rebuffer_seconds, 0.0);
+
+  // Invariant 3: the offline optimum dominates the realized QoE
+  // (up to buffer-quantisation slack).
+  const QoeBreakdown qoe = compute_qoe(result);
+  const auto optimal = offline_optimal_qoe(video, trace);
+  EXPECT_GE(optimal.qoe + 5.0, qoe.total)
+      << "controller beat the offline optimum";
+
+  // Invariant 4: QoE accounting is internally consistent.
+  double rebuffer_sum = 0.0;
+  for (const auto& chunk : result.chunks) rebuffer_sum += chunk.rebuffer_seconds;
+  EXPECT_NEAR(qoe.rebuffer_seconds, rebuffer_sum, 1e-9);
+  EXPECT_GE(qoe.good_ratio, 0.0);
+  EXPECT_LE(qoe.good_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimInvariants,
+    ::testing::Values(Combo{1, ControllerKind::kFixed},
+                      Combo{1, ControllerKind::kRate},
+                      Combo{1, ControllerKind::kBuffer},
+                      Combo{1, ControllerKind::kFestive},
+                      Combo{1, ControllerKind::kMpc},
+                      Combo{7, ControllerKind::kFixed},
+                      Combo{7, ControllerKind::kRate},
+                      Combo{7, ControllerKind::kBuffer},
+                      Combo{7, ControllerKind::kFestive},
+                      Combo{7, ControllerKind::kMpc},
+                      Combo{42, ControllerKind::kBuffer},
+                      Combo{42, ControllerKind::kMpc},
+                      Combo{2016, ControllerKind::kFestive},
+                      Combo{2016, ControllerKind::kMpc}),
+    combo_name);
+
+}  // namespace
+}  // namespace cs2p

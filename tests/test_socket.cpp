@@ -1,0 +1,118 @@
+// Tests for the RAII socket layer (net/socket.h).
+
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cs2p {
+namespace {
+
+TEST(FdHandle, DefaultIsInvalid) {
+  const FdHandle fd;
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fd.get(), -1);
+}
+
+TEST(FdHandle, MoveTransfersOwnership) {
+  auto [listener, port] = listen_loopback(0);
+  (void)port;
+  const int raw = listener.get();
+  FdHandle moved = std::move(listener);
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(listener.valid());  // NOLINT(bugprone-use-after-move): testing it
+}
+
+TEST(FdHandle, ReleaseDetaches) {
+  auto [listener, port] = listen_loopback(0);
+  (void)port;
+  const int raw = listener.release();
+  EXPECT_FALSE(listener.valid());
+  EXPECT_GE(raw, 0);
+  FdHandle adopt(raw);  // re-own so it still gets closed
+}
+
+TEST(Socket, ListenAssignsEphemeralPort) {
+  auto [listener, port] = listen_loopback(0);
+  EXPECT_TRUE(listener.valid());
+  EXPECT_GT(port, 0);
+}
+
+TEST(Socket, ConnectAndEcho) {
+  auto [listener, port] = listen_loopback(0);
+  std::thread server([&listener] {
+    FdHandle conn = accept_connection(listener);
+    std::byte buffer[5];
+    ASSERT_TRUE(recv_all(conn, buffer));
+    send_all(conn, buffer);
+  });
+  FdHandle client = connect_loopback(port);
+  const char message[5] = {'h', 'e', 'l', 'l', 'o'};
+  send_all(client, std::as_bytes(std::span(message)));
+  std::byte reply[5];
+  ASSERT_TRUE(recv_all(client, reply));
+  EXPECT_EQ(std::to_integer<char>(reply[0]), 'h');
+  EXPECT_EQ(std::to_integer<char>(reply[4]), 'o');
+  server.join();
+}
+
+TEST(Socket, RecvAllReportsCleanEof) {
+  auto [listener, port] = listen_loopback(0);
+  std::thread server([&listener] {
+    FdHandle conn = accept_connection(listener);
+    // Close immediately without sending.
+  });
+  FdHandle client = connect_loopback(port);
+  server.join();
+  std::byte buffer[4];
+  EXPECT_FALSE(recv_all(client, buffer));
+}
+
+TEST(Socket, RecvAllThrowsOnMidMessageEof) {
+  auto [listener, port] = listen_loopback(0);
+  std::thread server([&listener] {
+    FdHandle conn = accept_connection(listener);
+    const char partial[2] = {'x', 'y'};
+    send_all(conn, std::as_bytes(std::span(partial)));
+  });
+  FdHandle client = connect_loopback(port);
+  server.join();
+  std::byte buffer[10];
+  EXPECT_THROW(recv_all(client, buffer), std::runtime_error);
+}
+
+TEST(Socket, ConnectToClosedPortThrows) {
+  // Bind a port, then close it; connecting should fail with ECONNREFUSED.
+  std::uint16_t dead_port = 0;
+  {
+    auto [listener, port] = listen_loopback(0);
+    dead_port = port;
+  }
+  EXPECT_THROW(connect_loopback(dead_port), std::system_error);
+}
+
+TEST(Socket, WaitReadableTimesOut) {
+  auto [listener, port] = listen_loopback(0);
+  (void)port;
+  EXPECT_FALSE(wait_readable(listener, 50));  // nothing pending
+}
+
+TEST(Socket, WaitReadableSeesPendingConnection) {
+  auto [listener, port] = listen_loopback(0);
+  FdHandle client = connect_loopback(port);
+  EXPECT_TRUE(wait_readable(listener, 1000));
+  FdHandle conn = try_accept(listener);
+  EXPECT_TRUE(conn.valid());
+}
+
+TEST(Socket, TryAcceptReturnsInvalidWhenNothingPending) {
+  auto [listener, port] = listen_loopback(0);
+  (void)port;
+  set_nonblocking(listener);
+  const FdHandle conn = try_accept(listener);
+  EXPECT_FALSE(conn.valid());
+}
+
+}  // namespace
+}  // namespace cs2p

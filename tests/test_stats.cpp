@@ -1,0 +1,168 @@
+// Tests for summary statistics (util/stats.h).
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cs2p {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevKnownValues) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138 (n-1).
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> xs = {10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  const std::vector<double> ys = {1.0, 3.0};
+  EXPECT_NEAR(coefficient_of_variation(ys), std::sqrt(2.0) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(Stats, HarmonicMeanKnown) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(Stats, HarmonicMeanIgnoresNonPositive) {
+  const std::vector<double> xs = {0.0, -1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.0, -3.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, QuantileType7Interpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+}
+
+TEST(Stats, QuantileClampsOutOfRange) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 2.0);
+}
+
+TEST(Stats, EcdfBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Stats, EcdfPointsAreMonotone) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 3.0};
+  const auto points = ecdf_points(xs);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i - 1].first, points[i].first);
+    EXPECT_LT(points[i - 1].second, points[i].second + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Stats, EcdfAtMatchesEcdf) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> at = {0.0, 1.5, 2.0, 9.0};
+  const auto values = ecdf_at(xs, at);
+  ASSERT_EQ(values.size(), 4u);
+  for (std::size_t i = 0; i < at.size(); ++i)
+    EXPECT_DOUBLE_EQ(values[i], ecdf(xs, at[i]));
+}
+
+TEST(Stats, CorrelationPerfectAndNone) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg(ys.rbegin(), ys.rend());
+  EXPECT_NEAR(correlation(xs, neg), -1.0, 1e-12);
+  const std::vector<double> flat = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Stats, EntropyFromCounts) {
+  const std::vector<std::size_t> even = {5, 5};
+  EXPECT_NEAR(entropy_from_counts(even), 1.0, 1e-12);
+  const std::vector<std::size_t> single = {7};
+  EXPECT_DOUBLE_EQ(entropy_from_counts(single), 0.0);
+  const std::vector<std::size_t> empty_counts = {0, 0};
+  EXPECT_DOUBLE_EQ(entropy_from_counts(empty_counts), 0.0);
+}
+
+TEST(Stats, RelativeInformationGainPerfectPredictor) {
+  // X fully determines Y -> RIG = 1.
+  const std::vector<int> y = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> x = {10, 10, 20, 20, 30, 30};
+  EXPECT_NEAR(relative_information_gain(y, x), 1.0, 1e-12);
+}
+
+TEST(Stats, RelativeInformationGainIndependent) {
+  const std::vector<int> y = {0, 1, 0, 1};
+  const std::vector<int> x = {5, 5, 6, 6};
+  EXPECT_NEAR(relative_information_gain(y, x), 0.0, 1e-12);
+}
+
+TEST(Stats, RelativeInformationGainSizeMismatchThrows) {
+  const std::vector<int> y = {0, 1};
+  const std::vector<int> x = {0};
+  EXPECT_THROW(relative_information_gain(y, x), std::invalid_argument);
+}
+
+TEST(Stats, EqualFrequencyBins) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  const auto labels = equal_frequency_bins(xs, 4);
+  std::vector<int> counts(4, 0);
+  for (int l : labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 4);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 25, 1);
+}
+
+TEST(Stats, EqualFrequencyBinsRejectsZeroBins) {
+  EXPECT_THROW(equal_frequency_bins(std::vector<double>{1.0}, 0),
+               std::invalid_argument);
+}
+
+// Property sweep: quantiles are monotone in q and bounded by extremes.
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MonotoneAndBounded) {
+  const std::vector<double> xs = {0.3, 2.7, 1.1, 9.4, 4.2, 0.1, 6.6};
+  const double q = GetParam();
+  const double value = quantile(xs, q);
+  EXPECT_GE(value, 0.1);
+  EXPECT_LE(value, 9.4);
+  if (q >= 0.05) {
+    EXPECT_GE(value + 1e-12, quantile(xs, q - 0.05));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95,
+                                           1.0));
+
+}  // namespace
+}  // namespace cs2p

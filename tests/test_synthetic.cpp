@@ -1,0 +1,231 @@
+// Tests for the synthetic trace generator: determinism, structural
+// invariants, and the four §3 observations the generator must reproduce.
+
+#include "dataset/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/stats.h"
+
+namespace cs2p {
+namespace {
+
+SyntheticConfig small_config(std::uint64_t seed = 5) {
+  SyntheticConfig config;
+  config.num_isps = 4;
+  config.num_provinces = 4;
+  config.cities_per_province = 2;
+  config.num_servers = 6;
+  config.num_sessions = 1500;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const Dataset a = generate_synthetic_dataset(small_config(9));
+  const Dataset b = generate_synthetic_dataset(small_config(9));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.sessions()[i].features.isp, b.sessions()[i].features.isp);
+    ASSERT_EQ(a.sessions()[i].throughput_mbps.size(),
+              b.sessions()[i].throughput_mbps.size());
+    EXPECT_DOUBLE_EQ(a.sessions()[i].throughput_mbps[0],
+                     b.sessions()[i].throughput_mbps[0]);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Dataset a = generate_synthetic_dataset(small_config(1));
+  const Dataset b = generate_synthetic_dataset(small_config(2));
+  ASSERT_EQ(a.size(), b.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size() && !any_difference; ++i)
+    any_difference = a.sessions()[i].throughput_mbps != b.sessions()[i].throughput_mbps;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Synthetic, RejectsDegenerateConfig) {
+  SyntheticConfig config = small_config();
+  config.num_isps = 0;
+  EXPECT_THROW(SyntheticWorld{config}, std::invalid_argument);
+  config = small_config();
+  config.max_flows = 0;
+  EXPECT_THROW(SyntheticWorld{config}, std::invalid_argument);
+  config = small_config();
+  config.days = 0;
+  EXPECT_THROW(SyntheticWorld{config}, std::invalid_argument);
+}
+
+TEST(Synthetic, SessionsRespectStructuralInvariants) {
+  const SyntheticConfig config = small_config();
+  const Dataset dataset = generate_synthetic_dataset(config);
+  ASSERT_EQ(dataset.size(), config.num_sessions);
+  for (const auto& s : dataset.sessions()) {
+    EXPECT_GE(s.throughput_mbps.size(), config.min_epochs);
+    EXPECT_LE(s.throughput_mbps.size(), config.max_epochs);
+    EXPECT_GE(s.day, 0);
+    EXPECT_LT(s.day, config.days);
+    EXPECT_GE(s.start_hour, 0.0);
+    EXPECT_LT(s.start_hour, 24.0);
+    for (double w : s.throughput_mbps) {
+      ASSERT_GE(w, config.min_throughput_mbps);
+      ASSERT_TRUE(std::isfinite(w));
+    }
+  }
+}
+
+TEST(Synthetic, ProfileIsDeterministicPerFeatureTuple) {
+  const SyntheticWorld world(small_config());
+  SessionFeatures f = {"ISP1", "AS10", "Province2", "City2-1", "Server3", "Pfx11"};
+  const ClusterProfile a = world.profile_for(f);
+  const ClusterProfile b = world.profile_for(f);
+  EXPECT_DOUBLE_EQ(a.capacity_mbps, b.capacity_mbps);
+  ASSERT_EQ(a.state_means.size(), b.state_means.size());
+  EXPECT_DOUBLE_EQ(a.state_means[0], b.state_means[0]);
+}
+
+TEST(Synthetic, ProfileStateMeansFollowFairSharing) {
+  const SyntheticWorld world(small_config());
+  SessionFeatures f = {"ISP0", "AS0", "Province1", "City1-0", "Server2", "Pfx3"};
+  const ClusterProfile profile = world.profile_for(f);
+  ASSERT_EQ(profile.state_means.size(), small_config().max_flows);
+  for (std::size_t k = 0; k < profile.state_means.size(); ++k) {
+    EXPECT_NEAR(profile.state_means[k],
+                profile.capacity_mbps / static_cast<double>(k + 1), 1e-9);
+  }
+}
+
+TEST(Synthetic, ProfileTransitionIsStochasticAndSticky) {
+  const SyntheticWorld world(small_config());
+  SessionFeatures f = {"ISP2", "AS20", "Province0", "City0-1", "Server5", "Pfx9"};
+  const ClusterProfile profile = world.profile_for(f);
+  const std::size_t n = profile.state_means.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += profile.transition(i, j);
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+    EXPECT_GT(profile.transition(i, i), 0.85);  // Observation 2: sticky
+  }
+}
+
+TEST(Synthetic, ProfileRejectsUnknownEntities) {
+  const SyntheticWorld world(small_config());
+  SessionFeatures f = {"ISP99", "AS0", "Province0", "City0-0", "Server0", "Pfx0"};
+  EXPECT_THROW(world.profile_for(f), std::invalid_argument);
+  f.isp = "ISP0";
+  f.city = "garbage";
+  EXPECT_THROW(world.profile_for(f), std::invalid_argument);
+}
+
+TEST(Synthetic, InitialStateDistributionShiftsWithHour) {
+  const SyntheticWorld world(small_config());
+  SessionFeatures f = {"ISP0", "AS0", "Province0", "City0-0", "Server0", "Pfx0"};
+  const ClusterProfile profile = world.profile_for(f);
+  const Vec night = world.initial_state_distribution(profile, 4.0);
+  const Vec peak = world.initial_state_distribution(profile, 20.5);
+  // At night, low contention (state 0 = full capacity) dominates; the peak
+  // distribution must put strictly more mass on higher-contention states.
+  double night_high = 0.0, peak_high = 0.0;
+  for (std::size_t k = 1; k < night.size(); ++k) {
+    night_high += night[k];
+    peak_high += peak[k];
+  }
+  EXPECT_GT(peak_high, night_high);
+}
+
+TEST(Synthetic, Observation1HighIntraSessionVariability) {
+  const Dataset dataset = generate_synthetic_dataset(small_config());
+  const auto covs = dataset.per_session_cov();
+  // A meaningful share of sessions shows CoV >= 0.3 (paper: ~half).
+  EXPECT_GT(1.0 - ecdf(covs, 0.3), 0.2);
+}
+
+TEST(Synthetic, Observation2PersistentEpochs) {
+  const Dataset dataset = generate_synthetic_dataset(small_config());
+  std::size_t steady = 0, total = 0;
+  for (const auto& s : dataset.sessions()) {
+    for (std::size_t t = 0; t + 1 < s.throughput_mbps.size(); ++t) {
+      const double ratio = s.throughput_mbps[t + 1] / s.throughput_mbps[t];
+      if (ratio > 0.75 && ratio < 1.33) ++steady;
+      ++total;
+    }
+  }
+  // Sticky states: most consecutive epochs stay near the same level.
+  EXPECT_GT(static_cast<double>(steady) / static_cast<double>(total), 0.6);
+}
+
+TEST(Synthetic, Observation3ClusterSimilarity) {
+  SyntheticConfig config = small_config();
+  config.num_sessions = 4000;
+  const Dataset dataset = generate_synthetic_dataset(config);
+  // Within-cluster dispersion of average throughput must be far below the
+  // population dispersion.
+  std::map<std::string, std::vector<double>> clusters;
+  std::vector<double> all;
+  for (const auto& s : dataset.sessions()) {
+    clusters[feature_key(s.features, kAllFeaturesMask)].push_back(
+        s.average_throughput());
+    all.push_back(s.average_throughput());
+  }
+  const double population_cov = coefficient_of_variation(all);
+  double within_cov_sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& [key, values] : clusters) {
+    if (values.size() < 20) continue;
+    within_cov_sum += coefficient_of_variation(values);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_LT(within_cov_sum / static_cast<double>(counted), 0.7 * population_cov);
+}
+
+TEST(Synthetic, Observation4InteractionMatters) {
+  // For triples with an interaction term, capacity is NOT the product of
+  // what the individual features suggest: verify via the world's profiles
+  // that two cities under the same ISP/server can differ beyond their city
+  // congestion ratio.
+  const SyntheticWorld world(small_config());
+  std::vector<double> ratios;
+  for (std::size_t c = 0; c < 4; ++c) {
+    SessionFeatures a = {"ISP0", "AS0", "Province0",
+                         "City" + std::to_string(c / 2) + "-" + std::to_string(c % 2),
+                         "Server0", "Pfx1"};
+    ratios.push_back(world.profile_for(a).capacity_mbps);
+  }
+  // Not all equal (city + interaction effects both present).
+  EXPECT_NE(ratios[0], ratios[1]);
+}
+
+TEST(Synthetic, EntityNameHelpers) {
+  const SyntheticWorld world(small_config());
+  EXPECT_EQ(world.isp_name(2), "ISP2");
+  EXPECT_EQ(world.city_name(1, 0), "City1-0");
+  EXPECT_EQ(world.server_name(5), "Server5");
+}
+
+// Property sweep across seeds: the generated dataset is always structurally
+// valid and covers both days.
+class SyntheticSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticSeedSweep, ValidAndCoversDays) {
+  SyntheticConfig config = small_config(GetParam());
+  config.num_sessions = 600;
+  const Dataset dataset = generate_synthetic_dataset(config);
+  bool day0 = false, day1 = false;
+  for (const auto& s : dataset.sessions()) {
+    ASSERT_FALSE(s.throughput_mbps.empty());
+    day0 |= s.day == 0;
+    day1 |= s.day == 1;
+  }
+  EXPECT_TRUE(day0);
+  EXPECT_TRUE(day1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSeedSweep,
+                         ::testing::Values(1, 7, 42, 2016, 99991));
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,52 @@
+// Tests for the aligned table printer (util/table.h).
+
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+TEST(TextTable, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.to_string();
+  // Header present, separator line present, all rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // All lines should contain "value" column aligned: the header line length
+  // equals the longest row line length.
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable table({"label", "a", "b"});
+  table.add_row_numeric("row", {1.5, 2.25}, 1);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("2.2"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(TextTable, WiderRowThanHeader) {
+  TextTable table({"a"});
+  table.add_row({"1", "2", "3"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -1,0 +1,40 @@
+// Compile-and-link check for the umbrella header: everything the README
+// advertises must be reachable through a single include.
+
+#include "cs2p.h"
+
+#include <gtest/gtest.h>
+
+namespace cs2p {
+namespace {
+
+TEST(Umbrella, AllPublicTypesVisible) {
+  // One value of each major family proves the header pulls everything in.
+  [[maybe_unused]] SyntheticConfig synthetic;
+  [[maybe_unused]] Cs2pConfig engine;
+  [[maybe_unused]] BaumWelchConfig hmm;
+  [[maybe_unused]] VideoSpec video;
+  [[maybe_unused]] QoeParams qoe;
+  [[maybe_unused]] MpcConfig mpc;
+  [[maybe_unused]] FestiveConfig festive;
+  [[maybe_unused]] EvaluationOptions accuracy;
+  [[maybe_unused]] AbrEvaluationOptions playback;
+  [[maybe_unused]] HelloRequest hello;
+  SUCCEED();
+}
+
+TEST(Umbrella, SmallEndToEndPath) {
+  SyntheticConfig config;
+  config.num_sessions = 300;
+  config.num_isps = 2;
+  config.num_provinces = 2;
+  config.cities_per_province = 2;
+  config.num_servers = 3;
+  Dataset dataset = generate_synthetic_dataset(config);
+  const HarmonicMeanModel hm;
+  const PredictorEvaluation eval = evaluate_predictor(hm, dataset);
+  EXPECT_GT(eval.midstream_sessions.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cs2p

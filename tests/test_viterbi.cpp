@@ -1,0 +1,102 @@
+// Tests for Viterbi decoding, validated against brute-force path search.
+
+#include "hmm/viterbi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm_test_util.h"
+#include "util/gaussian.h"
+
+namespace cs2p {
+namespace {
+
+using testing_support::three_state_model;
+using testing_support::two_state_model;
+
+/// Brute-force MAP path by enumeration.
+std::pair<std::vector<std::size_t>, double> brute_force_map(
+    const GaussianHmm& model, const std::vector<double>& obs) {
+  const std::size_t n = model.num_states();
+  std::vector<std::size_t> path(obs.size(), 0), best_path;
+  double best = -std::numeric_limits<double>::infinity();
+  while (true) {
+    double log_p = std::log(model.initial[path[0]]) +
+                   gaussian_log_pdf(obs[0], model.states[path[0]].mean,
+                                    model.states[path[0]].sigma);
+    for (std::size_t t = 1; t < obs.size(); ++t) {
+      const double trans = model.transition(path[t - 1], path[t]);
+      log_p += (trans > 0 ? std::log(trans)
+                          : -std::numeric_limits<double>::infinity()) +
+               gaussian_log_pdf(obs[t], model.states[path[t]].mean,
+                                model.states[path[t]].sigma);
+    }
+    if (log_p > best) {
+      best = log_p;
+      best_path = path;
+    }
+    std::size_t digit = 0;
+    while (digit < obs.size() && ++path[digit] == n) {
+      path[digit] = 0;
+      ++digit;
+    }
+    if (digit == obs.size()) break;
+  }
+  return {best_path, best};
+}
+
+TEST(Viterbi, MatchesBruteForceTwoState) {
+  const GaussianHmm model = two_state_model();
+  const std::vector<double> obs = {1.1, 0.9, 4.8, 5.1, 1.2};
+  const auto result = viterbi(model, obs);
+  const auto [expected_path, expected_log_p] = brute_force_map(model, obs);
+  EXPECT_EQ(result.path, expected_path);
+  EXPECT_NEAR(result.log_probability, expected_log_p, 1e-9);
+}
+
+TEST(Viterbi, MatchesBruteForceThreeState) {
+  const GaussianHmm model = three_state_model();
+  const std::vector<double> obs = {2.4, 2.6, 6.5, 5.8, 1.0, 0.9};
+  const auto result = viterbi(model, obs);
+  const auto [expected_path, expected_log_p] = brute_force_map(model, obs);
+  EXPECT_EQ(result.path, expected_path);
+  EXPECT_NEAR(result.log_probability, expected_log_p, 1e-9);
+}
+
+TEST(Viterbi, SingleObservation) {
+  const GaussianHmm model = two_state_model();
+  const auto result = viterbi(model, std::vector<double>{4.9});
+  ASSERT_EQ(result.path.size(), 1u);
+  EXPECT_EQ(result.path[0], 1u);
+}
+
+TEST(Viterbi, EmptySequenceThrows) {
+  EXPECT_THROW(viterbi(two_state_model(), std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Viterbi, StickyChainPrefersFewSwitches) {
+  // With a very sticky chain, a single ambiguous observation in the middle
+  // of a clear run should not cause a state switch.
+  GaussianHmm model = two_state_model();
+  model.transition = Matrix{{0.99, 0.01}, {0.01, 0.99}};
+  // 1.5 is 5 sigma from state 0 but 7 sigma from state 1: even ignoring the
+  // switching cost, staying explains the blip better.
+  const std::vector<double> obs = {1.0, 1.0, 1.5, 1.0, 1.0};
+  const auto result = viterbi(model, obs);
+  for (std::size_t state : result.path) EXPECT_EQ(state, 0u);
+}
+
+TEST(Viterbi, HandlesZeroTransitionProbabilities) {
+  GaussianHmm model = two_state_model();
+  model.transition = Matrix{{1.0, 0.0}, {0.0, 1.0}};  // no switching possible
+  const std::vector<double> obs = {1.0, 5.0, 5.0};    // tempting switch
+  const auto result = viterbi(model, obs);
+  // Path must stay constant because switching has probability zero.
+  EXPECT_EQ(result.path[0], result.path[1]);
+  EXPECT_EQ(result.path[1], result.path[2]);
+}
+
+}  // namespace
+}  // namespace cs2p

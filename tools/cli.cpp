@@ -1,0 +1,83 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace cs2p::cli {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  specs_.push_back({name, help, default_value});
+  values_[name] = default_value;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n%s", arg.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!values_.contains(arg)) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", arg.c_str(), usage().c_str());
+      return false;
+    }
+    values_[arg] = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end())
+    throw std::logic_error("ArgParser: unregistered option " + name);
+  return it->second;
+}
+
+long ArgParser::get_long(const std::string& name) const {
+  return std::stol(get(name));
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool ArgParser::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it != values_.end() && !it->second.empty();
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& spec : specs_) {
+    os << "  --" << spec.name;
+    if (!spec.default_value.empty()) os << " (default: " << spec.default_value << ")";
+    os << "\n      " << spec.help << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace cs2p::cli

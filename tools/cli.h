@@ -1,0 +1,51 @@
+// Minimal command-line parsing shared by the cs2p_* tools.
+//
+// Supports --flag value and --flag=value forms, typed accessors with
+// defaults, and a generated usage message. Unknown flags are an error so
+// typos fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cs2p::cli {
+
+/// One registered option (for the usage text).
+struct OptionSpec {
+  std::string name;
+  std::string help;
+  std::string default_value;
+};
+
+class ArgParser {
+ public:
+  /// `describe` registers options up front so usage() is complete and
+  /// unknown flags can be rejected.
+  ArgParser(std::string program, std::string description);
+
+  /// Registers an option; call before parse().
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+
+  /// Parses argv. Returns false (after printing usage) on --help or on a
+  /// malformed/unknown flag.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  long get_long(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  std::string program_;
+  std::string description_;
+  std::vector<OptionSpec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cs2p::cli

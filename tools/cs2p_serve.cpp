@@ -1,0 +1,67 @@
+// cs2p_serve — run the CS2P prediction service on a trace dataset.
+//
+//   cs2p_serve --data traces.csv --port 9000
+//
+// Trains a CS2P engine on the training days and serves the wire protocol of
+// net/wire.h until SIGINT/SIGTERM. Clients can drive per-session prediction
+// (HELLO/OBSERVE/PREDICT) or download compact models (MODEL) for the
+// client-side mode.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "core/engine.h"
+#include "dataset/dataset.h"
+#include "net/server.h"
+#include "tools/cli.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cs2p;
+  cli::ArgParser args("cs2p_serve", "serve CS2P predictions over TCP");
+  args.add_option("data", "input CSV with training sessions", "traces.csv");
+  args.add_option("port", "TCP port on 127.0.0.1 (0 = ephemeral)", "0");
+  args.add_option("train-days", "use sessions with day < this for training", "1");
+  args.add_option("hmm-states", "HMM state count", "6");
+  args.add_option("warm-up", "pre-train cluster HMMs before serving (1/0)", "1");
+  if (!args.parse(argc, argv)) return 1;
+
+  const Dataset dataset = Dataset::load_csv(args.get("data"));
+  auto [train, test] = dataset.split_by_day(static_cast<int>(args.get_long("train-days")));
+  (void)test;
+  if (train.empty()) {
+    std::fprintf(stderr, "no training sessions in %s\n", args.get("data").c_str());
+    return 1;
+  }
+
+  Cs2pConfig config;
+  config.hmm.num_states = static_cast<std::size_t>(args.get_long("hmm-states"));
+  std::printf("training CS2P engine on %zu sessions...\n", train.size());
+  auto model = std::make_shared<Cs2pPredictorModel>(std::move(train), config);
+
+  if (args.get_long("warm-up") != 0) {
+    const std::size_t trained = model->engine().warm_up();
+    std::printf("warm-up: %zu cluster models trained\n", trained);
+  }
+
+  PredictionServer server(model,
+                          static_cast<std::uint16_t>(args.get_long("port")));
+  std::printf("serving on 127.0.0.1:%u (SIGINT to stop)\n", server.port());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("\nstopping after %llu requests\n",
+              static_cast<unsigned long long>(server.requests_handled()));
+  server.stop();
+  return 0;
+}
