@@ -147,5 +147,77 @@ int main() {
               "correlation %.2f)\n",
               predicted_rebuf.size(), median(abs_gap), median(actual_rebuf),
               correlation(predicted_rebuf, actual_rebuf));
+
+  // QoE under failure: kill the prediction service a third of the way into a
+  // session and let RemoteSessionPredictor degrade to its local
+  // harmonic-mean fallback. The stream must finish and still be scoreable.
+  // Pick a session with headroom above the lowest rung so the number shows
+  // the cost of degradation rather than a trace nobody could stream.
+  const Session* victim = nullptr;
+  for (const auto& session : test.sessions()) {
+    if (session.throughput_mbps.size() < options.video.num_chunks) continue;
+    if (session.average_throughput() < 1.5) continue;
+    victim = &session;
+    break;
+  }
+  if (victim != nullptr) {
+    auto doomed_server = std::make_unique<PredictionServer>(cs2p);
+    ClientConfig degraded_config;
+    degraded_config.recv_timeout_ms = 500;
+    degraded_config.send_timeout_ms = 500;
+    degraded_config.max_retries = 1;
+    degraded_config.backoff_initial_ms = 2;
+    PredictionClient doomed_client(doomed_server->port(), degraded_config);
+    RemoteSessionPredictor remote_session(doomed_client, victim->features,
+                                          victim->start_hour);
+
+    /// Stops the server after a third of the chunks have been observed.
+    struct KillServerAt final : SessionPredictor {
+      KillServerAt(RemoteSessionPredictor& inner, PredictionServer& server,
+                   std::size_t kill_after)
+          : inner(&inner), server(&server), kill_after(kill_after) {}
+      std::optional<double> predict_initial() const override {
+        return inner->predict_initial();
+      }
+      double predict(unsigned steps) const override { return inner->predict(steps); }
+      void observe(double w) override {
+        if (++observed == kill_after) server->stop();
+        inner->observe(w);
+      }
+      bool degraded() const override { return inner->degraded(); }
+      RemoteSessionPredictor* inner;
+      PredictionServer* server;
+      std::size_t kill_after;
+      std::size_t observed = 0;
+    } killer(remote_session, *doomed_server, options.video.num_chunks / 3);
+
+    MpcController degraded_controller(mpc_config);
+    const PlaybackResult degraded_run =
+        simulate_playback(options.video, ThroughputTrace(victim->throughput_mbps),
+                          degraded_controller, &killer);
+    const QoeBreakdown degraded_qoe = compute_qoe(degraded_run);
+
+    // Same session with the service healthy, for contrast.
+    MpcController healthy_controller(mpc_config);
+    auto healthy_session = cs2p->make_session(SessionContext::from(*victim));
+    const PlaybackResult healthy_run =
+        simulate_playback(options.video, ThroughputTrace(victim->throughput_mbps),
+                          healthy_controller, healthy_session.get());
+    const QoeBreakdown healthy_qoe = compute_qoe(healthy_run);
+
+    std::printf("\nQoE under failure (server killed at chunk %zu/%zu): "
+                "degraded=%s, QoE %.0f, avg %.0f kbps, rebuf %.2f s, "
+                "%llu fallback forecasts\n",
+                options.video.num_chunks / 3, options.video.num_chunks,
+                degraded_run.predictor_degraded ? "yes" : "no",
+                degraded_qoe.total, degraded_qoe.avg_bitrate_kbps,
+                degraded_qoe.rebuffer_seconds,
+                static_cast<unsigned long long>(
+                    remote_session.fallback_predictions()));
+    std::printf("same session, service healthy:                    "
+                "QoE %.0f, avg %.0f kbps, rebuf %.2f s\n",
+                healthy_qoe.total, healthy_qoe.avg_bitrate_kbps,
+                healthy_qoe.rebuffer_seconds);
+  }
   return 0;
 }

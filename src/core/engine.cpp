@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "predictors/hmm_session.h"
@@ -7,6 +8,23 @@
 
 namespace cs2p {
 namespace {
+
+/// Rejects NaN/negative throughput samples before any index or HMM sees
+/// them (one bad sample silently poisons Baum-Welch sufficient statistics).
+/// Runs in the member-initializer list, ahead of ClusterIndex and
+/// FeatureSelector construction. Empty sessions are tolerated here and
+/// skipped by training, like before.
+Dataset validate_training_set(Dataset training) {
+  for (const auto& s : training.sessions()) {
+    for (double w : s.throughput_mbps) {
+      if (!std::isfinite(w) || w < 0.0)
+        throw std::invalid_argument(
+            "Cs2pEngine: training session " + std::to_string(s.id) +
+            " has a NaN, infinite, or negative throughput sample");
+    }
+  }
+  return training;
+}
 
 /// Deterministically subsamples up to `cap` sequences from the sessions at
 /// `indices` (even stride, so long and short sessions stay represented).
@@ -26,7 +44,7 @@ std::vector<std::vector<double>> gather_sequences(const Dataset& training,
 }  // namespace
 
 Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config)
-    : training_(std::move(training)),
+    : training_(validate_training_set(std::move(training))),
       config_(config),
       index_(training_, enumerate_candidates()),
       selector_(index_, config.selector) {

@@ -53,7 +53,9 @@ struct EngineStats {
 class Cs2pEngine {
  public:
   /// Copies the training dataset (the engine must outlive external data).
-  /// Throws std::invalid_argument on an empty or all-empty training set.
+  /// Throws std::invalid_argument on an empty or all-empty training set, or
+  /// when any session carries a NaN, infinite, or negative throughput
+  /// sample (ingest validation — bad data must not reach Baum-Welch).
   Cs2pEngine(Dataset training, Cs2pConfig config = {});
 
   /// Resolves the prediction model for a new session.

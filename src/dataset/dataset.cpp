@@ -1,5 +1,6 @@
 #include "dataset/dataset.h"
 
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -119,6 +120,20 @@ Dataset Dataset::load_csv(const std::string& path) {
     std::istringstream series(row[static_cast<std::size_t>(cols["series"])]);
     double v = 0.0;
     while (series >> v) s.throughput_mbps.push_back(v);
+    // istream extraction stops silently at tokens like "nan" or "inf";
+    // treat anything left unparsed as corruption, not a shorter session.
+    if (!series.eof())
+      throw std::runtime_error(
+          "Dataset::load_csv: session " + std::to_string(s.id) +
+          " has an unparseable throughput sample");
+    // Reject corrupt rows at the boundary: one NaN here would otherwise
+    // surface deep inside Baum-Welch with no hint of its origin.
+    for (double w : s.throughput_mbps) {
+      if (!std::isfinite(w) || w < 0.0)
+        throw std::runtime_error(
+            "Dataset::load_csv: session " + std::to_string(s.id) +
+            " has a NaN, infinite, or negative throughput sample");
+    }
     out.add(std::move(s));
   }
   return out;

@@ -1,45 +1,138 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 namespace cs2p {
+namespace {
 
-PredictionClient::PredictionClient(std::uint16_t port)
-    : connection_(connect_loopback(port)) {}
+/// Server errors worth another attempt: a BAD_REQUEST is most likely our
+/// frame arriving corrupted (the request we built is well-formed by
+/// construction). Everything else reflects real state — retrying the same
+/// bytes cannot change UNKNOWN_SESSION or INVALID_SAMPLE.
+bool retryable(WireErrorCode code) {
+  return code == WireErrorCode::kBadRequest;
+}
 
-Response PredictionClient::round_trip(const Request& request) {
-  std::scoped_lock lock(mutex_);
-  send_frame(connection_, serialize_request(request));
-  const auto frame = recv_frame(connection_);
-  if (!frame) throw std::runtime_error("PredictionClient: server closed connection");
-  Response response = parse_response(*frame);
-  if (const auto* err = std::get_if<ErrorResponse>(&response))
-    throw std::runtime_error("PredictionClient: server error: " + err->message);
-  return response;
+}  // namespace
+
+PredictionClient::PredictionClient(std::uint16_t port, ClientConfig config)
+    : PredictionClient(
+          loopback_connector(port, TransportDeadlines{config.recv_timeout_ms,
+                                                      config.send_timeout_ms}),
+          config) {}
+
+PredictionClient::PredictionClient(TransportFactory connector, ClientConfig config)
+    : connector_(std::move(connector)), config_(config) {
+  if (!connector_)
+    throw std::invalid_argument("PredictionClient: null connector");
+}
+
+void PredictionClient::ensure_connected() {
+  if (!transport_) transport_ = connector_();
+}
+
+Response PredictionClient::locked_round_trip(const Request& request) {
+  const std::string payload = serialize_request(request);
+  int backoff_ms = std::max(1, config_.backoff_initial_ms);
+  for (int attempt = 0;; ++attempt) {
+    const bool last_attempt = attempt >= config_.max_retries;
+    try {
+      ensure_connected();
+      send_frame(*transport_, payload);
+      const auto frame = recv_frame(*transport_);
+      if (!frame)
+        throw ConnectionError("PredictionClient: server closed connection");
+      Response response = parse_response(*frame);
+      const auto* err = std::get_if<ErrorResponse>(&response);
+      if (err == nullptr) return response;
+      if (last_attempt || !retryable(err->code))
+        throw ServerError(err->code, err->message);
+      // Retryable server error: same connection, backoff below.
+    } catch (const ServerError&) {
+      throw;
+    } catch (const std::exception&) {
+      // Transport fault, desynced framing, or failed connect: the stream is
+      // unusable — tear it down and reconnect on the next attempt.
+      transport_.reset();
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (last_attempt) throw;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(
+        config_.backoff_max_ms,
+        static_cast<int>(backoff_ms * std::max(1.0, config_.backoff_multiplier)));
+  }
+}
+
+template <typename MakeRequest>
+Response PredictionClient::locked_session_round_trip(std::uint64_t local_id,
+                                                     MakeRequest&& make) {
+  const auto it = sessions_.find(local_id);
+  // Unregistered handle (caller-supplied raw id): single pass-through so
+  // probing an unknown session still surfaces the server's typed error.
+  if (it == sessions_.end()) return locked_round_trip(make(local_id));
+  try {
+    return locked_round_trip(make(it->second.remote_id));
+  } catch (const ServerError& e) {
+    if (e.code() != WireErrorCode::kUnknownSession) throw;
+  }
+  // The server lost our session (restart or TTL eviction): replay the
+  // stored HELLO to re-establish, then retry the original request once.
+  // The server-side filter state restarts from the cluster prior — a
+  // forecast-quality hiccup, not a player-visible failure.
+  Response hello_response = locked_round_trip(it->second.hello);
+  const auto* session = std::get_if<SessionResponse>(&hello_response);
+  if (session == nullptr)
+    throw std::runtime_error(
+        "PredictionClient: unexpected response replaying HELLO");
+  it->second.remote_id = session->session_id;
+  rehellos_.fetch_add(1, std::memory_order_relaxed);
+  return locked_round_trip(make(it->second.remote_id));
 }
 
 SessionResponse PredictionClient::hello(const SessionFeatures& features,
                                         double start_hour) {
-  const Response response = round_trip(HelloRequest{features, start_hour});
-  if (const auto* session = std::get_if<SessionResponse>(&response)) return *session;
-  throw std::runtime_error("PredictionClient: unexpected response to HELLO");
+  const HelloRequest request{features, start_hour};
+  std::scoped_lock lock(mutex_);
+  const Response response = locked_round_trip(request);
+  const auto* session = std::get_if<SessionResponse>(&response);
+  if (session == nullptr)
+    throw std::runtime_error("PredictionClient: unexpected response to HELLO");
+  SessionResponse out = *session;
+  const std::uint64_t local_id = next_local_id_++;
+  sessions_[local_id] = SessionRecord{request, out.session_id};
+  out.session_id = local_id;
+  return out;
 }
 
 double PredictionClient::observe(std::uint64_t session_id, double throughput_mbps) {
-  const Response response = round_trip(ObserveRequest{session_id, throughput_mbps});
+  std::scoped_lock lock(mutex_);
+  const Response response =
+      locked_session_round_trip(session_id, [&](std::uint64_t remote) {
+        return Request(ObserveRequest{remote, throughput_mbps});
+      });
   if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
   throw std::runtime_error("PredictionClient: unexpected response to OBSERVE");
 }
 
 double PredictionClient::predict(std::uint64_t session_id, unsigned steps_ahead) {
-  const Response response = round_trip(PredictRequest{session_id, steps_ahead});
+  std::scoped_lock lock(mutex_);
+  const Response response =
+      locked_session_round_trip(session_id, [&](std::uint64_t remote) {
+        return Request(PredictRequest{remote, steps_ahead});
+      });
   if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
   throw std::runtime_error("PredictionClient: unexpected response to PREDICT");
 }
 
 DownloadableModel PredictionClient::download_model(const SessionFeatures& features,
                                                    double start_hour) {
-  const Response response = round_trip(ModelRequest{features, start_hour});
+  std::scoped_lock lock(mutex_);
+  const Response response = locked_round_trip(ModelRequest{features, start_hour});
   if (const auto* model = std::get_if<ModelResponse>(&response)) {
     DownloadableModel out;
     out.initial_mbps = model->initial_mbps;
@@ -51,38 +144,100 @@ DownloadableModel PredictionClient::download_model(const SessionFeatures& featur
 }
 
 void PredictionClient::bye(std::uint64_t session_id) {
-  const Response response = round_trip(ByeRequest{session_id});
+  std::scoped_lock lock(mutex_);
+  std::uint64_t remote_id = session_id;
+  if (const auto it = sessions_.find(session_id); it != sessions_.end()) {
+    remote_id = it->second.remote_id;
+    sessions_.erase(it);
+  }
+  const Response response = locked_round_trip(ByeRequest{remote_id});
   if (!std::holds_alternative<OkResponse>(response))
     throw std::runtime_error("PredictionClient: unexpected response to BYE");
 }
+
+// -- RemoteSessionPredictor --------------------------------------------------
 
 RemoteSessionPredictor::RemoteSessionPredictor(PredictionClient& client,
                                                const SessionFeatures& features,
                                                double start_hour)
     : client_(&client) {
-  const SessionResponse session = client_->hello(features, start_hour);
-  session_id_ = session.session_id;
-  initial_mbps_ = session.initial_mbps;
-  last_forecast_ = session.initial_mbps;
-}
-
-RemoteSessionPredictor::~RemoteSessionPredictor() {
   try {
-    client_->bye(session_id_);
+    const SessionResponse session = client_->hello(features, start_hour);
+    session_id_ = session.session_id;
+    session_established_ = true;
+    initial_mbps_ = session.initial_mbps;
+    last_forecast_ = session.initial_mbps;
   } catch (const std::exception&) {
-    // Destructor must not throw; a dead server just leaks the remote entry.
+    // Service unreachable at session start: run the whole session on the
+    // local fallback rather than failing the player.
+    degrade();
   }
 }
 
+RemoteSessionPredictor::~RemoteSessionPredictor() {
+  if (!session_established_ || degraded_) return;
+  try {
+    client_->bye(session_id_);
+  } catch (const std::exception&) {
+    // Destructor must not throw; the server's TTL sweeper reaps the entry.
+  }
+}
+
+void RemoteSessionPredictor::degrade() const noexcept {
+  degraded_ = true;
+  ++remote_failures_;
+}
+
+double RemoteSessionPredictor::fallback_forecast() const {
+  // Harmonic mean of the session's own samples — the paper's §3 HM
+  // baseline, robust to throughput outliers.
+  double inverse_sum = 0.0;
+  std::size_t n = 0;
+  for (double w : history_) {
+    if (w > 0.0) {
+      inverse_sum += 1.0 / w;
+      ++n;
+    }
+  }
+  if (n > 0) return static_cast<double>(n) / inverse_sum;
+  // No usable history yet (e.g. HELLO failed before the first chunk): the
+  // last known forecast, which is the initial prediction when we have one.
+  return last_forecast_;
+}
+
+std::optional<double> RemoteSessionPredictor::predict_initial() const {
+  if (!session_established_) return std::nullopt;
+  return initial_mbps_;
+}
+
 double RemoteSessionPredictor::predict(unsigned steps_ahead) const {
+  if (degraded_) {
+    ++fallback_predictions_;
+    return fallback_forecast();
+  }
   if (!has_observed_) return initial_mbps_;
   if (steps_ahead <= 1) return last_forecast_;
-  return client_->predict(session_id_, steps_ahead);
+  try {
+    return client_->predict(session_id_, steps_ahead);
+  } catch (const std::exception&) {
+    degrade();
+    ++fallback_predictions_;
+    return fallback_forecast();
+  }
 }
 
 void RemoteSessionPredictor::observe(double throughput_mbps) {
-  last_forecast_ = client_->observe(session_id_, throughput_mbps);
+  history_.push_back(throughput_mbps);
   has_observed_ = true;
+  if (!degraded_) {
+    try {
+      last_forecast_ = client_->observe(session_id_, throughput_mbps);
+      return;
+    } catch (const std::exception&) {
+      degrade();
+    }
+  }
+  last_forecast_ = fallback_forecast();
 }
 
 }  // namespace cs2p

@@ -5,26 +5,61 @@
 // unchanged — this is how the pilot-deployment bench (§7.5) drives CS2P+MPC
 // through a real TCP round-trip per chunk, like the dash.js player posting
 // to the Node.js server in §6.
+//
+// Fault discipline (the paper's pilot runs prediction as an always-on
+// service; the player must survive losing it):
+//   - every round trip runs under send/recv deadlines (TimeoutError instead
+//     of a hung socket),
+//   - transport failures reconnect and retry with bounded exponential
+//     backoff,
+//   - a server that lost our session (restart, TTL eviction) is healed by
+//     replaying the stored HELLO and continuing under the new session id,
+//   - when the retry budget is exhausted RemoteSessionPredictor does not
+//     throw into the player loop: it degrades to a local harmonic-mean
+//     fallback (the paper's §3 HM baseline) over the samples it has seen.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "net/socket.h"
+#include "net/transport.h"
 #include "net/wire.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
 
-/// One TCP connection to a PredictionServer. Thread-safe (per-call lock).
+/// Deadline/retry policy of one client. max_retries counts retries after
+/// the first attempt; backoff doubles (capped) between attempts.
+struct ClientConfig {
+  int recv_timeout_ms = 2'000;
+  int send_timeout_ms = 2'000;
+  int max_retries = 3;
+  int backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  int backoff_max_ms = 200;
+};
+
+/// One logical connection to a PredictionServer; reconnects transparently.
+/// Thread-safe (per-call lock).
 class PredictionClient {
  public:
-  /// Connects to 127.0.0.1:`port`.
-  explicit PredictionClient(std::uint16_t port);
+  /// Connects lazily to 127.0.0.1:`port` with the config's deadlines.
+  explicit PredictionClient(std::uint16_t port, ClientConfig config = {});
+
+  /// Uses `connector` for every (re)connect — this is how tests interpose
+  /// FaultInjectingTransport.
+  explicit PredictionClient(TransportFactory connector, ClientConfig config = {});
 
   /// Registers a session; returns the server's session handle + initial
-  /// prediction. Throws std::runtime_error on server-reported errors.
+  /// prediction. The returned session_id is a client-local handle that
+  /// stays valid across reconnects and server-side session loss (the
+  /// client replays HELLO under the hood). Throws ServerError on
+  /// server-reported errors, TransportError when the retry budget runs out.
   SessionResponse hello(const SessionFeatures& features, double start_hour);
 
   /// Reports a measurement; returns the next-epoch forecast.
@@ -38,19 +73,54 @@ class PredictionClient {
 
   /// Downloads the compact per-session model for local execution (§5.3's
   /// client-side solution): no per-epoch round trips afterwards. Throws
-  /// std::runtime_error when the server's model family cannot export one.
+  /// ServerError when the server's model family cannot export one.
   DownloadableModel download_model(const SessionFeatures& features,
                                    double start_hour);
 
+  const ClientConfig& config() const noexcept { return config_; }
+
+  /// Transport teardowns that forced a fresh connect.
+  std::uint64_t reconnects() const noexcept { return reconnects_.load(); }
+
+  /// Round-trip attempts beyond the first (any reason).
+  std::uint64_t retries() const noexcept { return retries_.load(); }
+
+  /// Sessions re-established by replaying HELLO after UNKNOWN_SESSION.
+  std::uint64_t sessions_reestablished() const noexcept {
+    return rehellos_.load();
+  }
+
  private:
-  Response round_trip(const Request& request);
+  struct SessionRecord {
+    HelloRequest hello;        ///< replayed to re-establish after loss
+    std::uint64_t remote_id = 0;
+  };
+
+  void ensure_connected();
+  Response locked_round_trip(const Request& request);
+  template <typename MakeRequest>
+  Response locked_session_round_trip(std::uint64_t local_id, MakeRequest&& make);
 
   std::mutex mutex_;
-  FdHandle connection_;
+  TransportFactory connector_;
+  ClientConfig config_;
+  std::unique_ptr<Transport> transport_;
+  std::unordered_map<std::uint64_t, SessionRecord> sessions_;
+  std::uint64_t next_local_id_ = 1;
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> rehellos_{0};
 };
 
 /// SessionPredictor adapter over a PredictionClient. The client must
 /// outlive the predictor.
+///
+/// Degradation contract: no member ever throws into the player loop. When
+/// the service is unreachable past the client's retry budget (including a
+/// failed HELLO), the predictor flips to degraded() and serves a harmonic
+/// mean of the throughput samples observed so far — the player keeps
+/// streaming on the paper's HM baseline and the §7.5 bench can report
+/// QoE-under-failure.
 class RemoteSessionPredictor final : public SessionPredictor {
  public:
   RemoteSessionPredictor(PredictionClient& client, const SessionFeatures& features,
@@ -60,16 +130,35 @@ class RemoteSessionPredictor final : public SessionPredictor {
   RemoteSessionPredictor(const RemoteSessionPredictor&) = delete;
   RemoteSessionPredictor& operator=(const RemoteSessionPredictor&) = delete;
 
-  std::optional<double> predict_initial() const override { return initial_mbps_; }
+  std::optional<double> predict_initial() const override;
   double predict(unsigned steps_ahead) const override;
   void observe(double throughput_mbps) override;
 
+  /// True once the predictor has switched to the local fallback.
+  bool degraded() const override { return degraded_; }
+
+  /// Remote calls that failed past the retry budget.
+  std::uint64_t remote_failures() const noexcept { return remote_failures_; }
+
+  /// Forecasts served by the local harmonic-mean fallback.
+  std::uint64_t fallback_predictions() const noexcept {
+    return fallback_predictions_;
+  }
+
  private:
+  void degrade() const noexcept;
+  double fallback_forecast() const;
+
   PredictionClient* client_;
   std::uint64_t session_id_ = 0;
+  bool session_established_ = false;
   double initial_mbps_ = 0.0;
   double last_forecast_ = 0.0;
   bool has_observed_ = false;
+  std::vector<double> history_;  ///< observed samples, feeds the fallback
+  mutable bool degraded_ = false;
+  mutable std::uint64_t remote_failures_ = 0;
+  mutable std::uint64_t fallback_predictions_ = 0;
 };
 
 }  // namespace cs2p

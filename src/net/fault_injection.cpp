@@ -1,0 +1,109 @@
+#include "net/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cs2p {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, FaultSpec spec, std::uint64_t seed,
+    std::shared_ptr<FaultCounters> counters)
+    : inner_(std::move(inner)),
+      spec_(spec),
+      rng_(seed),
+      counters_(std::move(counters)) {
+  if (!counters_) counters_ = std::make_shared<FaultCounters>();
+}
+
+void FaultInjectingTransport::maybe_delay() {
+  if (spec_.delay_ms > 0 && rng_.bernoulli(spec_.delay)) {
+    counters_->delays_injected.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
+  }
+}
+
+void FaultInjectingTransport::inject_reset(const char* where) {
+  counters_->resets_injected.fetch_add(1, std::memory_order_relaxed);
+  inner_->shutdown();
+  throw ConnectionError(std::string("fault injection: reset on ") + where);
+}
+
+void FaultInjectingTransport::send(std::span<const std::byte> data) {
+  counters_->sends.fetch_add(1, std::memory_order_relaxed);
+  maybe_delay();
+  if (rng_.bernoulli(spec_.reset_on_send)) inject_reset("send");
+
+  std::vector<std::byte> corrupted;
+  if (!data.empty() && rng_.bernoulli(spec_.corrupt_on_send)) {
+    counters_->corruptions_injected.fetch_add(1, std::memory_order_relaxed);
+    corrupted.assign(data.begin(), data.end());
+    const std::size_t index = rng_.uniform_index(corrupted.size());
+    corrupted[index] ^= static_cast<std::byte>(1 + rng_.uniform_index(255));
+    data = corrupted;
+  }
+
+  if (spec_.max_io_chunk == 0) {
+    inner_->send(data);
+    return;
+  }
+  // Short writes: hand the stream to the inner transport piecemeal so the
+  // receiver's reassembly loop sees genuinely partial transfers.
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n =
+        std::min(spec_.max_io_chunk, data.size() - offset);
+    inner_->send(data.subspan(offset, n));
+    offset += n;
+  }
+}
+
+bool FaultInjectingTransport::recv(std::span<std::byte> data) {
+  counters_->recvs.fetch_add(1, std::memory_order_relaxed);
+  maybe_delay();
+  if (rng_.bernoulli(spec_.reset_on_recv)) inject_reset("recv");
+
+  if (spec_.max_io_chunk == 0) return inner_->recv(data);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t n = std::min(spec_.max_io_chunk, data.size() - offset);
+    if (!inner_->recv(data.subspan(offset, n))) {
+      if (offset == 0) return false;
+      throw ConnectionError("fault injection: EOF mid-message");
+    }
+    offset += n;
+  }
+  return true;
+}
+
+void FaultInjectingTransport::shutdown() noexcept { inner_->shutdown(); }
+
+TransportFactory fault_injecting_connector(
+    TransportFactory inner, FaultSpec spec, std::uint64_t seed,
+    std::shared_ptr<FaultCounters> counters) {
+  if (!counters) counters = std::make_shared<FaultCounters>();
+  // The factory is called under the client's lock, but guard the shared RNG
+  // anyway so multiple clients can share one connector.
+  auto rng = std::make_shared<Rng>(seed);
+  auto rng_mutex = std::make_shared<std::mutex>();
+  return [inner = std::move(inner), spec, counters, rng,
+          rng_mutex]() -> std::unique_ptr<Transport> {
+    std::uint64_t child_seed = 0;
+    bool refuse = false;
+    {
+      std::scoped_lock lock(*rng_mutex);
+      refuse = rng->bernoulli(spec.refuse_connect);
+      child_seed = (*rng)();
+    }
+    if (refuse) {
+      counters->connects_refused.fetch_add(1, std::memory_order_relaxed);
+      throw ConnectionError("fault injection: connect refused");
+    }
+    return std::make_unique<FaultInjectingTransport>(inner(), spec, child_seed,
+                                                     counters);
+  };
+}
+
+}  // namespace cs2p

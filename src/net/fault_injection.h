@@ -1,0 +1,78 @@
+// Deterministic fault injection for the prediction-service transport.
+//
+// FaultInjectingTransport wraps any Transport and, driven by a seeded
+// cs2p::Rng, injects the failure modes a real deployment sees: refused
+// connects, mid-message resets, short (chunked) reads and writes, added
+// latency, and single-byte corruption. The same seed always yields the same
+// fault schedule, so chaos tests are reproducible. Counters record what was
+// actually injected so tests can assert the run exercised faults at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace cs2p {
+
+/// Per-operation fault probabilities (each sampled independently).
+struct FaultSpec {
+  double refuse_connect = 0.0;   ///< connector throws ConnectionError
+  double reset_on_send = 0.0;    ///< tear down the stream instead of sending
+  double reset_on_recv = 0.0;    ///< tear down the stream instead of reading
+  double corrupt_on_send = 0.0;  ///< flip one byte of the outgoing buffer
+  double delay = 0.0;            ///< sleep delay_ms before the operation
+  int delay_ms = 0;
+  /// When > 0, deliver every transfer to the inner transport in chunks of at
+  /// most this many bytes — exercises the peer's partial-read reassembly.
+  std::size_t max_io_chunk = 0;
+};
+
+/// What the injector actually did (shared across reconnects).
+struct FaultCounters {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> recvs{0};
+  std::atomic<std::uint64_t> connects_refused{0};
+  std::atomic<std::uint64_t> resets_injected{0};
+  std::atomic<std::uint64_t> corruptions_injected{0};
+  std::atomic<std::uint64_t> delays_injected{0};
+
+  std::uint64_t total_faults() const noexcept {
+    return connects_refused.load() + resets_injected.load() +
+           corruptions_injected.load();
+  }
+};
+
+/// Transport decorator injecting the faults of `spec`. Not thread-safe (the
+/// client serializes all transport use behind its own lock).
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultSpec spec,
+                          std::uint64_t seed,
+                          std::shared_ptr<FaultCounters> counters = nullptr);
+
+  void send(std::span<const std::byte> data) override;
+  bool recv(std::span<std::byte> data) override;
+  void shutdown() noexcept override;
+
+ private:
+  void maybe_delay();
+  [[noreturn]] void inject_reset(const char* where);
+
+  std::unique_ptr<Transport> inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  std::shared_ptr<FaultCounters> counters_;
+};
+
+/// Wraps `inner` so every produced transport injects faults from `spec`.
+/// Each connect draws an independent RNG stream from `seed`, and
+/// `spec.refuse_connect` is applied at connect time. All transports made by
+/// the returned factory share `counters` (allocated when null).
+TransportFactory fault_injecting_connector(
+    TransportFactory inner, FaultSpec spec, std::uint64_t seed,
+    std::shared_ptr<FaultCounters> counters);
+
+}  // namespace cs2p

@@ -2,14 +2,21 @@
 
 #include <sys/socket.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace cs2p {
 
 PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
                                    std::uint16_t port)
-    : model_(std::move(model)) {
+    : PredictionServer(std::move(model), ServerConfig{}, port) {}
+
+PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
+                                   ServerConfig config, std::uint16_t port)
+    : model_(std::move(model)), config_(config) {
   if (!model_) throw std::invalid_argument("PredictionServer: null model");
+  if (config_.max_connections == 0)
+    throw std::invalid_argument("PredictionServer: max_connections must be > 0");
   auto [listener, bound_port] = listen_loopback(port);
   listener_ = std::move(listener);
   port_ = bound_port;
@@ -22,16 +29,18 @@ PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
 PredictionServer::~PredictionServer() { stop(); }
 
 void PredictionServer::stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  stopping_.store(true);
+  // Serialize the teardown: std::thread::join from two threads racing each
+  // other is undefined behaviour, so the whole shutdown runs under a lock
+  // and every step is idempotent.
+  std::scoped_lock stop_lock(stop_mutex_);
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.reset();
   std::vector<std::thread> workers;
   {
     std::scoped_lock lock(workers_mutex_);
     workers = std::move(workers_);
+    workers_.clear();
     // shutdown(2) DOES wake a blocked recv(2); close alone would not free
     // workers waiting on idle client connections.
     for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -40,8 +49,50 @@ void PredictionServer::stop() {
     if (worker.joinable()) worker.join();
 }
 
+std::size_t PredictionServer::session_count() const {
+  std::scoped_lock lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+void PredictionServer::evict_expired_sessions() {
+  if (config_.session_ttl_ms <= 0) return;
+  const auto deadline =
+      Clock::now() - std::chrono::milliseconds(config_.session_ttl_ms);
+  std::scoped_lock lock(sessions_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.last_used < deadline) {
+      it = sessions_.erase(it);
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PredictionServer::reject_connection(const FdHandle& connection) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    send_frame(connection,
+               serialize_response(ErrorResponse{
+                   WireErrorCode::kOverloaded,
+                   "connection limit reached, try again later"}));
+    // The client's request is sitting unread in our receive buffer, and
+    // close(2) with unread data sends RST — which can destroy the rejection
+    // frame before the peer reads it. Half-close our side, then drain the
+    // socket for a bounded moment so the close is a clean FIN.
+    ::shutdown(connection.get(), SHUT_WR);
+    std::byte sink[256];
+    for (int i = 0; i < 10 && wait_readable(connection, 10); ++i) {
+      if (::recv(connection.get(), sink, sizeof(sink), 0) <= 0) break;
+    }
+  } catch (const std::exception&) {
+    // Best-effort courtesy frame; the close below is the real rejection.
+  }
+}
+
 void PredictionServer::accept_loop() {
   while (!stopping_.load()) {
+    evict_expired_sessions();
     try {
       if (!wait_readable(listener_, /*timeout_ms=*/100)) continue;
     } catch (const std::exception&) {
@@ -49,6 +100,11 @@ void PredictionServer::accept_loop() {
     }
     FdHandle connection = try_accept(listener_);
     if (!connection.valid()) continue;  // spurious wakeup or shutdown
+    if (active_connections_.load() >= config_.max_connections) {
+      reject_connection(connection);
+      continue;  // FdHandle destructor closes it
+    }
+    active_connections_.fetch_add(1);
     std::scoped_lock lock(workers_mutex_);
     live_connection_fds_.push_back(connection.get());
     workers_.emplace_back(
@@ -61,13 +117,19 @@ void PredictionServer::accept_loop() {
 void PredictionServer::serve_connection(FdHandle connection) {
   try {
     while (!stopping_.load()) {
+      // Idle timeout: a silent peer gets its connection reclaimed instead of
+      // pinning this worker forever. stop() still wakes the poll via
+      // shutdown(2) (POLLHUP counts as readable).
+      if (!wait_readable(connection, config_.idle_timeout_ms)) break;
       const auto frame = recv_frame(connection);
       if (!frame) break;  // client hung up
       Response response;
       try {
         response = handle(parse_request(*frame));
+      } catch (const ProtocolError& e) {
+        response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
       } catch (const std::exception& e) {
-        response = ErrorResponse{e.what()};
+        response = ErrorResponse{WireErrorCode::kInternal, e.what()};
       }
       // Count before replying: once the client sees the response, the
       // request must already be visible in requests_handled().
@@ -75,14 +137,22 @@ void PredictionServer::serve_connection(FdHandle connection) {
       send_frame(connection, serialize_response(response));
     }
   } catch (const std::exception&) {
-    // Connection-level failure: drop the connection, keep serving others.
+    // Connection-level failure (reset, desynced framing): drop the
+    // connection, keep serving others.
   }
+  active_connections_.fetch_sub(1);
   std::scoped_lock lock(workers_mutex_);
   std::erase(live_connection_fds_, connection.get());
 }
 
 Response PredictionServer::handle(const Request& request) {
+  if (stopping_.load())
+    return ErrorResponse{WireErrorCode::kShuttingDown, "server is stopping"};
+
   if (const auto* hello = std::get_if<HelloRequest>(&request)) {
+    if (!std::isfinite(hello->start_hour))
+      return ErrorResponse{WireErrorCode::kBadRequest,
+                           "start_hour must be finite"};
     SessionContext context;
     context.features = hello->features;
     context.start_hour = hello->start_hour;
@@ -95,24 +165,40 @@ Response PredictionServer::handle(const Request& request) {
 
     std::scoped_lock lock(sessions_mutex_);
     response.session_id = next_session_id_++;
-    sessions_.emplace(response.session_id, std::move(predictor));
+    sessions_.emplace(response.session_id,
+                      SessionEntry{std::move(predictor), Clock::now()});
     return response;
   }
 
   if (const auto* observe = std::get_if<ObserveRequest>(&request)) {
+    const double w = observe->throughput_mbps;
+    // Validate before touching the predictor: one NaN in the forward filter
+    // poisons every belief state after it.
+    // Zero is allowed: a fully stalled epoch is a real measurement (and the
+    // dataset loader accepts it too).
+    if (!std::isfinite(w) || w < 0.0 || w > config_.max_sample_mbps)
+      return ErrorResponse{WireErrorCode::kInvalidSample,
+                           "throughput sample must be finite, non-negative and <= " +
+                               std::to_string(config_.max_sample_mbps)};
     std::scoped_lock lock(sessions_mutex_);
     const auto it = sessions_.find(observe->session_id);
-    if (it == sessions_.end()) return ErrorResponse{"unknown session"};
-    it->second->observe(observe->throughput_mbps);
-    return PredictionResponse{it->second->predict(1)};
+    if (it == sessions_.end())
+      return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
+    it->second.last_used = Clock::now();
+    it->second.predictor->observe(w);
+    return PredictionResponse{it->second.predictor->predict(1)};
   }
 
   if (const auto* predict = std::get_if<PredictRequest>(&request)) {
     std::scoped_lock lock(sessions_mutex_);
     const auto it = sessions_.find(predict->session_id);
-    if (it == sessions_.end()) return ErrorResponse{"unknown session"};
-    if (predict->steps_ahead == 0) return ErrorResponse{"steps_ahead must be >= 1"};
-    return PredictionResponse{it->second->predict(predict->steps_ahead)};
+    if (it == sessions_.end())
+      return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
+    if (predict->steps_ahead == 0)
+      return ErrorResponse{WireErrorCode::kBadRequest,
+                           "steps_ahead must be >= 1"};
+    it->second.last_used = Clock::now();
+    return PredictionResponse{it->second.predictor->predict(predict->steps_ahead)};
   }
 
   if (const auto* bye = std::get_if<ByeRequest>(&request)) {
@@ -127,14 +213,15 @@ Response PredictionServer::handle(const Request& request) {
     context.start_hour = model->start_hour;
     const auto downloadable = model_->downloadable_model(context);
     if (!downloadable)
-      return ErrorResponse{"model download unsupported by " + model_->name()};
+      return ErrorResponse{WireErrorCode::kUnsupported,
+                           "model download unsupported by " + model_->name()};
     ModelResponse response;
     response.initial_mbps = downloadable->initial_mbps;
     response.used_global_model = downloadable->used_global_model;
     response.serialized_hmm = serialize_hmm(downloadable->hmm);
     return response;
   }
-  return ErrorResponse{"unhandled request"};
+  return ErrorResponse{WireErrorCode::kBadRequest, "unhandled request"};
 }
 
 }  // namespace cs2p

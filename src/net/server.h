@@ -5,9 +5,19 @@
 // connection; per-session predictor state lives in a shared table so a
 // session can in principle migrate between connections (the paper's
 // server-side solution keeps all per-session state at the server).
+//
+// Fault discipline (ROADMAP north star: degrade, don't die):
+//   - connection cap with a typed OVERLOADED rejection frame,
+//   - per-connection idle timeout (a hung or silent peer cannot pin a
+//     worker thread forever),
+//   - request validation (NaN/negative/absurd throughput samples answer
+//     INVALID_SAMPLE instead of poisoning the HMM filter),
+//   - TTL eviction of session entries abandoned without BYE (a crashed
+//     client leaks nothing permanently).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,12 +31,23 @@
 
 namespace cs2p {
 
+/// Robustness knobs of the service; the defaults suit tests and the pilot
+/// bench, cs2p_serve exposes them as flags.
+struct ServerConfig {
+  std::size_t max_connections = 64;  ///< concurrent connections before OVERLOADED
+  int idle_timeout_ms = 30'000;      ///< close a connection idle this long
+  int session_ttl_ms = 120'000;      ///< evict sessions untouched this long
+  double max_sample_mbps = 10'000.0; ///< OBSERVE samples above this are absurd
+};
+
 class PredictionServer {
  public:
   /// Starts serving immediately on 127.0.0.1:`port` (0 = ephemeral).
   /// The model must outlive the server.
   PredictionServer(std::shared_ptr<const PredictorModel> model,
                    std::uint16_t port = 0);
+  PredictionServer(std::shared_ptr<const PredictorModel> model,
+                   ServerConfig config, std::uint16_t port = 0);
 
   /// Stops accepting, closes connections, joins all threads.
   ~PredictionServer();
@@ -35,27 +56,52 @@ class PredictionServer {
   PredictionServer& operator=(const PredictionServer&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
+  const ServerConfig& config() const noexcept { return config_; }
 
   /// Served-request counter (for the throughput microbench).
   std::uint64_t requests_handled() const noexcept { return requests_.load(); }
 
+  /// Live entries in the session table (for leak checks in tests).
+  std::size_t session_count() const;
+
+  /// Sessions reaped by the TTL sweeper because no BYE ever arrived.
+  std::uint64_t sessions_evicted() const noexcept { return evicted_.load(); }
+
+  /// Connections refused at the cap with an OVERLOADED frame.
+  std::uint64_t connections_rejected() const noexcept { return rejected_.load(); }
+
+  /// Safe to call repeatedly and from multiple threads concurrently.
   void stop();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  struct SessionEntry {
+    std::unique_ptr<SessionPredictor> predictor;
+    Clock::time_point last_used;
+  };
+
   void accept_loop();
   void serve_connection(FdHandle connection);
   Response handle(const Request& request);
+  void evict_expired_sessions();
+  void reject_connection(const FdHandle& connection);
 
   std::shared_ptr<const PredictorModel> model_;
+  ServerConfig config_;
   FdHandle listener_;
   std::uint16_t port_ = 0;
 
-  std::mutex sessions_mutex_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<SessionPredictor>> sessions_;
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, SessionEntry> sessions_;
   std::uint64_t next_session_id_ = 1;
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::size_t> active_connections_{0};
+  std::mutex stop_mutex_;  ///< serializes concurrent stop() callers
   std::thread accept_thread_;
   std::mutex workers_mutex_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,92 @@
+#include "net/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace cs2p {
+namespace {
+
+/// Waits for `events` on `fd`. Returns false on timeout (timeout_ms > 0);
+/// blocks indefinitely when timeout_ms <= 0.
+bool wait_for(int fd, short events, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (rc > 0) return true;  // readiness, error, or hangup: let recv/send see it
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    throw ConnectionError(std::string("transport: poll: ") + std::strerror(errno));
+  }
+}
+
+[[noreturn]] void throw_io_error(const char* op) {
+  throw ConnectionError(std::string("transport: ") + op + ": " +
+                        std::strerror(errno));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(FdHandle fd, TransportDeadlines deadlines)
+    : fd_(std::move(fd)), deadlines_(deadlines) {
+  if (!fd_.valid()) throw ConnectionError("transport: invalid socket");
+  // Non-blocking + poll keeps every wait under the configured deadline.
+  set_nonblocking(fd_);
+}
+
+void SocketTransport::send(std::span<const std::byte> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (!wait_for(fd_.get(), POLLOUT, deadlines_.send_timeout_ms))
+      throw TimeoutError("transport: send deadline elapsed");
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_io_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool SocketTransport::recv(std::span<std::byte> data) {
+  std::size_t received = 0;
+  while (received < data.size()) {
+    if (!wait_for(fd_.get(), POLLIN, deadlines_.recv_timeout_ms))
+      throw TimeoutError("transport: recv deadline elapsed");
+    const ssize_t n =
+        ::recv(fd_.get(), data.data() + received, data.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      throw_io_error("recv");
+    }
+    if (n == 0) {
+      if (received == 0) return false;  // clean EOF between messages
+      throw ConnectionError("transport: connection closed mid-message");
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SocketTransport::shutdown() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+TransportFactory loopback_connector(std::uint16_t port,
+                                    TransportDeadlines deadlines) {
+  return [port, deadlines]() -> std::unique_ptr<Transport> {
+    try {
+      return std::make_unique<SocketTransport>(connect_loopback(port), deadlines);
+    } catch (const std::system_error& e) {
+      throw ConnectionError(std::string("transport: connect: ") + e.what());
+    }
+  };
+}
+
+}  // namespace cs2p

@@ -25,7 +25,7 @@ double parse_double(const std::string& token, const char* what) {
     if (consumed != token.size()) throw std::invalid_argument(token);
     return value;
   } catch (const std::exception&) {
-    throw std::runtime_error(std::string("wire: bad number for ") + what);
+    throw ProtocolError(std::string("wire: bad number for ") + what);
   }
 }
 
@@ -34,16 +34,38 @@ std::uint64_t parse_u64(const std::string& token, const char* what) {
   const auto [ptr, ec] =
       std::from_chars(token.data(), token.data() + token.size(), value);
   if (ec != std::errc{} || ptr != token.data() + token.size())
-    throw std::runtime_error(std::string("wire: bad integer for ") + what);
+    throw ProtocolError(std::string("wire: bad integer for ") + what);
   return value;
 }
 
 void require_token(std::string_view value, const char* what) {
   if (value.empty() ||
       value.find_first_of(" \t\r\n") != std::string_view::npos) {
-    throw std::runtime_error(std::string("wire: feature value for ") + what +
-                             " must be a non-empty whitespace-free token");
+    throw ProtocolError(std::string("wire: feature value for ") + what +
+                        " must be a non-empty whitespace-free token");
   }
+}
+
+/// Frame header: [version][len-hi][len-mid][len-lo].
+std::array<std::byte, 4> encode_frame_header(std::uint32_t size) {
+  return {
+      static_cast<std::byte>(kProtocolVersion),
+      static_cast<std::byte>((size >> 16) & 0xff),
+      static_cast<std::byte>((size >> 8) & 0xff),
+      static_cast<std::byte>(size & 0xff),
+  };
+}
+
+std::uint32_t decode_frame_header(const std::array<std::byte, 4>& header) {
+  const auto version = std::to_integer<std::uint8_t>(header[0]);
+  if (version != kProtocolVersion)
+    throw ProtocolError("wire: unsupported protocol version " +
+                        std::to_string(version));
+  const std::uint32_t size = (std::to_integer<std::uint32_t>(header[1]) << 16) |
+                             (std::to_integer<std::uint32_t>(header[2]) << 8) |
+                             std::to_integer<std::uint32_t>(header[3]);
+  if (size > kMaxFrameBytes) throw ProtocolError("wire: oversized frame");
+  return size;
 }
 
 std::string format_double(double v) {
@@ -55,32 +77,64 @@ std::string format_double(double v) {
 
 }  // namespace
 
+std::string_view wire_error_code_name(WireErrorCode code) noexcept {
+  switch (code) {
+    case WireErrorCode::kBadRequest: return "BAD_REQUEST";
+    case WireErrorCode::kUnknownSession: return "UNKNOWN_SESSION";
+    case WireErrorCode::kInvalidSample: return "INVALID_SAMPLE";
+    case WireErrorCode::kOverloaded: return "OVERLOADED";
+    case WireErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case WireErrorCode::kUnsupported: return "UNSUPPORTED";
+    case WireErrorCode::kInternal: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+std::optional<WireErrorCode> wire_error_code_from_name(
+    std::string_view name) noexcept {
+  for (const WireErrorCode code :
+       {WireErrorCode::kBadRequest, WireErrorCode::kUnknownSession,
+        WireErrorCode::kInvalidSample, WireErrorCode::kOverloaded,
+        WireErrorCode::kShuttingDown, WireErrorCode::kUnsupported,
+        WireErrorCode::kInternal}) {
+    if (name == wire_error_code_name(code)) return code;
+  }
+  return std::nullopt;
+}
+
 void send_frame(const FdHandle& socket, std::string_view payload) {
   if (payload.size() > kMaxFrameBytes)
-    throw std::runtime_error("wire: frame too large");
-  const auto size = static_cast<std::uint32_t>(payload.size());
-  std::array<std::byte, 4> header{
-      static_cast<std::byte>((size >> 24) & 0xff),
-      static_cast<std::byte>((size >> 16) & 0xff),
-      static_cast<std::byte>((size >> 8) & 0xff),
-      static_cast<std::byte>(size & 0xff),
-  };
-  send_all(socket, header);
+    throw ProtocolError("wire: frame too large");
+  send_all(socket, encode_frame_header(static_cast<std::uint32_t>(payload.size())));
   send_all(socket, std::as_bytes(std::span(payload.data(), payload.size())));
+}
+
+void send_frame(Transport& transport, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw ProtocolError("wire: frame too large");
+  transport.send(encode_frame_header(static_cast<std::uint32_t>(payload.size())));
+  transport.send(std::as_bytes(std::span(payload.data(), payload.size())));
 }
 
 std::optional<std::string> recv_frame(const FdHandle& socket) {
   std::array<std::byte, 4> header{};
   if (!recv_all(socket, header)) return std::nullopt;
-  const std::uint32_t size = (std::to_integer<std::uint32_t>(header[0]) << 24) |
-                             (std::to_integer<std::uint32_t>(header[1]) << 16) |
-                             (std::to_integer<std::uint32_t>(header[2]) << 8) |
-                             std::to_integer<std::uint32_t>(header[3]);
-  if (size > kMaxFrameBytes) throw std::runtime_error("wire: oversized frame");
+  const std::uint32_t size = decode_frame_header(header);
   std::string payload(size, '\0');
   if (size > 0 &&
       !recv_all(socket, std::as_writable_bytes(std::span(payload.data(), size))))
-    throw std::runtime_error("wire: connection closed mid-frame");
+    throw ProtocolError("wire: connection closed mid-frame");
+  return payload;
+}
+
+std::optional<std::string> recv_frame(Transport& transport) {
+  std::array<std::byte, 4> header{};
+  if (!transport.recv(header)) return std::nullopt;
+  const std::uint32_t size = decode_frame_header(header);
+  std::string payload(size, '\0');
+  if (size > 0 &&
+      !transport.recv(std::as_writable_bytes(std::span(payload.data(), size))))
+    throw ProtocolError("wire: connection closed mid-frame");
   return payload;
 }
 
@@ -111,10 +165,10 @@ std::string serialize_request(const Request& request) {
 
 Request parse_request(std::string_view payload) {
   const auto tokens = tokenize(payload);
-  if (tokens.empty()) throw std::runtime_error("wire: empty request");
+  if (tokens.empty()) throw ProtocolError("wire: empty request");
   const std::string& verb = tokens[0];
   if (verb == "HELLO") {
-    if (tokens.size() != 8) throw std::runtime_error("wire: HELLO wants 7 fields");
+    if (tokens.size() != 8) throw ProtocolError("wire: HELLO wants 7 fields");
     HelloRequest hello;
     hello.features.isp = tokens[1];
     hello.features.as_number = tokens[2];
@@ -126,22 +180,22 @@ Request parse_request(std::string_view payload) {
     return hello;
   }
   if (verb == "OBSERVE") {
-    if (tokens.size() != 3) throw std::runtime_error("wire: OBSERVE wants 2 fields");
+    if (tokens.size() != 3) throw ProtocolError("wire: OBSERVE wants 2 fields");
     return ObserveRequest{parse_u64(tokens[1], "session_id"),
                           parse_double(tokens[2], "throughput")};
   }
   if (verb == "PREDICT") {
-    if (tokens.size() != 3) throw std::runtime_error("wire: PREDICT wants 2 fields");
+    if (tokens.size() != 3) throw ProtocolError("wire: PREDICT wants 2 fields");
     return PredictRequest{
         parse_u64(tokens[1], "session_id"),
         static_cast<unsigned>(parse_u64(tokens[2], "steps_ahead"))};
   }
   if (verb == "BYE") {
-    if (tokens.size() != 2) throw std::runtime_error("wire: BYE wants 1 field");
+    if (tokens.size() != 2) throw ProtocolError("wire: BYE wants 1 field");
     return ByeRequest{parse_u64(tokens[1], "session_id")};
   }
   if (verb == "MODEL") {
-    if (tokens.size() != 8) throw std::runtime_error("wire: MODEL wants 7 fields");
+    if (tokens.size() != 8) throw ProtocolError("wire: MODEL wants 7 fields");
     ModelRequest model;
     model.features.isp = tokens[1];
     model.features.as_number = tokens[2];
@@ -152,7 +206,7 @@ Request parse_request(std::string_view payload) {
     model.start_hour = parse_double(tokens[7], "start_hour");
     return model;
   }
-  throw std::runtime_error("wire: unknown request verb " + verb);
+  throw ProtocolError("wire: unknown request verb " + verb);
 }
 
 std::string serialize_response(const Response& response) {
@@ -168,7 +222,7 @@ std::string serialize_response(const Response& response) {
   } else if (std::holds_alternative<OkResponse>(response)) {
     os << "OK";
   } else if (const auto* err = std::get_if<ErrorResponse>(&response)) {
-    os << "ERR " << err->message;
+    os << "ERR " << wire_error_code_name(err->code) << ' ' << err->message;
   } else if (const auto* model = std::get_if<ModelResponse>(&response)) {
     // Header line, then the serialized model verbatim.
     os << "MODEL " << format_double(model->initial_mbps) << ' '
@@ -184,10 +238,10 @@ Response parse_response(std::string_view payload) {
   if (payload.starts_with("MODEL ")) {
     const auto newline = payload.find('\n');
     if (newline == std::string_view::npos)
-      throw std::runtime_error("wire: MODEL response missing body");
+      throw ProtocolError("wire: MODEL response missing body");
     const auto header = tokenize(payload.substr(0, newline));
     if (header.size() != 3)
-      throw std::runtime_error("wire: MODEL header wants 2 fields");
+      throw ProtocolError("wire: MODEL header wants 2 fields");
     ModelResponse model;
     model.initial_mbps = parse_double(header[1], "initial_mbps");
     model.used_global_model = parse_u64(header[2], "global_flag") != 0;
@@ -195,10 +249,10 @@ Response parse_response(std::string_view payload) {
     return model;
   }
   const auto tokens = tokenize(payload);
-  if (tokens.empty()) throw std::runtime_error("wire: empty response");
+  if (tokens.empty()) throw ProtocolError("wire: empty response");
   const std::string& verb = tokens[0];
   if (verb == "SESSION") {
-    if (tokens.size() != 5) throw std::runtime_error("wire: SESSION wants 4 fields");
+    if (tokens.size() != 5) throw ProtocolError("wire: SESSION wants 4 fields");
     SessionResponse session;
     session.session_id = parse_u64(tokens[1], "session_id");
     session.initial_mbps = parse_double(tokens[2], "initial_mbps");
@@ -207,17 +261,30 @@ Response parse_response(std::string_view payload) {
     return session;
   }
   if (verb == "PRED") {
-    if (tokens.size() != 2) throw std::runtime_error("wire: PRED wants 1 field");
+    if (tokens.size() != 2) throw ProtocolError("wire: PRED wants 1 field");
     return PredictionResponse{parse_double(tokens[1], "mbps")};
   }
   if (verb == "OK") return OkResponse{};
   if (verb == "ERR") {
     const auto pos = payload.find("ERR") + 3;
-    std::string message;
-    if (payload.size() > pos + 1) message = std::string(payload.substr(pos + 1));
-    return ErrorResponse{std::move(message)};
+    std::string rest;
+    if (payload.size() > pos + 1) rest = std::string(payload.substr(pos + 1));
+    // "ERR <code> <message>"; tolerate a missing/unknown code token (treat
+    // the whole remainder as the message) so older peers still decode.
+    ErrorResponse error;
+    const auto space = rest.find(' ');
+    const std::string head = rest.substr(0, space);
+    if (const auto code = wire_error_code_from_name(head)) {
+      error.code = *code;
+      error.message = space == std::string::npos ? std::string{}
+                                                 : rest.substr(space + 1);
+    } else {
+      error.code = WireErrorCode::kInternal;
+      error.message = std::move(rest);
+    }
+    return error;
   }
-  throw std::runtime_error("wire: unknown response verb " + verb);
+  throw ProtocolError("wire: unknown response verb " + verb);
 }
 
 }  // namespace cs2p

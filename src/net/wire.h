@@ -3,7 +3,8 @@
 // The paper's player sends an HTTP POST with the last epoch's measured
 // throughput and receives the next prediction in ~5 ms. We use the same
 // request/response shape over a persistent TCP connection with 4-byte
-// big-endian length framing and a line-oriented payload:
+// big-endian framing — one protocol-version byte followed by a 24-bit
+// payload length — and a line-oriented payload:
 //
 //   client -> server
 //     HELLO <isp> <as> <province> <city> <server> <prefix> <hour>
@@ -19,7 +20,7 @@
 //     PRED <mbps>
 //     MODEL <initial-mbps> <global 0|1> \n <serialized hmm ...>
 //     OK
-//     ERR <message>
+//     ERR <code> <message>        (code: see WireErrorCode below)
 //
 // Feature values must be whitespace-free tokens (true for every dataset this
 // library produces); HELLO validates this instead of escaping.
@@ -27,22 +28,74 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <variant>
 
 #include "dataset/session.h"
 #include "net/socket.h"
+#include "net/transport.h"
 
 namespace cs2p {
 
+/// Version stamped into byte 0 of every frame header; a peer speaking a
+/// different framing is rejected with ProtocolError instead of desyncing.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
 /// Maximum accepted frame payload; guards against malformed length prefixes.
+/// Must fit the 24-bit length field of the frame header.
 inline constexpr std::uint32_t kMaxFrameBytes = 64 * 1024;
+
+/// A malformed frame or payload (bad version byte, oversized length,
+/// unparseable message). Distinct from TransportError: the bytes arrived but
+/// do not decode, so the stream may be desynced and should be reconnected.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Machine-readable error classes carried by ERR responses, so clients can
+/// decide what is retryable without parsing prose.
+enum class WireErrorCode : std::uint8_t {
+  kBadRequest = 0,   ///< unparseable or semantically invalid request
+  kUnknownSession,   ///< session id not in the server's table (expired/lost)
+  kInvalidSample,    ///< NaN/negative/absurd throughput sample rejected
+  kOverloaded,       ///< connection cap reached; try later
+  kShuttingDown,     ///< server is stopping
+  kUnsupported,      ///< operation not supported by this model family
+  kInternal,         ///< unexpected server-side failure
+};
+
+/// Stable token used on the wire ("BAD_REQUEST", "UNKNOWN_SESSION", ...).
+std::string_view wire_error_code_name(WireErrorCode code) noexcept;
+
+/// Inverse of wire_error_code_name; nullopt for unknown tokens.
+std::optional<WireErrorCode> wire_error_code_from_name(std::string_view name) noexcept;
+
+/// A server-reported error (an ERR response), thrown by PredictionClient.
+/// Unlike TransportError, the round trip itself succeeded.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(WireErrorCode code, const std::string& message)
+      : std::runtime_error("prediction server: [" +
+                           std::string(wire_error_code_name(code)) + "] " +
+                           message),
+        code_(code) {}
+
+  WireErrorCode code() const noexcept { return code_; }
+
+ private:
+  WireErrorCode code_;
+};
 
 /// Sends one length-prefixed frame.
 void send_frame(const FdHandle& socket, std::string_view payload);
+void send_frame(Transport& transport, std::string_view payload);
 
-/// Receives one frame; nullopt on clean EOF. Throws on oversized/bad frames.
+/// Receives one frame; nullopt on clean EOF. Throws ProtocolError on
+/// version-mismatched or oversized frames.
 std::optional<std::string> recv_frame(const FdHandle& socket);
+std::optional<std::string> recv_frame(Transport& transport);
 
 // -- Typed messages ---------------------------------------------------------
 
@@ -79,6 +132,7 @@ struct PredictionResponse {
 };
 struct OkResponse {};
 struct ErrorResponse {
+  WireErrorCode code = WireErrorCode::kInternal;
   std::string message;
 };
 struct ModelResponse {
@@ -89,7 +143,7 @@ struct ModelResponse {
 using Response = std::variant<SessionResponse, PredictionResponse, OkResponse,
                               ErrorResponse, ModelResponse>;
 
-/// Parse/serialize. parse_* throws std::runtime_error on malformed payloads.
+/// Parse/serialize. parse_* throws ProtocolError on malformed payloads.
 std::string serialize_request(const Request& request);
 Request parse_request(std::string_view payload);
 std::string serialize_response(const Response& response);

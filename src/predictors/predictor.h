@@ -54,6 +54,11 @@ class SessionPredictor {
 
   /// Feeds the measured throughput of the epoch that just completed.
   virtual void observe(double throughput_mbps) = 0;
+
+  /// True when the predictor has lost its backing service and is running on
+  /// a local fallback (see RemoteSessionPredictor). In-process predictors
+  /// never degrade.
+  virtual bool degraded() const { return false; }
 };
 
 /// A compact, self-contained model a client can download and run on its own

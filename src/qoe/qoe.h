@@ -40,6 +40,9 @@ struct ChunkRecord {
 struct PlaybackResult {
   std::vector<ChunkRecord> chunks;
   double startup_delay_seconds = 0.0;
+  /// True when the session's predictor finished in degraded (local
+  /// fallback) mode — lets the pilot bench report QoE-under-failure.
+  bool predictor_degraded = false;
 };
 
 /// QoE score plus its components (the paper reports AvgBitrate and GoodRatio

@@ -128,6 +128,24 @@ TEST(Dataset, CsvRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(Dataset, LoadCsvRejectsNaNAndNegativeSamples) {
+  for (const char* bad : {"nan", "inf", "-1.0"}) {
+    const std::string path = ::testing::TempDir() + "/cs2p_bad_sample.csv";
+    {
+      FILE* f = std::fopen(path.c_str(), "w");
+      std::fputs(
+          "id,isp,as,province,city,server,prefix,day,start_hour,"
+          "epoch_seconds,series\n",
+          f);
+      std::fprintf(f, "1,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.5 %s 2.0\n", bad);
+      std::fclose(f);
+    }
+    EXPECT_THROW(Dataset::load_csv(path), std::runtime_error)
+        << "sample " << bad << " should be rejected";
+    std::remove(path.c_str());
+  }
+}
+
 TEST(Dataset, LoadCsvMissingColumnThrows) {
   const std::string path = ::testing::TempDir() + "/cs2p_bad.csv";
   {

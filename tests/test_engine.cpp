@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dataset/synthetic.h"
 
 namespace cs2p {
@@ -33,6 +35,22 @@ Cs2pConfig fast_config() {
 
 TEST(Engine, RejectsEmptyTraining) {
   EXPECT_THROW(Cs2pEngine(Dataset{}, fast_config()), std::invalid_argument);
+}
+
+TEST(Engine, RejectsNaNAndNegativeTrainingSamples) {
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), -0.5}) {
+    Dataset dataset = generate_synthetic_dataset(engine_world());
+    Session poisoned;
+    poisoned.id = 999999;
+    poisoned.day = 0;
+    poisoned.start_hour = 12.0;
+    poisoned.features = dataset.sessions()[0].features;
+    poisoned.throughput_mbps = {1.0, bad, 2.0};
+    dataset.add(poisoned);
+    EXPECT_THROW(Cs2pEngine(std::move(dataset), fast_config()),
+                 std::invalid_argument);
+  }
 }
 
 TEST(Engine, ServesValidSessionModels) {

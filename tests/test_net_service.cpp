@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -146,6 +149,164 @@ TEST(PredictionService, ServerStopsCleanly) {
 
 TEST(PredictionService, NullModelThrows) {
   EXPECT_THROW(PredictionServer(nullptr), std::invalid_argument);
+}
+
+// -- Robustness: validation, caps, timeouts, eviction -----------------------
+
+TEST(PredictionService, InvalidSamplesRejectedWithTypedError) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  const auto session = client.hello(features(), 1.0);
+
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(), -1.0,
+                           1e9}) {
+    try {
+      client.observe(session.session_id, bad);
+      FAIL() << "sample " << bad << " should have been rejected";
+    } catch (const ServerError& e) {
+      EXPECT_EQ(e.code(), WireErrorCode::kInvalidSample);
+    }
+  }
+  // The predictor state was never touched: a good sample still works.
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 5.0), 6.0);
+}
+
+TEST(PredictionService, UnknownSessionCarriesTypedCode) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  try {
+    client.observe(424242, 1.0);
+    FAIL() << "expected UNKNOWN_SESSION";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kUnknownSession);
+  }
+}
+
+TEST(PredictionService, ConnectionCapRejectsCleanly) {
+  ServerConfig config;
+  config.max_connections = 2;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  PredictionClient a(server.port()), b(server.port()), c(server.port());
+  const auto sa = a.hello(features(), 1.0);
+  const auto sb = b.hello(features(), 2.0);
+  try {
+    c.hello(features(), 3.0);
+    FAIL() << "expected OVERLOADED rejection";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kOverloaded);
+  }
+  EXPECT_GE(server.connections_rejected(), 1u);
+  // Existing connections are unaffected by the rejection.
+  EXPECT_DOUBLE_EQ(a.observe(sa.session_id, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(b.observe(sb.session_id, 2.0), 3.0);
+}
+
+TEST(PredictionService, IdleConnectionReclaimedAndClientReconnects) {
+  ServerConfig config;
+  config.idle_timeout_ms = 50;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+  PredictionClient client(server.port());
+  const auto session = client.hello(features(), 1.0);
+  // Let the server reap the idle connection, then keep using the session:
+  // the client reconnects transparently and the session table still holds
+  // our state (idle timeout kills connections, not sessions).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 7.0), 8.0);
+  EXPECT_GE(client.reconnects(), 1u);
+}
+
+TEST(PredictionService, AbandonedSessionsEvictedByTtl) {
+  ServerConfig config;
+  config.session_ttl_ms = 80;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+  {
+    PredictionClient client(server.port());
+    (void)client.hello(features(), 1.0);
+    EXPECT_EQ(server.session_count(), 1u);
+    // Client vanishes without BYE.
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.session_count() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(server.session_count(), 0u);
+  EXPECT_GE(server.sessions_evicted(), 1u);
+}
+
+TEST(PredictionService, ServerRestartHealsViaHelloReplay) {
+  auto model = std::make_shared<EchoPlusOneModel>();
+  auto server = std::make_unique<PredictionServer>(model);
+  const std::uint16_t port = server->port();
+
+  PredictionClient client(port);
+  const auto session = client.hello(features(), 1.0);
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 3.0), 4.0);
+
+  // Restart the server on the same port: all session state is lost.
+  server.reset();
+  server = std::make_unique<PredictionServer>(model, port);
+
+  // The client reconnects, gets UNKNOWN_SESSION, replays HELLO, and the
+  // original handle keeps working against the re-established session.
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 5.0), 6.0);
+  EXPECT_GE(client.sessions_reestablished(), 1u);
+  EXPECT_GE(client.reconnects(), 1u);
+}
+
+// -- Shutdown races ---------------------------------------------------------
+
+TEST(PredictionService, StopWhileRequestsInFlight) {
+  auto server = std::make_unique<PredictionServer>(
+      std::make_shared<EchoPlusOneModel>());
+  const std::uint16_t port = server->port();
+
+  constexpr int kThreads = 4;
+  std::atomic<int> escaped{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([port, &escaped] {
+      try {
+        ClientConfig config;
+        config.max_retries = 1;
+        config.backoff_initial_ms = 1;
+        PredictionClient client(port, config);
+        RemoteSessionPredictor predictor(client, features(), 1.0);
+        for (int i = 0; i < 500; ++i) predictor.observe(1.0 + i % 7);
+        // Either the whole run beat the shutdown, or the predictor degraded
+        // to its local fallback — never an exception into this loop.
+      } catch (const std::exception&) {
+        ++escaped;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server->stop();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(escaped.load(), 0);
+}
+
+TEST(PredictionService, ConcurrentStopCallers) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+  (void)client.hello(features(), 1.0);
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i)
+    stoppers.emplace_back([&server] { server.stop(); });
+  for (auto& t : stoppers) t.join();
+  SUCCEED();
+}
+
+TEST(PredictionService, DestructorDuringAccept) {
+  auto model = std::make_shared<EchoPlusOneModel>();
+  for (int i = 0; i < 10; ++i) {
+    PredictionServer server(model);
+    // Destroyed immediately, possibly before the accept loop first polls.
+  }
+  SUCCEED();
 }
 
 }  // namespace

@@ -67,12 +67,38 @@ TEST(Wire, ResponseRoundTrips) {
     EXPECT_NE(std::get_if<OkResponse>(&parsed), nullptr);
   }
   {
-    const Response parsed =
-        parse_response(serialize_response(ErrorResponse{"something broke"}));
+    const Response parsed = parse_response(serialize_response(
+        ErrorResponse{WireErrorCode::kInternal, "something broke"}));
     const auto* out = std::get_if<ErrorResponse>(&parsed);
     ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->code, WireErrorCode::kInternal);
     EXPECT_EQ(out->message, "something broke");
   }
+}
+
+TEST(Wire, ErrorCodeRoundTrips) {
+  for (const WireErrorCode code :
+       {WireErrorCode::kBadRequest, WireErrorCode::kUnknownSession,
+        WireErrorCode::kInvalidSample, WireErrorCode::kOverloaded,
+        WireErrorCode::kShuttingDown, WireErrorCode::kUnsupported,
+        WireErrorCode::kInternal}) {
+    const Response parsed =
+        parse_response(serialize_response(ErrorResponse{code, "detail text"}));
+    const auto* out = std::get_if<ErrorResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->code, code);
+    EXPECT_EQ(out->message, "detail text");
+    EXPECT_EQ(wire_error_code_from_name(wire_error_code_name(code)), code);
+  }
+}
+
+TEST(Wire, ErrorWithoutCodeTokenFallsBackToInternal) {
+  // A peer that omits the code token still decodes; the prose survives.
+  const Response parsed = parse_response("ERR something broke badly");
+  const auto* out = std::get_if<ErrorResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->code, WireErrorCode::kInternal);
+  EXPECT_EQ(out->message, "something broke badly");
 }
 
 TEST(Wire, EmptyClusterLabelUsesPlaceholder) {
@@ -198,7 +224,91 @@ TEST(Wire, OversizedFrameRejected) {
   const std::string too_big(kMaxFrameBytes + 1, 'x');
   auto [listener, port] = listen_loopback(0);
   FdHandle client = connect_loopback(port);
-  EXPECT_THROW(send_frame(client, too_big), std::runtime_error);
+  EXPECT_THROW(send_frame(client, too_big), ProtocolError);
+}
+
+// -- Wire-protocol hardening: truncated and corrupted frames must produce
+// typed errors, never crashes or hangs -------------------------------------
+
+/// Connects a raw peer, sends `raw` bytes verbatim, closes. Returns the
+/// accepted server-side connection for recv_frame to chew on.
+FdHandle raw_peer_sends(const FdHandle& listener, std::uint16_t port,
+                        std::span<const std::byte> raw) {
+  FdHandle client = connect_loopback(port);
+  FdHandle conn = accept_connection(listener);
+  if (!raw.empty()) send_all(client, raw);
+  // client handle destructs here -> EOF after the raw bytes
+  return conn;
+}
+
+TEST(WireHardening, TruncatedHeaderThrows) {
+  auto [listener, port] = listen_loopback(0);
+  const std::byte partial[2] = {std::byte{kProtocolVersion}, std::byte{0}};
+  FdHandle conn = raw_peer_sends(listener, port, partial);
+  EXPECT_THROW(recv_frame(conn), std::runtime_error);  // EOF mid-header
+}
+
+TEST(WireHardening, BadVersionByteRejected) {
+  auto [listener, port] = listen_loopback(0);
+  const std::byte frame[9] = {std::byte{7},   std::byte{0},   std::byte{0},
+                              std::byte{5},   std::byte{'h'}, std::byte{'e'},
+                              std::byte{'l'}, std::byte{'l'}, std::byte{'o'}};
+  FdHandle conn = raw_peer_sends(listener, port, frame);
+  EXPECT_THROW(recv_frame(conn), ProtocolError);
+}
+
+TEST(WireHardening, OversizedLengthFieldRejected) {
+  auto [listener, port] = listen_loopback(0);
+  const std::byte header[4] = {std::byte{kProtocolVersion}, std::byte{0xff},
+                               std::byte{0xff}, std::byte{0xff}};
+  FdHandle conn = raw_peer_sends(listener, port, header);
+  EXPECT_THROW(recv_frame(conn), ProtocolError);
+}
+
+TEST(WireHardening, TruncatedPayloadThrows) {
+  auto [listener, port] = listen_loopback(0);
+  // Header promises 10 bytes, only 3 arrive before EOF.
+  const std::byte frame[7] = {std::byte{kProtocolVersion}, std::byte{0},
+                              std::byte{0},   std::byte{10},
+                              std::byte{'a'}, std::byte{'b'}, std::byte{'c'}};
+  FdHandle conn = raw_peer_sends(listener, port, frame);
+  EXPECT_THROW(recv_frame(conn), std::runtime_error);
+}
+
+TEST(WireHardening, CorruptedPayloadsParseOrThrowTyped) {
+  // Take every valid message shape, flip bytes at random, and require the
+  // decoder to either succeed or raise ProtocolError — nothing else.
+  const std::vector<std::string> seeds = {
+      serialize_request(HelloRequest{sample_features(), 12.5}),
+      serialize_request(ObserveRequest{42, 3.5}),
+      serialize_request(PredictRequest{42, 4}),
+      serialize_request(ByeRequest{42}),
+      serialize_request(ModelRequest{sample_features(), 3.0}),
+      serialize_response(SessionResponse{7, 2.0, false, "label"}),
+      serialize_response(PredictionResponse{1.25}),
+      serialize_response(OkResponse{}),
+      serialize_response(ErrorResponse{WireErrorCode::kOverloaded, "busy"}),
+  };
+  Rng rng(2024);
+  for (int round = 0; round < 300; ++round) {
+    for (const std::string& seed : seeds) {
+      std::string mutated = seed;
+      const std::size_t flips = 1 + rng.uniform_index(3);
+      for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+        const std::size_t at = rng.uniform_index(mutated.size());
+        mutated[at] = static_cast<char>(rng.uniform_index(256));
+      }
+      try {
+        (void)parse_request(mutated);
+      } catch (const ProtocolError&) {
+      }
+      try {
+        (void)parse_response(mutated);
+      } catch (const ProtocolError&) {
+      }
+    }
+  }
+  SUCCEED();
 }
 
 }  // namespace

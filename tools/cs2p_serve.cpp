@@ -23,7 +23,7 @@ std::atomic<bool> g_stop{false};
 void handle_signal(int) { g_stop.store(true); }
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace cs2p;
   cli::ArgParser args("cs2p_serve", "serve CS2P predictions over TCP");
   args.add_option("data", "input CSV with training sessions", "traces.csv");
@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   args.add_option("train-days", "use sessions with day < this for training", "1");
   args.add_option("hmm-states", "HMM state count", "6");
   args.add_option("warm-up", "pre-train cluster HMMs before serving (1/0)", "1");
+  args.add_option("max-connections", "reject connections beyond this cap", "64");
+  args.add_option("idle-timeout-ms", "close connections idle this long", "30000");
+  args.add_option("session-ttl-ms", "evict sessions untouched this long", "120000");
+  args.add_option("max-sample-mbps", "reject OBSERVE samples above this", "10000");
   if (!args.parse(argc, argv)) return 1;
 
   const Dataset dataset = Dataset::load_csv(args.get("data"));
@@ -51,9 +55,20 @@ int main(int argc, char** argv) {
     std::printf("warm-up: %zu cluster models trained\n", trained);
   }
 
-  PredictionServer server(model,
+  ServerConfig server_config;
+  server_config.max_connections =
+      static_cast<std::size_t>(args.get_long("max-connections"));
+  server_config.idle_timeout_ms = static_cast<int>(args.get_long("idle-timeout-ms"));
+  server_config.session_ttl_ms = static_cast<int>(args.get_long("session-ttl-ms"));
+  server_config.max_sample_mbps =
+      static_cast<double>(args.get_long("max-sample-mbps"));
+
+  PredictionServer server(model, server_config,
                           static_cast<std::uint16_t>(args.get_long("port")));
   std::printf("serving on 127.0.0.1:%u (SIGINT to stop)\n", server.port());
+  std::printf("limits: %zu connections, %d ms idle timeout, %d ms session TTL\n",
+              server_config.max_connections, server_config.idle_timeout_ms,
+              server_config.session_ttl_ms);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -64,4 +79,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.requests_handled()));
   server.stop();
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "cs2p_serve: %s\n", e.what());
+  return 1;
 }
