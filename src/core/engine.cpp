@@ -43,11 +43,17 @@ std::vector<std::vector<double>> gather_sequences(const Dataset& training,
 
 }  // namespace
 
+BaumWelchResult Cs2pEngine::run_trainer(
+    const std::vector<std::vector<double>>& sequences) const {
+  return config_.trainer ? config_.trainer(sequences, config_.hmm)
+                         : train_hmm(sequences, config_.hmm);
+}
+
 Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config)
     : training_(validate_training_set(std::move(training))),
-      config_(config),
+      config_(std::move(config)),
       index_(training_, enumerate_candidates()),
-      selector_(index_, config.selector) {
+      selector_(index_, config_.selector) {
   std::vector<double> initials;
   std::vector<std::size_t> all_indices;
   for (std::size_t i = 0; i < training_.size(); ++i) {
@@ -65,7 +71,62 @@ Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config)
       gather_sequences(training_, all_indices, config_.max_global_sequences);
   if (sequences.empty())
     throw std::invalid_argument("Cs2pEngine: no usable training sequences");
-  global_hmm_ = train_hmm(sequences, config_.hmm).model;
+  // A failed *global* training is fatal: there is no coarser model to fall
+  // back to, so TrainingError propagates to the caller here (unlike the
+  // per-cluster path, which quarantines).
+  global_hmm_ = run_trainer(sequences).model;
+}
+
+Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config,
+                       EngineRestoreData restored)
+    : training_(validate_training_set(std::move(training))),
+      config_(std::move(config)),
+      index_(training_, enumerate_candidates()),
+      selector_(index_, config_.selector, std::move(restored.selector_table)),
+      global_hmm_(std::move(restored.global_hmm)),
+      global_initial_(restored.global_initial) {
+  global_hmm_.validate(1e-3);
+  if (!std::isfinite(global_initial_) || global_initial_ < 0.0)
+    throw std::invalid_argument("Cs2pEngine: restored global initial invalid");
+  for (auto& entry : restored.cluster_models) {
+    if (entry.candidate_id >= index_.num_candidates())
+      throw std::invalid_argument(
+          "Cs2pEngine: restored cluster model has unknown candidate id");
+    const auto& clusters = index_.index_for(entry.candidate_id).clusters();
+    const auto it = clusters.find(entry.bucket_key);
+    if (it == clusters.end())
+      throw std::invalid_argument(
+          "Cs2pEngine: restored cluster model has unknown bucket key");
+    entry.hmm.validate(1e-3);
+    const auto [slot, inserted] = hmm_cache_.emplace(
+        &it->second, std::make_unique<GaussianHmm>(std::move(entry.hmm)));
+    (void)slot;
+    if (!inserted)
+      throw std::invalid_argument(
+          "Cs2pEngine: duplicate cluster model in restored state");
+    ++stats_.clusters_restored;
+  }
+}
+
+std::vector<ClusterModelEntry> Cs2pEngine::export_cluster_models() const {
+  // Reverse map: Cluster* -> stable (candidate id, bucket key) identity.
+  std::unordered_map<const Cluster*, ClusterModelEntry> identity;
+  for (std::size_t c = 0; c < index_.num_candidates(); ++c) {
+    for (const auto& [key, cluster] : index_.index_for(c).clusters())
+      identity.emplace(&cluster, ClusterModelEntry{c, key, {}});
+  }
+
+  std::vector<ClusterModelEntry> out;
+  std::scoped_lock lock(cache_mutex_);
+  out.reserve(hmm_cache_.size());
+  for (const auto& [cluster, hmm] : hmm_cache_) {
+    const auto it = identity.find(cluster);
+    if (it == identity.end()) continue;  // unreachable: cache keys come from index_
+    ClusterModelEntry entry = it->second;
+    entry.hmm = *hmm;
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 double Cs2pEngine::cluster_initial(const Cluster& cluster) const {
@@ -80,6 +141,7 @@ double Cs2pEngine::cluster_initial(const Cluster& cluster) const {
 const GaussianHmm& Cs2pEngine::cluster_hmm(const Cluster& cluster) const {
   {
     std::scoped_lock lock(cache_mutex_);
+    if (quarantined_.contains(&cluster)) return global_hmm_;
     const auto it = hmm_cache_.find(&cluster);
     if (it != hmm_cache_.end()) return *it->second;
   }
@@ -92,7 +154,17 @@ const GaussianHmm& Cs2pEngine::cluster_hmm(const Cluster& cluster) const {
   if (sequences.empty()) {
     model = std::make_unique<GaussianHmm>(global_hmm_);
   } else {
-    model = std::make_unique<GaussianHmm>(train_hmm(sequences, config_.hmm).model);
+    try {
+      model = std::make_unique<GaussianHmm>(run_trainer(sequences).model);
+    } catch (const std::exception&) {
+      // Failure isolation: one degenerate cluster (EM collapse, zero
+      // variance, injected fault) must not throw into the serving path —
+      // and must not leave a partial cache entry that re-throws on every
+      // later session. Quarantine it once and serve the global model.
+      std::scoped_lock lock(cache_mutex_);
+      if (quarantined_.insert(&cluster).second) ++stats_.clusters_quarantined;
+      return global_hmm_;
+    }
   }
 
   std::scoped_lock lock(cache_mutex_);
@@ -126,6 +198,15 @@ SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
   ref.initial_prediction = cluster_initial(*cluster);
   ref.cluster_label = candidate_to_string(candidate.candidate());
   ref.cluster_size = cluster->size();
+  // A quarantined cluster's sessions run on the global HMM (the cluster's
+  // initial median is still valid — it is raw data, not an EM product).
+  {
+    std::scoped_lock lock(cache_mutex_);
+    if (quarantined_.contains(cluster)) {
+      ref.used_global_model = true;
+      ref.cluster_label += " (quarantined)";
+    }
+  }
   return ref;
 }
 

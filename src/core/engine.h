@@ -13,10 +13,13 @@
 // ~4% of sessions on the global model).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/feature_selector.h"
 #include "hmm/baum_welch.h"
@@ -25,6 +28,12 @@
 
 namespace cs2p {
 
+/// Training-function hook: defaults to train_hmm. Tests and fault-injection
+/// harnesses substitute a trainer that throws to exercise the engine's
+/// cluster-quarantine path. Not part of the config fingerprint.
+using TrainerFn = std::function<BaumWelchResult(
+    const std::vector<std::vector<double>>&, const BaumWelchConfig&)>;
+
 struct Cs2pConfig {
   FeatureSelectorConfig selector;
   BaumWelchConfig hmm;  ///< per-cluster HMM training (N = 6 by default)
@@ -32,6 +41,7 @@ struct Cs2pConfig {
   std::size_t max_global_sequences = 1200;
   PredictionRule prediction_rule = PredictionRule::kMleState;
   bool median_initial = true;  ///< false: mean (ablation of Eq. 6)
+  TrainerFn trainer;  ///< training override (tests); null = train_hmm
 };
 
 /// What the engine hands out for one session.
@@ -43,11 +53,32 @@ struct SessionModelRef {
   std::size_t cluster_size = 0;
 };
 
-/// Engine usage counters (coverage diagnostics for §7.4).
+/// Engine usage counters (coverage diagnostics for §7.4, plus the failure-
+/// isolation and snapshot-restore counters of the model lifecycle).
 struct EngineStats {
   std::size_t sessions_served = 0;
   std::size_t global_fallbacks = 0;
   std::size_t clusters_trained = 0;
+  std::size_t clusters_restored = 0;     ///< cache entries seeded from a snapshot
+  std::size_t clusters_quarantined = 0;  ///< EM failures isolated to the global model
+};
+
+/// One cached per-cluster model, addressed by its stable identity
+/// (candidate id + bucket key) instead of the in-memory Cluster pointer —
+/// this is what the snapshot store persists and the restore path replays.
+struct ClusterModelEntry {
+  std::size_t candidate_id = 0;
+  std::string bucket_key;
+  GaussianHmm hmm;
+};
+
+/// Trained state a snapshot restores into an engine, skipping every EM run
+/// and the feature-selection precompute.
+struct EngineRestoreData {
+  double global_initial = 0.0;
+  GaussianHmm global_hmm;
+  std::vector<std::vector<double>> selector_table;  ///< err(M, s') rows
+  std::vector<ClusterModelEntry> cluster_models;
 };
 
 class Cs2pEngine {
@@ -57,6 +88,14 @@ class Cs2pEngine {
   /// when any session carries a NaN, infinite, or negative throughput
   /// sample (ingest validation — bad data must not reach Baum-Welch).
   Cs2pEngine(Dataset training, Cs2pConfig config = {});
+
+  /// Restore path: rebuilds the cheap structural state (cluster index,
+  /// neighbourhood maps) from `training` and adopts the expensive trained
+  /// state from `restored` — no Baum-Welch runs, no error-table precompute.
+  /// Throws std::invalid_argument when the restored state does not fit the
+  /// dataset (unknown cluster key, wrong table shape, invalid model); the
+  /// model store wraps that into a typed SnapshotError.
+  Cs2pEngine(Dataset training, Cs2pConfig config, EngineRestoreData restored);
 
   /// Resolves the prediction model for a new session.
   SessionModelRef session_model(const SessionFeatures& features,
@@ -78,9 +117,17 @@ class Cs2pEngine {
   const FeatureSelector& selector() const noexcept { return selector_; }
   const Dataset& training() const noexcept { return training_; }
 
+  /// Copies every cached per-cluster model with its stable (candidate id,
+  /// bucket key) identity — the snapshot store's view of the cache. Models
+  /// that merely alias the global HMM (empty-sequence clusters) and
+  /// quarantined clusters are included/excluded naturally: only real cache
+  /// entries are returned.
+  std::vector<ClusterModelEntry> export_cluster_models() const;
+
  private:
   const GaussianHmm& cluster_hmm(const Cluster& cluster) const;
   double cluster_initial(const Cluster& cluster) const;
+  BaumWelchResult run_trainer(const std::vector<std::vector<double>>& sequences) const;
 
   Dataset training_;
   Cs2pConfig config_;
@@ -91,6 +138,11 @@ class Cs2pEngine {
 
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<const Cluster*, std::unique_ptr<GaussianHmm>> hmm_cache_;
+  /// Clusters whose EM training threw: served by the global model from then
+  /// on. Recording the failure (instead of caching a partial model or
+  /// retrying forever) is what keeps one degenerate cluster from ever
+  /// reaching the serving path again.
+  mutable std::unordered_set<const Cluster*> quarantined_;
   mutable EngineStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/error_metrics.h"
 #include "util/parallel.h"
@@ -20,16 +21,39 @@ std::string isp_city_key(const SessionFeatures& features) {
 
 }  // namespace
 
-FeatureSelector::FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config)
-    : index_(&index), config_(config) {
-  const auto& sessions = index.training().sessions();
-
-  // Neighbourhood maps for Est(s).
+void FeatureSelector::build_neighbourhoods() {
+  const auto& sessions = index_->training().sessions();
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     if (sessions[i].throughput_mbps.empty()) continue;
     by_isp_city_[isp_city_key(sessions[i].features)].push_back(i);
     by_isp_[sessions[i].features.isp].push_back(i);
   }
+}
+
+FeatureSelector::FeatureSelector(const ClusterIndex& index,
+                                 FeatureSelectorConfig config,
+                                 std::vector<std::vector<double>> precomputed_table)
+    : index_(&index), config_(config), error_table_(std::move(precomputed_table)) {
+  build_neighbourhoods();
+  const std::size_t num_sessions = index.training().size();
+  if (error_table_.size() != index.num_candidates())
+    throw std::invalid_argument(
+        "FeatureSelector: precomputed table candidate count mismatch");
+  for (const auto& row : error_table_) {
+    if (row.size() != num_sessions)
+      throw std::invalid_argument(
+          "FeatureSelector: precomputed table session count mismatch");
+    for (double err : row)
+      if (std::isnan(err) || err < 0.0)
+        throw std::invalid_argument(
+            "FeatureSelector: precomputed table has NaN/negative entry");
+  }
+}
+
+FeatureSelector::FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config)
+    : index_(&index), config_(config) {
+  const auto& sessions = index.training().sessions();
+  build_neighbourhoods();
 
   // err(M, s') table. The cluster median includes s' itself; with clusters
   // at least min_cluster_size strong the self-inclusion bias is negligible.

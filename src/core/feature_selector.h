@@ -41,6 +41,13 @@ class FeatureSelector {
   /// Precomputes the err(M, s') table over the index's training set.
   FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config = {});
 
+  /// Restores a selector from a previously computed error table (snapshot
+  /// load path — skips the candidate x session precompute). The table must
+  /// be [num_candidates][num training sessions] with no NaN entries (+inf
+  /// marks unusable clusters); throws std::invalid_argument otherwise.
+  FeatureSelector(const ClusterIndex& index, FeatureSelectorConfig config,
+                  std::vector<std::vector<double>> precomputed_table);
+
   /// Best candidate for a session with the given features/start time.
   /// Returns found = false when no candidate yields a usable cluster for
   /// this session (the caller then regresses to the global model).
@@ -52,9 +59,17 @@ class FeatureSelector {
     return error_table_[candidate_id][session_index];
   }
 
+  /// Whole table, for snapshot serialization (core/model_store.h).
+  const std::vector<std::vector<double>>& error_table() const noexcept {
+    return error_table_;
+  }
+
   const FeatureSelectorConfig& config() const noexcept { return config_; }
 
  private:
+  /// Est(s) neighbourhood maps, shared by both constructors.
+  void build_neighbourhoods();
+
   /// Training-session indices forming Est for an (ISP, City) neighbourhood.
   std::vector<std::size_t> estimation_set(const SessionFeatures& features) const;
 

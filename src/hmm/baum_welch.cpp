@@ -115,8 +115,20 @@ BaumWelchResult train_hmm(const std::vector<std::vector<double>>& sequences,
                           const BaumWelchConfig& config) {
   if (config.num_states == 0)
     throw std::invalid_argument("train_hmm: num_states must be > 0");
+  if (config.num_states > kMaxHmmStates)
+    throw std::invalid_argument("train_hmm: num_states exceeds kMaxHmmStates");
+  if (!(config.min_sigma > 0.0) || !std::isfinite(config.min_sigma))
+    throw std::invalid_argument(
+        "train_hmm: min_sigma (variance floor) must be positive and finite");
+  if (config.max_iterations <= 0)
+    throw std::invalid_argument("train_hmm: max_iterations must be > 0");
   std::size_t total_obs = 0;
-  for (const auto& seq : sequences) total_obs += seq.size();
+  for (const auto& seq : sequences) {
+    for (double w : seq)
+      if (!std::isfinite(w))
+        throw TrainingError("train_hmm: non-finite observation in input");
+    total_obs += seq.size();
+  }
   if (total_obs == 0) throw std::invalid_argument("train_hmm: no observations");
 
   Rng rng(config.seed);
@@ -196,6 +208,13 @@ BaumWelchResult train_hmm(const std::vector<std::vector<double>>& sequences,
 
     result.iterations_run = iter + 1;
     result.final_log_likelihood = total_ll;
+    // Non-convergence handling: a NaN/Inf likelihood means the E step
+    // collapsed (degenerate cluster, all-identical observations past the
+    // variance floor). Stop here with a typed error instead of iterating on
+    // — and eventually returning — poisoned sufficient statistics.
+    if (!std::isfinite(total_ll))
+      throw TrainingError(
+          "train_hmm: log-likelihood diverged to non-finite (EM collapse)");
     const double gain = (total_ll - prev_ll) / static_cast<double>(total_obs);
     if (iter > 0 && gain < config.tolerance) {
       result.converged = true;
@@ -222,7 +241,12 @@ BaumWelchResult train_hmm(const std::vector<std::vector<double>>& sequences,
       sorted.transition(i, j) = result.model.transition(order[i], order[j]);
   }
   result.model = std::move(sorted);
-  result.model.validate(1e-6);
+  try {
+    result.model.validate(1e-6);
+  } catch (const std::invalid_argument& e) {
+    throw TrainingError(std::string("train_hmm: fitted model invalid: ") +
+                        e.what());
+  }
   return result;
 }
 

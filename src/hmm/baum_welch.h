@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "hmm/model.h"
@@ -15,12 +16,22 @@
 
 namespace cs2p {
 
+/// EM failed to produce a valid model: non-finite observations reached the
+/// E step, the log-likelihood diverged to NaN/Inf (numerical collapse), or
+/// the fitted parameters do not validate. Distinct from std::invalid_argument
+/// (caller misuse: empty input, bad config) so callers can quarantine a bad
+/// training *run* without masking programming errors.
+class TrainingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Training configuration.
 struct BaumWelchConfig {
   std::size_t num_states = 6;     ///< N (paper uses 6 after cross-validation)
   int max_iterations = 60;        ///< EM iteration cap
   double tolerance = 1e-4;        ///< stop when log-likelihood gain/obs < tol
-  double min_sigma = 0.05;        ///< emission sigma floor (Mbps)
+  double min_sigma = 0.05;        ///< variance floor: emission sigma >= this (Mbps), must be > 0
   double transition_prior = 1e-2; ///< Dirichlet-like smoothing of P rows
   std::uint64_t seed = 7;         ///< k-means init seed
 };
@@ -36,8 +47,11 @@ struct BaumWelchResult {
 /// Trains a Gaussian HMM on `sequences` (each a session's per-epoch
 /// throughput series). Sequences shorter than 2 observations are ignored for
 /// transition statistics but still inform emissions. Throws
-/// std::invalid_argument when no usable observations exist or
-/// config.num_states == 0.
+/// std::invalid_argument on caller misuse (no observations,
+/// config.num_states == 0, non-positive/non-finite sigma floor) and
+/// TrainingError when EM itself fails (non-finite observation, diverged
+/// log-likelihood, invalid fitted parameters) — the result is always a
+/// model that passes GaussianHmm::validate.
 BaumWelchResult train_hmm(const std::vector<std::vector<double>>& sequences,
                           const BaumWelchConfig& config);
 

@@ -30,8 +30,12 @@ void GaussianHmm::validate(double tol) const {
   if (transition.rows() != n || transition.cols() != n)
     throw std::invalid_argument("GaussianHmm: transition shape mismatch");
 
+  // Finiteness first: NaN compares false against every threshold below, so
+  // a NaN entry would otherwise sail through the stochasticity checks.
   double pi_sum = 0.0;
   for (double p : initial) {
+    if (!std::isfinite(p))
+      throw std::invalid_argument("GaussianHmm: non-finite initial prob");
     if (p < -tol) throw std::invalid_argument("GaussianHmm: negative initial prob");
     pi_sum += p;
   }
@@ -41,6 +45,8 @@ void GaussianHmm::validate(double tol) const {
   for (std::size_t i = 0; i < n; ++i) {
     double row_sum = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
+      if (!std::isfinite(transition(i, j)))
+        throw std::invalid_argument("GaussianHmm: non-finite transition prob");
       if (transition(i, j) < -tol)
         throw std::invalid_argument("GaussianHmm: negative transition prob");
       row_sum += transition(i, j);
@@ -97,7 +103,10 @@ GaussianHmm deserialize_hmm(const std::string& text) {
   std::string magic;
   std::size_t n = 0;
   if (!(is >> magic >> n) || magic != "cs2p-hmm-v1" || n == 0)
-    throw std::runtime_error("deserialize_hmm: bad header");
+    throw ModelParseError("deserialize_hmm: bad header");
+  if (n > kMaxHmmStates)
+    throw ModelParseError("deserialize_hmm: absurd state count " +
+                          std::to_string(n));
 
   GaussianHmm model;
   model.initial.resize(n);
@@ -106,24 +115,28 @@ GaussianHmm deserialize_hmm(const std::string& text) {
 
   std::string tag;
   if (!(is >> tag) || tag != "initial")
-    throw std::runtime_error("deserialize_hmm: expected initial");
+    throw ModelParseError("deserialize_hmm: expected initial");
   for (double& p : model.initial)
-    if (!(is >> p)) throw std::runtime_error("deserialize_hmm: truncated initial");
+    if (!(is >> p)) throw ModelParseError("deserialize_hmm: truncated initial");
 
   for (std::size_t i = 0; i < n; ++i) {
     if (!(is >> tag) || tag != "row")
-      throw std::runtime_error("deserialize_hmm: expected row");
+      throw ModelParseError("deserialize_hmm: expected row");
     for (std::size_t j = 0; j < n; ++j)
       if (!(is >> model.transition(i, j)))
-        throw std::runtime_error("deserialize_hmm: truncated row");
+        throw ModelParseError("deserialize_hmm: truncated row");
   }
   for (auto& s : model.states) {
     if (!(is >> tag) || tag != "state")
-      throw std::runtime_error("deserialize_hmm: expected state");
+      throw ModelParseError("deserialize_hmm: expected state");
     if (!(is >> s.mean >> s.sigma))
-      throw std::runtime_error("deserialize_hmm: truncated state");
+      throw ModelParseError("deserialize_hmm: truncated state");
   }
-  model.validate(1e-3);
+  try {
+    model.validate(1e-3);
+  } catch (const std::invalid_argument& e) {
+    throw ModelParseError(std::string("deserialize_hmm: ") + e.what());
+  }
   return model;
 }
 

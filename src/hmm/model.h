@@ -12,12 +12,29 @@
 
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/matrix.h"
 
 namespace cs2p {
+
+/// Serialized model text that does not decode into a valid GaussianHmm:
+/// bad header, truncation, NaN/Inf parameters, non-stochastic rows,
+/// non-positive sigmas, or an absurd state count. Derives from
+/// std::runtime_error so pre-existing catch sites keep working; new code
+/// should catch this type to distinguish "bytes are bad" from other
+/// failures (a corrupt snapshot must never construct a model).
+class ModelParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Upper bound on the deserialized state count. The paper's models use
+/// N = 6; anything near this limit is a corrupt or hostile payload, and
+/// rejecting early prevents multi-GB allocations from a flipped length.
+inline constexpr std::size_t kMaxHmmStates = 256;
 
 /// One hidden state's Gaussian emission parameters, in Mbps.
 struct EmissionState {
@@ -39,7 +56,9 @@ struct GaussianHmm {
   /// Same in log space (used by forward-backward for numerical work).
   Vec emission_log_probabilities(double w) const;
 
-  /// Verifies structural invariants: matching sizes, stochastic rows/initial
+  /// Verifies structural invariants: matching sizes, every parameter finite
+  /// (NaN/Inf anywhere is rejected — NaN compares false, so it would
+  /// otherwise slip through stochasticity sums), stochastic rows/initial
   /// (within `tol`), positive sigmas. Throws std::invalid_argument otherwise.
   void validate(double tol = 1e-6) const;
 
@@ -54,6 +73,11 @@ struct GaussianHmm {
 /// Text serialization (versioned, line oriented). Round-trips exactly enough
 /// precision for prediction equality in tests.
 std::string serialize_hmm(const GaussianHmm& model);
+
+/// Inverse of serialize_hmm. Throws ModelParseError on any malformed input:
+/// bad magic/version, truncation, state count of 0 or > kMaxHmmStates, and
+/// any parameter set that fails GaussianHmm::validate (NaN/Inf entries,
+/// non-stochastic rows, sigma <= 0). Never constructs an invalid model.
 GaussianHmm deserialize_hmm(const std::string& text);
 
 }  // namespace cs2p

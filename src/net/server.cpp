@@ -54,6 +54,22 @@ std::size_t PredictionServer::session_count() const {
   return sessions_.size();
 }
 
+void PredictionServer::swap_model(std::shared_ptr<const PredictorModel> model) {
+  if (!model) throw std::invalid_argument("PredictionServer: null model in swap");
+  {
+    std::scoped_lock lock(model_mutex_);
+    model_ = std::move(model);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  // The old model is NOT torn down here: any session entry created from it
+  // still holds a reference, and releases it on BYE or TTL eviction.
+}
+
+std::shared_ptr<const PredictorModel> PredictionServer::current_model() const {
+  std::scoped_lock lock(model_mutex_);
+  return model_;
+}
+
 void PredictionServer::evict_expired_sessions() {
   if (config_.session_ttl_ms <= 0) return;
   const auto deadline =
@@ -156,17 +172,22 @@ Response PredictionServer::handle(const Request& request) {
     SessionContext context;
     context.features = hello->features;
     context.start_hour = hello->start_hour;
-    auto predictor = model_->make_session(context);
+    // Snapshot the published model once: the session is created from it and
+    // pins it, so a concurrent swap_model() cannot pull the engine out from
+    // under the predictor's internal references.
+    auto model = current_model();
+    auto predictor = model->make_session(context);
 
     SessionResponse response;
     response.initial_mbps = predictor->predict_initial().value_or(0.0);
     // Cluster metadata is predictor-specific; expose what we can.
-    response.cluster_label = model_->name();
+    response.cluster_label = model->name();
 
     std::scoped_lock lock(sessions_mutex_);
     response.session_id = next_session_id_++;
-    sessions_.emplace(response.session_id,
-                      SessionEntry{std::move(predictor), Clock::now()});
+    sessions_.emplace(
+        response.session_id,
+        SessionEntry{std::move(predictor), std::move(model), Clock::now()});
     return response;
   }
 
@@ -211,10 +232,11 @@ Response PredictionServer::handle(const Request& request) {
     SessionContext context;
     context.features = model->features;
     context.start_hour = model->start_hour;
-    const auto downloadable = model_->downloadable_model(context);
+    const auto served = current_model();
+    const auto downloadable = served->downloadable_model(context);
     if (!downloadable)
       return ErrorResponse{WireErrorCode::kUnsupported,
-                           "model download unsupported by " + model_->name()};
+                           "model download unsupported by " + served->name()};
     ModelResponse response;
     response.initial_mbps = downloadable->initial_mbps;
     response.used_global_model = downloadable->used_global_model;

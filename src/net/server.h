@@ -14,6 +14,12 @@
 //     INVALID_SAMPLE instead of poisoning the HMM filter),
 //   - TTL eviction of session entries abandoned without BYE (a crashed
 //     client leaks nothing permanently).
+//
+// Model lifecycle (DESIGN.md §9): the served model sits behind an RCU-style
+// shared_ptr. swap_model() atomically publishes a retrained model; sessions
+// opened before the swap pin their creating model (each session entry holds
+// a reference) and keep predicting on it until BYE/eviction, while new
+// HELLOs land on the fresh model. No session is ever dropped by a swap.
 #pragma once
 
 #include <atomic>
@@ -43,7 +49,8 @@ struct ServerConfig {
 class PredictionServer {
  public:
   /// Starts serving immediately on 127.0.0.1:`port` (0 = ephemeral).
-  /// The model must outlive the server.
+  /// The server shares ownership of the model (and of every model later
+  /// published via swap_model) for as long as any session uses it.
   PredictionServer(std::shared_ptr<const PredictorModel> model,
                    std::uint16_t port = 0);
   PredictionServer(std::shared_ptr<const PredictorModel> model,
@@ -70,6 +77,18 @@ class PredictionServer {
   /// Connections refused at the cap with an OVERLOADED frame.
   std::uint64_t connections_rejected() const noexcept { return rejected_.load(); }
 
+  /// Atomically publishes a new model (hot-swap retraining). In-flight
+  /// sessions keep the model that created them; sessions opened after the
+  /// swap use `model`. Throws std::invalid_argument on null. Safe to call
+  /// from any thread while serving.
+  void swap_model(std::shared_ptr<const PredictorModel> model);
+
+  /// The currently published model (what the next HELLO will use).
+  std::shared_ptr<const PredictorModel> current_model() const;
+
+  /// Number of successful swap_model() calls.
+  std::uint64_t models_swapped() const noexcept { return swaps_.load(); }
+
   /// Safe to call repeatedly and from multiple threads concurrently.
   void stop();
 
@@ -78,6 +97,10 @@ class PredictionServer {
 
   struct SessionEntry {
     std::unique_ptr<SessionPredictor> predictor;
+    /// Pins the model that created the predictor: HmmSessionPredictor holds
+    /// references into its engine, so the engine must outlive the session
+    /// even if swap_model() has already published a successor.
+    std::shared_ptr<const PredictorModel> owner;
     Clock::time_point last_used;
   };
 
@@ -87,6 +110,7 @@ class PredictionServer {
   void evict_expired_sessions();
   void reject_connection(const FdHandle& connection);
 
+  mutable std::mutex model_mutex_;  ///< guards model_ (reads copy the ptr)
   std::shared_ptr<const PredictorModel> model_;
   ServerConfig config_;
   FdHandle listener_;
@@ -100,6 +124,7 @@ class PredictionServer {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::size_t> active_connections_{0};
   std::mutex stop_mutex_;  ///< serializes concurrent stop() callers
   std::thread accept_thread_;

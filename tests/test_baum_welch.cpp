@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "hmm/forward_backward.h"
 #include "hmm_test_util.h"
@@ -145,6 +147,54 @@ TEST(BaumWelch, ErrorPaths) {
   config.num_states = 2;
   EXPECT_THROW(train_hmm({}, config), std::invalid_argument);
   EXPECT_THROW(train_hmm({{}, {}}, config), std::invalid_argument);
+}
+
+TEST(BaumWelch, RejectsMisuseAsInvalidArgument) {
+  // Caller bugs (bad config) are invalid_argument, distinct from data-driven
+  // TrainingError so the engine can quarantine the latter without masking
+  // the former.
+  BaumWelchConfig config;
+  config.num_states = kMaxHmmStates + 1;
+  EXPECT_THROW(train_hmm({{1.0, 2.0, 3.0}}, config), std::invalid_argument);
+
+  config = BaumWelchConfig{};
+  config.min_sigma = 0.0;
+  EXPECT_THROW(train_hmm({{1.0, 2.0, 3.0}}, config), std::invalid_argument);
+  config.min_sigma = -1.0;
+  EXPECT_THROW(train_hmm({{1.0, 2.0, 3.0}}, config), std::invalid_argument);
+  config.min_sigma = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(train_hmm({{1.0, 2.0, 3.0}}, config), std::invalid_argument);
+
+  config = BaumWelchConfig{};
+  config.max_iterations = 0;
+  EXPECT_THROW(train_hmm({{1.0, 2.0, 3.0}}, config), std::invalid_argument);
+}
+
+TEST(BaumWelch, NonFiniteObservationsAreTrainingErrors) {
+  BaumWelchConfig config;
+  config.num_states = 2;
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    EXPECT_THROW(train_hmm({{1.0, bad, 2.0}}, config), TrainingError);
+  }
+}
+
+TEST(BaumWelch, VarianceFloorSurvivesDegenerateData) {
+  // All-identical observations drive every per-state variance to zero; the
+  // min_sigma floor must keep the fitted model valid instead of collapsing
+  // EM into NaN likelihoods.
+  BaumWelchConfig config;
+  config.num_states = 2;
+  config.max_iterations = 25;
+  const std::vector<std::vector<double>> constant(6,
+                                                  std::vector<double>(8, 3.0));
+  const BaumWelchResult result = train_hmm(constant, config);
+  EXPECT_NO_THROW(result.model.validate());
+  for (const auto& s : result.model.states) {
+    EXPECT_GE(s.sigma, config.min_sigma);
+    EXPECT_TRUE(std::isfinite(s.mean));
+  }
 }
 
 TEST(BaumWelch, DeterministicForFixedSeed) {

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
+#include <memory>
 
 #include "dataset/synthetic.h"
 
@@ -151,6 +153,119 @@ TEST(PredictorModelAdapter, ImplementsTheSharedInterface) {
   predictor->observe(probe.throughput_mbps[0]);
   EXPECT_GT(predictor->predict(1), 0.0);
   EXPECT_GT(predictor->predict(10), 0.0);
+}
+
+TEST(Engine, QuarantinesClustersWhoseTrainingThrows) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+
+  // Trainer hook: let the constructor's global training succeed, then make
+  // every per-cluster EM run blow up. The engine must isolate the failures
+  // instead of propagating them to session_model() callers.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  Cs2pConfig config = fast_config();
+  config.trainer = [calls](const std::vector<std::vector<double>>& sequences,
+                           const BaumWelchConfig& bw) {
+    if (calls->fetch_add(1) == 0) return train_hmm(sequences, bw);
+    throw TrainingError("injected EM failure");
+  };
+  const Cs2pEngine engine(std::move(train), config);
+
+  // Find a probe whose lookup actually attempts cluster training (sessions
+  // with no matching cluster fall back to global without calling the
+  // trainer and prove nothing about quarantine).
+  const Session* probe = nullptr;
+  SessionModelRef ref;
+  for (const auto& s : test.sessions()) {
+    const int before = calls->load();
+    ASSERT_NO_THROW(ref = engine.session_model(s.features, s.start_hour));
+    if (calls->load() > before) {
+      probe = &s;
+      break;
+    }
+  }
+  ASSERT_NE(probe, nullptr) << "no test session mapped to a trainable cluster";
+  ASSERT_NE(ref.hmm, nullptr);
+  EXPECT_TRUE(ref.used_global_model) << "quarantined cluster must fall back";
+  EXPECT_EQ(ref.hmm, &engine.global_hmm());
+  EXPECT_NE(ref.cluster_label.find("quarantined"), std::string::npos);
+  EXPECT_EQ(engine.stats().clusters_quarantined, 1u);
+  EXPECT_EQ(engine.stats().clusters_trained, 0u);
+
+  // Repeat lookups serve from the quarantine set: no retraining attempt, no
+  // double counting, no throw.
+  const int calls_before = calls->load();
+  ASSERT_NO_THROW(engine.session_model(probe->features, probe->start_hour));
+  EXPECT_EQ(calls->load(), calls_before);
+  EXPECT_EQ(engine.stats().clusters_quarantined, 1u);
+}
+
+TEST(Engine, WarmUpSurvivesTrainingFailures) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+  (void)test;
+
+  // Every other cluster fails to train; warm_up must still complete and the
+  // healthy clusters must still get real models.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  Cs2pConfig config = fast_config();
+  config.trainer = [calls](const std::vector<std::vector<double>>& sequences,
+                           const BaumWelchConfig& bw) {
+    const int n = calls->fetch_add(1);
+    if (n > 0 && n % 2 == 1) throw TrainingError("injected EM failure");
+    return train_hmm(sequences, bw);
+  };
+  const Cs2pEngine engine(std::move(train), config);
+  ASSERT_NO_THROW(engine.warm_up());
+  EXPECT_GT(engine.stats().clusters_trained, 0u);
+  EXPECT_GT(engine.stats().clusters_quarantined, 0u);
+}
+
+TEST(Engine, ThrowingCacheFillDoesNotPoisonTheCache) {
+  Dataset dataset = generate_synthetic_dataset(engine_world());
+  auto [train, test] = dataset.split_by_day(1);
+
+  // First per-cluster attempt throws, later ones succeed. The failed attempt
+  // must not leave a half-built cache entry behind: the cluster is
+  // quarantined (deterministically served by the global model), not cached
+  // as garbage.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  Cs2pConfig config = fast_config();
+  config.trainer = [calls](const std::vector<std::vector<double>>& sequences,
+                           const BaumWelchConfig& bw) {
+    if (calls->fetch_add(1) == 1) throw TrainingError("injected EM failure");
+    return train_hmm(sequences, bw);
+  };
+  const Cs2pEngine engine(std::move(train), config);
+
+  // As above: pick a probe that actually exercises the cache-fill path.
+  const Session* probe = nullptr;
+  SessionModelRef first;
+  for (const auto& s : test.sessions()) {
+    const int before = calls->load();
+    first = engine.session_model(s.features, s.start_hour);
+    if (calls->load() > before) {
+      probe = &s;
+      break;
+    }
+  }
+  ASSERT_NE(probe, nullptr) << "no test session mapped to a trainable cluster";
+  const SessionModelRef again =
+      engine.session_model(probe->features, probe->start_hour);
+  EXPECT_TRUE(first.used_global_model);
+  EXPECT_TRUE(again.used_global_model);
+  EXPECT_EQ(first.hmm, again.hmm);
+  EXPECT_EQ(engine.stats().clusters_quarantined, 1u);
+
+  // A *different* cluster trains fine afterwards: isolation is per-cluster.
+  for (const auto& s : test.sessions()) {
+    const SessionModelRef other = engine.session_model(s.features, s.start_hour);
+    if (!other.used_global_model) {
+      EXPECT_NE(other.hmm, &engine.global_hmm());
+      break;
+    }
+  }
+  EXPECT_GT(engine.stats().clusters_trained, 0u);
 }
 
 TEST(PredictorModelAdapter, NullEngineThrows) {

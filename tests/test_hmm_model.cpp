@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "hmm_test_util.h"
 #include "util/gaussian.h"
 
@@ -86,9 +89,77 @@ TEST(HmmModel, SerializeRoundTrip) {
 }
 
 TEST(HmmModel, DeserializeRejectsGarbage) {
-  EXPECT_THROW(deserialize_hmm("not-a-model"), std::runtime_error);
-  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 0\n"), std::runtime_error);
-  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 2\ninitial 0.5"), std::runtime_error);
+  EXPECT_THROW(deserialize_hmm("not-a-model"), ModelParseError);
+  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 0\n"), ModelParseError);
+  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 2\ninitial 0.5"), ModelParseError);
+}
+
+TEST(HmmModel, DeserializeRejectsAbsurdStateCount) {
+  // A snapshot-sized allocation must not be attacker/corruption controlled:
+  // state counts beyond kMaxHmmStates are rejected before any resize.
+  EXPECT_THROW(deserialize_hmm("cs2p-hmm-v1 99999999\n"), ModelParseError);
+  EXPECT_THROW(
+      deserialize_hmm("cs2p-hmm-v1 " + std::to_string(kMaxHmmStates + 1) + "\n"),
+      ModelParseError);
+}
+
+TEST(HmmModel, DeserializeRejectsNonFiniteParameters) {
+  // NaN/Inf survive serialization as text but must never survive
+  // deserialization: either the number parse or validate() rejects them.
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    GaussianHmm nan_initial = two_state_model();
+    nan_initial.initial[0] = bad;
+    EXPECT_THROW(deserialize_hmm(serialize_hmm(nan_initial)), ModelParseError);
+
+    GaussianHmm nan_transition = two_state_model();
+    nan_transition.transition(1, 1) = bad;
+    EXPECT_THROW(deserialize_hmm(serialize_hmm(nan_transition)),
+                 ModelParseError);
+
+    GaussianHmm nan_mean = two_state_model();
+    nan_mean.states[0].mean = bad;
+    EXPECT_THROW(deserialize_hmm(serialize_hmm(nan_mean)), ModelParseError);
+  }
+}
+
+TEST(HmmModel, DeserializeRejectsNonStochasticRows) {
+  GaussianHmm broken_row = two_state_model();
+  broken_row.transition(0, 0) = 0.5;  // row 0 now sums to 0.6
+  EXPECT_THROW(deserialize_hmm(serialize_hmm(broken_row)), ModelParseError);
+
+  GaussianHmm broken_initial = two_state_model();
+  broken_initial.initial = {0.2, 0.2};
+  EXPECT_THROW(deserialize_hmm(serialize_hmm(broken_initial)), ModelParseError);
+
+  GaussianHmm negative_prob = two_state_model();
+  negative_prob.transition(0, 0) = 1.0;
+  negative_prob.transition(0, 1) = -0.1;  // sums to 0.9... and is negative
+  EXPECT_THROW(deserialize_hmm(serialize_hmm(negative_prob)), ModelParseError);
+}
+
+TEST(HmmModel, DeserializeRejectsNonPositiveSigma) {
+  for (const double bad : {0.0, -0.25}) {
+    GaussianHmm model = two_state_model();
+    model.states[1].sigma = bad;
+    EXPECT_THROW(deserialize_hmm(serialize_hmm(model)), ModelParseError);
+  }
+}
+
+TEST(HmmModel, ValidateRejectsNonFiniteProbabilities) {
+  // Regression guard: NaN fails every comparison, so a tolerance check like
+  // |sum - 1| > tol is silently false for NaN rows. validate() must test
+  // finiteness explicitly.
+  GaussianHmm model = two_state_model();
+  model.initial[0] = std::numeric_limits<double>::quiet_NaN();
+  model.initial[1] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+
+  model = two_state_model();
+  model.transition(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  model.transition(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(model.validate(), std::invalid_argument);
 }
 
 TEST(HmmModel, SerializedSizeUnder5KB) {

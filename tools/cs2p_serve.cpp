@@ -1,26 +1,42 @@
 // cs2p_serve — run the CS2P prediction service on a trace dataset.
 //
 //   cs2p_serve --data traces.csv --port 9000
+//              --snapshot-dir /var/lib/cs2p --reload-interval 86400
 //
 // Trains a CS2P engine on the training days and serves the wire protocol of
 // net/wire.h until SIGINT/SIGTERM. Clients can drive per-session prediction
 // (HELLO/OBSERVE/PREDICT) or download compact models (MODEL) for the
 // client-side mode.
+//
+// Model lifecycle (DESIGN.md §9):
+//   - With --snapshot-dir, startup restores the engine from
+//     <dir>/cs2p_engine.snapshot when it matches the config and dataset
+//     (restart latency = snapshot load, not a full Baum-Welch pass); any
+//     corrupt/mismatched snapshot falls back to fresh training and is
+//     atomically overwritten.
+//   - SIGHUP, or every --reload-interval seconds, re-reads --data, retrains
+//     a fresh engine in the serving process, snapshots it, and hot-swaps it
+//     into the server. In-flight sessions finish on their old model; new
+//     sessions get the fresh one. A failed reload keeps the current model.
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <memory>
 #include <thread>
 
 #include "core/engine.h"
+#include "core/model_store.h"
 #include "dataset/dataset.h"
 #include "net/server.h"
 #include "tools/cli.h"
 
 namespace {
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_reload{false};
 void handle_signal(int) { g_stop.store(true); }
+void handle_sighup(int) { g_reload.store(true); }
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -35,25 +51,57 @@ int main(int argc, char** argv) try {
   args.add_option("idle-timeout-ms", "close connections idle this long", "30000");
   args.add_option("session-ttl-ms", "evict sessions untouched this long", "120000");
   args.add_option("max-sample-mbps", "reject OBSERVE samples above this", "10000");
+  args.add_option("snapshot-dir",
+                  "crash-safe model store: restore on start, persist after "
+                  "(re)training (empty = off)", "");
+  args.add_option("reload-interval",
+                  "retrain from --data and hot-swap every N seconds (0 = "
+                  "only on SIGHUP)", "0");
   if (!args.parse(argc, argv)) return 1;
-
-  const Dataset dataset = Dataset::load_csv(args.get("data"));
-  auto [train, test] = dataset.split_by_day(static_cast<int>(args.get_long("train-days")));
-  (void)test;
-  if (train.empty()) {
-    std::fprintf(stderr, "no training sessions in %s\n", args.get("data").c_str());
-    return 1;
-  }
 
   Cs2pConfig config;
   config.hmm.num_states = static_cast<std::size_t>(args.get_long("hmm-states"));
-  std::printf("training CS2P engine on %zu sessions...\n", train.size());
-  auto model = std::make_shared<Cs2pPredictorModel>(std::move(train), config);
+  const int train_days = static_cast<int>(args.get_long("train-days"));
+  const bool warm_up = args.get_long("warm-up") != 0;
+  const std::string snapshot_dir = args.get("snapshot-dir");
+  const std::string snapshot_path =
+      snapshot_dir.empty() ? "" : snapshot_dir + "/cs2p_engine.snapshot";
+  const long reload_interval_s = args.get_long("reload-interval");
 
-  if (args.get_long("warm-up") != 0) {
-    const std::size_t trained = model->engine().warm_up();
-    std::printf("warm-up: %zu cluster models trained\n", trained);
-  }
+  // Builds a model from the (possibly updated) dataset on disk; used for
+  // both the initial model and every reload. `use_snapshot` is true only at
+  // startup — a reload exists to pick up new data, so it always retrains.
+  auto build_model = [&](bool use_snapshot) {
+    const Dataset dataset = Dataset::load_csv(args.get("data"));
+    auto [train, test] = dataset.split_by_day(train_days);
+    (void)test;
+    if (train.empty())
+      throw std::runtime_error("no training sessions in " + args.get("data"));
+    std::printf("building CS2P engine on %zu sessions...\n", train.size());
+    std::string status;
+    std::shared_ptr<const Cs2pEngine> engine;
+    if (use_snapshot) {
+      engine = load_or_train(snapshot_path, std::move(train), config, warm_up,
+                             &status);
+    } else {
+      auto fresh = std::make_shared<Cs2pEngine>(std::move(train), config);
+      if (warm_up) fresh->warm_up();
+      engine = fresh;
+      status = "retrained fresh engine";
+      if (!snapshot_path.empty()) {
+        try {
+          save_snapshot(snapshot_path, *engine);
+          status += "; snapshot saved to " + snapshot_path;
+        } catch (const SnapshotError& e) {
+          status += std::string("; snapshot save failed (") + e.what() + ")";
+        }
+      }
+    }
+    std::printf("model: %s\n", status.c_str());
+    return std::make_shared<Cs2pPredictorModel>(std::move(engine));
+  };
+
+  auto model = build_model(/*use_snapshot=*/true);
 
   ServerConfig server_config;
   server_config.max_connections =
@@ -65,18 +113,42 @@ int main(int argc, char** argv) try {
 
   PredictionServer server(model, server_config,
                           static_cast<std::uint16_t>(args.get_long("port")));
-  std::printf("serving on 127.0.0.1:%u (SIGINT to stop)\n", server.port());
+  std::printf("serving on 127.0.0.1:%u (SIGINT to stop, SIGHUP to reload)\n",
+              server.port());
   std::printf("limits: %zu connections, %d ms idle timeout, %d ms session TTL\n",
               server_config.max_connections, server_config.idle_timeout_ms,
               server_config.session_ttl_ms);
+  if (reload_interval_s > 0)
+    std::printf("reload: retrain + hot-swap every %ld s\n", reload_interval_s);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGHUP, handle_sighup);
+
+  using Clock = std::chrono::steady_clock;
+  auto last_reload = Clock::now();
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const bool interval_due =
+        reload_interval_s > 0 &&
+        Clock::now() - last_reload >= std::chrono::seconds(reload_interval_s);
+    if (!g_reload.exchange(false) && !interval_due) continue;
+    last_reload = Clock::now();
+    try {
+      // Retrain while the old model keeps serving; swap only on success.
+      server.swap_model(build_model(/*use_snapshot=*/false));
+      std::printf("hot-swap #%llu complete (%zu live sessions keep their "
+                  "old model)\n",
+                  static_cast<unsigned long long>(server.models_swapped()),
+                  server.session_count());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "reload failed: %s (keeping current model)\n",
+                   e.what());
+    }
   }
-  std::printf("\nstopping after %llu requests\n",
-              static_cast<unsigned long long>(server.requests_handled()));
+  std::printf("\nstopping after %llu requests (%llu model swaps)\n",
+              static_cast<unsigned long long>(server.requests_handled()),
+              static_cast<unsigned long long>(server.models_swapped()));
   server.stop();
   return 0;
 } catch (const std::exception& e) {
