@@ -194,10 +194,28 @@ SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
   const CandidateIndex& candidate = index_.index_for(selection.candidate_id);
   const Cluster* cluster = candidate.find(features, start_hour);
   // select() only returns candidates with a usable cluster for this session.
+  {
+    // A drifted cluster's trained state no longer matches what its sessions
+    // measure, so — unlike quarantine — even the cluster's initial median is
+    // suspect: serve the global model wholesale and leave ref.cluster null
+    // so post-drift sessions don't keep feeding the quorum that already
+    // fired.
+    std::scoped_lock lock(drift_mutex_);
+    if (drifted_.contains(cluster)) {
+      ref.hmm = &global_hmm_;
+      ref.initial_prediction = global_initial_;
+      ref.used_global_model = true;
+      ref.cluster_drifted = true;
+      ref.cluster_label = candidate_to_string(candidate.candidate()) + " (drifted)";
+      ref.cluster_size = cluster->size();
+      return ref;
+    }
+  }
   ref.hmm = &cluster_hmm(*cluster);
   ref.initial_prediction = cluster_initial(*cluster);
   ref.cluster_label = candidate_to_string(candidate.candidate());
   ref.cluster_size = cluster->size();
+  ref.cluster = cluster;
   // A quarantined cluster's sessions run on the global HMM (the cluster's
   // initial median is still valid — it is raw data, not an EM product).
   {
@@ -233,9 +251,83 @@ std::size_t Cs2pEngine::warm_up(std::size_t max_clusters) const {
   return hmm_cache_.size() - before;
 }
 
-EngineStats Cs2pEngine::stats() const {
+SurpriseBaseline Cs2pEngine::surprise_baseline(const GaussianHmm* hmm) const {
+  {
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = baseline_cache_.find(hmm);
+    if (it != baseline_cache_.end()) return it->second;
+  }
+  // Monte Carlo over the model itself, outside the lock: it replays
+  // baseline_sequences synthetic sessions through a forward filter. A rare
+  // duplicate computation is harmless (deterministic seed, first insert
+  // wins).
+  const SurpriseBaseline baseline =
+      compute_surprise_baseline(*hmm, config_.guardrail);
   std::scoped_lock lock(cache_mutex_);
-  return stats_;
+  return baseline_cache_.emplace(hmm, baseline).first->second;
+}
+
+void Cs2pEngine::note_guardrail_event(const Cluster* cluster,
+                                      GuardrailEvent event,
+                                      bool tripped) const {
+  std::scoped_lock lock(drift_mutex_);
+  DriftCounters* counters =
+      cluster != nullptr ? &drift_counters_[cluster] : nullptr;
+  switch (event) {
+    case GuardrailEvent::kOpened:
+      ++guarded_sessions_;
+      if (counters != nullptr) ++counters->live;
+      break;
+    case GuardrailEvent::kTripped:
+      ++guardrail_trips_;
+      if (counters != nullptr) {
+        ++counters->tripped;
+        // Quorum check: an absolute floor keeps one or two unlucky sessions
+        // in a tiny cluster from condemning it; the ratio keeps a large
+        // cluster from needing hundreds of trips.
+        if (counters->tripped >= config_.drift.min_tripped_sessions &&
+            counters->live > 0 &&
+            static_cast<double>(counters->tripped) >=
+                config_.drift.quorum * static_cast<double>(counters->live)) {
+          drifted_.insert(cluster);
+        }
+      }
+      break;
+    case GuardrailEvent::kRecovered:
+      ++guardrail_recoveries_;
+      if (counters != nullptr && counters->tripped > 0) --counters->tripped;
+      break;
+    case GuardrailEvent::kClosed:
+      if (counters != nullptr) {
+        if (counters->live > 0) --counters->live;
+        if (tripped && counters->tripped > 0) --counters->tripped;
+      }
+      break;
+  }
+}
+
+std::size_t Cs2pEngine::drifted_cluster_count() const {
+  std::scoped_lock lock(drift_mutex_);
+  return drifted_.size();
+}
+
+bool Cs2pEngine::cluster_drifted(const Cluster* cluster) const {
+  std::scoped_lock lock(drift_mutex_);
+  return drifted_.contains(cluster);
+}
+
+EngineStats Cs2pEngine::stats() const {
+  EngineStats out;
+  {
+    std::scoped_lock lock(cache_mutex_);
+    out = stats_;
+  }
+  std::scoped_lock lock(drift_mutex_);
+  out.clusters_drifted = drifted_.size();
+  out.guarded_sessions = guarded_sessions_;
+  out.guardrail_trips = guardrail_trips_;
+  out.guardrail_recoveries = guardrail_recoveries_;
+  return out;
 }
 
 Cs2pPredictorModel::Cs2pPredictorModel(Dataset training, Cs2pConfig config)
@@ -250,8 +342,27 @@ std::unique_ptr<SessionPredictor> Cs2pPredictorModel::make_session(
     const SessionContext& context) const {
   const SessionModelRef ref =
       engine_->session_model(context.features, context.start_hour);
-  return std::make_unique<HmmSessionPredictor>(*ref.hmm, ref.initial_prediction,
-                                               engine_->config().prediction_rule);
+  const Cs2pConfig& config = engine_->config();
+  if (!config.guardrail.enabled) {
+    return std::make_unique<HmmSessionPredictor>(
+        *ref.hmm, ref.initial_prediction, config.prediction_rule);
+  }
+
+  std::uint8_t static_flags = serve_flags::kPrimary;
+  if (ref.used_global_model) static_flags |= serve_flags::kGlobalModel;
+  if (ref.cluster_drifted) static_flags |= serve_flags::kClusterDrifted;
+  // The callback owns a shared_ptr to the engine: a guarded session may
+  // outlive a model hot-swap, and its kClosed event must still find the
+  // drift counters it incremented at kOpened.
+  auto engine = engine_;
+  const Cluster* cluster = ref.cluster;
+  return std::make_unique<GuardedSessionPredictor>(
+      *ref.hmm, ref.initial_prediction, engine_->global_initial(),
+      engine_->surprise_baseline(ref.hmm), config.guardrail,
+      config.prediction_rule, static_flags,
+      [engine = std::move(engine), cluster](GuardrailEvent event, bool tripped) {
+        engine->note_guardrail_event(cluster, event, tripped);
+      });
 }
 
 std::optional<DownloadableModel> Cs2pPredictorModel::downloadable_model(

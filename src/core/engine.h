@@ -24,6 +24,8 @@
 #include "core/feature_selector.h"
 #include "hmm/baum_welch.h"
 #include "hmm/online_filter.h"
+#include "predictors/guarded_session.h"
+#include "predictors/guardrail.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
@@ -34,6 +36,14 @@ namespace cs2p {
 using TrainerFn = std::function<BaumWelchResult(
     const std::vector<std::vector<double>>&, const BaumWelchConfig&)>;
 
+/// Cluster-level drift policy: when a quorum of a cluster's live guarded
+/// sessions are tripped at once, the whole cluster is declared drifted and
+/// served by the global fallback until the next retrain.
+struct DriftPolicy {
+  std::size_t min_tripped_sessions = 4;  ///< absolute floor before a verdict
+  double quorum = 0.5;                   ///< tripped / live threshold
+};
+
 struct Cs2pConfig {
   FeatureSelectorConfig selector;
   BaumWelchConfig hmm;  ///< per-cluster HMM training (N = 6 by default)
@@ -41,6 +51,12 @@ struct Cs2pConfig {
   std::size_t max_global_sequences = 1200;
   PredictionRule prediction_rule = PredictionRule::kMleState;
   bool median_initial = true;  ///< false: mean (ablation of Eq. 6)
+  /// Per-session prediction guardrails (sanitizer + surprise monitor +
+  /// fallback chain; DESIGN.md §10). Serving-time behavior only — excluded
+  /// from the snapshot config fingerprint like the trainer hook, because it
+  /// does not change any trained artifact.
+  GuardrailConfig guardrail;
+  DriftPolicy drift;
   TrainerFn trainer;  ///< training override (tests); null = train_hmm
 };
 
@@ -49,18 +65,27 @@ struct SessionModelRef {
   const GaussianHmm* hmm = nullptr;  ///< owned by the engine
   double initial_prediction = 0.0;   ///< Mbps
   bool used_global_model = false;
+  bool cluster_drifted = false;      ///< cluster was drift-marked at lookup
   std::string cluster_label;         ///< candidate description, for logs
   std::size_t cluster_size = 0;
+  /// Identity of the serving cluster for drift attribution; null when the
+  /// session runs on the global model (no cluster to attribute to).
+  const Cluster* cluster = nullptr;
 };
 
 /// Engine usage counters (coverage diagnostics for §7.4, plus the failure-
-/// isolation and snapshot-restore counters of the model lifecycle).
+/// isolation and snapshot-restore counters of the model lifecycle, plus the
+/// guardrail/drift counters of the prediction guardrails).
 struct EngineStats {
   std::size_t sessions_served = 0;
   std::size_t global_fallbacks = 0;
   std::size_t clusters_trained = 0;
   std::size_t clusters_restored = 0;     ///< cache entries seeded from a snapshot
   std::size_t clusters_quarantined = 0;  ///< EM failures isolated to the global model
+  std::size_t clusters_drifted = 0;      ///< guardrail quorum marked these drifted
+  std::size_t guarded_sessions = 0;      ///< sessions opened with a guardrail
+  std::size_t guardrail_trips = 0;       ///< session-level DEGRADED entries
+  std::size_t guardrail_recoveries = 0;  ///< session-level recoveries
 };
 
 /// One cached per-cluster model, addressed by its stable identity
@@ -111,6 +136,28 @@ class Cs2pEngine {
   const Cs2pConfig& config() const noexcept { return config_; }
   EngineStats stats() const;
 
+  /// Surprise baseline of a model the engine owns (global or cached cluster
+  /// HMM), computed lazily once per model and cached. The pointer must come
+  /// from a SessionModelRef of this engine.
+  SurpriseBaseline surprise_baseline(const GaussianHmm* hmm) const;
+
+  /// Guardrail lifecycle feed (called by Cs2pPredictorModel's event hook,
+  /// possibly from many serving threads). Aggregates per-session trips into
+  /// cluster-level drift: when >= DriftPolicy::quorum of a cluster's live
+  /// guarded sessions are tripped (and at least min_tripped_sessions are),
+  /// the cluster is marked drifted and served by the global fallback until
+  /// the next retrain builds a fresh engine. `cluster` may be null (global
+  /// sessions feed the session counters only).
+  void note_guardrail_event(const Cluster* cluster, GuardrailEvent event,
+                            bool tripped) const;
+
+  /// Clusters currently drift-marked (what a reload loop polls to decide an
+  /// early retrain).
+  std::size_t drifted_cluster_count() const;
+
+  /// True when the given cluster is drift-marked.
+  bool cluster_drifted(const Cluster* cluster) const;
+
   const GaussianHmm& global_hmm() const noexcept { return global_hmm_; }
   double global_initial() const noexcept { return global_initial_; }
   const ClusterIndex& cluster_index() const noexcept { return index_; }
@@ -144,6 +191,22 @@ class Cs2pEngine {
   /// reaching the serving path again.
   mutable std::unordered_set<const Cluster*> quarantined_;
   mutable EngineStats stats_;
+  /// Lazily-computed per-model surprise baselines, keyed by the stable
+  /// address of an engine-owned HMM (global_hmm_ or a hmm_cache_ entry).
+  mutable std::unordered_map<const GaussianHmm*, SurpriseBaseline> baseline_cache_;
+
+  /// Cluster-level drift aggregation (guarded by its own mutex: the event
+  /// feed runs on serving threads and must not contend with EM training).
+  struct DriftCounters {
+    std::size_t live = 0;     ///< open guarded sessions on this cluster
+    std::size_t tripped = 0;  ///< of which currently DEGRADED
+  };
+  mutable std::mutex drift_mutex_;
+  mutable std::unordered_map<const Cluster*, DriftCounters> drift_counters_;
+  mutable std::unordered_set<const Cluster*> drifted_;
+  mutable std::size_t guarded_sessions_ = 0;
+  mutable std::size_t guardrail_trips_ = 0;
+  mutable std::size_t guardrail_recoveries_ = 0;
 };
 
 /// PredictorModel adapter so the engine plugs into the shared evaluation and

@@ -1,6 +1,7 @@
 #include "dataset/dataset.h"
 
 #include <cmath>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -91,8 +92,11 @@ void Dataset::save_csv(const std::string& path) const {
   write_csv_file(path, table);
 }
 
-Dataset Dataset::load_csv(const std::string& path) {
-  const CsvTable table = read_csv_file(path);
+namespace {
+
+/// Column lookup shared by both loaders; a missing column is file-level
+/// corruption and always throws.
+std::map<std::string, int> required_columns(const CsvTable& table) {
   const char* required[] = {"id",     "isp",    "as",  "province",   "city",
                             "server", "prefix", "day", "start_hour", "epoch_seconds",
                             "series"};
@@ -100,41 +104,107 @@ Dataset Dataset::load_csv(const std::string& path) {
   for (const char* name : required) {
     const int c = table.column(name);
     if (c < 0)
-      throw std::runtime_error(std::string("Dataset::load_csv: missing column ") + name);
+      throw IngestError(IngestErrorKind::kMissingColumn, -1,
+                        std::string("Dataset::load_csv: missing column ") + name);
     cols[name] = c;
   }
+  return cols;
+}
 
+/// Parses one CSV row into `out` and validates it. Returns the rejection
+/// kind, or nullopt when the row is clean. Both loaders run exactly this —
+/// strict turns a rejection into an IngestError, lenient into a counter.
+std::optional<IngestErrorKind> parse_session_row(
+    const std::vector<std::string>& row, std::map<std::string, int>& cols,
+    Session& out) {
+  out.id = std::stoll(row[static_cast<std::size_t>(cols["id"])]);
+  out.features.isp = row[static_cast<std::size_t>(cols["isp"])];
+  out.features.as_number = row[static_cast<std::size_t>(cols["as"])];
+  out.features.province = row[static_cast<std::size_t>(cols["province"])];
+  out.features.city = row[static_cast<std::size_t>(cols["city"])];
+  out.features.server = row[static_cast<std::size_t>(cols["server"])];
+  out.features.client_prefix = row[static_cast<std::size_t>(cols["prefix"])];
+  out.day = std::stoi(row[static_cast<std::size_t>(cols["day"])]);
+  out.start_hour = std::stod(row[static_cast<std::size_t>(cols["start_hour"])]);
+  out.epoch_seconds = std::stod(row[static_cast<std::size_t>(cols["epoch_seconds"])]);
+  // A session whose epoch duration is not a positive finite number has no
+  // usable notion of time: duration_seconds() and every rate derived from
+  // it would be meaningless.
+  if (!std::isfinite(out.epoch_seconds) || out.epoch_seconds <= 0.0)
+    return IngestErrorKind::kBadEpochSeconds;
+  // Tokenise the series and convert each token with stod, which (unlike
+  // istream double extraction) accepts "nan"/"inf" — so a non-finite sample
+  // is attributed as NON_FINITE_SAMPLE, not lumped into parse corruption.
+  std::istringstream series(row[static_cast<std::size_t>(cols["series"])]);
+  std::string token;
+  while (series >> token) {
+    double v = 0.0;
+    std::size_t consumed = 0;
+    try {
+      v = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      return IngestErrorKind::kUnparseableSeries;
+    }
+    if (consumed != token.size()) return IngestErrorKind::kUnparseableSeries;
+    out.throughput_mbps.push_back(v);
+  }
+  for (double w : out.throughput_mbps) {
+    if (!std::isfinite(w)) return IngestErrorKind::kNonFiniteSample;
+    if (w < 0.0) return IngestErrorKind::kNegativeSample;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view ingest_error_kind_name(IngestErrorKind kind) noexcept {
+  switch (kind) {
+    case IngestErrorKind::kUnparseableSeries: return "UNPARSEABLE_SERIES";
+    case IngestErrorKind::kNonFiniteSample: return "NON_FINITE_SAMPLE";
+    case IngestErrorKind::kNegativeSample: return "NEGATIVE_SAMPLE";
+    case IngestErrorKind::kBadEpochSeconds: return "BAD_EPOCH_SECONDS";
+    case IngestErrorKind::kMissingColumn: return "MISSING_COLUMN";
+  }
+  return "UNKNOWN";
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  const CsvTable table = read_csv_file(path);
+  auto cols = required_columns(table);
   Dataset out;
   for (const auto& row : table.rows) {
     Session s;
-    s.id = std::stoll(row[static_cast<std::size_t>(cols["id"])]);
-    s.features.isp = row[static_cast<std::size_t>(cols["isp"])];
-    s.features.as_number = row[static_cast<std::size_t>(cols["as"])];
-    s.features.province = row[static_cast<std::size_t>(cols["province"])];
-    s.features.city = row[static_cast<std::size_t>(cols["city"])];
-    s.features.server = row[static_cast<std::size_t>(cols["server"])];
-    s.features.client_prefix = row[static_cast<std::size_t>(cols["prefix"])];
-    s.day = std::stoi(row[static_cast<std::size_t>(cols["day"])]);
-    s.start_hour = std::stod(row[static_cast<std::size_t>(cols["start_hour"])]);
-    s.epoch_seconds = std::stod(row[static_cast<std::size_t>(cols["epoch_seconds"])]);
-    std::istringstream series(row[static_cast<std::size_t>(cols["series"])]);
-    double v = 0.0;
-    while (series >> v) s.throughput_mbps.push_back(v);
-    // istream extraction stops silently at tokens like "nan" or "inf";
-    // treat anything left unparsed as corruption, not a shorter session.
-    if (!series.eof())
-      throw std::runtime_error(
-          "Dataset::load_csv: session " + std::to_string(s.id) +
-          " has an unparseable throughput sample");
-    // Reject corrupt rows at the boundary: one NaN here would otherwise
-    // surface deep inside Baum-Welch with no hint of its origin.
-    for (double w : s.throughput_mbps) {
-      if (!std::isfinite(w) || w < 0.0)
-        throw std::runtime_error(
-            "Dataset::load_csv: session " + std::to_string(s.id) +
-            " has a NaN, infinite, or negative throughput sample");
+    if (const auto rejection = parse_session_row(row, cols, s)) {
+      throw IngestError(*rejection, s.id,
+                        "Dataset::load_csv: session " + std::to_string(s.id) +
+                            " rejected: " +
+                            std::string(ingest_error_kind_name(*rejection)));
     }
     out.add(std::move(s));
+  }
+  return out;
+}
+
+Dataset Dataset::load_csv_lenient(const std::string& path, IngestStats& stats) {
+  const CsvTable table = read_csv_file(path);
+  auto cols = required_columns(table);
+  Dataset out;
+  for (const auto& row : table.rows) {
+    Session s;
+    const auto rejection = parse_session_row(row, cols, s);
+    if (!rejection) {
+      ++stats.rows_loaded;
+      out.add(std::move(s));
+      continue;
+    }
+    ++stats.rows_skipped;
+    switch (*rejection) {
+      case IngestErrorKind::kUnparseableSeries: ++stats.unparseable_series; break;
+      case IngestErrorKind::kNonFiniteSample: ++stats.non_finite_samples; break;
+      case IngestErrorKind::kNegativeSample: ++stats.negative_samples; break;
+      case IngestErrorKind::kBadEpochSeconds: ++stats.bad_epoch_seconds; break;
+      case IngestErrorKind::kMissingColumn: break;  // unreachable: thrown above
+    }
   }
   return out;
 }

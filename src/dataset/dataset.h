@@ -4,13 +4,57 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dataset/session.h"
 
 namespace cs2p {
+
+/// Why a session row failed ingest validation.
+enum class IngestErrorKind : std::uint8_t {
+  kUnparseableSeries = 0,  ///< a series token did not parse as a number
+  kNonFiniteSample,        ///< NaN or infinite throughput sample
+  kNegativeSample,         ///< negative throughput sample
+  kBadEpochSeconds,        ///< epoch duration not finite and > 0
+  kMissingColumn,          ///< required CSV column absent
+};
+
+/// Stable name of an ingest error kind ("NON_FINITE_SAMPLE", ...).
+std::string_view ingest_error_kind_name(IngestErrorKind kind) noexcept;
+
+/// Typed ingest failure thrown by the strict loader. Derives from
+/// std::runtime_error so existing catch sites keep working; `kind()` and
+/// `session_id()` make the rejection machine-readable.
+class IngestError : public std::runtime_error {
+ public:
+  IngestError(IngestErrorKind kind, std::int64_t session_id,
+              const std::string& message)
+      : std::runtime_error(message), kind_(kind), session_id_(session_id) {}
+
+  IngestErrorKind kind() const noexcept { return kind_; }
+  /// Session id of the offending row; -1 when no row is attributable
+  /// (e.g. a missing column).
+  std::int64_t session_id() const noexcept { return session_id_; }
+
+ private:
+  IngestErrorKind kind_;
+  std::int64_t session_id_;
+};
+
+/// Per-file skip accounting of the lenient loader.
+struct IngestStats {
+  std::size_t rows_loaded = 0;
+  std::size_t rows_skipped = 0;             ///< sum of the reasons below
+  std::size_t unparseable_series = 0;
+  std::size_t non_finite_samples = 0;       ///< rows with a NaN/Inf sample
+  std::size_t negative_samples = 0;         ///< rows with a negative sample
+  std::size_t bad_epoch_seconds = 0;        ///< rows with epoch_seconds <= 0
+};
 
 /// Table 2-style summary of a dataset.
 struct DatasetSummary {
@@ -55,7 +99,17 @@ class Dataset {
   /// CSV round-trip. One row per session; the throughput series is stored
   /// space-separated in a single quoted cell.
   void save_csv(const std::string& path) const;
+
+  /// Strict loader: the first invalid row aborts the load with a typed
+  /// IngestError (one NaN would otherwise surface deep inside Baum-Welch
+  /// with no hint of its origin).
   static Dataset load_csv(const std::string& path);
+
+  /// Lenient loader: invalid rows are skipped (never repaired) and counted
+  /// per reason in `stats`; valid rows load exactly as load_csv would load
+  /// them. A missing required column still throws — that is file-level
+  /// corruption, not a bad row.
+  static Dataset load_csv_lenient(const std::string& path, IngestStats& stats);
 
  private:
   std::vector<Session> sessions_;

@@ -57,6 +57,19 @@ OnlineHmmFilter::Forecast OnlineHmmFilter::predict_distribution(
 void OnlineHmmFilter::observe(double throughput) {
   Vec propagated = observations_ == 0 ? belief_ : vec_mat(belief_, model_.transition);
   Vec corrected = hadamard(propagated, model_.emission_probabilities(throughput));
+  // The un-normalized mass sum_x pi_{t|t-1}(x) e_x(w_t) IS the one-step
+  // predictive likelihood p(w_t | w_1..t-1): record it before normalizing
+  // so guardrails can score how surprising this observation was.
+  const double likelihood = vec_sum(corrected);
+  if (likelihood > 0.0 && std::isfinite(likelihood)) {
+    last_log_likelihood_ = std::log(likelihood);
+  } else {
+    // Every emission probability underflowed (observation many sigmas from
+    // all states). normalize_in_place resets to uniform — the historical
+    // behavior — but the event is no longer silent.
+    last_log_likelihood_ = -std::numeric_limits<double>::infinity();
+    ++degenerate_updates_;
+  }
   normalize_in_place(corrected);  // degenerate likelihood -> uniform belief
   belief_ = std::move(corrected);
   ++observations_;
@@ -65,6 +78,8 @@ void OnlineHmmFilter::observe(double throughput) {
 void OnlineHmmFilter::reset() {
   belief_ = model_.initial;
   observations_ = 0;
+  last_log_likelihood_ = std::numeric_limits<double>::quiet_NaN();
+  degenerate_updates_ = 0;
 }
 
 std::size_t OnlineHmmFilter::mle_state() const { return argmax(belief_); }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 #include "hmm/model.h"
 
@@ -56,6 +57,17 @@ class OnlineHmmFilter {
   /// Current belief pi_{t|t} (after the last observe()).
   const Vec& belief() const noexcept { return belief_; }
 
+  /// One-step predictive log-likelihood log p(w_t | w_1..w_{t-1}) of the
+  /// most recent observation — the surprise signal guardrails monitor.
+  /// NaN before the first observe(); -infinity when the update was
+  /// degenerate (every emission probability underflowed to zero).
+  double last_log_likelihood() const noexcept { return last_log_likelihood_; }
+
+  /// Updates whose likelihood vector underflowed to all-zero. Each such
+  /// update resets the belief to uniform (the pre-existing behavior, now
+  /// counted instead of silent).
+  std::size_t degenerate_updates() const noexcept { return degenerate_updates_; }
+
   /// Most likely current state index under the belief.
   std::size_t mle_state() const;
 
@@ -69,6 +81,8 @@ class OnlineHmmFilter {
   PredictionRule rule_;
   Vec belief_;
   std::size_t observations_ = 0;
+  double last_log_likelihood_ = std::numeric_limits<double>::quiet_NaN();
+  std::size_t degenerate_updates_ = 0;
 };
 
 }  // namespace cs2p

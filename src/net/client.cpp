@@ -110,22 +110,32 @@ SessionResponse PredictionClient::hello(const SessionFeatures& features,
 }
 
 double PredictionClient::observe(std::uint64_t session_id, double throughput_mbps) {
+  return observe_response(session_id, throughput_mbps).mbps;
+}
+
+double PredictionClient::predict(std::uint64_t session_id, unsigned steps_ahead) {
+  return predict_response(session_id, steps_ahead).mbps;
+}
+
+PredictionResponse PredictionClient::observe_response(std::uint64_t session_id,
+                                                      double throughput_mbps) {
   std::scoped_lock lock(mutex_);
   const Response response =
       locked_session_round_trip(session_id, [&](std::uint64_t remote) {
         return Request(ObserveRequest{remote, throughput_mbps});
       });
-  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
+  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return *pred;
   throw std::runtime_error("PredictionClient: unexpected response to OBSERVE");
 }
 
-double PredictionClient::predict(std::uint64_t session_id, unsigned steps_ahead) {
+PredictionResponse PredictionClient::predict_response(std::uint64_t session_id,
+                                                      unsigned steps_ahead) {
   std::scoped_lock lock(mutex_);
   const Response response =
       locked_session_round_trip(session_id, [&](std::uint64_t remote) {
         return Request(PredictRequest{remote, steps_ahead});
       });
-  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return pred->mbps;
+  if (const auto* pred = std::get_if<PredictionResponse>(&response)) return *pred;
   throw std::runtime_error("PredictionClient: unexpected response to PREDICT");
 }
 
@@ -218,7 +228,10 @@ double RemoteSessionPredictor::predict(unsigned steps_ahead) const {
   if (!has_observed_) return initial_mbps_;
   if (steps_ahead <= 1) return last_forecast_;
   try {
-    return client_->predict(session_id_, steps_ahead);
+    const PredictionResponse reply =
+        client_->predict_response(session_id_, steps_ahead);
+    last_server_flags_ = reply.flags;
+    return reply.mbps;
   } catch (const std::exception&) {
     degrade();
     ++fallback_predictions_;
@@ -231,13 +244,24 @@ void RemoteSessionPredictor::observe(double throughput_mbps) {
   has_observed_ = true;
   if (!degraded_) {
     try {
-      last_forecast_ = client_->observe(session_id_, throughput_mbps);
+      const PredictionResponse reply =
+          client_->observe_response(session_id_, throughput_mbps);
+      last_forecast_ = reply.mbps;
+      last_server_flags_ = reply.flags;
       return;
     } catch (const std::exception&) {
       degrade();
     }
   }
   last_forecast_ = fallback_forecast();
+}
+
+std::uint8_t RemoteSessionPredictor::serve_flags() const {
+  if (degraded_)
+    return static_cast<std::uint8_t>(last_server_flags_ |
+                                     serve_flags::kRemoteFallback |
+                                     serve_flags::kDegraded);
+  return last_server_flags_;
 }
 
 }  // namespace cs2p

@@ -68,6 +68,13 @@ class PredictionClient {
   /// Requests an h-step-ahead forecast without new data.
   double predict(std::uint64_t session_id, unsigned steps_ahead);
 
+  /// Full-reply variants carrying the v2 serve-flags byte alongside the
+  /// forecast (why the server answered from the path it did).
+  PredictionResponse observe_response(std::uint64_t session_id,
+                                      double throughput_mbps);
+  PredictionResponse predict_response(std::uint64_t session_id,
+                                      unsigned steps_ahead);
+
   /// Ends a session server-side.
   void bye(std::uint64_t session_id);
 
@@ -137,6 +144,15 @@ class RemoteSessionPredictor final : public SessionPredictor {
   /// True once the predictor has switched to the local fallback.
   bool degraded() const override { return degraded_; }
 
+  /// Local fallback state plus the server-reported serving path of the last
+  /// reply: a remote player can tell "the service is gone" (kRemoteFallback)
+  /// from "the service is up but serving me from a guardrail fallback or a
+  /// drifted cluster" (server bits passed through).
+  std::uint8_t serve_flags() const override;
+
+  /// serve_flags byte of the most recent server reply (0 before any).
+  std::uint8_t last_server_flags() const noexcept { return last_server_flags_; }
+
   /// Remote calls that failed past the retry budget.
   std::uint64_t remote_failures() const noexcept { return remote_failures_; }
 
@@ -157,6 +173,7 @@ class RemoteSessionPredictor final : public SessionPredictor {
   bool has_observed_ = false;
   std::vector<double> history_;  ///< observed samples, feeds the fallback
   mutable bool degraded_ = false;
+  mutable std::uint8_t last_server_flags_ = 0;
   mutable std::uint64_t remote_failures_ = 0;
   mutable std::uint64_t fallback_predictions_ = 0;
 };

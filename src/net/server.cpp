@@ -161,6 +161,19 @@ void PredictionServer::serve_connection(FdHandle connection) {
   std::erase(live_connection_fds_, connection.get());
 }
 
+PredictionResponse PredictionServer::make_prediction_response(
+    const SessionPredictor& predictor, unsigned steps_ahead) {
+  // Read the flags before predicting: serve_flags() describes why the *next*
+  // prediction will be served the way it is, and must match the value on the
+  // same reply.
+  PredictionResponse response;
+  response.flags = predictor.serve_flags();
+  response.mbps = predictor.predict(steps_ahead);
+  if (response.flags != serve_flags::kPrimary)
+    degraded_replies_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
 Response PredictionServer::handle(const Request& request) {
   if (stopping_.load())
     return ErrorResponse{WireErrorCode::kShuttingDown, "server is stopping"};
@@ -207,7 +220,7 @@ Response PredictionServer::handle(const Request& request) {
       return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
     it->second.last_used = Clock::now();
     it->second.predictor->observe(w);
-    return PredictionResponse{it->second.predictor->predict(1)};
+    return make_prediction_response(*it->second.predictor, 1);
   }
 
   if (const auto* predict = std::get_if<PredictRequest>(&request)) {
@@ -219,7 +232,7 @@ Response PredictionServer::handle(const Request& request) {
       return ErrorResponse{WireErrorCode::kBadRequest,
                            "steps_ahead must be >= 1"};
     it->second.last_used = Clock::now();
-    return PredictionResponse{it->second.predictor->predict(predict->steps_ahead)};
+    return make_prediction_response(*it->second.predictor, predict->steps_ahead);
   }
 
   if (const auto* bye = std::get_if<ByeRequest>(&request)) {

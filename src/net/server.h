@@ -77,6 +77,11 @@ class PredictionServer {
   /// Connections refused at the cap with an OVERLOADED frame.
   std::uint64_t connections_rejected() const noexcept { return rejected_.load(); }
 
+  /// PRED replies whose serve_flags were non-primary (guardrail fallback,
+  /// drifted cluster, global model) — the service-level health signal the
+  /// guardrail layer surfaces.
+  std::uint64_t degraded_replies() const noexcept { return degraded_replies_.load(); }
+
   /// Atomically publishes a new model (hot-swap retraining). In-flight
   /// sessions keep the model that created them; sessions opened after the
   /// swap use `model`. Throws std::invalid_argument on null. Safe to call
@@ -107,6 +112,8 @@ class PredictionServer {
   void accept_loop();
   void serve_connection(FdHandle connection);
   Response handle(const Request& request);
+  PredictionResponse make_prediction_response(const SessionPredictor& predictor,
+                                              unsigned steps_ahead);
   void evict_expired_sessions();
   void reject_connection(const FdHandle& connection);
 
@@ -124,6 +131,7 @@ class PredictionServer {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> degraded_replies_{0};
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::size_t> active_connections_{0};
   std::mutex stop_mutex_;  ///< serializes concurrent stop() callers

@@ -218,7 +218,8 @@ std::string serialize_response(const Response& response) {
        << (session->used_global_model ? 1 : 0) << ' '
        << (session->cluster_label.empty() ? "-" : session->cluster_label);
   } else if (const auto* pred = std::get_if<PredictionResponse>(&response)) {
-    os << "PRED " << format_double(pred->mbps);
+    os << "PRED " << format_double(pred->mbps) << ' '
+       << static_cast<unsigned>(pred->flags);
   } else if (std::holds_alternative<OkResponse>(response)) {
     os << "OK";
   } else if (const auto* err = std::get_if<ErrorResponse>(&response)) {
@@ -261,8 +262,17 @@ Response parse_response(std::string_view payload) {
     return session;
   }
   if (verb == "PRED") {
-    if (tokens.size() != 2) throw ProtocolError("wire: PRED wants 1 field");
-    return PredictionResponse{parse_double(tokens[1], "mbps")};
+    // v1 sent "PRED <mbps>"; v2 appends the serve-flags byte. Accept both so
+    // a v2 client decodes a v1 capture (flags default to primary).
+    if (tokens.size() != 2 && tokens.size() != 3)
+      throw ProtocolError("wire: PRED wants 1 or 2 fields");
+    PredictionResponse pred{parse_double(tokens[1], "mbps")};
+    if (tokens.size() == 3) {
+      const std::uint64_t flags = parse_u64(tokens[2], "serve_flags");
+      if (flags > 0xff) throw ProtocolError("wire: serve_flags out of range");
+      pred.flags = static_cast<std::uint8_t>(flags);
+    }
+    return pred;
   }
   if (verb == "OK") return OkResponse{};
   if (verb == "ERR") {

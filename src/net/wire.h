@@ -17,7 +17,10 @@
 //     BYE <session-id>
 //   server -> client
 //     SESSION <session-id> <initial-mbps> <global 0|1> <cluster-label>
-//     PRED <mbps>
+//     PRED <mbps> <flags>         (flags: serve_flags:: bits — why this
+//                                  prediction was served the way it was;
+//                                  v1 peers omitted the field, parse
+//                                  tolerates both)
 //     MODEL <initial-mbps> <global 0|1> \n <serialized hmm ...>
 //     OK
 //     ERR <code> <message>        (code: see WireErrorCode below)
@@ -40,7 +43,8 @@ namespace cs2p {
 
 /// Version stamped into byte 0 of every frame header; a peer speaking a
 /// different framing is rejected with ProtocolError instead of desyncing.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2 added the serve-flags field to PRED responses.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Maximum accepted frame payload; guards against malformed length prefixes.
 /// Must fit the 24-bit length field of the frame header.
@@ -129,6 +133,10 @@ struct SessionResponse {
 };
 struct PredictionResponse {
   double mbps = 0.0;
+  /// serve_flags:: bits (predictors/predictor.h): why the server answered
+  /// from the path it did (primary model, guardrail fallback, drifted
+  /// cluster, global model). 0 = primary.
+  std::uint8_t flags = 0;
 };
 struct OkResponse {};
 struct ErrorResponse {

@@ -1,0 +1,104 @@
+#include "predictors/guarded_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cs2p {
+namespace {
+
+double spike_ceiling(const GaussianHmm& model, const GuardrailConfig& config) {
+  double max_mean = 0.0;
+  for (const auto& state : model.states) max_mean = std::max(max_mean, state.mean);
+  return config.max_spike_multiple > 0.0 ? config.max_spike_multiple * max_mean
+                                         : 0.0;  // 0 disables clamping
+}
+
+}  // namespace
+
+GuardedSessionPredictor::GuardedSessionPredictor(
+    const GaussianHmm& model, double initial_value, double global_fallback_mbps,
+    const SurpriseBaseline& baseline, const GuardrailConfig& config,
+    PredictionRule rule, std::uint8_t static_flags, EventCallback on_event)
+    : filter_(model, rule),
+      initial_value_(initial_value),
+      global_fallback_mbps_(global_fallback_mbps),
+      config_(config),
+      sanitizer_(spike_ceiling(model, config)),
+      monitor_(baseline, config),
+      static_flags_(static_flags),
+      on_event_(std::move(on_event)) {
+  if (on_event_) on_event_(GuardrailEvent::kOpened, false);
+}
+
+GuardedSessionPredictor::~GuardedSessionPredictor() {
+  if (on_event_) on_event_(GuardrailEvent::kClosed, degraded());
+}
+
+double GuardedSessionPredictor::fallback_forecast() const {
+  // Harmonic mean of the recent accepted samples — robust to the outliers
+  // that likely caused the degradation in the first place.
+  double inverse_sum = 0.0;
+  std::size_t n = 0;
+  for (double w : recent_samples_) {
+    if (w > 0.0) {
+      inverse_sum += 1.0 / w;
+      ++n;
+    }
+  }
+  if (n > 0) return static_cast<double>(n) / inverse_sum;
+  // End of the chain: the global model's initial value, with the cluster
+  // median before it when the global value is unusable.
+  if (global_fallback_mbps_ > 0.0 && std::isfinite(global_fallback_mbps_))
+    return global_fallback_mbps_;
+  return initial_value_;
+}
+
+double GuardedSessionPredictor::predict(unsigned steps_ahead) const {
+  if (degraded()) {
+    ++fallback_predictions_;
+    return fallback_forecast();
+  }
+  if (filter_.observations() == 0) return initial_value_;
+  return filter_.predict(std::max(1U, steps_ahead));
+}
+
+void GuardedSessionPredictor::observe(double throughput_mbps) {
+  const ObservationSanitizer::Result sample = sanitizer_.sanitize(throughput_mbps);
+  if (!sample.accepted()) return;  // poisoned sample: belief unchanged
+
+  recent_samples_.push_back(sample.value);
+  if (config_.fallback_window > 0 &&
+      recent_samples_.size() > config_.fallback_window)
+    recent_samples_.pop_front();
+
+  const bool was_degraded = degraded();
+  filter_.observe(sample.value);
+  monitor_.record(filter_.last_log_likelihood());
+  const bool now_degraded = degraded();
+  if (on_event_ && was_degraded != now_degraded) {
+    on_event_(now_degraded ? GuardrailEvent::kTripped : GuardrailEvent::kRecovered,
+              now_degraded);
+  }
+}
+
+std::uint8_t GuardedSessionPredictor::serve_flags() const {
+  std::uint8_t flags = static_flags_;
+  if (degraded())
+    flags |= serve_flags::kDegraded | serve_flags::kGuardrailTripped;
+  return flags;
+}
+
+GuardedSessionPredictor::Stats GuardedSessionPredictor::stats() const {
+  Stats out;
+  out.state = monitor_.state();
+  out.surprise_score = monitor_.score();
+  out.trips = monitor_.trips();
+  out.recoveries = monitor_.recoveries();
+  out.degenerate_updates = filter_.degenerate_updates();
+  out.rejected_samples = sanitizer_.total_rejected();
+  out.clamped_samples = sanitizer_.clamped_spikes();
+  out.fallback_predictions = fallback_predictions_;
+  return out;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,154 @@
+#include "predictors/guardrail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hmm/online_filter.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cs2p {
+
+SurpriseBaseline compute_surprise_baseline(const GaussianHmm& model,
+                                           const GuardrailConfig& config) {
+  Rng rng(config.baseline_seed);
+  std::vector<double> log_likelihoods;
+  log_likelihoods.reserve(config.baseline_sequences * config.baseline_length);
+
+  for (std::size_t s = 0; s < config.baseline_sequences; ++s) {
+    OnlineHmmFilter filter(model);
+    std::size_t state = rng.categorical(model.initial);
+    for (std::size_t t = 0; t < config.baseline_length; ++t) {
+      if (t > 0) {
+        Vec row(model.transition.row(state).begin(),
+                model.transition.row(state).end());
+        state = rng.categorical(row);
+      }
+      const double w =
+          rng.gaussian(model.states[state].mean, model.states[state].sigma);
+      filter.observe(w);
+      const double ll = filter.last_log_likelihood();
+      // Model-sampled data can still (very rarely) underflow; the baseline
+      // describes the well-behaved bulk, so skip those.
+      if (std::isfinite(ll)) log_likelihoods.push_back(ll);
+    }
+  }
+
+  SurpriseBaseline baseline;
+  if (log_likelihoods.empty()) return baseline;  // defensive: keep defaults
+  baseline.mean_log_likelihood = mean(log_likelihoods);
+  // Floor the spread: a near-deterministic model would otherwise make any
+  // finite observation look infinitely surprising.
+  baseline.std_log_likelihood = std::max(0.05, stddev(log_likelihoods));
+  return baseline;
+}
+
+ObservationSanitizer::Result ObservationSanitizer::sanitize(double throughput_mbps) {
+  Result out;
+  if (!std::isfinite(throughput_mbps)) {
+    ++rejected_non_finite_;
+    out.verdict = SampleVerdict::kRejectedNonFinite;
+    return out;
+  }
+  if (throughput_mbps < 0.0) {
+    ++rejected_negative_;
+    out.verdict = SampleVerdict::kRejectedNegative;
+    return out;
+  }
+  if (throughput_mbps == 0.0) {
+    ++rejected_zero_;
+    out.verdict = SampleVerdict::kRejectedZero;
+    return out;
+  }
+  if (spike_ceiling_mbps_ > 0.0 && throughput_mbps > spike_ceiling_mbps_) {
+    ++clamped_spikes_;
+    out.verdict = SampleVerdict::kClamped;
+    out.value = spike_ceiling_mbps_;
+    return out;
+  }
+  out.value = throughput_mbps;
+  return out;
+}
+
+std::string_view guardrail_state_name(GuardrailState state) noexcept {
+  switch (state) {
+    case GuardrailState::kHealthy: return "HEALTHY";
+    case GuardrailState::kSuspect: return "SUSPECT";
+    case GuardrailState::kDegraded: return "DEGRADED";
+  }
+  return "HEALTHY";
+}
+
+SurpriseMonitor::SurpriseMonitor(SurpriseBaseline baseline,
+                                 const GuardrailConfig& config)
+    : baseline_(baseline), config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  if (config_.confirm_observations == 0) config_.confirm_observations = 1;
+  if (config_.recovery_observations == 0) config_.recovery_observations = 1;
+  // A hysteresis band with exit above enter would oscillate by construction.
+  config_.exit_z = std::min(config_.exit_z, config_.enter_z);
+}
+
+GuardrailState SurpriseMonitor::record(double log_likelihood) {
+  double penalised = log_likelihood;
+  if (!std::isfinite(penalised)) {
+    ++degenerate_;
+    penalised = baseline_.mean_log_likelihood -
+                config_.degenerate_penalty_sigmas * baseline_.std_log_likelihood;
+  }
+  window_.push_back(penalised);
+  window_sum_ += penalised;
+  if (window_.size() > config_.window) {
+    window_sum_ -= window_.front();
+    window_.pop_front();
+  }
+
+  if (window_.size() < std::max<std::size_t>(1, config_.min_observations)) {
+    score_ = 0.0;
+    return state_;
+  }
+
+  // z-score of the window mean under the baseline: low log-likelihood means
+  // high surprise, so the score is positive when the model looks wrong.
+  const double n = static_cast<double>(window_.size());
+  const double window_mean = window_sum_ / n;
+  const double std_of_mean = baseline_.std_log_likelihood / std::sqrt(n);
+  score_ = (baseline_.mean_log_likelihood - window_mean) / std_of_mean;
+
+  if (score_ >= config_.enter_z) {
+    ++alarm_streak_;
+    calm_streak_ = 0;
+  } else if (score_ <= config_.exit_z) {
+    ++calm_streak_;
+    alarm_streak_ = 0;
+  } else {
+    // Inside the hysteresis band: streaks hold, no transition pressure.
+    alarm_streak_ = 0;
+    calm_streak_ = 0;
+  }
+
+  switch (state_) {
+    case GuardrailState::kHealthy:
+      if (alarm_streak_ > 0) state_ = GuardrailState::kSuspect;
+      [[fallthrough]];
+    case GuardrailState::kSuspect:
+      if (alarm_streak_ >= config_.confirm_observations) {
+        state_ = GuardrailState::kDegraded;
+        ++trips_;
+        calm_streak_ = 0;
+      } else if (state_ == GuardrailState::kSuspect && alarm_streak_ == 0) {
+        state_ = GuardrailState::kHealthy;
+      }
+      break;
+    case GuardrailState::kDegraded:
+      if (calm_streak_ >= config_.recovery_observations) {
+        state_ = GuardrailState::kHealthy;
+        ++recoveries_;
+        alarm_streak_ = 0;
+      }
+      break;
+  }
+  return state_;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,182 @@
+// Prediction guardrails: online model-mismatch detection for per-session
+// HMM predictors.
+//
+// CS2P's cluster models are only as good as the similarity assumption
+// behind them (§5.1 concedes ~4% of sessions match no cluster at all, and a
+// session whose network shifts out of distribution midstream keeps getting
+// confident-but-wrong state-mean predictions). The guardrail layer watches
+// the one-step predictive log-likelihood the forward filter assigns to each
+// accepted observation, compares a sliding window of it against a baseline
+// distribution computed offline from the model itself, and drives a small
+// hysteresis state machine:
+//
+//   HEALTHY --(surprise > enter_z for confirm_observations)--> DEGRADED
+//       ^                                                         |
+//       +--(surprise < exit_z for recovery_observations)----------+
+//
+// (the confirmation streak is the SUSPECT phase; see DESIGN.md §10).
+// While DEGRADED, the session is served by a stateless fallback chain —
+// harmonic mean of recent samples, then the global model's initial value —
+// instead of the mismatched HMM. In front of everything sits an observation
+// sanitizer that rejects NaN/Inf/negative/zero samples and clamps
+// physically-implausible spikes before they reach the filter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+
+#include "hmm/model.h"
+
+namespace cs2p {
+
+/// Knobs of the guardrail layer. Defaults are tuned on the synthetic world
+/// (bench_drift_qoe): conservative enough that in-distribution sessions do
+/// not trip, fast enough that a mid-trace regime shift is caught within a
+/// couple of windows.
+struct GuardrailConfig {
+  bool enabled = false;  ///< off: GuardedSessionPredictor is never created
+
+  // -- Observation sanitizer -------------------------------------------------
+  /// Samples above max_spike_multiple x (largest state mean) are clamped to
+  /// that bound: a physically-implausible spike (measurement glitch, unit
+  /// bug upstream) must not yank the belief, but the epoch still happened.
+  double max_spike_multiple = 10.0;
+
+  // -- Surprise monitor ------------------------------------------------------
+  std::size_t window = 8;             ///< sliding log-likelihood window
+  std::size_t min_observations = 4;   ///< no verdicts before this many accepted
+  /// Surprise score is a z-score of the window-mean log-likelihood against
+  /// the offline baseline; enter/exit thresholds form the hysteresis band.
+  double enter_z = 6.0;
+  double exit_z = 2.0;
+  std::size_t confirm_observations = 3;   ///< streak: HEALTHY/SUSPECT -> DEGRADED
+  std::size_t recovery_observations = 8;  ///< streak: DEGRADED -> HEALTHY
+  /// Degenerate filter updates (all-zero emission vector) carry -infinity
+  /// log-likelihood; they enter the window as baseline mean minus this many
+  /// baseline sigmas so the score stays finite but maximally alarmed.
+  double degenerate_penalty_sigmas = 12.0;
+
+  // -- Fallback chain --------------------------------------------------------
+  /// Harmonic mean over this many most-recent accepted samples (0 = all).
+  std::size_t fallback_window = 8;
+
+  // -- Offline baseline ------------------------------------------------------
+  /// The baseline is estimated by sampling sequences from the model itself
+  /// and replaying them through the filter (deterministic from the seed).
+  std::size_t baseline_sequences = 32;
+  std::size_t baseline_length = 48;
+  std::uint64_t baseline_seed = 0x20160816;
+};
+
+/// Per-cluster baseline distribution of the one-step predictive
+/// log-likelihood when the model is right, computed offline during training
+/// (what "unsurprising" looks like for this cluster's HMM).
+struct SurpriseBaseline {
+  double mean_log_likelihood = 0.0;
+  double std_log_likelihood = 1.0;  ///< floored at a small positive value
+};
+
+/// Estimates the baseline by Monte Carlo from the model itself:
+/// sample sequences with the config's seed, replay them through an
+/// OnlineHmmFilter, and summarise the per-step predictive log-likelihoods.
+/// Deterministic; costs ~baseline_sequences x baseline_length filter steps
+/// (microseconds for the paper's 6-state models).
+SurpriseBaseline compute_surprise_baseline(const GaussianHmm& model,
+                                           const GuardrailConfig& config);
+
+/// Why the sanitizer rejected (or altered) a sample.
+enum class SampleVerdict : std::uint8_t {
+  kAccepted = 0,
+  kClamped,           ///< accepted after clamping an implausible spike
+  kRejectedNonFinite, ///< NaN or +/-Inf
+  kRejectedNegative,
+  kRejectedZero,      ///< a fully stalled epoch carries no rate information
+};
+
+/// Stateless validation + clamping in front of OnlineHmmFilter::observe,
+/// with rejection counters. `spike_ceiling_mbps` is precomputed by the
+/// owner as max_spike_multiple x the model's largest state mean.
+class ObservationSanitizer {
+ public:
+  explicit ObservationSanitizer(double spike_ceiling_mbps)
+      : spike_ceiling_mbps_(spike_ceiling_mbps) {}
+
+  struct Result {
+    SampleVerdict verdict = SampleVerdict::kAccepted;
+    double value = 0.0;  ///< the (possibly clamped) sample; valid iff accepted
+    bool accepted() const noexcept {
+      return verdict == SampleVerdict::kAccepted ||
+             verdict == SampleVerdict::kClamped;
+    }
+  };
+
+  Result sanitize(double throughput_mbps);
+
+  std::size_t rejected_non_finite() const noexcept { return rejected_non_finite_; }
+  std::size_t rejected_negative() const noexcept { return rejected_negative_; }
+  std::size_t rejected_zero() const noexcept { return rejected_zero_; }
+  std::size_t clamped_spikes() const noexcept { return clamped_spikes_; }
+  std::size_t total_rejected() const noexcept {
+    return rejected_non_finite_ + rejected_negative_ + rejected_zero_;
+  }
+
+ private:
+  double spike_ceiling_mbps_;
+  std::size_t rejected_non_finite_ = 0;
+  std::size_t rejected_negative_ = 0;
+  std::size_t rejected_zero_ = 0;
+  std::size_t clamped_spikes_ = 0;
+};
+
+/// Guardrail verdict for one session at one instant.
+enum class GuardrailState : std::uint8_t {
+  kHealthy = 0,
+  kSuspect,   ///< surprise above enter_z, awaiting confirmation streak
+  kDegraded,  ///< serving the fallback chain
+};
+
+std::string_view guardrail_state_name(GuardrailState state) noexcept;
+
+/// Sliding-window surprise scorer + the HEALTHY/SUSPECT/DEGRADED machine.
+/// Fed one predictive log-likelihood per accepted observation; drives the
+/// GuardedSessionPredictor's serving decision.
+class SurpriseMonitor {
+ public:
+  SurpriseMonitor(SurpriseBaseline baseline, const GuardrailConfig& config);
+
+  /// Scores the latest accepted observation's predictive log-likelihood
+  /// (-infinity for a degenerate update) and advances the state machine.
+  /// Returns the state after the update.
+  GuardrailState record(double log_likelihood);
+
+  GuardrailState state() const noexcept { return state_; }
+
+  /// Current surprise z-score (0 until min_observations accepted).
+  double score() const noexcept { return score_; }
+
+  const SurpriseBaseline& baseline() const noexcept { return baseline_; }
+
+  /// HEALTHY/SUSPECT -> DEGRADED transitions (one per "flap").
+  std::size_t trips() const noexcept { return trips_; }
+  /// DEGRADED -> HEALTHY transitions.
+  std::size_t recoveries() const noexcept { return recoveries_; }
+  /// Degenerate (-infinity) log-likelihoods seen.
+  std::size_t degenerate_observations() const noexcept { return degenerate_; }
+
+ private:
+  SurpriseBaseline baseline_;
+  GuardrailConfig config_;
+  std::deque<double> window_;  ///< recent (penalised) log-likelihoods
+  double window_sum_ = 0.0;
+  double score_ = 0.0;
+  GuardrailState state_ = GuardrailState::kHealthy;
+  std::size_t alarm_streak_ = 0;  ///< consecutive scores above enter_z
+  std::size_t calm_streak_ = 0;   ///< consecutive scores below exit_z
+  std::size_t trips_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t degenerate_ = 0;
+};
+
+}  // namespace cs2p

@@ -13,6 +13,7 @@
 // prediction" — and require at least one observation before predict().
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -38,6 +39,19 @@ struct SessionContext {
   }
 };
 
+/// Why a prediction was served the way it was. Carried as a flags byte in
+/// the wire protocol's PRED replies (net/wire.h, protocol v2) so remote
+/// players and the simulator can attribute forecast quality to the right
+/// serving path, not just to "the predictor".
+namespace serve_flags {
+inline constexpr std::uint8_t kPrimary = 0;             ///< the session's own model
+inline constexpr std::uint8_t kDegraded = 1u << 0;      ///< any fallback is serving
+inline constexpr std::uint8_t kGuardrailTripped = 1u << 1;  ///< per-session guardrail DEGRADED
+inline constexpr std::uint8_t kClusterDrifted = 1u << 2;    ///< cluster marked drifted at HELLO
+inline constexpr std::uint8_t kGlobalModel = 1u << 3;       ///< session runs on the global HMM
+inline constexpr std::uint8_t kRemoteFallback = 1u << 4;    ///< client-side local fallback (service lost)
+}  // namespace serve_flags
+
 /// Per-session prediction state machine.
 class SessionPredictor {
  public:
@@ -56,9 +70,16 @@ class SessionPredictor {
   virtual void observe(double throughput_mbps) = 0;
 
   /// True when the predictor has lost its backing service and is running on
-  /// a local fallback (see RemoteSessionPredictor). In-process predictors
-  /// never degrade.
+  /// a local fallback (see RemoteSessionPredictor), or when its guardrail
+  /// has switched it to the fallback chain (GuardedSessionPredictor).
   virtual bool degraded() const { return false; }
+
+  /// serve_flags:: bits describing why the *next* prediction would be
+  /// served the way it is. Default: primary when healthy, kDegraded when
+  /// degraded() — richer predictors override with the full story.
+  virtual std::uint8_t serve_flags() const {
+    return degraded() ? serve_flags::kDegraded : serve_flags::kPrimary;
+  }
 };
 
 /// A compact, self-contained model a client can download and run on its own

@@ -34,6 +34,9 @@ struct ChunkRecord {
   double download_seconds = 0.0;
   double predicted_throughput_mbps = 0.0;
   double actual_throughput_mbps = 0.0;
+  /// serve_flags:: bits of the predictor when this chunk's forecast was
+  /// made (0 = primary model; see predictors/predictor.h).
+  unsigned serve_flags = 0;
 };
 
 /// Full session outcome.
@@ -43,6 +46,10 @@ struct PlaybackResult {
   /// True when the session's predictor finished in degraded (local
   /// fallback) mode — lets the pilot bench report QoE-under-failure.
   bool predictor_degraded = false;
+  /// Chunks whose forecast was served off the primary path (any non-zero
+  /// serve_flags: guardrail fallback, drifted cluster, global model,
+  /// client-side fallback).
+  std::size_t degraded_chunks = 0;
 };
 
 /// QoE score plus its components (the paper reports AvgBitrate and GoodRatio

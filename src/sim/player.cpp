@@ -58,6 +58,8 @@ PlaybackResult simulate_playback(const VideoSpec& video, const ThroughputTrace& 
     if (predictor != nullptr) {
       record.predicted_throughput_mbps =
           k == 0 ? predictor->predict_initial().value_or(0.0) : predictor->predict(1);
+      record.serve_flags = predictor->serve_flags();
+      if (record.serve_flags != 0) ++result.degraded_chunks;
     }
 
     if (k == 0) {

@@ -157,5 +157,131 @@ TEST(Dataset, LoadCsvMissingColumnThrows) {
   std::remove(path.c_str());
 }
 
+namespace {
+
+/// Writes a CSV with the required header plus the given data lines.
+std::string write_csv_fixture(const char* name,
+                              std::initializer_list<const char*> lines) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(
+      "id,isp,as,province,city,server,prefix,day,start_hour,"
+      "epoch_seconds,series\n",
+      f);
+  for (const char* line : lines) std::fprintf(f, "%s\n", line);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace
+
+TEST(Ingest, StrictLoaderThrowsTypedErrorWithKindAndSessionId) {
+  struct Case {
+    const char* row;
+    IngestErrorKind kind;
+  };
+  const Case cases[] = {
+      {"31,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 nan 2.0",
+       IngestErrorKind::kNonFiniteSample},
+      {"32,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 -0.5 2.0",
+       IngestErrorKind::kNegativeSample},
+      {"33,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 2.0x 3.0",
+       IngestErrorKind::kUnparseableSeries},
+      {"34,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,0.0,1.0 2.0",
+       IngestErrorKind::kBadEpochSeconds},
+      {"35,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,-6.0,1.0 2.0",
+       IngestErrorKind::kBadEpochSeconds},
+  };
+  for (const Case& c : cases) {
+    const std::string path = write_csv_fixture("cs2p_typed_error.csv", {c.row});
+    try {
+      Dataset::load_csv(path);
+      FAIL() << "row should have been rejected: " << c.row;
+    } catch (const IngestError& e) {
+      EXPECT_EQ(e.kind(), c.kind) << c.row;
+      // Session id survives into the error so operators can find the row.
+      EXPECT_GE(e.session_id(), 31);
+      EXPECT_LE(e.session_id(), 35);
+      EXPECT_NE(std::string(e.what()).find(
+                    std::string(ingest_error_kind_name(c.kind))),
+                std::string::npos);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Ingest, MissingColumnReportsNoSessionId) {
+  const std::string path = ::testing::TempDir() + "/cs2p_no_col.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("id,isp\n1,ISP0\n", f);
+    std::fclose(f);
+  }
+  try {
+    Dataset::load_csv(path);
+    FAIL() << "missing column should throw";
+  } catch (const IngestError& e) {
+    EXPECT_EQ(e.kind(), IngestErrorKind::kMissingColumn);
+    EXPECT_EQ(e.session_id(), -1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ingest, LenientLoaderSkipsAndCountsPerReason) {
+  const std::string path = write_csv_fixture(
+      "cs2p_lenient.csv",
+      {
+          "1,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.5 2.0 2.5",   // clean
+          "2,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 inf 2.0",   // non-finite
+          "3,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 -1.0",      // negative
+          "4,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,6.0,1.0 garbage",   // unparseable
+          "5,ISP0,AS0,P0,C0,S0,Pfx0,0,12.0,0.0,1.0 2.0",       // bad epoch
+          "6,ISP0,AS0,P0,C0,S0,Pfx0,1,18.5,6.0,3.0 3.5",       // clean
+      });
+  IngestStats stats;
+  const Dataset loaded = Dataset::load_csv_lenient(path, stats);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.sessions()[0].id, 1);
+  EXPECT_EQ(loaded.sessions()[1].id, 6);
+  EXPECT_EQ(stats.rows_loaded, 2u);
+  EXPECT_EQ(stats.rows_skipped, 4u);
+  EXPECT_EQ(stats.non_finite_samples, 1u);
+  EXPECT_EQ(stats.negative_samples, 1u);
+  EXPECT_EQ(stats.unparseable_series, 1u);
+  EXPECT_EQ(stats.bad_epoch_seconds, 1u);
+  // Clean rows load exactly as the strict loader would load them.
+  ASSERT_EQ(loaded.sessions()[0].throughput_mbps.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded.sessions()[0].throughput_mbps[1], 2.0);
+  EXPECT_DOUBLE_EQ(loaded.sessions()[1].start_hour, 18.5);
+}
+
+TEST(Ingest, LenientLoaderStillThrowsOnMissingColumn) {
+  const std::string path = ::testing::TempDir() + "/cs2p_lenient_no_col.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("id,isp\n1,ISP0\n", f);
+    std::fclose(f);
+  }
+  IngestStats stats;
+  EXPECT_THROW(Dataset::load_csv_lenient(path, stats), IngestError);
+  EXPECT_EQ(stats.rows_loaded, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Ingest, ErrorKindNamesAreStable) {
+  EXPECT_EQ(ingest_error_kind_name(IngestErrorKind::kUnparseableSeries),
+            "UNPARSEABLE_SERIES");
+  EXPECT_EQ(ingest_error_kind_name(IngestErrorKind::kNonFiniteSample),
+            "NON_FINITE_SAMPLE");
+  EXPECT_EQ(ingest_error_kind_name(IngestErrorKind::kNegativeSample),
+            "NEGATIVE_SAMPLE");
+  EXPECT_EQ(ingest_error_kind_name(IngestErrorKind::kBadEpochSeconds),
+            "BAD_EPOCH_SECONDS");
+  EXPECT_EQ(ingest_error_kind_name(IngestErrorKind::kMissingColumn),
+            "MISSING_COLUMN");
+}
+
 }  // namespace
 }  // namespace cs2p

@@ -257,6 +257,106 @@ TEST(PredictionService, ServerRestartHealsViaHelloReplay) {
   EXPECT_GE(client.reconnects(), 1u);
 }
 
+// -- Serve-flags plumbing (protocol v2) --------------------------------------
+
+/// Sessions degrade after observing a sample below 0.5 and recover above it;
+/// while degraded they report the guardrail flag bits. Mirrors the shape of
+/// GuardedSessionPredictor with a trivially controllable switch.
+class SwitchableModel final : public PredictorModel {
+ public:
+  std::string name() const override { return "Switchable"; }
+  std::unique_ptr<SessionPredictor> make_session(const SessionContext&) const override {
+    class S final : public SessionPredictor {
+     public:
+      std::optional<double> predict_initial() const override { return 2.0; }
+      double predict(unsigned) const override { return degraded_ ? 0.25 : last_; }
+      void observe(double w) override {
+        last_ = w;
+        degraded_ = w < 0.5;
+      }
+      bool degraded() const override { return degraded_; }
+      std::uint8_t serve_flags() const override {
+        return degraded_ ? (serve_flags::kDegraded | serve_flags::kGuardrailTripped)
+                         : serve_flags::kPrimary;
+      }
+
+     private:
+      double last_ = 0.0;
+      bool degraded_ = false;
+    };
+    return std::make_unique<S>();
+  }
+};
+
+TEST(PredictionService, ServeFlagsTravelToClient) {
+  PredictionServer server(std::make_shared<SwitchableModel>());
+  PredictionClient client(server.port());
+  const auto session = client.hello(features(), 1.0);
+
+  // Healthy: PRED carries primary flags and the counter stays at zero.
+  const PredictionResponse healthy = client.observe_response(session.session_id, 3.0);
+  EXPECT_EQ(healthy.flags, serve_flags::kPrimary);
+  EXPECT_EQ(server.degraded_replies(), 0u);
+
+  // Degrade the session: the reply's flags explain the serving path and the
+  // server counts the degraded reply.
+  const PredictionResponse tripped = client.observe_response(session.session_id, 0.1);
+  EXPECT_TRUE(tripped.flags & serve_flags::kDegraded);
+  EXPECT_TRUE(tripped.flags & serve_flags::kGuardrailTripped);
+  EXPECT_DOUBLE_EQ(tripped.mbps, 0.25);
+  EXPECT_GE(server.degraded_replies(), 1u);
+
+  const PredictionResponse direct = client.predict_response(session.session_id, 1);
+  EXPECT_TRUE(direct.flags & serve_flags::kDegraded);
+
+  // Recovery clears the flags again.
+  const PredictionResponse recovered = client.observe_response(session.session_id, 4.0);
+  EXPECT_EQ(recovered.flags, serve_flags::kPrimary);
+}
+
+TEST(PredictionService, RemotePredictorSurfacesServerFlags) {
+  PredictionServer server(std::make_shared<SwitchableModel>());
+  PredictionClient client(server.port());
+  RemoteSessionPredictor predictor(client, features(), 9.0);
+
+  predictor.observe(3.0);
+  EXPECT_EQ(predictor.serve_flags(), serve_flags::kPrimary);
+  EXPECT_FALSE(predictor.degraded());
+
+  // The server-side trip is visible through the adapter without any local
+  // fault: the remote bits pass through verbatim.
+  predictor.observe(0.1);
+  EXPECT_TRUE(predictor.serve_flags() & serve_flags::kGuardrailTripped);
+  EXPECT_TRUE(predictor.serve_flags() & serve_flags::kDegraded);
+  EXPECT_FALSE(predictor.serve_flags() & serve_flags::kRemoteFallback);
+  EXPECT_FALSE(predictor.degraded());  // the service itself is healthy
+  EXPECT_EQ(predictor.last_server_flags(),
+            serve_flags::kDegraded | serve_flags::kGuardrailTripped);
+
+  predictor.observe(5.0);
+  EXPECT_EQ(predictor.serve_flags(), serve_flags::kPrimary);
+}
+
+TEST(PredictionService, RemoteFallbackSetsLocalFlagBits) {
+  auto server = std::make_unique<PredictionServer>(
+      std::make_shared<SwitchableModel>());
+  const std::uint16_t port = server->port();
+  ClientConfig config;
+  config.max_retries = 1;
+  config.backoff_initial_ms = 1;
+  PredictionClient client(port, config);
+  RemoteSessionPredictor predictor(client, features(), 9.0);
+  predictor.observe(3.0);
+
+  // Kill the service entirely: the predictor degrades to its local fallback
+  // and its flags say so (remote-fallback + degraded).
+  server.reset();
+  for (int i = 0; i < 10 && !predictor.degraded(); ++i) predictor.observe(3.0);
+  ASSERT_TRUE(predictor.degraded());
+  EXPECT_TRUE(predictor.serve_flags() & serve_flags::kRemoteFallback);
+  EXPECT_TRUE(predictor.serve_flags() & serve_flags::kDegraded);
+}
+
 // -- Shutdown races ---------------------------------------------------------
 
 TEST(PredictionService, StopWhileRequestsInFlight) {

@@ -61,6 +61,7 @@ TEST(Wire, ResponseRoundTrips) {
     const auto* out = std::get_if<PredictionResponse>(&parsed);
     ASSERT_NE(out, nullptr);
     EXPECT_DOUBLE_EQ(out->mbps, 1.5);
+    EXPECT_EQ(out->flags, 0u);
   }
   {
     const Response parsed = parse_response(serialize_response(OkResponse{}));
@@ -90,6 +91,33 @@ TEST(Wire, ErrorCodeRoundTrips) {
     EXPECT_EQ(out->message, "detail text");
     EXPECT_EQ(wire_error_code_from_name(wire_error_code_name(code)), code);
   }
+}
+
+TEST(Wire, PredictionFlagsRoundTripAllValues) {
+  // Protocol v2: PRED carries a serve-flags byte. Every value survives.
+  for (unsigned flags = 0; flags <= 0xff; ++flags) {
+    const PredictionResponse in{3.5, static_cast<std::uint8_t>(flags)};
+    const Response parsed = parse_response(serialize_response(in));
+    const auto* out = std::get_if<PredictionResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_DOUBLE_EQ(out->mbps, 3.5);
+    EXPECT_EQ(out->flags, flags);
+  }
+}
+
+TEST(Wire, PredictionWithoutFlagsTokenParsesAsPrimary) {
+  // A v1 peer sends "PRED <mbps>" with no flags token; decode as primary.
+  const Response parsed = parse_response("PRED 2.75");
+  const auto* out = std::get_if<PredictionResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_DOUBLE_EQ(out->mbps, 2.75);
+  EXPECT_EQ(out->flags, 0u);
+}
+
+TEST(Wire, PredictionFlagsOutOfRangeThrows) {
+  EXPECT_THROW(parse_response("PRED 2.75 256"), ProtocolError);
+  EXPECT_THROW(parse_response("PRED 2.75 -1"), ProtocolError);
+  EXPECT_THROW(parse_response("PRED 2.75 abc"), ProtocolError);
 }
 
 TEST(Wire, ErrorWithoutCodeTokenFallsBackToInternal) {

@@ -185,5 +185,125 @@ TEST(OnlineFilter, TracksStateSwitches) {
   EXPECT_DOUBLE_EQ(filter.predict(1), 5.0);
 }
 
+TEST(OnlineFilter, PredictiveDistributionMultiStepMatchesMatrixPower) {
+  // tau > 1 goes through Matrix::pow; the mixture moments must match a
+  // manual computation against pi P^tau exactly.
+  const GaussianHmm model = testing_support::three_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(2.4);
+  filter.observe(0.9);
+  Vec projected = vec_mat(filter.belief(), model.transition.pow(4));
+  normalize_in_place(projected);
+  double mean = 0.0, second = 0.0;
+  for (std::size_t i = 0; i < projected.size(); ++i) {
+    mean += projected[i] * model.states[i].mean;
+    second += projected[i] * (model.states[i].sigma * model.states[i].sigma +
+                              model.states[i].mean * model.states[i].mean);
+  }
+  const auto f = filter.predict_distribution(4);
+  EXPECT_DOUBLE_EQ(f.mean, mean);
+  EXPECT_DOUBLE_EQ(f.std_dev, std::sqrt(std::max(0.0, second - mean * mean)));
+}
+
+TEST(OnlineFilter, PredictiveDistributionVarianceClampedAtZero) {
+  // States with identical means and vanishing sigmas make
+  // second_moment - mean^2 a catastrophic cancellation that can land a hair
+  // below zero; the clamp must keep std_dev a real number, never sqrt(-eps).
+  GaussianHmm model;
+  model.initial = {0.3, 0.7};
+  model.transition = Matrix{{0.5, 0.5}, {0.5, 0.5}};
+  model.states = {{3.0, 1e-12}, {3.0, 1e-12}};
+  OnlineHmmFilter filter(model);
+  filter.observe(3.0);
+  const auto f = filter.predict_distribution(1);
+  EXPECT_TRUE(std::isfinite(f.std_dev));
+  EXPECT_GE(f.std_dev, 0.0);
+  EXPECT_NEAR(f.mean, 3.0, 1e-9);
+}
+
+TEST(OnlineFilter, PredictiveDistributionMatchesMonteCarlo) {
+  // Brute force the mixture: sample next-epoch states from the propagated
+  // belief and throughputs from the per-state Gaussians; the empirical
+  // moments must converge to predict_distribution's closed form.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.1);
+  filter.observe(0.9);
+  Vec projected = vec_mat(filter.belief(), model.transition);
+  normalize_in_place(projected);
+
+  Rng rng(1234);
+  const int kSamples = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::size_t state = rng.categorical(projected);
+    const double w =
+        rng.gaussian(model.states[state].mean, model.states[state].sigma);
+    sum += w;
+    sum_sq += w * w;
+  }
+  const double mc_mean = sum / kSamples;
+  const double mc_std = std::sqrt(sum_sq / kSamples - mc_mean * mc_mean);
+
+  const auto f = filter.predict_distribution(1);
+  EXPECT_NEAR(f.mean, mc_mean, 0.02);
+  EXPECT_NEAR(f.std_dev, mc_std, 0.02);
+}
+
+TEST(OnlineFilter, LogLikelihoodNanBeforeFirstObservation) {
+  OnlineHmmFilter filter(two_state_model());
+  EXPECT_TRUE(std::isnan(filter.last_log_likelihood()));
+  EXPECT_EQ(filter.degenerate_updates(), 0u);
+}
+
+TEST(OnlineFilter, LogLikelihoodMatchesHandComputation) {
+  // First observation: likelihood = sum_x pi_1(x) e_x(w).
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  const double expected =
+      std::log(vec_sum(hadamard(model.initial, model.emission_probabilities(1.0))));
+  EXPECT_NEAR(filter.last_log_likelihood(), expected, 1e-12);
+  EXPECT_EQ(filter.degenerate_updates(), 0u);
+}
+
+TEST(OnlineFilter, UnderflowIsCountedAndBeliefStaysFinite) {
+  // An observation thousands of sigmas from every state underflows all
+  // emission probabilities: the update must be flagged (-inf likelihood,
+  // counter bumped), the belief must stay a finite distribution, and every
+  // subsequent prediction must be a real number.
+  const GaussianHmm model = two_state_model();
+  OnlineHmmFilter filter(model);
+  filter.observe(1.0);
+  filter.observe(1e12);
+  EXPECT_TRUE(std::isinf(filter.last_log_likelihood()));
+  EXPECT_LT(filter.last_log_likelihood(), 0.0);
+  EXPECT_EQ(filter.degenerate_updates(), 1u);
+  double sum = 0.0;
+  for (double p : filter.belief()) {
+    ASSERT_TRUE(std::isfinite(p));
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(filter.predict(1)));
+  EXPECT_TRUE(std::isfinite(filter.predict_distribution(1).mean));
+  EXPECT_TRUE(std::isfinite(filter.predict_distribution(1).std_dev));
+  // Recovery: the next in-distribution observation restores finite
+  // likelihoods without further degenerate updates.
+  filter.observe(5.0);
+  EXPECT_TRUE(std::isfinite(filter.last_log_likelihood()));
+  EXPECT_EQ(filter.degenerate_updates(), 1u);
+}
+
+TEST(OnlineFilter, ResetClearsLikelihoodState) {
+  OnlineHmmFilter filter(two_state_model());
+  filter.observe(1.0);
+  filter.observe(1e12);
+  ASSERT_EQ(filter.degenerate_updates(), 1u);
+  filter.reset();
+  EXPECT_TRUE(std::isnan(filter.last_log_likelihood()));
+  EXPECT_EQ(filter.degenerate_updates(), 0u);
+}
+
 }  // namespace
 }  // namespace cs2p

@@ -18,6 +18,15 @@
 //     a fresh engine in the serving process, snapshots it, and hot-swaps it
 //     into the server. In-flight sessions finish on their old model; new
 //     sessions get the fresh one. A failed reload keeps the current model.
+//
+// Prediction guardrails (DESIGN.md §10):
+//   - With --guardrail, every session runs behind the sanitizer + surprise
+//     monitor + fallback chain of GuardedSessionPredictor, and PRED replies
+//     carry serve-flags explaining the serving path.
+//   - With --drift-reload (implies the guardrail), a cluster whose live
+//     sessions trip their guardrails in quorum triggers an early retrain +
+//     hot-swap, same path as SIGHUP — the drifted cluster serves the global
+//     fallback in the meantime.
 
 #include <atomic>
 #include <chrono>
@@ -57,10 +66,21 @@ int main(int argc, char** argv) try {
   args.add_option("reload-interval",
                   "retrain from --data and hot-swap every N seconds (0 = "
                   "only on SIGHUP)", "0");
+  args.add_option("guardrail",
+                  "wrap sessions in prediction guardrails (sanitizer + "
+                  "surprise monitor + fallback chain) (1/0)", "0");
+  args.add_option("drift-reload",
+                  "retrain + hot-swap when a cluster drifts (implies "
+                  "--guardrail 1) (1/0)", "0");
+  args.add_option("lenient-ingest",
+                  "skip invalid rows in --data instead of aborting (1/0)", "0");
   if (!args.parse(argc, argv)) return 1;
 
   Cs2pConfig config;
   config.hmm.num_states = static_cast<std::size_t>(args.get_long("hmm-states"));
+  const bool drift_reload = args.get_long("drift-reload") != 0;
+  config.guardrail.enabled = args.get_long("guardrail") != 0 || drift_reload;
+  const bool lenient_ingest = args.get_long("lenient-ingest") != 0;
   const int train_days = static_cast<int>(args.get_long("train-days"));
   const bool warm_up = args.get_long("warm-up") != 0;
   const std::string snapshot_dir = args.get("snapshot-dir");
@@ -68,11 +88,25 @@ int main(int argc, char** argv) try {
       snapshot_dir.empty() ? "" : snapshot_dir + "/cs2p_engine.snapshot";
   const long reload_interval_s = args.get_long("reload-interval");
 
+  auto load_dataset = [&]() {
+    if (!lenient_ingest) return Dataset::load_csv(args.get("data"));
+    IngestStats ingest;
+    Dataset dataset = Dataset::load_csv_lenient(args.get("data"), ingest);
+    if (ingest.rows_skipped > 0) {
+      std::printf("ingest: skipped %zu/%zu rows (%zu unparseable, %zu "
+                  "non-finite, %zu negative, %zu bad epoch)\n",
+                  ingest.rows_skipped, ingest.rows_loaded + ingest.rows_skipped,
+                  ingest.unparseable_series, ingest.non_finite_samples,
+                  ingest.negative_samples, ingest.bad_epoch_seconds);
+    }
+    return dataset;
+  };
+
   // Builds a model from the (possibly updated) dataset on disk; used for
   // both the initial model and every reload. `use_snapshot` is true only at
   // startup — a reload exists to pick up new data, so it always retrains.
   auto build_model = [&](bool use_snapshot) {
-    const Dataset dataset = Dataset::load_csv(args.get("data"));
+    const Dataset dataset = load_dataset();
     auto [train, test] = dataset.split_by_day(train_days);
     (void)test;
     if (train.empty())
@@ -120,6 +154,9 @@ int main(int argc, char** argv) try {
               server_config.session_ttl_ms);
   if (reload_interval_s > 0)
     std::printf("reload: retrain + hot-swap every %ld s\n", reload_interval_s);
+  if (config.guardrail.enabled)
+    std::printf("guardrail: on%s\n",
+                drift_reload ? " (cluster drift triggers retrain)" : "");
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -127,16 +164,32 @@ int main(int argc, char** argv) try {
 
   using Clock = std::chrono::steady_clock;
   auto last_reload = Clock::now();
+  // Drift-marked clusters already answered with a retrain: a failed reload
+  // must not retrigger every poll tick.
+  std::size_t drift_handled = 0;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     const bool interval_due =
         reload_interval_s > 0 &&
         Clock::now() - last_reload >= std::chrono::seconds(reload_interval_s);
-    if (!g_reload.exchange(false) && !interval_due) continue;
+    bool drift_due = false;
+    if (drift_reload) {
+      const std::size_t drifted = model->engine().drifted_cluster_count();
+      if (drifted > drift_handled) {
+        std::printf("drift: %zu cluster(s) tripped their quorum, retraining\n",
+                    drifted);
+        drift_handled = drifted;
+        drift_due = true;
+      }
+    }
+    if (!g_reload.exchange(false) && !interval_due && !drift_due) continue;
     last_reload = Clock::now();
     try {
       // Retrain while the old model keeps serving; swap only on success.
-      server.swap_model(build_model(/*use_snapshot=*/false));
+      auto fresh = build_model(/*use_snapshot=*/false);
+      server.swap_model(fresh);
+      model = std::move(fresh);  // poll drift on the engine now serving
+      drift_handled = 0;
       std::printf("hot-swap #%llu complete (%zu live sessions keep their "
                   "old model)\n",
                   static_cast<unsigned long long>(server.models_swapped()),
@@ -149,6 +202,14 @@ int main(int argc, char** argv) try {
   std::printf("\nstopping after %llu requests (%llu model swaps)\n",
               static_cast<unsigned long long>(server.requests_handled()),
               static_cast<unsigned long long>(server.models_swapped()));
+  if (config.guardrail.enabled) {
+    const EngineStats engine_stats = model->engine().stats();
+    std::printf("guardrail: %zu guarded sessions, %zu trips, %zu recoveries, "
+                "%zu drifted clusters, %llu degraded replies\n",
+                engine_stats.guarded_sessions, engine_stats.guardrail_trips,
+                engine_stats.guardrail_recoveries, engine_stats.clusters_drifted,
+                static_cast<unsigned long long>(server.degraded_replies()));
+  }
   server.stop();
   return 0;
 } catch (const std::exception& e) {
