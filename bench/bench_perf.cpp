@@ -6,6 +6,11 @@
 //  * a trained HMM occupies < 5 KB;
 //  * the deployed server sustains ~500 predictions/second (Node.js; our TCP
 //    service does far more).
+//
+// The BM_Obs* group prices the telemetry layer (DESIGN.md §11). CI divides
+// BM_ObsPerRequestInstrumentation by BM_TcpObserveRoundTrip and fails the
+// build if the registry work a request triggers exceeds 2% of the request it
+// decorates (measured ~0.1-0.3%: tens of ns against tens of µs).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +24,8 @@
 #include "hmm/online_filter.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/player.h"
 
 namespace {
@@ -149,6 +156,88 @@ void BM_ModelFootprint(benchmark::State& state) {
       static_cast<double>(serialize_hmm(*ref.hmm).size());
 }
 BENCHMARK(BM_ModelFootprint);
+
+// -- Telemetry cost (DESIGN.md §11) ------------------------------------------
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  static obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("bench_counter_total");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncContended(benchmark::State& state) {
+  static obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("bench_contended_total");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterIncContended)->Threads(8);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  static obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.histogram(
+      "bench_latency_seconds", obs::default_latency_buckets_seconds());
+  double sample = 1e-6;
+  for (auto _ : state) {
+    histogram.observe(sample);
+    sample = sample < 1.0 ? sample * 1.7 : 1e-6;  // walk the buckets
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+/// Exactly the registry work one PRED request adds in net/server.cpp:
+/// requests + per-verb + replies counters and the latency histogram. This is
+/// the number CI holds under 2% of BM_TcpObserveRoundTrip.
+void BM_ObsPerRequestInstrumentation(benchmark::State& state) {
+  static obs::MetricsRegistry registry;
+  obs::Counter& requests = registry.counter("bench_requests_total");
+  obs::Counter& verb = registry.counter("bench_verb_requests_total",
+                                        {{"verb", "observe"}});
+  obs::Counter& replies = registry.counter("bench_replies_total");
+  obs::Histogram& latency = registry.histogram(
+      "bench_request_seconds", obs::default_latency_buckets_seconds());
+  for (auto _ : state) {
+    requests.inc();
+    verb.inc();
+    replies.inc();
+    latency.observe(12e-6);
+  }
+}
+BENCHMARK(BM_ObsPerRequestInstrumentation);
+
+void BM_ObsTraceSampleDecision(benchmark::State& state) {
+  std::uint64_t session_id = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::trace_sample_decision(0x5cb29e16u, 0.01, session_id++));
+  }
+}
+BENCHMARK(BM_ObsTraceSampleDecision);
+
+void BM_ObsRegistryScrape(benchmark::State& state) {
+  static obs::MetricsRegistry& registry = []() -> obs::MetricsRegistry& {
+    static obs::MetricsRegistry r;
+    // Populate to roughly the series count of a live cs2p_serve.
+    for (int i = 0; i < 24; ++i)
+      r.counter("bench_family_" + std::to_string(i) + "_total").inc();
+    for (int i = 0; i < 6; ++i)
+      r.gauge("bench_gauge_" + std::to_string(i)).set(static_cast<double>(i));
+    for (int i = 0; i < 4; ++i) {
+      auto& h = r.histogram("bench_hist_" + std::to_string(i) + "_seconds",
+                            obs::default_latency_buckets_seconds());
+      for (int j = 0; j < 100; ++j) h.observe(1e-5 * j);
+    }
+    return r;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.scrape());
+  }
+  state.counters["scrape_bytes"] =
+      static_cast<double>(registry.scrape().size());
+}
+BENCHMARK(BM_ObsRegistryScrape)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

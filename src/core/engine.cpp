@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -43,17 +44,49 @@ std::vector<std::vector<double>> gather_sequences(const Dataset& training,
 
 }  // namespace
 
+Cs2pEngine::MetricHandles Cs2pEngine::MetricHandles::create(
+    obs::MetricsRegistry& registry) {
+  MetricHandles m;
+  m.sessions = &registry.counter("cs2p_engine_sessions_total");
+  m.global_fallbacks = &registry.counter("cs2p_engine_global_fallbacks_total");
+  m.cluster_hits = &registry.counter("cs2p_engine_cluster_hits_total");
+  m.drifted_serves = &registry.counter("cs2p_engine_drifted_serves_total");
+  m.quarantined_serves =
+      &registry.counter("cs2p_engine_quarantined_serves_total");
+  m.clusters_trained = &registry.counter("cs2p_engine_clusters_trained_total");
+  m.clusters_restored = &registry.counter("cs2p_engine_clusters_restored_total");
+  m.clusters_quarantined =
+      &registry.counter("cs2p_engine_clusters_quarantined_total");
+  m.guarded_sessions = &registry.counter("cs2p_engine_guarded_sessions_total");
+  m.guardrail_trips = &registry.counter("cs2p_engine_guardrail_trips_total");
+  m.guardrail_recoveries =
+      &registry.counter("cs2p_engine_guardrail_recoveries_total");
+  m.drifted_clusters = &registry.gauge("cs2p_engine_drifted_clusters");
+  m.em_seconds = &registry.histogram("cs2p_engine_em_train_seconds",
+                                     obs::default_latency_buckets_seconds());
+  return m;
+}
+
 BaumWelchResult Cs2pEngine::run_trainer(
     const std::vector<std::vector<double>>& sequences) const {
-  return config_.trainer ? config_.trainer(sequences, config_.hmm)
-                         : train_hmm(sequences, config_.hmm);
+  const auto start = std::chrono::steady_clock::now();
+  BaumWelchResult result = config_.trainer ? config_.trainer(sequences, config_.hmm)
+                                           : train_hmm(sequences, config_.hmm);
+  m_.em_seconds->observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
 }
 
 Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config)
     : training_(validate_training_set(std::move(training))),
       config_(std::move(config)),
       index_(training_, enumerate_candidates()),
-      selector_(index_, config_.selector) {
+      selector_(index_, config_.selector),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()),
+      m_(MetricHandles::create(*metrics_)),
+      guardrail_metrics_(GuardrailMetrics::from_registry(*metrics_)) {
   std::vector<double> initials;
   std::vector<std::size_t> all_indices;
   for (std::size_t i = 0; i < training_.size(); ++i) {
@@ -83,6 +116,10 @@ Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config,
       config_(std::move(config)),
       index_(training_, enumerate_candidates()),
       selector_(index_, config_.selector, std::move(restored.selector_table)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()),
+      m_(MetricHandles::create(*metrics_)),
+      guardrail_metrics_(GuardrailMetrics::from_registry(*metrics_)),
       global_hmm_(std::move(restored.global_hmm)),
       global_initial_(restored.global_initial) {
   global_hmm_.validate(1e-3);
@@ -104,7 +141,7 @@ Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config,
     if (!inserted)
       throw std::invalid_argument(
           "Cs2pEngine: duplicate cluster model in restored state");
-    ++stats_.clusters_restored;
+    m_.clusters_restored->inc();
   }
 }
 
@@ -162,25 +199,22 @@ const GaussianHmm& Cs2pEngine::cluster_hmm(const Cluster& cluster) const {
       // and must not leave a partial cache entry that re-throws on every
       // later session. Quarantine it once and serve the global model.
       std::scoped_lock lock(cache_mutex_);
-      if (quarantined_.insert(&cluster).second) ++stats_.clusters_quarantined;
+      if (quarantined_.insert(&cluster).second) m_.clusters_quarantined->inc();
       return global_hmm_;
     }
   }
 
   std::scoped_lock lock(cache_mutex_);
   const auto [it, inserted] = hmm_cache_.emplace(&cluster, std::move(model));
-  if (inserted) ++stats_.clusters_trained;
+  if (inserted) m_.clusters_trained->inc();
   return *it->second;
 }
 
 SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
                                           double start_hour) const {
   const SelectionResult selection = selector_.select(features, start_hour);
-  {
-    std::scoped_lock lock(cache_mutex_);
-    ++stats_.sessions_served;
-    if (!selection.found) ++stats_.global_fallbacks;
-  }
+  m_.sessions->inc();
+  if (!selection.found) m_.global_fallbacks->inc();
 
   SessionModelRef ref;
   if (!selection.found) {
@@ -202,6 +236,7 @@ SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
     // fired.
     std::scoped_lock lock(drift_mutex_);
     if (drifted_.contains(cluster)) {
+      m_.drifted_serves->inc();
       ref.hmm = &global_hmm_;
       ref.initial_prediction = global_initial_;
       ref.used_global_model = true;
@@ -225,6 +260,10 @@ SessionModelRef Cs2pEngine::session_model(const SessionFeatures& features,
       ref.cluster_label += " (quarantined)";
     }
   }
+  if (ref.used_global_model)
+    m_.quarantined_serves->inc();
+  else
+    m_.cluster_hits->inc();
   return ref;
 }
 
@@ -275,11 +314,11 @@ void Cs2pEngine::note_guardrail_event(const Cluster* cluster,
       cluster != nullptr ? &drift_counters_[cluster] : nullptr;
   switch (event) {
     case GuardrailEvent::kOpened:
-      ++guarded_sessions_;
+      m_.guarded_sessions->inc();
       if (counters != nullptr) ++counters->live;
       break;
     case GuardrailEvent::kTripped:
-      ++guardrail_trips_;
+      m_.guardrail_trips->inc();
       if (counters != nullptr) {
         ++counters->tripped;
         // Quorum check: an absolute floor keeps one or two unlucky sessions
@@ -289,12 +328,13 @@ void Cs2pEngine::note_guardrail_event(const Cluster* cluster,
             counters->live > 0 &&
             static_cast<double>(counters->tripped) >=
                 config_.drift.quorum * static_cast<double>(counters->live)) {
-          drifted_.insert(cluster);
+          if (drifted_.insert(cluster).second)
+            m_.drifted_clusters->set(static_cast<double>(drifted_.size()));
         }
       }
       break;
     case GuardrailEvent::kRecovered:
-      ++guardrail_recoveries_;
+      m_.guardrail_recoveries->inc();
       if (counters != nullptr && counters->tripped > 0) --counters->tripped;
       break;
     case GuardrailEvent::kClosed:
@@ -318,15 +358,16 @@ bool Cs2pEngine::cluster_drifted(const Cluster* cluster) const {
 
 EngineStats Cs2pEngine::stats() const {
   EngineStats out;
-  {
-    std::scoped_lock lock(cache_mutex_);
-    out = stats_;
-  }
+  out.sessions_served = m_.sessions->value();
+  out.global_fallbacks = m_.global_fallbacks->value();
+  out.clusters_trained = m_.clusters_trained->value();
+  out.clusters_restored = m_.clusters_restored->value();
+  out.clusters_quarantined = m_.clusters_quarantined->value();
+  out.guarded_sessions = m_.guarded_sessions->value();
+  out.guardrail_trips = m_.guardrail_trips->value();
+  out.guardrail_recoveries = m_.guardrail_recoveries->value();
   std::scoped_lock lock(drift_mutex_);
   out.clusters_drifted = drifted_.size();
-  out.guarded_sessions = guarded_sessions_;
-  out.guardrail_trips = guardrail_trips_;
-  out.guardrail_recoveries = guardrail_recoveries_;
   return out;
 }
 
@@ -362,7 +403,8 @@ std::unique_ptr<SessionPredictor> Cs2pPredictorModel::make_session(
       config.prediction_rule, static_flags,
       [engine = std::move(engine), cluster](GuardrailEvent event, bool tripped) {
         engine->note_guardrail_event(cluster, event, tripped);
-      });
+      },
+      &engine_->guardrail_metrics());
 }
 
 std::optional<DownloadableModel> Cs2pPredictorModel::downloadable_model(

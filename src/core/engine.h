@@ -24,6 +24,7 @@
 #include "core/feature_selector.h"
 #include "hmm/baum_welch.h"
 #include "hmm/online_filter.h"
+#include "obs/metrics.h"
 #include "predictors/guarded_session.h"
 #include "predictors/guardrail.h"
 #include "predictors/predictor.h"
@@ -58,6 +59,11 @@ struct Cs2pConfig {
   GuardrailConfig guardrail;
   DriftPolicy drift;
   TrainerFn trainer;  ///< training override (tests); null = train_hmm
+  /// Telemetry sink (DESIGN.md §11). Null: the engine creates a private
+  /// registry, so per-engine stats stay hermetic; serving tools inject the
+  /// process-wide registry so engine counters appear in one STATS scrape.
+  /// Excluded from the snapshot config fingerprint like the trainer hook.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// What the engine hands out for one session.
@@ -75,7 +81,10 @@ struct SessionModelRef {
 
 /// Engine usage counters (coverage diagnostics for §7.4, plus the failure-
 /// isolation and snapshot-restore counters of the model lifecycle, plus the
-/// guardrail/drift counters of the prediction guardrails).
+/// guardrail/drift counters of the prediction guardrails). Since the
+/// telemetry layer these are a *read-out of the metrics registry* — the
+/// registry is the single source of truth, this struct is the convenience
+/// snapshot tests and benches consume.
 struct EngineStats {
   std::size_t sessions_served = 0;
   std::size_t global_fallbacks = 0;
@@ -136,6 +145,16 @@ class Cs2pEngine {
   const Cs2pConfig& config() const noexcept { return config_; }
   EngineStats stats() const;
 
+  /// The registry this engine reports into (config().metrics, or the
+  /// engine's private one).
+  obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+
+  /// Shared guardrail counter handles, passed to every guarded session this
+  /// engine's model spawns.
+  const GuardrailMetrics& guardrail_metrics() const noexcept {
+    return guardrail_metrics_;
+  }
+
   /// Surprise baseline of a model the engine owns (global or cached cluster
   /// HMM), computed lazily once per model and cached. The pointer must come
   /// from a SessionModelRef of this engine.
@@ -176,10 +195,33 @@ class Cs2pEngine {
   double cluster_initial(const Cluster& cluster) const;
   BaumWelchResult run_trainer(const std::vector<std::vector<double>>& sequences) const;
 
+  /// Registry handles cached at construction: the serving path increments
+  /// through these pointers lock-free (obs/metrics.h rule 1).
+  struct MetricHandles {
+    obs::Counter* sessions = nullptr;
+    obs::Counter* global_fallbacks = nullptr;
+    obs::Counter* cluster_hits = nullptr;
+    obs::Counter* drifted_serves = nullptr;
+    obs::Counter* quarantined_serves = nullptr;
+    obs::Counter* clusters_trained = nullptr;
+    obs::Counter* clusters_restored = nullptr;
+    obs::Counter* clusters_quarantined = nullptr;
+    obs::Counter* guarded_sessions = nullptr;
+    obs::Counter* guardrail_trips = nullptr;
+    obs::Counter* guardrail_recoveries = nullptr;
+    obs::Gauge* drifted_clusters = nullptr;
+    obs::Histogram* em_seconds = nullptr;
+
+    static MetricHandles create(obs::MetricsRegistry& registry);
+  };
+
   Dataset training_;
   Cs2pConfig config_;
   ClusterIndex index_;
   FeatureSelector selector_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  MetricHandles m_;
+  GuardrailMetrics guardrail_metrics_;
   GaussianHmm global_hmm_;
   double global_initial_ = 0.0;
 
@@ -190,7 +232,6 @@ class Cs2pEngine {
   /// retrying forever) is what keeps one degenerate cluster from ever
   /// reaching the serving path again.
   mutable std::unordered_set<const Cluster*> quarantined_;
-  mutable EngineStats stats_;
   /// Lazily-computed per-model surprise baselines, keyed by the stable
   /// address of an engine-owned HMM (global_hmm_ or a hmm_cache_ entry).
   mutable std::unordered_map<const GaussianHmm*, SurpriseBaseline> baseline_cache_;
@@ -204,9 +245,6 @@ class Cs2pEngine {
   mutable std::mutex drift_mutex_;
   mutable std::unordered_map<const Cluster*, DriftCounters> drift_counters_;
   mutable std::unordered_set<const Cluster*> drifted_;
-  mutable std::size_t guarded_sessions_ = 0;
-  mutable std::size_t guardrail_trips_ = 0;
-  mutable std::size_t guardrail_recoveries_ = 0;
 };
 
 /// PredictorModel adapter so the engine plugs into the shared evaluation and

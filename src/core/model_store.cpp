@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -407,6 +408,7 @@ void write_fully(int fd, std::string_view data) {
 }  // namespace
 
 void save_snapshot(const std::string& path, const Cs2pEngine& engine) {
+  const auto start = std::chrono::steady_clock::now();
   if (path.empty())
     throw SnapshotError(SnapshotErrorCode::kIo, "empty snapshot path");
   const std::string bytes = serialize_engine(engine);
@@ -444,6 +446,13 @@ void save_snapshot(const std::string& path, const Cs2pEngine& engine) {
   dirfd.fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dirfd.fd < 0) io_error("open dir " + dir);
   if (::fsync(dirfd.fd) != 0) io_error("fsync dir " + dir);
+
+  engine.metrics()
+      .histogram("cs2p_model_snapshot_save_seconds",
+                 obs::default_latency_buckets_seconds())
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count());
 }
 
 std::unique_ptr<Cs2pEngine> restore_engine_from_bytes(const std::string& bytes,
@@ -461,6 +470,7 @@ std::unique_ptr<Cs2pEngine> restore_engine_from_bytes(const std::string& bytes,
 std::unique_ptr<Cs2pEngine> restore_engine(const std::string& path,
                                            Dataset training,
                                            const Cs2pConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw SnapshotError(SnapshotErrorCode::kIo, "cannot open " + path);
@@ -468,7 +478,15 @@ std::unique_ptr<Cs2pEngine> restore_engine(const std::string& path,
   buffer << in.rdbuf();
   if (in.bad())
     throw SnapshotError(SnapshotErrorCode::kIo, "read failed for " + path);
-  return restore_engine_from_bytes(buffer.str(), std::move(training), config);
+  auto engine =
+      restore_engine_from_bytes(buffer.str(), std::move(training), config);
+  engine->metrics()
+      .histogram("cs2p_model_snapshot_load_seconds",
+                 obs::default_latency_buckets_seconds())
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count());
+  return engine;
 }
 
 std::shared_ptr<const Cs2pEngine> load_or_train(const std::string& snapshot_path,
@@ -484,6 +502,9 @@ std::shared_ptr<const Cs2pEngine> load_or_train(const std::string& snapshot_path
       status = "restored engine from " + snapshot_path + " (" +
                std::to_string(engine->stats().clusters_restored) +
                " cluster models, no EM run)";
+      engine->metrics()
+          .counter("cs2p_model_restores_total", {{"outcome", "restored"}})
+          .inc();
       if (status_out) *status_out = status;
       return engine;
     } catch (const SnapshotError& e) {
@@ -495,6 +516,9 @@ std::shared_ptr<const Cs2pEngine> load_or_train(const std::string& snapshot_path
   }
 
   auto engine = std::make_shared<Cs2pEngine>(std::move(training), config);
+  engine->metrics()
+      .counter("cs2p_model_restores_total", {{"outcome", "trained_fresh"}})
+      .inc();
   if (warm_up) {
     const std::size_t trained = engine->warm_up();
     status += "; warm-up trained " + std::to_string(trained) + " cluster models";

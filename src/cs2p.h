@@ -46,3 +46,7 @@
 #include "net/client.h"          // IWYU pragma: export
 #include "net/server.h"          // IWYU pragma: export
 #include "net/wire.h"            // IWYU pragma: export
+
+// Observability: metrics registry + per-session trace log.
+#include "obs/metrics.h"         // IWYU pragma: export
+#include "obs/trace.h"           // IWYU pragma: export

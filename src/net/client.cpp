@@ -153,6 +153,13 @@ DownloadableModel PredictionClient::download_model(const SessionFeatures& featur
   throw std::runtime_error("PredictionClient: unexpected response to MODEL");
 }
 
+StatsResponse PredictionClient::stats() {
+  std::scoped_lock lock(mutex_);
+  const Response response = locked_round_trip(StatsRequest{});
+  if (const auto* stats = std::get_if<StatsResponse>(&response)) return *stats;
+  throw std::runtime_error("PredictionClient: unexpected response to STATS");
+}
+
 void PredictionClient::bye(std::uint64_t session_id) {
   std::scoped_lock lock(mutex_);
   std::uint64_t remote_id = session_id;

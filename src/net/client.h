@@ -84,6 +84,11 @@ class PredictionClient {
   DownloadableModel download_model(const SessionFeatures& features,
                                    double start_hour);
 
+  /// Scrapes the server's metrics registry (the v3 STATS verb): the raw
+  /// versioned text exposition, exactly as the server rendered it. What
+  /// cs2p_stats is built on.
+  StatsResponse stats();
+
   const ClientConfig& config() const noexcept { return config_; }
 
   /// Transport teardowns that forced a fresh connect.

@@ -3,9 +3,61 @@
 #include <sys/socket.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace cs2p {
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
+}
+
+}  // namespace
+
+PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
+    obs::MetricsRegistry& registry) {
+  MetricHandles m;
+  m.requests = &registry.counter("cs2p_server_requests_total");
+  m.replies = &registry.counter("cs2p_server_replies_total");
+  m.error_replies = &registry.counter("cs2p_server_error_replies_total");
+  m.degraded_replies = &registry.counter("cs2p_server_degraded_replies_total");
+  const auto verb = [&registry](const char* name) {
+    return &registry.counter("cs2p_server_verb_requests_total",
+                             {{"verb", name}});
+  };
+  m.verb_hello = verb("hello");
+  m.verb_observe = verb("observe");
+  m.verb_predict = verb("predict");
+  m.verb_bye = verb("bye");
+  m.verb_model = verb("model");
+  m.verb_stats = verb("stats");
+  m.verb_invalid = verb("invalid");
+  m.connections = &registry.counter("cs2p_server_connections_total");
+  m.idle_timeouts = &registry.counter("cs2p_server_idle_timeouts_total");
+  m.rejected = &registry.counter("cs2p_server_connections_rejected_total");
+  m.evicted = &registry.counter("cs2p_server_sessions_evicted_total");
+  m.swaps = &registry.counter("cs2p_server_model_swaps_total");
+  m.active_connections = &registry.gauge("cs2p_server_active_connections");
+  m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
+  m.request_seconds =
+      &registry.histogram("cs2p_server_request_seconds",
+                          obs::default_latency_buckets_seconds());
+  return m;
+}
+
+obs::Counter* PredictionServer::verb_counter(
+    const Request& request) const noexcept {
+  if (std::holds_alternative<HelloRequest>(request)) return m_.verb_hello;
+  if (std::holds_alternative<ObserveRequest>(request)) return m_.verb_observe;
+  if (std::holds_alternative<PredictRequest>(request)) return m_.verb_predict;
+  if (std::holds_alternative<ByeRequest>(request)) return m_.verb_bye;
+  if (std::holds_alternative<ModelRequest>(request)) return m_.verb_model;
+  if (std::holds_alternative<StatsRequest>(request)) return m_.verb_stats;
+  return m_.verb_invalid;
+}
 
 PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
                                    std::uint16_t port)
@@ -13,7 +65,12 @@ PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
 
 PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
                                    ServerConfig config, std::uint16_t port)
-    : model_(std::move(model)), config_(config) {
+    : model_(std::move(model)),
+      config_(std::move(config)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()),
+      m_(MetricHandles::create(*metrics_)),
+      trace_(config_.trace) {
   if (!model_) throw std::invalid_argument("PredictionServer: null model");
   if (config_.max_connections == 0)
     throw std::invalid_argument("PredictionServer: max_connections must be > 0");
@@ -60,7 +117,7 @@ void PredictionServer::swap_model(std::shared_ptr<const PredictorModel> model) {
     std::scoped_lock lock(model_mutex_);
     model_ = std::move(model);
   }
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  m_.swaps->inc();
   // The old model is NOT torn down here: any session entry created from it
   // still holds a reference, and releases it on BYE or TTL eviction.
 }
@@ -77,16 +134,20 @@ void PredictionServer::evict_expired_sessions() {
   std::scoped_lock lock(sessions_mutex_);
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (it->second.last_used < deadline) {
+      if (trace_ && it->second.traced)
+        trace_->emit("evict", it->first,
+                     {{"ttl_ms", static_cast<std::int64_t>(config_.session_ttl_ms)}});
       it = sessions_.erase(it);
-      evicted_.fetch_add(1, std::memory_order_relaxed);
+      m_.evicted->inc();
     } else {
       ++it;
     }
   }
+  m_.live_sessions->set(static_cast<double>(sessions_.size()));
 }
 
 void PredictionServer::reject_connection(const FdHandle& connection) {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+  m_.rejected->inc();
   try {
     send_frame(connection,
                serialize_response(ErrorResponse{
@@ -120,7 +181,9 @@ void PredictionServer::accept_loop() {
       reject_connection(connection);
       continue;  // FdHandle destructor closes it
     }
-    active_connections_.fetch_add(1);
+    m_.connections->inc();
+    m_.active_connections->set(
+        static_cast<double>(active_connections_.fetch_add(1) + 1));
     std::scoped_lock lock(workers_mutex_);
     live_connection_fds_.push_back(connection.get());
     workers_.emplace_back(
@@ -136,27 +199,79 @@ void PredictionServer::serve_connection(FdHandle connection) {
       // Idle timeout: a silent peer gets its connection reclaimed instead of
       // pinning this worker forever. stop() still wakes the poll via
       // shutdown(2) (POLLHUP counts as readable).
-      if (!wait_readable(connection, config_.idle_timeout_ms)) break;
+      if (!wait_readable(connection, config_.idle_timeout_ms)) {
+        m_.idle_timeouts->inc();
+        break;
+      }
       const auto frame = recv_frame(connection);
       if (!frame) break;  // client hung up
+      // Count before replying: once the client sees the response, the
+      // request must already be visible in requests_handled() — and a reply
+      // can never outrun its request (the scrape invariant of §11).
+      m_.requests->inc();
+      const auto t_recv = Clock::now();
       Response response;
+      RequestInfo info;
+      std::uint64_t parse_us = 0;
+      std::uint64_t handle_us = 0;
       try {
-        response = handle(parse_request(*frame));
+        const Request request = parse_request(*frame);
+        const auto t_parsed = Clock::now();
+        parse_us = elapsed_us(t_recv, t_parsed);
+        verb_counter(request)->inc();
+        response = handle(request, info);
+        handle_us = elapsed_us(t_parsed, Clock::now());
       } catch (const ProtocolError& e) {
+        m_.verb_invalid->inc();
         response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
       } catch (const std::exception& e) {
         response = ErrorResponse{WireErrorCode::kInternal, e.what()};
       }
-      // Count before replying: once the client sees the response, the
-      // request must already be visible in requests_handled().
-      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (std::holds_alternative<ErrorResponse>(response))
+        m_.error_replies->inc();
+      const auto t_send = Clock::now();
       send_frame(connection, serialize_response(response));
+      m_.replies->inc();
+      const auto t_done = Clock::now();
+      m_.request_seconds->observe(
+          std::chrono::duration<double>(t_done - t_recv).count());
+      if (trace_ && info.traced) {
+        const std::uint64_t send_us = elapsed_us(t_send, t_done);
+        if (const auto* err = std::get_if<ErrorResponse>(&response)) {
+          trace_->emit("reply-error", info.session_id,
+                       {{"verb", info.event},
+                        {"code", wire_error_code_name(err->code)},
+                        {"parse_us", parse_us},
+                        {"handle_us", handle_us},
+                        {"send_us", send_us}});
+        } else if (info.event == "hello") {
+          trace_->emit("hello", info.session_id,
+                       {{"cluster", std::string_view(info.cluster_label)},
+                        {"initial_mbps", info.mbps},
+                        {"parse_us", parse_us},
+                        {"handle_us", handle_us},
+                        {"send_us", send_us}});
+        } else {
+          // observe / predict / bye: flags + prediction + the filter's
+          // predictive log-likelihood (NaN serializes as null when absent).
+          trace_->emit(
+              info.event, info.session_id,
+              {{"flags", info.flags},
+               {"mbps", info.mbps},
+               {"ll", info.log_likelihood.value_or(
+                          std::numeric_limits<double>::quiet_NaN())},
+               {"parse_us", parse_us},
+               {"handle_us", handle_us},
+               {"send_us", send_us}});
+        }
+      }
     }
   } catch (const std::exception&) {
     // Connection-level failure (reset, desynced framing): drop the
     // connection, keep serving others.
   }
-  active_connections_.fetch_sub(1);
+  m_.active_connections->set(
+      static_cast<double>(active_connections_.fetch_sub(1) - 1));
   std::scoped_lock lock(workers_mutex_);
   std::erase(live_connection_fds_, connection.get());
 }
@@ -169,16 +284,16 @@ PredictionResponse PredictionServer::make_prediction_response(
   PredictionResponse response;
   response.flags = predictor.serve_flags();
   response.mbps = predictor.predict(steps_ahead);
-  if (response.flags != serve_flags::kPrimary)
-    degraded_replies_.fetch_add(1, std::memory_order_relaxed);
+  if (response.flags != serve_flags::kPrimary) m_.degraded_replies->inc();
   return response;
 }
 
-Response PredictionServer::handle(const Request& request) {
+Response PredictionServer::handle(const Request& request, RequestInfo& info) {
   if (stopping_.load())
     return ErrorResponse{WireErrorCode::kShuttingDown, "server is stopping"};
 
   if (const auto* hello = std::get_if<HelloRequest>(&request)) {
+    info.event = "hello";
     if (!std::isfinite(hello->start_hour))
       return ErrorResponse{WireErrorCode::kBadRequest,
                            "start_hour must be finite"};
@@ -198,14 +313,24 @@ Response PredictionServer::handle(const Request& request) {
 
     std::scoped_lock lock(sessions_mutex_);
     response.session_id = next_session_id_++;
-    sessions_.emplace(
-        response.session_id,
-        SessionEntry{std::move(predictor), std::move(model), Clock::now()});
+    info.session_id = response.session_id;
+    info.traced = trace_ && trace_->should_sample(response.session_id);
+    info.mbps = response.initial_mbps;
+    info.cluster_label = response.cluster_label;
+    SessionEntry entry{std::move(predictor), std::move(model), Clock::now(),
+                       info.traced};
+    sessions_.emplace(response.session_id, std::move(entry));
+    m_.live_sessions->set(static_cast<double>(sessions_.size()));
     return response;
   }
 
   if (const auto* observe = std::get_if<ObserveRequest>(&request)) {
+    info.event = "observe";
+    info.session_id = observe->session_id;
     const double w = observe->throughput_mbps;
+    std::scoped_lock lock(sessions_mutex_);
+    const auto it = sessions_.find(observe->session_id);
+    if (it != sessions_.end()) info.traced = it->second.traced;
     // Validate before touching the predictor: one NaN in the forward filter
     // poisons every belief state after it.
     // Zero is allowed: a fully stalled epoch is a real measurement (and the
@@ -214,34 +339,77 @@ Response PredictionServer::handle(const Request& request) {
       return ErrorResponse{WireErrorCode::kInvalidSample,
                            "throughput sample must be finite, non-negative and <= " +
                                std::to_string(config_.max_sample_mbps)};
-    std::scoped_lock lock(sessions_mutex_);
-    const auto it = sessions_.find(observe->session_id);
     if (it == sessions_.end())
       return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
     it->second.last_used = Clock::now();
     it->second.predictor->observe(w);
-    return make_prediction_response(*it->second.predictor, 1);
+    const PredictionResponse response =
+        make_prediction_response(*it->second.predictor, 1);
+    info.flags = response.flags;
+    info.mbps = response.mbps;
+    info.log_likelihood = it->second.predictor->last_log_likelihood();
+    return response;
   }
 
   if (const auto* predict = std::get_if<PredictRequest>(&request)) {
+    info.event = "predict";
+    info.session_id = predict->session_id;
     std::scoped_lock lock(sessions_mutex_);
     const auto it = sessions_.find(predict->session_id);
     if (it == sessions_.end())
       return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
+    info.traced = it->second.traced;
     if (predict->steps_ahead == 0)
       return ErrorResponse{WireErrorCode::kBadRequest,
                            "steps_ahead must be >= 1"};
     it->second.last_used = Clock::now();
-    return make_prediction_response(*it->second.predictor, predict->steps_ahead);
+    const PredictionResponse response =
+        make_prediction_response(*it->second.predictor, predict->steps_ahead);
+    info.flags = response.flags;
+    info.mbps = response.mbps;
+    info.log_likelihood = it->second.predictor->last_log_likelihood();
+    return response;
   }
 
   if (const auto* bye = std::get_if<ByeRequest>(&request)) {
+    info.event = "bye";
+    info.session_id = bye->session_id;
     std::scoped_lock lock(sessions_mutex_);
-    sessions_.erase(bye->session_id);
+    const auto it = sessions_.find(bye->session_id);
+    if (it != sessions_.end()) {
+      info.traced = it->second.traced;
+      sessions_.erase(it);
+    }
+    m_.live_sessions->set(static_cast<double>(sessions_.size()));
     return OkResponse{};
   }
 
+  if (std::holds_alternative<StatsRequest>(request)) {
+    info.event = "stats";
+    // Refresh the point-in-time gauge before scraping so a scrape during a
+    // quiet period still reports the live table, not the last mutation.
+    {
+      std::scoped_lock lock(sessions_mutex_);
+      m_.live_sessions->set(static_cast<double>(sessions_.size()));
+    }
+    StatsResponse response;
+    response.exposition_version = obs::kMetricsExpositionVersion;
+    response.exposition = metrics_->scrape();
+    // The exposition must fit one frame. Cut at a line boundary and mark the
+    // cut, so a truncated scrape still parses and is visibly partial.
+    constexpr std::string_view kTruncated = "# cs2p_scrape_truncated 1\n";
+    const std::size_t budget = kMaxFrameBytes - 64;  // frame + STATS header
+    if (response.exposition.size() > budget) {
+      const std::size_t cut =
+          response.exposition.rfind('\n', budget - kTruncated.size());
+      response.exposition.resize(cut == std::string::npos ? 0 : cut + 1);
+      response.exposition += kTruncated;
+    }
+    return response;
+  }
+
   if (const auto* model = std::get_if<ModelRequest>(&request)) {
+    info.event = "model";
     SessionContext context;
     context.features = model->features;
     context.start_hour = model->start_hour;

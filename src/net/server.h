@@ -27,12 +27,17 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
@@ -44,6 +49,13 @@ struct ServerConfig {
   int idle_timeout_ms = 30'000;      ///< close a connection idle this long
   int session_ttl_ms = 120'000;      ///< evict sessions untouched this long
   double max_sample_mbps = 10'000.0; ///< OBSERVE samples above this are absurd
+  /// Telemetry sink (DESIGN.md §11). Null: the server creates a private
+  /// registry (hermetic per-server counters, like the engine); cs2p_serve
+  /// injects the same registry it hands the engine so one STATS scrape
+  /// covers the whole process.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Per-session prediction trace (DESIGN.md §11). Null: tracing off.
+  std::shared_ptr<obs::TraceLog> trace;
 };
 
 class PredictionServer {
@@ -65,22 +77,33 @@ class PredictionServer {
   std::uint16_t port() const noexcept { return port_; }
   const ServerConfig& config() const noexcept { return config_; }
 
-  /// Served-request counter (for the throughput microbench).
-  std::uint64_t requests_handled() const noexcept { return requests_.load(); }
+  /// Served-request counter (for the throughput microbench). Since the
+  /// telemetry layer, these accessors read the metrics registry — the
+  /// registry is the single source of truth, the methods are the
+  /// test-friendly view.
+  std::uint64_t requests_handled() const noexcept { return m_.requests->value(); }
 
   /// Live entries in the session table (for leak checks in tests).
   std::size_t session_count() const;
 
   /// Sessions reaped by the TTL sweeper because no BYE ever arrived.
-  std::uint64_t sessions_evicted() const noexcept { return evicted_.load(); }
+  std::uint64_t sessions_evicted() const noexcept { return m_.evicted->value(); }
 
   /// Connections refused at the cap with an OVERLOADED frame.
-  std::uint64_t connections_rejected() const noexcept { return rejected_.load(); }
+  std::uint64_t connections_rejected() const noexcept {
+    return m_.rejected->value();
+  }
 
   /// PRED replies whose serve_flags were non-primary (guardrail fallback,
   /// drifted cluster, global model) — the service-level health signal the
   /// guardrail layer surfaces.
-  std::uint64_t degraded_replies() const noexcept { return degraded_replies_.load(); }
+  std::uint64_t degraded_replies() const noexcept {
+    return m_.degraded_replies->value();
+  }
+
+  /// The registry this server reports into (config().metrics, or the
+  /// server's private one). What the STATS verb scrapes.
+  obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
 
   /// Atomically publishes a new model (hot-swap retraining). In-flight
   /// sessions keep the model that created them; sessions opened after the
@@ -92,7 +115,7 @@ class PredictionServer {
   std::shared_ptr<const PredictorModel> current_model() const;
 
   /// Number of successful swap_model() calls.
-  std::uint64_t models_swapped() const noexcept { return swaps_.load(); }
+  std::uint64_t models_swapped() const noexcept { return m_.swaps->value(); }
 
   /// Safe to call repeatedly and from multiple threads concurrently.
   void stop();
@@ -107,19 +130,64 @@ class PredictionServer {
     /// even if swap_model() has already published a successor.
     std::shared_ptr<const PredictorModel> owner;
     Clock::time_point last_used;
+    /// Sampling decision made once at HELLO (obs/trace.h): every record of
+    /// a traced session is kept, none of an untraced one.
+    bool traced = false;
+  };
+
+  /// What handle() learned about the request, for the trace record the
+  /// connection loop emits after the reply is on the wire.
+  struct RequestInfo {
+    std::string_view event = "invalid";  ///< lifecycle stage / verb name
+    std::uint64_t session_id = 0;
+    bool traced = false;
+    std::uint64_t flags = 0;         ///< serve_flags of a PRED reply
+    double mbps = 0.0;               ///< predicted (or initial) throughput
+    std::optional<double> log_likelihood;
+    std::string cluster_label;       ///< HELLO only
+  };
+
+  /// Registry handles cached at construction: the serving path increments
+  /// through these pointers lock-free (obs/metrics.h rule 1).
+  struct MetricHandles {
+    obs::Counter* requests = nullptr;
+    obs::Counter* replies = nullptr;
+    obs::Counter* error_replies = nullptr;
+    obs::Counter* degraded_replies = nullptr;
+    obs::Counter* verb_hello = nullptr;
+    obs::Counter* verb_observe = nullptr;
+    obs::Counter* verb_predict = nullptr;
+    obs::Counter* verb_bye = nullptr;
+    obs::Counter* verb_model = nullptr;
+    obs::Counter* verb_stats = nullptr;
+    obs::Counter* verb_invalid = nullptr;
+    obs::Counter* connections = nullptr;
+    obs::Counter* idle_timeouts = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* swaps = nullptr;
+    obs::Gauge* active_connections = nullptr;
+    obs::Gauge* live_sessions = nullptr;
+    obs::Histogram* request_seconds = nullptr;
+
+    static MetricHandles create(obs::MetricsRegistry& registry);
   };
 
   void accept_loop();
   void serve_connection(FdHandle connection);
-  Response handle(const Request& request);
+  Response handle(const Request& request, RequestInfo& info);
   PredictionResponse make_prediction_response(const SessionPredictor& predictor,
                                               unsigned steps_ahead);
   void evict_expired_sessions();
   void reject_connection(const FdHandle& connection);
+  obs::Counter* verb_counter(const Request& request) const noexcept;
 
   mutable std::mutex model_mutex_;  ///< guards model_ (reads copy the ptr)
   std::shared_ptr<const PredictorModel> model_;
   ServerConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  MetricHandles m_;
+  std::shared_ptr<obs::TraceLog> trace_;
   FdHandle listener_;
   std::uint16_t port_ = 0;
 
@@ -128,11 +196,6 @@ class PredictionServer {
   std::uint64_t next_session_id_ = 1;
 
   std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> evicted_{0};
-  std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> degraded_replies_{0};
-  std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::size_t> active_connections_{0};
   std::mutex stop_mutex_;  ///< serializes concurrent stop() callers
   std::thread accept_thread_;

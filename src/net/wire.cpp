@@ -159,6 +159,8 @@ std::string serialize_request(const Request& request) {
     os << "MODEL " << f.isp << ' ' << f.as_number << ' ' << f.province << ' '
        << f.city << ' ' << f.server << ' ' << f.client_prefix << ' '
        << model->start_hour;
+  } else if (std::holds_alternative<StatsRequest>(request)) {
+    os << "STATS";
   }
   return os.str();
 }
@@ -193,6 +195,10 @@ Request parse_request(std::string_view payload) {
   if (verb == "BYE") {
     if (tokens.size() != 2) throw ProtocolError("wire: BYE wants 1 field");
     return ByeRequest{parse_u64(tokens[1], "session_id")};
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 1) throw ProtocolError("wire: STATS wants no fields");
+    return StatsRequest{};
   }
   if (verb == "MODEL") {
     if (tokens.size() != 8) throw ProtocolError("wire: MODEL wants 7 fields");
@@ -229,11 +235,30 @@ std::string serialize_response(const Response& response) {
     os << "MODEL " << format_double(model->initial_mbps) << ' '
        << (model->used_global_model ? 1 : 0) << '\n'
        << model->serialized_hmm;
+  } else if (const auto* stats = std::get_if<StatsResponse>(&response)) {
+    // Header line, then the text exposition verbatim (same body-after-header
+    // shape as MODEL).
+    os << "STATS " << stats->exposition_version << '\n' << stats->exposition;
   }
   return os.str();
 }
 
 Response parse_response(std::string_view payload) {
+  // STATS responses carry the raw exposition after the header line; handle
+  // them before whitespace tokenization.
+  if (payload.starts_with("STATS ")) {
+    const auto newline = payload.find('\n');
+    if (newline == std::string_view::npos)
+      throw ProtocolError("wire: STATS response missing body");
+    const auto header = tokenize(payload.substr(0, newline));
+    if (header.size() != 2)
+      throw ProtocolError("wire: STATS header wants 1 field");
+    StatsResponse stats;
+    stats.exposition_version =
+        static_cast<int>(parse_u64(header[1], "exposition_version"));
+    stats.exposition = std::string(payload.substr(newline + 1));
+    return stats;
+  }
   // MODEL responses carry a raw body after the header line; handle them
   // before whitespace tokenization.
   if (payload.starts_with("MODEL ")) {

@@ -14,6 +14,8 @@
 //                                          (download the compact per-session
 //                                           model for client-side execution,
 //                                           the paper's decentralized mode)
+//     STATS                                (scrape the server's metrics
+//                                           registry, DESIGN.md §11)
 //     BYE <session-id>
 //   server -> client
 //     SESSION <session-id> <initial-mbps> <global 0|1> <cluster-label>
@@ -22,6 +24,7 @@
 //                                  v1 peers omitted the field, parse
 //                                  tolerates both)
 //     MODEL <initial-mbps> <global 0|1> \n <serialized hmm ...>
+//     STATS <exposition-version> \n <metrics text exposition ...>
 //     OK
 //     ERR <code> <message>        (code: see WireErrorCode below)
 //
@@ -43,8 +46,10 @@ namespace cs2p {
 
 /// Version stamped into byte 0 of every frame header; a peer speaking a
 /// different framing is rejected with ProtocolError instead of desyncing.
-/// v2 added the serve-flags field to PRED responses.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v2 added the serve-flags field to PRED responses; v3 added the STATS
+/// scrape verb (a v1/v2 client is rejected at the frame header, before any
+/// verb parsing).
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Maximum accepted frame payload; guards against malformed length prefixes.
 /// Must fit the 24-bit length field of the frame header.
@@ -122,8 +127,12 @@ struct ModelRequest {
   SessionFeatures features;
   double start_hour = 0.0;
 };
+/// Scrape the server's metrics registry (protocol v3). No arguments: the
+/// registry is a process-wide singleton root, and keeping the verb static
+/// lets any operator tool speak it without knowing what is registered.
+struct StatsRequest {};
 using Request = std::variant<HelloRequest, ObserveRequest, PredictRequest,
-                             ByeRequest, ModelRequest>;
+                             ByeRequest, ModelRequest, StatsRequest>;
 
 struct SessionResponse {
   std::uint64_t session_id = 0;
@@ -148,8 +157,16 @@ struct ModelResponse {
   bool used_global_model = false;
   std::string serialized_hmm;  ///< text form (see hmm/model.h)
 };
+/// Reply to STATS: the registry's versioned text exposition, carried
+/// verbatim (obs/metrics.h documents the grammar). `exposition_version`
+/// mirrors the `# cs2p_metrics_version` header so a scraper can reject a
+/// grammar it does not understand without parsing the body.
+struct StatsResponse {
+  int exposition_version = 0;
+  std::string exposition;
+};
 using Response = std::variant<SessionResponse, PredictionResponse, OkResponse,
-                              ErrorResponse, ModelResponse>;
+                              ErrorResponse, ModelResponse, StatsResponse>;
 
 /// Parse/serialize. parse_* throws ProtocolError on malformed payloads.
 std::string serialize_request(const Request& request);

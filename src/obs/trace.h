@@ -1,0 +1,95 @@
+// Structured per-session prediction tracing (DESIGN.md §11).
+//
+// One JSONL record per traced request: the prediction lifecycle of a
+// session (hello → cluster match → filter update → predict → reply) with
+// serve-flags, predictive log-likelihood and per-stage monotonic-clock
+// latency. Metrics (metrics.h) answer "how is the service doing"; traces
+// answer "what happened to THIS session" — the two are deliberately
+// separate sinks.
+//
+// Tracing must stay affordable at production request rates, so sessions are
+// sampled, not requests: the decision is made once per session id from a
+// seeded hash, every record of a sampled session is kept (a partial
+// lifecycle is useless for debugging), and the same (seed, rate) traces the
+// same sessions on every run — tests and incident replays are deterministic.
+//
+// Record schema (one JSON object per line, keys in emit order):
+//
+//   {"ev":"observe",            lifecycle stage: hello|observe|predict|
+//                               bye|evict|reply-error
+//    "sid":42,                  server-side session id
+//    "mono_us":123456,          steady-clock microseconds since TraceLog
+//                               construction (orders records; never jumps)
+//    ...event fields...}        see DESIGN.md §11 per-event tables
+//
+// Field values are u64 / double / bool / string; doubles serialize with
+// enough digits to round-trip, NaN/Inf as null (JSON has no spelling for
+// them).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace cs2p::obs {
+
+/// One "key":value pair of a trace record.
+struct TraceField {
+  std::string_view key;
+  std::variant<std::uint64_t, std::int64_t, double, bool, std::string_view> value;
+};
+
+class TraceLog {
+ public:
+  struct Config {
+    std::string path;          ///< appended to; created when missing
+    double sample_rate = 1.0;  ///< fraction of sessions traced, in [0, 1]
+    std::uint64_t seed = 0x5cb2'9e16;  ///< sampling hash seed
+  };
+
+  /// Opens `config.path` for append. Throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit TraceLog(Config config);
+  ~TraceLog();
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Deterministic per-session sampling decision: depends only on
+  /// (seed, session_id), so a session is either fully traced or fully
+  /// absent, and reruns with the same seed trace the same sessions.
+  bool should_sample(std::uint64_t session_id) const noexcept;
+
+  /// Appends one record (adds "sid" and "mono_us" before `fields`).
+  /// Thread-safe; buffered — call flush() to make records durable.
+  void emit(std::string_view event, std::uint64_t session_id,
+            std::initializer_list<TraceField> fields);
+
+  /// Flushes buffered records to the OS. Called from the serve tool's
+  /// signal path and metrics-interval ticks so a SIGINT during a hung
+  /// connection cannot lose the tail of the trace.
+  void flush();
+
+  std::uint64_t events_written() const noexcept;
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::FILE* file_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::uint64_t events_ = 0;
+};
+
+/// The sampling predicate by itself (exposed for tests and for callers that
+/// need the decision without a TraceLog): true when session_id falls inside
+/// the sampled fraction under `seed`.
+bool trace_sample_decision(std::uint64_t seed, double sample_rate,
+                           std::uint64_t session_id) noexcept;
+
+}  // namespace cs2p::obs

@@ -18,15 +18,17 @@ double spike_ceiling(const GaussianHmm& model, const GuardrailConfig& config) {
 GuardedSessionPredictor::GuardedSessionPredictor(
     const GaussianHmm& model, double initial_value, double global_fallback_mbps,
     const SurpriseBaseline& baseline, const GuardrailConfig& config,
-    PredictionRule rule, std::uint8_t static_flags, EventCallback on_event)
+    PredictionRule rule, std::uint8_t static_flags, EventCallback on_event,
+    const GuardrailMetrics* metrics)
     : filter_(model, rule),
       initial_value_(initial_value),
       global_fallback_mbps_(global_fallback_mbps),
       config_(config),
-      sanitizer_(spike_ceiling(model, config)),
+      sanitizer_(spike_ceiling(model, config), metrics),
       monitor_(baseline, config),
       static_flags_(static_flags),
-      on_event_(std::move(on_event)) {
+      on_event_(std::move(on_event)),
+      metrics_(metrics) {
   if (on_event_) on_event_(GuardrailEvent::kOpened, false);
 }
 
@@ -56,6 +58,8 @@ double GuardedSessionPredictor::fallback_forecast() const {
 double GuardedSessionPredictor::predict(unsigned steps_ahead) const {
   if (degraded()) {
     ++fallback_predictions_;
+    if (metrics_ != nullptr && metrics_->fallback_predictions != nullptr)
+      metrics_->fallback_predictions->inc();
     return fallback_forecast();
   }
   if (filter_.observations() == 0) return initial_value_;
@@ -86,6 +90,13 @@ std::uint8_t GuardedSessionPredictor::serve_flags() const {
   if (degraded())
     flags |= serve_flags::kDegraded | serve_flags::kGuardrailTripped;
   return flags;
+}
+
+std::optional<double> GuardedSessionPredictor::last_log_likelihood() const {
+  if (filter_.observations() == 0) return std::nullopt;
+  const double ll = filter_.last_log_likelihood();
+  if (std::isnan(ll)) return std::nullopt;
+  return ll;
 }
 
 GuardedSessionPredictor::Stats GuardedSessionPredictor::stats() const {

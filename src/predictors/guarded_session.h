@@ -57,13 +57,16 @@ class GuardedSessionPredictor final : public SessionPredictor {
   /// `global_fallback_mbps` terminates the fallback chain when the session
   /// has no usable history of its own. `static_flags` carries the serving
   /// context fixed at session creation (kGlobalModel, kClusterDrifted).
+  /// `metrics` (optional, must outlive the session) mirrors sanitizer
+  /// verdicts and fallback serves into the shared registry.
   GuardedSessionPredictor(const GaussianHmm& model, double initial_value,
                           double global_fallback_mbps,
                           const SurpriseBaseline& baseline,
                           const GuardrailConfig& config,
                           PredictionRule rule = PredictionRule::kMleState,
                           std::uint8_t static_flags = serve_flags::kPrimary,
-                          EventCallback on_event = nullptr);
+                          EventCallback on_event = nullptr,
+                          const GuardrailMetrics* metrics = nullptr);
   ~GuardedSessionPredictor() override;
 
   GuardedSessionPredictor(const GuardedSessionPredictor&) = delete;
@@ -77,6 +80,7 @@ class GuardedSessionPredictor final : public SessionPredictor {
     return monitor_.state() == GuardrailState::kDegraded;
   }
   std::uint8_t serve_flags() const override;
+  std::optional<double> last_log_likelihood() const override;
 
   GuardrailState guardrail_state() const noexcept { return monitor_.state(); }
   Stats stats() const;
@@ -97,6 +101,7 @@ class GuardedSessionPredictor final : public SessionPredictor {
   SurpriseMonitor monitor_;
   std::uint8_t static_flags_;
   EventCallback on_event_;
+  const GuardrailMetrics* metrics_;
   std::deque<double> recent_samples_;  ///< accepted samples, fallback window
   mutable std::size_t fallback_predictions_ = 0;
 };

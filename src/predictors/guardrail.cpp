@@ -43,25 +43,48 @@ SurpriseBaseline compute_surprise_baseline(const GaussianHmm& model,
   return baseline;
 }
 
+GuardrailMetrics GuardrailMetrics::from_registry(obs::MetricsRegistry& registry) {
+  GuardrailMetrics out;
+  out.rejected_non_finite = &registry.counter(
+      "cs2p_guardrail_rejected_samples_total", {{"reason", "non_finite"}});
+  out.rejected_negative = &registry.counter(
+      "cs2p_guardrail_rejected_samples_total", {{"reason", "negative"}});
+  out.rejected_zero = &registry.counter("cs2p_guardrail_rejected_samples_total",
+                                        {{"reason", "zero"}});
+  out.clamped_spikes =
+      &registry.counter("cs2p_guardrail_clamped_spikes_total");
+  out.fallback_predictions =
+      &registry.counter("cs2p_guardrail_fallback_predictions_total");
+  return out;
+}
+
 ObservationSanitizer::Result ObservationSanitizer::sanitize(double throughput_mbps) {
   Result out;
   if (!std::isfinite(throughput_mbps)) {
     ++rejected_non_finite_;
+    if (metrics_ != nullptr && metrics_->rejected_non_finite != nullptr)
+      metrics_->rejected_non_finite->inc();
     out.verdict = SampleVerdict::kRejectedNonFinite;
     return out;
   }
   if (throughput_mbps < 0.0) {
     ++rejected_negative_;
+    if (metrics_ != nullptr && metrics_->rejected_negative != nullptr)
+      metrics_->rejected_negative->inc();
     out.verdict = SampleVerdict::kRejectedNegative;
     return out;
   }
   if (throughput_mbps == 0.0) {
     ++rejected_zero_;
+    if (metrics_ != nullptr && metrics_->rejected_zero != nullptr)
+      metrics_->rejected_zero->inc();
     out.verdict = SampleVerdict::kRejectedZero;
     return out;
   }
   if (spike_ceiling_mbps_ > 0.0 && throughput_mbps > spike_ceiling_mbps_) {
     ++clamped_spikes_;
+    if (metrics_ != nullptr && metrics_->clamped_spikes != nullptr)
+      metrics_->clamped_spikes->inc();
     out.verdict = SampleVerdict::kClamped;
     out.value = spike_ceiling_mbps_;
     return out;

@@ -28,8 +28,26 @@
 #include <string_view>
 
 #include "hmm/model.h"
+#include "obs/metrics.h"
 
 namespace cs2p {
+
+/// Registry handles for the guardrail layer's service-level aggregates
+/// (DESIGN.md §11). One instance per engine, shared by every session it
+/// opens: the per-session counters on ObservationSanitizer/SurpriseMonitor
+/// answer "what happened to this session", these answer "what is the
+/// guardrail doing fleet-wide" and are what the STATS scrape exposes.
+/// Null pointers = not wired (standalone sanitizers in tests).
+struct GuardrailMetrics {
+  obs::Counter* rejected_non_finite = nullptr;
+  obs::Counter* rejected_negative = nullptr;
+  obs::Counter* rejected_zero = nullptr;
+  obs::Counter* clamped_spikes = nullptr;
+  obs::Counter* fallback_predictions = nullptr;
+
+  /// Registers the cs2p_guardrail_* series and returns their handles.
+  static GuardrailMetrics from_registry(obs::MetricsRegistry& registry);
+};
 
 /// Knobs of the guardrail layer. Defaults are tuned on the synthetic world
 /// (bench_drift_qoe): conservative enough that in-distribution sessions do
@@ -100,8 +118,12 @@ enum class SampleVerdict : std::uint8_t {
 /// owner as max_spike_multiple x the model's largest state mean.
 class ObservationSanitizer {
  public:
-  explicit ObservationSanitizer(double spike_ceiling_mbps)
-      : spike_ceiling_mbps_(spike_ceiling_mbps) {}
+  /// `metrics` (optional) receives the same verdicts as the local counters,
+  /// into the shared registry — the per-reason counters here stay the
+  /// per-session view, the registry is the fleet-wide source of truth.
+  explicit ObservationSanitizer(double spike_ceiling_mbps,
+                                const GuardrailMetrics* metrics = nullptr)
+      : spike_ceiling_mbps_(spike_ceiling_mbps), metrics_(metrics) {}
 
   struct Result {
     SampleVerdict verdict = SampleVerdict::kAccepted;
@@ -124,6 +146,7 @@ class ObservationSanitizer {
 
  private:
   double spike_ceiling_mbps_;
+  const GuardrailMetrics* metrics_;
   std::size_t rejected_non_finite_ = 0;
   std::size_t rejected_negative_ = 0;
   std::size_t rejected_zero_ = 0;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 
 #include "hmm/online_filter.h"
 #include "predictors/predictor.h"
@@ -27,6 +28,13 @@ class HmmSessionPredictor final : public SessionPredictor {
   }
 
   void observe(double throughput_mbps) override { filter_.observe(throughput_mbps); }
+
+  std::optional<double> last_log_likelihood() const override {
+    if (filter_.observations() == 0) return std::nullopt;
+    const double ll = filter_.last_log_likelihood();
+    if (std::isnan(ll)) return std::nullopt;
+    return ll;
+  }
 
   /// Exposed for diagnostics (pilot bench reports predicted rebuffering from
   /// the belief state).

@@ -80,6 +80,14 @@ class SessionPredictor {
   virtual std::uint8_t serve_flags() const {
     return degraded() ? serve_flags::kDegraded : serve_flags::kPrimary;
   }
+
+  /// One-step predictive log-likelihood the model assigned to the most
+  /// recent accepted observation — the per-request prediction-quality signal
+  /// the trace log records (DESIGN.md §11). nullopt for predictor families
+  /// without a probabilistic model, and before the first observation.
+  virtual std::optional<double> last_log_likelihood() const {
+    return std::nullopt;
+  }
 };
 
 /// A compact, self-contained model a client can download and run on its own

@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "core/engine.h"
 #include "dataset/synthetic.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace cs2p {
@@ -141,9 +146,33 @@ TEST(Drift, BaselineCacheIsStablePerModel) {
   EXPECT_TRUE(std::isfinite(a.mean_log_likelihood));
 }
 
+/// Every value in a text exposition, asserting none are non-finite. Returns
+/// the number of series seen so the caller can require a non-empty scrape.
+std::size_t assert_all_series_finite(const std::string& exposition) {
+  std::size_t series = 0;
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t end = exposition.find('\n', pos);
+    if (end == std::string::npos) end = exposition.size();
+    const std::string line = exposition.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    ++series;
+    const double value = std::stod(line.substr(space + 1));
+    EXPECT_TRUE(std::isfinite(value)) << "non-finite series: " << line;
+  }
+  return series;
+}
+
 // The CI drift-soak: 200 guarded sessions, half hit by a mid-stream regime
 // shift (throughput collapses to ~2% of normal). Deterministic via fixed
-// seeds. Asserts the guardrail acceptance criteria end to end.
+// seeds. Asserts the guardrail acceptance criteria end to end. A scraper
+// thread reads the engine's metrics registry throughout — under TSan this is
+// the scrape-during-write soak for the telemetry layer, and every mid-soak
+// snapshot must already satisfy the exposition invariants (parseable, no
+// non-finite values).
 TEST(DriftSoak, TwoHundredSessionsWithRegimeShift) {
   Dataset dataset = generate_synthetic_dataset(soak_world());
   auto [train, test] = dataset.split_by_day(1);
@@ -160,6 +189,19 @@ TEST(DriftSoak, TwoHundredSessionsWithRegimeShift) {
   std::size_t shifted = 0;
   std::size_t nan_predictions = 0;
   std::vector<std::unique_ptr<SessionPredictor>> open_sessions;
+
+  // Mid-soak scraper: hammers the registry while sessions write to it.
+  std::atomic<bool> soak_done{false};
+  std::atomic<std::size_t> scrapes{0};
+  std::thread scraper([&engine, &soak_done, &scrapes] {
+    while (!soak_done.load(std::memory_order_relaxed)) {
+      const std::string exposition = engine.metrics().scrape();
+      EXPECT_EQ(exposition.rfind("# cs2p_metrics_version", 0), 0u);
+      assert_all_series_finite(exposition);
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
 
   for (std::size_t i = 0; i < kSessions && i < test.size(); ++i) {
     const Session& s = test.sessions()[i];
@@ -181,6 +223,17 @@ TEST(DriftSoak, TwoHundredSessionsWithRegimeShift) {
     // sessions, and close the rest through the destructor path.
     if (i % 4 == 0) open_sessions.push_back(std::move(session));
   }
+
+  soak_done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_GE(scrapes.load(), 1u);
+
+  // One more full-scrape pass after the writers quiesce, and the registry's
+  // view of the soak must agree with the engine's own accounting.
+  const std::string final_scrape = engine.metrics().scrape();
+  EXPECT_GT(assert_all_series_finite(final_scrape), 0u);
+  EXPECT_NE(final_scrape.find("cs2p_engine_guardrail_trips_total"),
+            std::string::npos);
 
   const EngineStats stats = engine.stats();
   ASSERT_GT(shifted, 50u);

@@ -7,11 +7,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
@@ -407,6 +409,132 @@ TEST(PredictionService, DestructorDuringAccept) {
     // Destroyed immediately, possibly before the accept loop first polls.
   }
   SUCCEED();
+}
+
+// -- STATS verb (protocol v3) -------------------------------------------------
+
+/// Value of the series rendered exactly as `key` in the exposition, or NaN.
+double series_value(const std::string& exposition, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t end = exposition.find('\n', pos);
+    if (end == std::string::npos) end = exposition.size();
+    const std::string line = exposition.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.size() > key.size() + 1 && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ')
+      return std::stod(line.substr(key.size() + 1));
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+TEST(PredictionService, StatsVerbScrapesLiveRegistry) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  PredictionClient client(server.port());
+
+  const auto session = client.hello(features(), 1.0);
+  client.observe(session.session_id, 3.0);
+  client.predict(session.session_id, 1);
+
+  const StatsResponse stats = client.stats();
+  EXPECT_EQ(stats.exposition_version, obs::kMetricsExpositionVersion);
+  EXPECT_TRUE(stats.exposition.starts_with("# cs2p_metrics_version"));
+
+  const double requests =
+      series_value(stats.exposition, "cs2p_server_requests_total");
+  const double replies =
+      series_value(stats.exposition, "cs2p_server_replies_total");
+  ASSERT_FALSE(std::isnan(requests));
+  ASSERT_FALSE(std::isnan(replies));
+  // hello + observe + predict + the STATS request itself.
+  EXPECT_GE(requests, 4.0);
+  // The STATS request is counted before its reply is sent, so the scrape
+  // itself proves the invariant strictly.
+  EXPECT_GT(requests, replies);
+  EXPECT_GE(replies, 3.0);
+
+  // Per-verb counters saw the session lifecycle.
+  EXPECT_EQ(series_value(stats.exposition,
+                         "cs2p_server_verb_requests_total{verb=\"hello\"}"),
+            1.0);
+  EXPECT_EQ(series_value(stats.exposition,
+                         "cs2p_server_verb_requests_total{verb=\"stats\"}"),
+            1.0);
+  // The session is still open; the gauge is refreshed at scrape time.
+  EXPECT_EQ(series_value(stats.exposition, "cs2p_server_live_sessions"), 1.0);
+
+  client.bye(session.session_id);
+  const StatsResponse after = client.stats();
+  EXPECT_EQ(series_value(after.exposition, "cs2p_server_live_sessions"), 0.0);
+  // Counters are cumulative: the second scrape can only move forward.
+  EXPECT_GT(series_value(after.exposition, "cs2p_server_requests_total"),
+            requests);
+}
+
+TEST(PredictionService, StatsScrapeCountsDegradedReplies) {
+  PredictionServer server(std::make_shared<SwitchableModel>());
+  PredictionClient client(server.port());
+  const auto session = client.hello(features(), 1.0);
+  (void)client.observe_response(session.session_id, 0.1);  // trips the guardrail
+
+  const StatsResponse stats = client.stats();
+  EXPECT_GE(
+      series_value(stats.exposition, "cs2p_server_degraded_replies_total"),
+      1.0);
+  // Registry and legacy accessor read the same counter.
+  EXPECT_EQ(
+      series_value(stats.exposition, "cs2p_server_degraded_replies_total"),
+      static_cast<double>(server.degraded_replies()));
+  // Request latencies landed in the histogram (hello + observe; the STATS
+  // request's own latency is only observed after its reply is sent).
+  EXPECT_GE(series_value(stats.exposition,
+                         "cs2p_server_request_seconds_count"),
+            2.0);
+}
+
+TEST(PredictionService, StatsInvariantHoldsUnderConcurrentScrapes) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  constexpr int kWorkers = 4;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kWorkers; ++c) {
+    workers.emplace_back([&server, &failures, c] {
+      try {
+        PredictionClient client(server.port());
+        const auto session = client.hello(features(), static_cast<double>(c));
+        for (int r = 0; r < 100; ++r)
+          client.observe(session.session_id, 1.0 + r % 5);
+        client.bye(session.session_id);
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+
+  std::thread scraper([&server, &done, &failures] {
+    try {
+      PredictionClient client(server.port());
+      while (!done.load(std::memory_order_relaxed)) {
+        const StatsResponse stats = client.stats();
+        const double requests =
+            series_value(stats.exposition, "cs2p_server_requests_total");
+        const double replies =
+            series_value(stats.exposition, "cs2p_server_replies_total");
+        // A reply can never outrun its request, no matter when we look.
+        if (!(requests >= replies)) ++failures;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } catch (const std::exception&) {
+      ++failures;
+    }
+  });
+
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

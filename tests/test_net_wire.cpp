@@ -164,6 +164,43 @@ TEST(Wire, ModelResponseWithoutBodyThrows) {
   EXPECT_THROW(parse_response("MODEL 1.0\nbody"), std::runtime_error);
 }
 
+TEST(Wire, StatsRequestRoundTrip) {
+  const Request parsed = parse_request(serialize_request(StatsRequest{}));
+  EXPECT_NE(std::get_if<StatsRequest>(&parsed), nullptr);
+  // STATS takes no arguments; trailing tokens are a malformed request.
+  EXPECT_THROW(parse_request("STATS now"), ProtocolError);
+}
+
+TEST(Wire, StatsResponseRoundTrip) {
+  StatsResponse in;
+  in.exposition_version = 1;
+  in.exposition =
+      "# cs2p_metrics_version 1\n"
+      "cs2p_server_requests_total 42\n"
+      "cs2p_server_request_seconds_bucket{le=\"+Inf\"} 42\n";
+  const Response parsed = parse_response(serialize_response(in));
+  const auto* out = std::get_if<StatsResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->exposition_version, 1);
+  EXPECT_EQ(out->exposition, in.exposition);
+}
+
+TEST(Wire, StatsResponseEmptyBodyRoundTrips) {
+  // An empty exposition (freshly built registry) is legal, unlike MODEL
+  // whose body is mandatory.
+  StatsResponse in;
+  in.exposition_version = 1;
+  const Response parsed = parse_response(serialize_response(in));
+  const auto* out = std::get_if<StatsResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->exposition.empty());
+}
+
+TEST(Wire, StatsResponseWithoutVersionThrows) {
+  EXPECT_THROW(parse_response("STATS\nbody"), std::runtime_error);
+  EXPECT_THROW(parse_response("STATS x\nbody"), std::runtime_error);
+}
+
 TEST(Wire, MalformedRequestsThrow) {
   EXPECT_THROW(parse_request(""), std::runtime_error);
   EXPECT_THROW(parse_request("NONSENSE 1 2"), std::runtime_error);
@@ -283,6 +320,20 @@ TEST(WireHardening, BadVersionByteRejected) {
                               std::byte{'l'}, std::byte{'l'}, std::byte{'o'}};
   FdHandle conn = raw_peer_sends(listener, port, frame);
   EXPECT_THROW(recv_frame(conn), ProtocolError);
+}
+
+TEST(WireHardening, OldProtocolVersionsRejectedAtFrameHeader) {
+  // A v1 or v2 client (pre-STATS protocol) must be refused before any verb
+  // parsing: the frame header's version byte is the compatibility gate.
+  for (const std::uint8_t old_version : {std::uint8_t{1}, std::uint8_t{2}}) {
+    auto [listener, port] = listen_loopback(0);
+    const std::byte frame[9] = {std::byte{old_version}, std::byte{0},
+                                std::byte{0},   std::byte{5},   std::byte{'h'},
+                                std::byte{'e'}, std::byte{'l'}, std::byte{'l'},
+                                std::byte{'o'}};
+    FdHandle conn = raw_peer_sends(listener, port, frame);
+    EXPECT_THROW(recv_frame(conn), ProtocolError);
+  }
 }
 
 TEST(WireHardening, OversizedLengthFieldRejected) {

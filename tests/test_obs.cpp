@@ -1,0 +1,406 @@
+// Tests for the telemetry layer (DESIGN.md §11): metrics registry semantics,
+// histogram bucket/quantile math, scrape grammar, concurrency soundness of
+// the sharded counters (the TSan CI job runs this binary), and the
+// deterministic session-sampled JSONL trace log.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cs2p::obs {
+namespace {
+
+// -- Counter / Gauge ---------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("cs2p_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("cs2p_test_total");
+  Counter& b = registry.counter("cs2p_test_total");
+  EXPECT_EQ(&a, &b);
+  Counter& labelled = registry.counter("cs2p_test_total", {{"verb", "hello"}});
+  EXPECT_NE(&a, &labelled);
+  // Label order must not matter: both spell the same series.
+  Counter& ab = registry.counter("cs2p_t", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = registry.counter("cs2p_t", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("cs2p_test_gauge");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+}
+
+TEST(Registry, RejectsTypeConflictsAndBadNames) {
+  MetricsRegistry registry;
+  registry.counter("cs2p_thing_total");
+  EXPECT_THROW(registry.gauge("cs2p_thing_total"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("bad name"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("1starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("ok_name", {{"bad key", "v"}}),
+               std::invalid_argument);
+}
+
+// -- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaryPlacement) {
+  // Upper bounds are inclusive (Prometheus le semantics): a value exactly on
+  // a bound lands in that bound's bucket, epsilon above goes to the next.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (le=1)
+  h.observe(1.0);   // bucket 0 (le=1, inclusive)
+  h.observe(1.001); // bucket 1 (le=2)
+  h.observe(4.0);   // bucket 2 (le=4, inclusive)
+  h.observe(4.001); // +inf bucket
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 4.0 + 4.001, 1e-9);
+}
+
+TEST(Histogram, DropsNaNKeepsInfinity) {
+  Histogram h({1.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);  // +inf bucket
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  // 100 observations uniformly inside (1, 2]: all land in bucket le=2.
+  for (int i = 1; i <= 100; ++i) h.observe(1.0 + i / 100.0);
+  // Interpolation assumes uniform fill: p50 ~ midpoint of [1, 2].
+  EXPECT_NEAR(h.quantile(0.5), 1.5, 0.05);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 0.05);
+  EXPECT_NEAR(h.quantile(1.0), 2.0, 1e-9);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);  // no observations
+
+  Histogram inf_heavy({1.0, 2.0});
+  inf_heavy.observe(100.0);
+  inf_heavy.observe(200.0);
+  // Everything is in the +inf bucket: clamp to the last finite bound.
+  EXPECT_EQ(inf_heavy.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, DefaultLatencyBucketsCoverMicrosecondsToSeconds) {
+  const auto bounds = default_latency_buckets_seconds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 8.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+}
+
+// -- Scrape grammar ----------------------------------------------------------
+
+TEST(Scrape, VersionHeaderAndLexicographicOrder) {
+  MetricsRegistry registry;
+  registry.counter("cs2p_b_total").inc(2);
+  registry.counter("cs2p_a_total").inc(1);
+  registry.gauge("cs2p_c_gauge").set(0.5);
+  const std::string text = registry.scrape();
+  std::istringstream in(text);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# cs2p_metrics_version " +
+                      std::to_string(kMetricsExpositionVersion));
+  std::getline(in, line);
+  EXPECT_EQ(line, "cs2p_a_total 1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "cs2p_b_total 2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "cs2p_c_gauge 0.5");
+}
+
+TEST(Scrape, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("cs2p_lat_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string text = registry.scrape();
+  EXPECT_NE(text.find("cs2p_lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("cs2p_lat_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("cs2p_lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cs2p_lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("cs2p_lat_seconds_sum 11\n"), std::string::npos);
+}
+
+TEST(Scrape, LabelledHistogramKeepsLabelsNextToLe) {
+  MetricsRegistry registry;
+  registry.histogram("cs2p_lat_seconds", {1.0}, {{"verb", "hello"}}).observe(0.5);
+  const std::string text = registry.scrape();
+  EXPECT_NE(text.find("cs2p_lat_seconds_bucket{verb=\"hello\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("cs2p_lat_seconds_count{verb=\"hello\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Scrape, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("cs2p_esc_total", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = registry.scrape();
+  EXPECT_NE(text.find("cs2p_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+// -- Concurrency soak (the TSan job's main course) ---------------------------
+
+TEST(Concurrency, ShardedCountersUnderContention) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("cs2p_soak_total");
+  Gauge& gauge = registry.gauge("cs2p_soak_gauge");
+  Histogram& histogram =
+      registry.histogram("cs2p_soak_seconds", default_latency_buckets_seconds());
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20'000;
+  std::atomic<bool> stop_scraping{false};
+
+  // A scraper thread reads while writers write: bucket counts, sums and the
+  // registry map must stay coherent (no torn reads, no data races).
+  std::thread scraper([&] {
+    while (!stop_scraping.load()) {
+      const std::string text = registry.scrape();
+      EXPECT_NE(text.find("cs2p_soak_total"), std::string::npos);
+      (void)histogram.quantile(0.5);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter.inc();
+        gauge.set(static_cast<double>(t));
+        histogram.observe(1e-5 * (1 + i % 100));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_scraping.store(true);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+  EXPECT_EQ(histogram.count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : histogram.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+TEST(Concurrency, ConcurrentRegistration) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> results(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { results[t] = &registry.counter("cs2p_same_total"); });
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);
+}
+
+// -- Trace sampling ----------------------------------------------------------
+
+TEST(TraceSampling, RateZeroAndOneAreAbsolute) {
+  for (std::uint64_t sid = 1; sid <= 500; ++sid) {
+    EXPECT_FALSE(trace_sample_decision(123, 0.0, sid));
+    EXPECT_TRUE(trace_sample_decision(123, 1.0, sid));
+  }
+}
+
+TEST(TraceSampling, DeterministicAcrossCallsAndProportionalToRate) {
+  int sampled = 0;
+  for (std::uint64_t sid = 1; sid <= 2000; ++sid) {
+    const bool first = trace_sample_decision(42, 0.25, sid);
+    const bool second = trace_sample_decision(42, 0.25, sid);
+    EXPECT_EQ(first, second);  // same seed, same session -> same decision
+    if (first) ++sampled;
+  }
+  // Hash-uniform sampling at 25%: allow a generous band around 500/2000.
+  EXPECT_GT(sampled, 350);
+  EXPECT_LT(sampled, 650);
+}
+
+TEST(TraceSampling, SeedChangesTheSampledSet) {
+  int differing = 0;
+  for (std::uint64_t sid = 1; sid <= 1000; ++sid)
+    if (trace_sample_decision(1, 0.5, sid) != trace_sample_decision(2, 0.5, sid))
+      ++differing;
+  EXPECT_GT(differing, 250);  // independent hashes differ about half the time
+}
+
+TEST(TraceSampling, SampledSessionKeepsFullLifecycle) {
+  // Sampling is per-session, not per-record: any record of a sampled session
+  // must pass, at every rate the session passes at.
+  const std::uint64_t sid = 7;
+  const bool at_half = trace_sample_decision(9, 0.5, sid);
+  for (int repeat = 0; repeat < 10; ++repeat)
+    EXPECT_EQ(trace_sample_decision(9, 0.5, sid), at_half);
+}
+
+// -- TraceLog JSONL ----------------------------------------------------------
+
+class TraceLogTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "cs2p_trace_test.jsonl";
+  void SetUp() override { std::remove(path_.c_str()); }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::string> read_lines() {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+};
+
+TEST_F(TraceLogTest, EmitsOneJsonObjectPerLine) {
+  {
+    TraceLog trace({path_, 1.0, 1});
+    trace.emit("hello", 42,
+               {{"cluster", std::string_view("isp=cmcc")},
+                {"initial_mbps", 2.5},
+                {"parse_us", std::uint64_t{12}}});
+    trace.emit("observe", 42,
+               {{"flags", std::uint64_t{3}}, {"degraded", true}});
+    trace.flush();
+    EXPECT_EQ(trace.events_written(), 2u);
+  }
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"ev\":\"hello\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"sid\":42"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"mono_us\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cluster\":\"isp=cmcc\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"initial_mbps\":2.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"flags\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"degraded\":true"), std::string::npos);
+  // Every line is a braced object.
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(TraceLogTest, NonFiniteDoublesSerializeAsNull) {
+  {
+    TraceLog trace({path_, 1.0, 1});
+    trace.emit("predict", 1,
+               {{"ll", std::numeric_limits<double>::quiet_NaN()},
+                {"mbps", std::numeric_limits<double>::infinity()}});
+    trace.flush();
+  }
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"ll\":null"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"mbps\":null"), std::string::npos);
+}
+
+TEST_F(TraceLogTest, EscapesStrings) {
+  {
+    TraceLog trace({path_, 1.0, 1});
+    trace.emit("hello", 1, {{"cluster", std::string_view("a\"b\\c\nd")}});
+    trace.flush();
+  }
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"cluster\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST_F(TraceLogTest, ShouldSampleMatchesFreeFunction) {
+  TraceLog trace({path_, 0.3, 77});
+  for (std::uint64_t sid = 1; sid <= 200; ++sid)
+    EXPECT_EQ(trace.should_sample(sid), trace_sample_decision(77, 0.3, sid));
+}
+
+TEST_F(TraceLogTest, AppendsAcrossReopens) {
+  {
+    TraceLog trace({path_, 1.0, 1});
+    trace.emit("hello", 1, {});
+  }
+  {
+    TraceLog trace({path_, 1.0, 1});
+    trace.emit("bye", 1, {});
+  }
+  EXPECT_EQ(read_lines().size(), 2u);
+}
+
+TEST_F(TraceLogTest, ConcurrentEmitKeepsLinesIntact) {
+  constexpr int kThreads = 4;
+  constexpr int kEventsPerThread = 500;
+  {
+    TraceLog trace({path_, 1.0, 1});
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kEventsPerThread; ++i)
+          trace.emit("observe", static_cast<std::uint64_t>(t),
+                     {{"i", static_cast<std::uint64_t>(i)}});
+      });
+    for (auto& thread : threads) thread.join();
+    trace.flush();
+    EXPECT_EQ(trace.events_written(),
+              static_cast<std::uint64_t>(kThreads) * kEventsPerThread);
+  }
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kEventsPerThread);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(TraceLogConfig, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(TraceLog({"/nonexistent-dir-cs2p/trace.jsonl", 1.0, 1}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cs2p::obs

@@ -27,6 +27,16 @@
 //     sessions trip their guardrails in quorum triggers an early retrain +
 //     hot-swap, same path as SIGHUP — the drifted cluster serves the global
 //     fallback in the meantime.
+//
+// Telemetry (DESIGN.md §11):
+//   - One process-wide metrics registry is wired through the engine, the
+//     guardrails and the server, so a STATS scrape (or cs2p_stats) sees the
+//     whole process. --metrics-interval N dumps the exposition to stdout
+//     every N seconds; the final dump runs on the SIGINT path *before*
+//     server teardown, so a hung connection cannot swallow the last stats.
+//   - --trace-log FILE --trace-sample R appends the JSONL prediction trace
+//     of a deterministic R-fraction of sessions; flushed on every metrics
+//     tick and on the signal path.
 
 #include <atomic>
 #include <chrono>
@@ -39,6 +49,8 @@
 #include "core/model_store.h"
 #include "dataset/dataset.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tools/cli.h"
 
 namespace {
@@ -74,9 +86,35 @@ int main(int argc, char** argv) try {
                   "--guardrail 1) (1/0)", "0");
   args.add_option("lenient-ingest",
                   "skip invalid rows in --data instead of aborting (1/0)", "0");
+  args.add_option("metrics-interval",
+                  "dump the metrics exposition to stdout every N seconds "
+                  "(0 = only on shutdown)", "0");
+  args.add_option("trace-log",
+                  "append the JSONL per-session prediction trace to this "
+                  "file (empty = off)", "");
+  args.add_option("trace-sample",
+                  "fraction of sessions traced into --trace-log, in [0, 1]",
+                  "1.0");
+  args.add_option("trace-seed",
+                  "session-sampling hash seed (same seed + rate = same "
+                  "sessions traced)", "1555217942");
   if (!args.parse(argc, argv)) return 1;
 
+  // The one registry of the process: engine(s), guardrails and server all
+  // report here, and the STATS verb scrapes it.
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+
+  std::shared_ptr<obs::TraceLog> trace;
+  if (!args.get("trace-log").empty()) {
+    obs::TraceLog::Config trace_config;
+    trace_config.path = args.get("trace-log");
+    trace_config.sample_rate = args.get_double("trace-sample");
+    trace_config.seed = static_cast<std::uint64_t>(args.get_long("trace-seed"));
+    trace = std::make_shared<obs::TraceLog>(trace_config);
+  }
+
   Cs2pConfig config;
+  config.metrics = metrics;
   config.hmm.num_states = static_cast<std::size_t>(args.get_long("hmm-states"));
   const bool drift_reload = args.get_long("drift-reload") != 0;
   config.guardrail.enabled = args.get_long("guardrail") != 0 || drift_reload;
@@ -92,6 +130,21 @@ int main(int argc, char** argv) try {
     if (!lenient_ingest) return Dataset::load_csv(args.get("data"));
     IngestStats ingest;
     Dataset dataset = Dataset::load_csv_lenient(args.get("data"), ingest);
+    // Skip reasons land in the registry (one series per reason) so a scrape
+    // after a reload shows what the last ingest dropped, not just stdout.
+    metrics->counter("cs2p_ingest_rows_total", {{"outcome", "loaded"}})
+        .inc(ingest.rows_loaded);
+    metrics->counter("cs2p_ingest_rows_total", {{"outcome", "skipped"}})
+        .inc(ingest.rows_skipped);
+    const auto skip = [&](const char* reason, std::size_t n) {
+      if (n > 0)
+        metrics->counter("cs2p_ingest_skipped_rows_total", {{"reason", reason}})
+            .inc(n);
+    };
+    skip("unparseable", ingest.unparseable_series);
+    skip("non_finite", ingest.non_finite_samples);
+    skip("negative", ingest.negative_samples);
+    skip("bad_epoch", ingest.bad_epoch_seconds);
     if (ingest.rows_skipped > 0) {
       std::printf("ingest: skipped %zu/%zu rows (%zu unparseable, %zu "
                   "non-finite, %zu negative, %zu bad epoch)\n",
@@ -144,6 +197,8 @@ int main(int argc, char** argv) try {
   server_config.session_ttl_ms = static_cast<int>(args.get_long("session-ttl-ms"));
   server_config.max_sample_mbps =
       static_cast<double>(args.get_long("max-sample-mbps"));
+  server_config.metrics = metrics;
+  server_config.trace = trace;
 
   PredictionServer server(model, server_config,
                           static_cast<std::uint16_t>(args.get_long("port")));
@@ -157,18 +212,43 @@ int main(int argc, char** argv) try {
   if (config.guardrail.enabled)
     std::printf("guardrail: on%s\n",
                 drift_reload ? " (cluster drift triggers retrain)" : "");
+  const long metrics_interval_s = args.get_long("metrics-interval");
+  if (metrics_interval_s > 0)
+    std::printf("metrics: dump every %ld s\n", metrics_interval_s);
+  if (trace)
+    std::printf("trace: %s (sample rate %.3f)\n",
+                trace->config().path.c_str(), trace->config().sample_rate);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGHUP, handle_sighup);
 
+  // One flush point for both sinks: metrics go to stdout, the trace tail to
+  // its file. Runs on every --metrics-interval tick and (crucially) on the
+  // signal path before server.stop() — a SIGINT while a connection hangs in
+  // teardown must not lose the final stats or the buffered trace records.
+  auto flush_telemetry = [&](bool dump_metrics) {
+    if (dump_metrics) {
+      const std::string exposition = metrics->scrape();
+      std::fwrite(exposition.data(), 1, exposition.size(), stdout);
+      std::fflush(stdout);
+    }
+    if (trace) trace->flush();
+  };
+
   using Clock = std::chrono::steady_clock;
   auto last_reload = Clock::now();
+  auto last_metrics = Clock::now();
   // Drift-marked clusters already answered with a retrain: a failed reload
   // must not retrigger every poll tick.
   std::size_t drift_handled = 0;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (metrics_interval_s > 0 &&
+        Clock::now() - last_metrics >= std::chrono::seconds(metrics_interval_s)) {
+      last_metrics = Clock::now();
+      flush_telemetry(/*dump_metrics=*/true);
+    }
     const bool interval_due =
         reload_interval_s > 0 &&
         Clock::now() - last_reload >= std::chrono::seconds(reload_interval_s);
@@ -199,6 +279,9 @@ int main(int argc, char** argv) try {
                    e.what());
     }
   }
+  // Final telemetry BEFORE teardown: stop() joins workers, and a hung
+  // connection makes that wait — the stats must already be out by then.
+  flush_telemetry(/*dump_metrics=*/metrics_interval_s > 0);
   std::printf("\nstopping after %llu requests (%llu model swaps)\n",
               static_cast<unsigned long long>(server.requests_handled()),
               static_cast<unsigned long long>(server.models_swapped()));

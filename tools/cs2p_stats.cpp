@@ -1,0 +1,210 @@
+// cs2p_stats — scrape a running cs2p_serve over the STATS verb.
+//
+//   cs2p_stats --port 9000                 pretty-print the current stats
+//   cs2p_stats --port 9000 --raw 1         dump the raw text exposition
+//   cs2p_stats --port 9000 --diff 5        scrape twice, 5 s apart, and
+//                                          print what moved in between
+//
+// The pretty printer folds histogram families into one line with count,
+// mean and interpolated p50/p90/p99 (from the cumulative le-buckets); the
+// diff mode shows counter/histogram deltas and gauge old -> new, which is
+// the quickest way to answer "what is this server doing right now".
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "obs/metrics.h"
+#include "tools/cli.h"
+
+namespace {
+
+using cs2p::obs::kMetricsExpositionVersion;
+
+struct Scrape {
+  int version = 0;
+  /// Rendered series key ("name{labels}") -> value, in exposition order.
+  std::map<std::string, double> series;
+};
+
+Scrape parse_exposition(const cs2p::StatsResponse& response) {
+  Scrape out;
+  out.version = response.exposition_version;
+  const std::string& text = response.exposition;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    try {
+      out.series.emplace(line.substr(0, space), std::stod(line.substr(space + 1)));
+    } catch (const std::exception&) {
+      // Tolerate unknown grammar extensions: skip, don't die.
+    }
+  }
+  return out;
+}
+
+Scrape scrape_server(std::uint16_t port) {
+  cs2p::PredictionClient client(port);
+  const cs2p::StatsResponse response = client.stats();
+  if (response.exposition_version != kMetricsExpositionVersion)
+    std::fprintf(stderr,
+                 "warning: server speaks exposition v%d, this tool expects "
+                 "v%d — printing what parses\n",
+                 response.exposition_version, kMetricsExpositionVersion);
+  return parse_exposition(response);
+}
+
+/// One histogram family reassembled from its exposition series.
+struct HistogramFamily {
+  std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+/// "name_bucket{...,le="x"}" -> family key "name{...}" + bound; false for
+/// non-bucket series.
+bool split_bucket_key(const std::string& key, std::string* family, double* le) {
+  const std::size_t marker = key.find("_bucket");
+  if (marker == std::string::npos) return false;
+  const std::size_t le_pos = key.find("le=\"", marker);
+  if (le_pos == std::string::npos) return false;
+  const std::size_t le_end = key.find('"', le_pos + 4);
+  if (le_end == std::string::npos) return false;
+  const std::string bound = key.substr(le_pos + 4, le_end - le_pos - 4);
+  *le = bound == "+Inf" ? std::numeric_limits<double>::infinity()
+                        : std::stod(bound);
+  // Family key: name + labels minus the le pair (and its separator comma).
+  std::string rest = key.substr(marker + 7);  // "{...}" or "{le=...}"
+  std::size_t cut_begin = rest.find("le=\"");
+  std::size_t cut_end = rest.find('"', cut_begin + 4) + 1;
+  if (cut_begin != std::string::npos) {
+    if (cut_begin > 1 && rest[cut_begin - 1] == ',') --cut_begin;  // ",le=..."
+    else if (rest[cut_end] == ',') ++cut_end;                      // "le=...,"
+    rest.erase(cut_begin, cut_end - cut_begin);
+  }
+  if (rest == "{}") rest.clear();
+  *family = key.substr(0, marker) + rest;
+  return true;
+}
+
+double family_quantile(const HistogramFamily& h, double q) {
+  if (h.count <= 0.0) return 0.0;
+  const double rank = q * h.count;
+  double prev_le = 0.0, prev_cum = 0.0;
+  for (const auto& [le, cum] : h.buckets) {
+    if (cum >= rank) {
+      if (std::isinf(le)) return prev_le;  // clamp to last finite bound
+      const double in_bucket = cum - prev_cum;
+      if (in_bucket <= 0.0) return le;
+      return prev_le + (le - prev_le) *
+                           std::clamp((rank - prev_cum) / in_bucket, 0.0, 1.0);
+    }
+    prev_le = std::isinf(le) ? prev_le : le;
+    prev_cum = cum;
+  }
+  return prev_le;
+}
+
+void pretty_print(const Scrape& scrape) {
+  std::map<std::string, HistogramFamily> histograms;
+  std::vector<std::pair<std::string, double>> scalars;
+  for (const auto& [key, value] : scrape.series) {
+    std::string family;
+    double le = 0.0;
+    if (split_bucket_key(key, &family, &le)) {
+      histograms[family].buckets.emplace_back(le, value);
+      continue;
+    }
+    const std::size_t brace = key.find('{');
+    const std::string name = key.substr(0, brace);
+    if (name.size() > 4 && name.ends_with("_sum")) {
+      const std::string fam = name.substr(0, name.size() - 4) +
+                              (brace == std::string::npos ? "" : key.substr(brace));
+      if (histograms.contains(fam) || scrape.series.contains(
+              name.substr(0, name.size() - 4) + "_count" +
+              (brace == std::string::npos ? "" : key.substr(brace)))) {
+        histograms[fam].sum = value;
+        continue;
+      }
+    }
+    if (name.size() > 6 && name.ends_with("_count")) {
+      const std::string fam = name.substr(0, name.size() - 6) +
+                              (brace == std::string::npos ? "" : key.substr(brace));
+      if (histograms.contains(fam)) {
+        histograms[fam].count = value;
+        continue;
+      }
+    }
+    scalars.emplace_back(key, value);
+  }
+
+  for (const auto& [key, value] : scalars)
+    std::printf("%-56s %.6g\n", key.c_str(), value);
+  for (auto& [family, h] : histograms) {
+    std::sort(h.buckets.begin(), h.buckets.end());
+    if (h.count == 0.0 && !h.buckets.empty()) h.count = h.buckets.back().second;
+    const double mean = h.count > 0.0 ? h.sum / h.count : 0.0;
+    std::printf("%-56s count=%.0f mean=%.3gs p50=%.3gs p90=%.3gs p99=%.3gs\n",
+                family.c_str(), h.count, mean, family_quantile(h, 0.5),
+                family_quantile(h, 0.9), family_quantile(h, 0.99));
+  }
+}
+
+void print_diff(const Scrape& before, const Scrape& after, long seconds) {
+  std::printf("# delta over %ld s\n", seconds);
+  for (const auto& [key, new_value] : after.series) {
+    const auto it = before.series.find(key);
+    const double old_value = it == before.series.end() ? 0.0 : it->second;
+    if (new_value == old_value) continue;
+    std::printf("%-56s %+.6g  (%.6g -> %.6g)\n", key.c_str(),
+                new_value - old_value, old_value, new_value);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace cs2p;
+  cli::ArgParser args("cs2p_stats", "scrape a cs2p_serve metrics registry");
+  args.add_option("port", "cs2p_serve port on 127.0.0.1", "9000");
+  args.add_option("raw", "dump the raw text exposition (1/0)", "0");
+  args.add_option("diff",
+                  "scrape twice, N seconds apart, and print the deltas "
+                  "(0 = single scrape)", "0");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto port = static_cast<std::uint16_t>(args.get_long("port"));
+  if (args.get_long("raw") != 0) {
+    PredictionClient client(port);
+    const StatsResponse response = client.stats();
+    std::fwrite(response.exposition.data(), 1, response.exposition.size(),
+                stdout);
+    return 0;
+  }
+
+  const long diff_s = args.get_long("diff");
+  const Scrape first = scrape_server(port);
+  if (diff_s <= 0) {
+    pretty_print(first);
+    return 0;
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(diff_s));
+  print_diff(first, scrape_server(port), diff_s);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "cs2p_stats: %s\n", e.what());
+  return 1;
+}
