@@ -144,6 +144,41 @@ void BM_TcpObserveRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpObserveRoundTrip)->Unit(benchmark::kMicrosecond);
 
+/// Aggregate service throughput at N concurrent connections (§6: the
+/// deployed engine's capacity story). Each benchmark thread is one
+/// persistent client driving OBSERVE round trips against a shared server
+/// serving the real CS2P model; requests/s is the aggregate rate across
+/// all threads. Run at 1/8/64 to see how the serving core scales with
+/// connection count (EXPERIMENTS.md records pre/post-refactor numbers).
+void BM_ServerConcurrency(benchmark::State& state) {
+  auto& f = fixture();
+  static PredictionServer* server = [] {
+    ServerConfig config;
+    config.max_connections = 128;
+    return new PredictionServer(fixture().model, config);
+  }();
+  PredictionClient client(server->port());
+  const SessionResponse session =
+      client.hello(f.probe->features, f.probe->start_hour);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.observe(
+        session.session_id,
+        f.probe->throughput_mbps[t % f.probe->throughput_mbps.size()]));
+    ++t;
+  }
+  client.bye(session.session_id);
+  state.counters["requests/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServerConcurrency)
+    ->Threads(1)
+    ->Threads(8)
+    ->Threads(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_ModelFootprint(benchmark::State& state) {
   auto& f = fixture();
   const SessionModelRef ref =

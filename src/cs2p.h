@@ -45,6 +45,7 @@
 // Deployment: TCP prediction service.
 #include "net/client.h"          // IWYU pragma: export
 #include "net/server.h"          // IWYU pragma: export
+#include "net/session_table.h"   // IWYU pragma: export
 #include "net/wire.h"            // IWYU pragma: export
 
 // Observability: metrics registry + per-session trace log.

@@ -1,9 +1,12 @@
 #include "net/server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 namespace cs2p {
@@ -14,6 +17,29 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
 }
+
+/// Fills in the runtime defaults so config() reports what is actually in
+/// effect: io_threads = hardware concurrency, session_shards = 16 (the
+/// table rounds to a power of two itself).
+ServerConfig resolve_config(ServerConfig config) {
+  if (config.io_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    config.io_threads = hw == 0 ? 1 : hw;
+  }
+  if (config.session_shards == 0) config.session_shards = 16;
+  if (config.evict_scan_budget == 0) config.evict_scan_budget = 64;
+  return config;
+}
+
+/// Eviction cadence per worker: often enough that TTLs in the tens of
+/// milliseconds (tests) are honored promptly, rare enough to stay amortized.
+constexpr auto kEvictTickInterval = std::chrono::milliseconds(20);
+
+/// Upper bound on a worker's poll wait; keeps eviction ticking and the stop
+/// flag checked even when the wake pipe is never signaled.
+constexpr int kMaxPollWaitMs = 50;
+
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
 
 }  // namespace
 
@@ -40,11 +66,15 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
   m.rejected = &registry.counter("cs2p_server_connections_rejected_total");
   m.evicted = &registry.counter("cs2p_server_sessions_evicted_total");
   m.swaps = &registry.counter("cs2p_server_model_swaps_total");
+  m.loop_iterations = &registry.counter("cs2p_server_loop_iterations_total");
   m.active_connections = &registry.gauge("cs2p_server_active_connections");
   m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
   m.request_seconds =
       &registry.histogram("cs2p_server_request_seconds",
                           obs::default_latency_buckets_seconds());
+  m.connection_seconds =
+      &registry.histogram("cs2p_server_connection_seconds",
+                          obs::default_duration_buckets_seconds());
   return m;
 }
 
@@ -66,11 +96,15 @@ PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
 PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
                                    ServerConfig config, std::uint16_t port)
     : model_(std::move(model)),
-      config_(std::move(config)),
+      config_(resolve_config(std::move(config))),
       metrics_(config_.metrics ? config_.metrics
                                : std::make_shared<obs::MetricsRegistry>()),
       m_(MetricHandles::create(*metrics_)),
-      trace_(config_.trace) {
+      trace_(config_.trace),
+      sessions_(SessionTableConfig{config_.session_shards,
+                                   config_.session_ttl_ms,
+                                   config_.evict_scan_budget},
+                metrics_.get()) {
   if (!model_) throw std::invalid_argument("PredictionServer: null model");
   if (config_.max_connections == 0)
     throw std::invalid_argument("PredictionServer: max_connections must be > 0");
@@ -80,6 +114,16 @@ PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
   // Non-blocking + poll: closing a listening fd does not wake a blocked
   // accept(2), so the accept loop must poll and re-check the stop flag.
   set_nonblocking(listener_);
+  workers_.reserve(config_.io_threads);
+  for (std::size_t i = 0; i < config_.io_threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    auto [wake_read, wake_write] = make_wake_pipe();
+    worker->wake_read = std::move(wake_read);
+    worker->wake_write = std::move(wake_write);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_)
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -93,22 +137,12 @@ void PredictionServer::stop() {
   std::scoped_lock stop_lock(stop_mutex_);
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.reset();
-  std::vector<std::thread> workers;
-  {
-    std::scoped_lock lock(workers_mutex_);
-    workers = std::move(workers_);
-    workers_.clear();
-    // shutdown(2) DOES wake a blocked recv(2); close alone would not free
-    // workers waiting on idle client connections.
-    for (int fd : live_connection_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (auto& worker : workers)
-    if (worker.joinable()) worker.join();
-}
-
-std::size_t PredictionServer::session_count() const {
-  std::scoped_lock lock(sessions_mutex_);
-  return sessions_.size();
+  // Workers notice stopping_ on their next wakeup and close every
+  // connection they own (including undrained inbox handoffs) through the
+  // one close path before exiting.
+  for (auto& worker : workers_) wake_pipe_signal(worker->wake_write);
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
 }
 
 void PredictionServer::swap_model(std::shared_ptr<const PredictorModel> model) {
@@ -125,25 +159,6 @@ void PredictionServer::swap_model(std::shared_ptr<const PredictorModel> model) {
 std::shared_ptr<const PredictorModel> PredictionServer::current_model() const {
   std::scoped_lock lock(model_mutex_);
   return model_;
-}
-
-void PredictionServer::evict_expired_sessions() {
-  if (config_.session_ttl_ms <= 0) return;
-  const auto deadline =
-      Clock::now() - std::chrono::milliseconds(config_.session_ttl_ms);
-  std::scoped_lock lock(sessions_mutex_);
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if (it->second.last_used < deadline) {
-      if (trace_ && it->second.traced)
-        trace_->emit("evict", it->first,
-                     {{"ttl_ms", static_cast<std::int64_t>(config_.session_ttl_ms)}});
-      it = sessions_.erase(it);
-      m_.evicted->inc();
-    } else {
-      ++it;
-    }
-  }
-  m_.live_sessions->set(static_cast<double>(sessions_.size()));
 }
 
 void PredictionServer::reject_connection(const FdHandle& connection) {
@@ -169,7 +184,6 @@ void PredictionServer::reject_connection(const FdHandle& connection) {
 
 void PredictionServer::accept_loop() {
   while (!stopping_.load()) {
-    evict_expired_sessions();
     try {
       if (!wait_readable(listener_, /*timeout_ms=*/100)) continue;
     } catch (const std::exception&) {
@@ -181,99 +195,271 @@ void PredictionServer::accept_loop() {
       reject_connection(connection);
       continue;  // FdHandle destructor closes it
     }
-    m_.connections->inc();
-    m_.active_connections->set(
-        static_cast<double>(active_connections_.fetch_add(1) + 1));
-    std::scoped_lock lock(workers_mutex_);
-    live_connection_fds_.push_back(connection.get());
-    workers_.emplace_back(
-        [this, conn = std::move(connection)]() mutable {
-          serve_connection(std::move(conn));
-        });
+    dispatch_connection(std::move(connection));
   }
 }
 
-void PredictionServer::serve_connection(FdHandle connection) {
+void PredictionServer::dispatch_connection(FdHandle connection) {
+  m_.connections->inc();
+  m_.active_connections->set(
+      static_cast<double>(active_connections_.fetch_add(1) + 1));
   try {
-    while (!stopping_.load()) {
-      // Idle timeout: a silent peer gets its connection reclaimed instead of
-      // pinning this worker forever. stop() still wakes the poll via
-      // shutdown(2) (POLLHUP counts as readable).
-      if (!wait_readable(connection, config_.idle_timeout_ms)) {
-        m_.idle_timeouts->inc();
-        break;
-      }
-      const auto frame = recv_frame(connection);
-      if (!frame) break;  // client hung up
-      // Count before replying: once the client sees the response, the
-      // request must already be visible in requests_handled() — and a reply
-      // can never outrun its request (the scrape invariant of §11).
-      m_.requests->inc();
-      const auto t_recv = Clock::now();
-      Response response;
-      RequestInfo info;
-      std::uint64_t parse_us = 0;
-      std::uint64_t handle_us = 0;
-      try {
-        const Request request = parse_request(*frame);
-        const auto t_parsed = Clock::now();
-        parse_us = elapsed_us(t_recv, t_parsed);
-        verb_counter(request)->inc();
-        response = handle(request, info);
-        handle_us = elapsed_us(t_parsed, Clock::now());
-      } catch (const ProtocolError& e) {
-        m_.verb_invalid->inc();
-        response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
-      } catch (const std::exception& e) {
-        response = ErrorResponse{WireErrorCode::kInternal, e.what()};
-      }
-      if (std::holds_alternative<ErrorResponse>(response))
-        m_.error_replies->inc();
-      const auto t_send = Clock::now();
-      send_frame(connection, serialize_response(response));
-      m_.replies->inc();
-      const auto t_done = Clock::now();
-      m_.request_seconds->observe(
-          std::chrono::duration<double>(t_done - t_recv).count());
-      if (trace_ && info.traced) {
-        const std::uint64_t send_us = elapsed_us(t_send, t_done);
-        if (const auto* err = std::get_if<ErrorResponse>(&response)) {
-          trace_->emit("reply-error", info.session_id,
-                       {{"verb", info.event},
-                        {"code", wire_error_code_name(err->code)},
-                        {"parse_us", parse_us},
-                        {"handle_us", handle_us},
-                        {"send_us", send_us}});
-        } else if (info.event == "hello") {
-          trace_->emit("hello", info.session_id,
-                       {{"cluster", std::string_view(info.cluster_label)},
-                        {"initial_mbps", info.mbps},
-                        {"parse_us", parse_us},
-                        {"handle_us", handle_us},
-                        {"send_us", send_us}});
-        } else {
-          // observe / predict / bye: flags + prediction + the filter's
-          // predictive log-likelihood (NaN serializes as null when absent).
-          trace_->emit(
-              info.event, info.session_id,
-              {{"flags", info.flags},
-               {"mbps", info.mbps},
-               {"ll", info.log_likelihood.value_or(
-                          std::numeric_limits<double>::quiet_NaN())},
-               {"parse_us", parse_us},
-               {"handle_us", handle_us},
-               {"send_us", send_us}});
-        }
-      }
-    }
+    set_nonblocking(connection);
   } catch (const std::exception&) {
-    // Connection-level failure (reset, desynced framing): drop the
-    // connection, keep serving others.
+    // Raced a peer reset between accept and fcntl: undo the accounting and
+    // drop it — never hand a dead fd to a worker.
+    m_.active_connections->set(
+        static_cast<double>(active_connections_.fetch_sub(1) - 1));
+    return;
   }
+  Connection conn;
+  conn.fd = std::move(connection);
+  conn.opened_at = Clock::now();
+  conn.last_activity = conn.opened_at;
+  Worker& worker =
+      *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size()];
+  {
+    std::scoped_lock lock(worker.inbox_mutex);
+    worker.inbox.push_back(std::move(conn));
+  }
+  wake_pipe_signal(worker.wake_write);
+}
+
+void PredictionServer::adopt_inbox(Worker& worker) {
+  std::vector<Connection> adopted;
+  {
+    std::scoped_lock lock(worker.inbox_mutex);
+    adopted.swap(worker.inbox);
+  }
+  for (auto& conn : adopted) {
+    const int fd = conn.fd.get();
+    worker.connections.emplace(fd, std::move(conn));
+  }
+}
+
+void PredictionServer::close_connection(Connection& conn, bool idle_timed_out) {
+  if (idle_timed_out) m_.idle_timeouts->inc();
+  m_.connection_seconds->observe(
+      std::chrono::duration<double>(Clock::now() - conn.opened_at).count());
   m_.active_connections->set(
       static_cast<double>(active_connections_.fetch_sub(1) - 1));
-  std::scoped_lock lock(workers_mutex_);
-  std::erase(live_connection_fds_, connection.get());
+  conn.fd.reset();
+}
+
+void PredictionServer::worker_loop(Worker& worker) {
+  std::vector<pollfd> pollfds;
+  std::vector<int> ready;     // fds with events this iteration
+  std::vector<int> expired;   // fds past their idle deadline
+  auto next_evict = Clock::now();
+  while (true) {
+    adopt_inbox(worker);
+    const bool stopping = stopping_.load();
+    if (stopping) {
+      for (auto& [fd, conn] : worker.connections)
+        close_connection(conn, /*idle_timed_out=*/false);
+      worker.connections.clear();
+      // One last inbox sweep: a connection dispatched after our previous
+      // adopt still gets the close-path accounting.
+      adopt_inbox(worker);
+      if (worker.connections.empty()) break;
+      continue;
+    }
+
+    pollfds.clear();
+    pollfds.push_back({worker.wake_read.get(), POLLIN, 0});
+    for (const auto& [fd, conn] : worker.connections) {
+      const short events =
+          conn.state == ConnState::kWriting ? POLLOUT : POLLIN;
+      pollfds.push_back({fd, events, 0});
+    }
+
+    int wait_ms = kMaxPollWaitMs;
+    if (config_.idle_timeout_ms > 0 && !worker.connections.empty()) {
+      auto nearest = Clock::time_point::max();
+      for (const auto& [fd, conn] : worker.connections)
+        nearest = std::min(nearest, conn.last_activity);
+      const auto deadline =
+          nearest + std::chrono::milliseconds(config_.idle_timeout_ms);
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = std::clamp(static_cast<int>(remaining.count()), 0,
+                           kMaxPollWaitMs);
+    }
+    const int rc = ::poll(pollfds.data(), pollfds.size(), wait_ms);
+    m_.loop_iterations->inc();
+    if (rc < 0 && errno != EINTR && errno != EAGAIN) break;  // should not happen
+
+    if (pollfds[0].revents != 0) wake_pipe_drain(worker.wake_read);
+    ready.clear();
+    for (std::size_t i = 1; i < pollfds.size(); ++i)
+      if (pollfds[i].revents != 0) ready.push_back(pollfds[i].fd);
+    for (const int fd : ready) {
+      const auto it = worker.connections.find(fd);
+      if (it == worker.connections.end()) continue;
+      bool keep = false;
+      try {
+        keep = handle_io(it->second);
+      } catch (const std::exception&) {
+        // Connection-level failure (reset, desynced framing): drop the
+        // connection, keep serving others.
+        keep = false;
+      }
+      if (!keep) {
+        close_connection(it->second, /*idle_timed_out=*/false);
+        worker.connections.erase(it);
+      }
+    }
+
+    if (config_.idle_timeout_ms > 0) {
+      const auto now = Clock::now();
+      const auto deadline =
+          now - std::chrono::milliseconds(config_.idle_timeout_ms);
+      expired.clear();
+      for (const auto& [fd, conn] : worker.connections)
+        if (conn.last_activity < deadline) expired.push_back(fd);
+      for (const int fd : expired) {
+        const auto it = worker.connections.find(fd);
+        close_connection(it->second, /*idle_timed_out=*/true);
+        worker.connections.erase(it);
+      }
+    }
+
+    const auto now = Clock::now();
+    if (now >= next_evict) {
+      next_evict = now + kEvictTickInterval;
+      const auto stats = sessions_.evict_tick(
+          now, [this](std::uint64_t id, const SessionTable::Entry& entry) {
+            if (trace_ && entry.traced)
+              trace_->emit("evict", id,
+                           {{"ttl_ms", static_cast<std::int64_t>(
+                                           config_.session_ttl_ms)}});
+            m_.evicted->inc();
+          });
+      if (stats.evicted > 0)
+        m_.live_sessions->set(static_cast<double>(sessions_.size()));
+    }
+  }
+}
+
+bool PredictionServer::handle_io(Connection& conn) {
+  if (conn.state == ConnState::kWriting) {
+    conn.last_activity = Clock::now();
+    if (!flush_write(conn)) return true;  // still blocked on POLLOUT
+    // Reply done; buffered pipelined input may already hold the next frame.
+    return process_read_buffer(conn);
+  }
+  std::byte chunk[kReadChunkBytes];
+  const auto n = recv_some(conn.fd, chunk);
+  if (!n.has_value()) return false;  // clean EOF
+  if (*n == 0) return true;          // spurious wakeup
+  conn.last_activity = Clock::now();
+  conn.read_buffer.append(reinterpret_cast<const char*>(chunk), *n);
+  return process_read_buffer(conn);
+}
+
+bool PredictionServer::process_read_buffer(Connection& conn) {
+  while (conn.state != ConnState::kWriting) {
+    if (conn.state == ConnState::kReadingHeader) {
+      if (conn.read_buffer.size() < kFrameHeaderBytes) return true;
+      // A malformed header (wrong version, absurd length) desyncs the
+      // stream: drop the connection, exactly like the blocking server did.
+      conn.body_size = parse_frame_header(conn.read_buffer);
+      conn.read_buffer.erase(0, kFrameHeaderBytes);
+      conn.state = ConnState::kReadingBody;
+    }
+    if (conn.read_buffer.size() < conn.body_size) return true;
+    const std::string payload = conn.read_buffer.substr(0, conn.body_size);
+    conn.read_buffer.erase(0, conn.body_size);
+    conn.state = ConnState::kReadingHeader;
+
+    // Count before replying: once the client sees the response, the
+    // request must already be visible in requests_handled() — and a reply
+    // can never outrun its request (the scrape invariant of §11).
+    m_.requests->inc();
+    conn.t_recv = Clock::now();
+    Response response;
+    conn.info = RequestInfo{};
+    conn.parse_us = 0;
+    conn.handle_us = 0;
+    try {
+      const Request request = parse_request(payload);
+      const auto t_parsed = Clock::now();
+      conn.parse_us = elapsed_us(conn.t_recv, t_parsed);
+      verb_counter(request)->inc();
+      response = handle(request, conn.info);
+      conn.handle_us = elapsed_us(t_parsed, Clock::now());
+    } catch (const ProtocolError& e) {
+      m_.verb_invalid->inc();
+      response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
+    } catch (const std::exception& e) {
+      response = ErrorResponse{WireErrorCode::kInternal, e.what()};
+    }
+    const auto* err = std::get_if<ErrorResponse>(&response);
+    conn.reply_is_error = err != nullptr;
+    conn.error_code = err != nullptr ? wire_error_code_name(err->code)
+                                     : std::string_view{};
+    if (conn.reply_is_error) m_.error_replies->inc();
+    conn.write_buffer = encode_frame(serialize_response(response));
+    conn.write_pos = 0;
+    conn.state = ConnState::kWriting;
+    conn.t_send = Clock::now();
+    if (!flush_write(conn)) return true;  // wait for POLLOUT
+  }
+  return true;
+}
+
+bool PredictionServer::flush_write(Connection& conn) {
+  while (conn.write_pos < conn.write_buffer.size()) {
+    const auto remaining = std::span(conn.write_buffer).subspan(conn.write_pos);
+    const std::size_t n = send_some(conn.fd, std::as_bytes(remaining));
+    if (n == 0) return false;  // kernel buffer full
+    conn.write_pos += n;
+  }
+  finish_reply(conn);
+  return true;
+}
+
+void PredictionServer::finish_reply(Connection& conn) {
+  m_.replies->inc();
+  const auto t_done = Clock::now();
+  conn.last_activity = t_done;
+  m_.request_seconds->observe(
+      std::chrono::duration<double>(t_done - conn.t_recv).count());
+  conn.write_buffer.clear();
+  conn.write_pos = 0;
+  conn.state = ConnState::kReadingHeader;
+  const RequestInfo& info = conn.info;
+  if (trace_ && info.traced) {
+    const std::uint64_t send_us = elapsed_us(conn.t_send, t_done);
+    if (conn.reply_is_error) {
+      trace_->emit("reply-error", info.session_id,
+                   {{"verb", info.event},
+                    {"code", conn.error_code},
+                    {"parse_us", conn.parse_us},
+                    {"handle_us", conn.handle_us},
+                    {"send_us", send_us}});
+    } else if (info.event == "hello") {
+      trace_->emit("hello", info.session_id,
+                   {{"cluster", std::string_view(info.cluster_label)},
+                    {"initial_mbps", info.mbps},
+                    {"parse_us", conn.parse_us},
+                    {"handle_us", conn.handle_us},
+                    {"send_us", send_us}});
+    } else {
+      // observe / predict / bye: flags + prediction + the filter's
+      // predictive log-likelihood (NaN serializes as null when absent).
+      trace_->emit(
+          info.event, info.session_id,
+          {{"flags", info.flags},
+           {"mbps", info.mbps},
+           {"ll", info.log_likelihood.value_or(
+                      std::numeric_limits<double>::quiet_NaN())},
+           {"parse_us", conn.parse_us},
+           {"handle_us", conn.handle_us},
+           {"send_us", send_us}});
+    }
+  }
 }
 
 PredictionResponse PredictionServer::make_prediction_response(
@@ -311,15 +497,19 @@ Response PredictionServer::handle(const Request& request, RequestInfo& info) {
     // Cluster metadata is predictor-specific; expose what we can.
     response.cluster_label = model->name();
 
-    std::scoped_lock lock(sessions_mutex_);
-    response.session_id = next_session_id_++;
-    info.session_id = response.session_id;
-    info.traced = trace_ && trace_->should_sample(response.session_id);
+    const auto now = Clock::now();
+    response.session_id = sessions_.emplace([&](std::uint64_t id) {
+      info.session_id = id;
+      info.traced = trace_ && trace_->should_sample(id);
+      SessionTable::Entry entry;
+      entry.predictor = std::move(predictor);
+      entry.owner = std::move(model);
+      entry.last_used = now;
+      entry.traced = info.traced;
+      return entry;
+    });
     info.mbps = response.initial_mbps;
     info.cluster_label = response.cluster_label;
-    SessionEntry entry{std::move(predictor), std::move(model), Clock::now(),
-                       info.traced};
-    sessions_.emplace(response.session_id, std::move(entry));
     m_.live_sessions->set(static_cast<double>(sessions_.size()));
     return response;
   }
@@ -328,58 +518,61 @@ Response PredictionServer::handle(const Request& request, RequestInfo& info) {
     info.event = "observe";
     info.session_id = observe->session_id;
     const double w = observe->throughput_mbps;
-    std::scoped_lock lock(sessions_mutex_);
-    const auto it = sessions_.find(observe->session_id);
-    if (it != sessions_.end()) info.traced = it->second.traced;
     // Validate before touching the predictor: one NaN in the forward filter
     // poisons every belief state after it.
     // Zero is allowed: a fully stalled epoch is a real measurement (and the
     // dataset loader accepts it too).
-    if (!std::isfinite(w) || w < 0.0 || w > config_.max_sample_mbps)
+    const bool valid =
+        std::isfinite(w) && w >= 0.0 && w <= config_.max_sample_mbps;
+    Response out = ErrorResponse{WireErrorCode::kUnknownSession,
+                                 "unknown session"};
+    sessions_.with_session(observe->session_id, [&](SessionTable::Entry& entry) {
+      info.traced = entry.traced;
+      if (!valid) return;  // leave last_used alone; the error wins below
+      entry.last_used = Clock::now();
+      entry.predictor->observe(w);
+      const PredictionResponse response =
+          make_prediction_response(*entry.predictor, 1);
+      info.flags = response.flags;
+      info.mbps = response.mbps;
+      info.log_likelihood = entry.predictor->last_log_likelihood();
+      out = response;
+    });
+    if (!valid)
       return ErrorResponse{WireErrorCode::kInvalidSample,
                            "throughput sample must be finite, non-negative and <= " +
                                std::to_string(config_.max_sample_mbps)};
-    if (it == sessions_.end())
-      return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
-    it->second.last_used = Clock::now();
-    it->second.predictor->observe(w);
-    const PredictionResponse response =
-        make_prediction_response(*it->second.predictor, 1);
-    info.flags = response.flags;
-    info.mbps = response.mbps;
-    info.log_likelihood = it->second.predictor->last_log_likelihood();
-    return response;
+    return out;
   }
 
   if (const auto* predict = std::get_if<PredictRequest>(&request)) {
     info.event = "predict";
     info.session_id = predict->session_id;
-    std::scoped_lock lock(sessions_mutex_);
-    const auto it = sessions_.find(predict->session_id);
-    if (it == sessions_.end())
-      return ErrorResponse{WireErrorCode::kUnknownSession, "unknown session"};
-    info.traced = it->second.traced;
-    if (predict->steps_ahead == 0)
-      return ErrorResponse{WireErrorCode::kBadRequest,
-                           "steps_ahead must be >= 1"};
-    it->second.last_used = Clock::now();
-    const PredictionResponse response =
-        make_prediction_response(*it->second.predictor, predict->steps_ahead);
-    info.flags = response.flags;
-    info.mbps = response.mbps;
-    info.log_likelihood = it->second.predictor->last_log_likelihood();
-    return response;
+    Response out = ErrorResponse{WireErrorCode::kUnknownSession,
+                                 "unknown session"};
+    sessions_.with_session(predict->session_id, [&](SessionTable::Entry& entry) {
+      info.traced = entry.traced;
+      if (predict->steps_ahead == 0) {
+        out = ErrorResponse{WireErrorCode::kBadRequest,
+                            "steps_ahead must be >= 1"};
+        return;
+      }
+      entry.last_used = Clock::now();
+      const PredictionResponse response =
+          make_prediction_response(*entry.predictor, predict->steps_ahead);
+      info.flags = response.flags;
+      info.mbps = response.mbps;
+      info.log_likelihood = entry.predictor->last_log_likelihood();
+      out = response;
+    });
+    return out;
   }
 
   if (const auto* bye = std::get_if<ByeRequest>(&request)) {
     info.event = "bye";
     info.session_id = bye->session_id;
-    std::scoped_lock lock(sessions_mutex_);
-    const auto it = sessions_.find(bye->session_id);
-    if (it != sessions_.end()) {
-      info.traced = it->second.traced;
-      sessions_.erase(it);
-    }
+    bool traced = false;
+    if (sessions_.erase(bye->session_id, &traced)) info.traced = traced;
     m_.live_sessions->set(static_cast<double>(sessions_.size()));
     return OkResponse{};
   }
@@ -388,10 +581,7 @@ Response PredictionServer::handle(const Request& request, RequestInfo& info) {
     info.event = "stats";
     // Refresh the point-in-time gauge before scraping so a scrape during a
     // quiet period still reports the live table, not the last mutation.
-    {
-      std::scoped_lock lock(sessions_mutex_);
-      m_.live_sessions->set(static_cast<double>(sessions_.size()));
-    }
+    m_.live_sessions->set(static_cast<double>(sessions_.size()));
     StatsResponse response;
     response.exposition_version = obs::kMetricsExpositionVersion;
     response.exposition = metrics_->scrape();

@@ -1,15 +1,25 @@
 // PredictionServer: the deployed Prediction Engine (paper §6).
 //
 // Holds a trained PredictorModel (normally Cs2pPredictorModel) and serves
-// the wire protocol of net/wire.h over loopback TCP. One thread per
-// connection; per-session predictor state lives in a shared table so a
-// session can in principle migrate between connections (the paper's
-// server-side solution keeps all per-session state at the server).
+// the wire protocol of net/wire.h over loopback TCP.
+//
+// Serving core (DESIGN.md §12): a fixed pool of event-driven I/O workers.
+// The accept thread hands each connection to one of `io_threads` workers;
+// every worker runs a poll(2) loop over its connections with non-blocking
+// sockets, buffering partial frames through a per-connection state machine
+// (READING_HEADER → READING_BODY → WRITING). The server's thread count is
+// io_threads + 1 (accept) regardless of connection count — no
+// thread-per-connection, no thread churn. Per-session predictor state lives
+// in a sharded SessionTable (net/session_table.h) so a session can migrate
+// between connections and N workers touching N sessions take N different
+// locks; TTL eviction is amortized into the worker loops (bounded scans,
+// never a full-table sweep under one lock).
 //
 // Fault discipline (ROADMAP north star: degrade, don't die):
 //   - connection cap with a typed OVERLOADED rejection frame,
-//   - per-connection idle timeout (a hung or silent peer cannot pin a
-//     worker thread forever),
+//   - per-connection idle deadline enforced by the worker loop (a hung or
+//     silent peer cannot pin a worker — workers are never blocked on any
+//     single connection),
 //   - request validation (NaN/negative/absurd throughput samples answer
 //     INVALID_SAMPLE instead of poisoning the HMM filter),
 //   - TTL eviction of session entries abandoned without BYE (a crashed
@@ -34,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/session_table.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
@@ -42,13 +53,20 @@
 
 namespace cs2p {
 
-/// Robustness knobs of the service; the defaults suit tests and the pilot
-/// bench, cs2p_serve exposes them as flags.
+/// Robustness and scaling knobs of the service; the defaults suit tests and
+/// the pilot bench, cs2p_serve exposes them as flags.
 struct ServerConfig {
   std::size_t max_connections = 64;  ///< concurrent connections before OVERLOADED
   int idle_timeout_ms = 30'000;      ///< close a connection idle this long
   int session_ttl_ms = 120'000;      ///< evict sessions untouched this long
   double max_sample_mbps = 10'000.0; ///< OBSERVE samples above this are absurd
+  /// Event-loop worker count. 0 = hardware concurrency. The server's total
+  /// thread count is io_threads + 1 (accept), independent of connections.
+  std::size_t io_threads = 0;
+  /// Session-table shards (rounded up to a power of two). 0 = 16.
+  std::size_t session_shards = 0;
+  /// Max session entries examined per shard per TTL eviction tick.
+  std::size_t evict_scan_budget = 64;
   /// Telemetry sink (DESIGN.md §11). Null: the server creates a private
   /// registry (hermetic per-server counters, like the engine); cs2p_serve
   /// injects the same registry it hands the engine so one STATS scrape
@@ -75,6 +93,9 @@ class PredictionServer {
   PredictionServer& operator=(const PredictionServer&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
+
+  /// Resolved configuration: io_threads and session_shards report the
+  /// values actually in effect (defaults substituted, shards rounded).
   const ServerConfig& config() const noexcept { return config_; }
 
   /// Served-request counter (for the throughput microbench). Since the
@@ -83,8 +104,12 @@ class PredictionServer {
   /// test-friendly view.
   std::uint64_t requests_handled() const noexcept { return m_.requests->value(); }
 
+  /// Fully written replies; trails requests_handled() by the in-flight count
+  /// (the wire-visible requests >= replies invariant).
+  std::uint64_t replies_sent() const noexcept { return m_.replies->value(); }
+
   /// Live entries in the session table (for leak checks in tests).
-  std::size_t session_count() const;
+  std::size_t session_count() const { return sessions_.size(); }
 
   /// Sessions reaped by the TTL sweeper because no BYE ever arrived.
   std::uint64_t sessions_evicted() const noexcept { return m_.evicted->value(); }
@@ -105,6 +130,10 @@ class PredictionServer {
   /// server's private one). What the STATS verb scrapes.
   obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
 
+  /// The session table backing the serve path (shard/contention/eviction
+  /// introspection for tests and benches).
+  const SessionTable& session_table() const noexcept { return sessions_; }
+
   /// Atomically publishes a new model (hot-swap retraining). In-flight
   /// sessions keep the model that created them; sessions opened after the
   /// swap use `model`. Throws std::invalid_argument on null. Safe to call
@@ -123,20 +152,8 @@ class PredictionServer {
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct SessionEntry {
-    std::unique_ptr<SessionPredictor> predictor;
-    /// Pins the model that created the predictor: HmmSessionPredictor holds
-    /// references into its engine, so the engine must outlive the session
-    /// even if swap_model() has already published a successor.
-    std::shared_ptr<const PredictorModel> owner;
-    Clock::time_point last_used;
-    /// Sampling decision made once at HELLO (obs/trace.h): every record of
-    /// a traced session is kept, none of an untraced one.
-    bool traced = false;
-  };
-
   /// What handle() learned about the request, for the trace record the
-  /// connection loop emits after the reply is on the wire.
+  /// worker emits after the reply is on the wire.
   struct RequestInfo {
     std::string_view event = "invalid";  ///< lifecycle stage / verb name
     std::uint64_t session_id = 0;
@@ -145,6 +162,48 @@ class PredictionServer {
     double mbps = 0.0;               ///< predicted (or initial) throughput
     std::optional<double> log_likelihood;
     std::string cluster_label;       ///< HELLO only
+  };
+
+  /// Per-connection frame state machine. One request is in flight at a
+  /// time: while WRITING, buffered input waits until the reply is fully on
+  /// the wire (which is also what keeps requests_total >= replies_total
+  /// trivially true per connection).
+  enum class ConnState : std::uint8_t {
+    kReadingHeader,
+    kReadingBody,
+    kWriting,
+  };
+
+  struct Connection {
+    FdHandle fd;
+    ConnState state = ConnState::kReadingHeader;
+    std::string read_buffer;    ///< unconsumed inbound bytes
+    std::uint32_t body_size = 0;
+    std::string write_buffer;   ///< unsent reply bytes
+    std::size_t write_pos = 0;
+    Clock::time_point opened_at{};
+    Clock::time_point last_activity{};
+    // Telemetry context of the in-flight request (valid while WRITING).
+    Clock::time_point t_recv{};
+    Clock::time_point t_send{};
+    std::uint64_t parse_us = 0;
+    std::uint64_t handle_us = 0;
+    RequestInfo info;
+    bool reply_is_error = false;
+    std::string_view error_code;  ///< wire_error_code_name of an ERR reply
+  };
+
+  /// One event-loop worker: a poll(2) loop over the connections it owns
+  /// plus a wake pipe the accept thread (and stop()) signals. `connections`
+  /// is touched only by the worker's own thread; the inbox is the
+  /// cross-thread handoff point.
+  struct Worker {
+    std::thread thread;
+    FdHandle wake_read;
+    FdHandle wake_write;
+    std::mutex inbox_mutex;
+    std::vector<Connection> inbox;
+    std::unordered_map<int, Connection> connections;
   };
 
   /// Registry handles cached at construction: the serving path increments
@@ -166,19 +225,31 @@ class PredictionServer {
     obs::Counter* rejected = nullptr;
     obs::Counter* evicted = nullptr;
     obs::Counter* swaps = nullptr;
+    obs::Counter* loop_iterations = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* live_sessions = nullptr;
     obs::Histogram* request_seconds = nullptr;
+    obs::Histogram* connection_seconds = nullptr;
 
     static MetricHandles create(obs::MetricsRegistry& registry);
   };
 
   void accept_loop();
-  void serve_connection(FdHandle connection);
+  void dispatch_connection(FdHandle connection);
+  void worker_loop(Worker& worker);
+  void adopt_inbox(Worker& worker);
+  /// Returns false when the connection must be closed.
+  bool handle_io(Connection& conn);
+  bool process_read_buffer(Connection& conn);
+  bool flush_write(Connection& conn);
+  void finish_reply(Connection& conn);
+  /// The single close path: churn histogram, active-connection gauge, idle
+  /// accounting, fd teardown — a connection that dies mid-reply goes
+  /// through here exactly like any other.
+  void close_connection(Connection& conn, bool idle_timed_out);
   Response handle(const Request& request, RequestInfo& info);
   PredictionResponse make_prediction_response(const SessionPredictor& predictor,
                                               unsigned steps_ahead);
-  void evict_expired_sessions();
   void reject_connection(const FdHandle& connection);
   obs::Counter* verb_counter(const Request& request) const noexcept;
 
@@ -191,17 +262,14 @@ class PredictionServer {
   FdHandle listener_;
   std::uint16_t port_ = 0;
 
-  mutable std::mutex sessions_mutex_;
-  std::unordered_map<std::uint64_t, SessionEntry> sessions_;
-  std::uint64_t next_session_id_ = 1;
+  SessionTable sessions_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::size_t> next_worker_{0};  ///< round-robin dispatch
   std::mutex stop_mutex_;  ///< serializes concurrent stop() callers
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  std::vector<int> live_connection_fds_;  ///< shut down on stop() to wake recv
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 }  // namespace cs2p

@@ -1,0 +1,114 @@
+#include "net/session_table.h"
+
+#include <string>
+
+namespace cs2p {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer: sequential session ids must not land in sequential
+/// shards, or one busy tenant allocating a burst of sessions would hammer
+/// one lock. Same mixer the trace sampler uses (obs/trace.cpp).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SessionTable::SessionTable(SessionTableConfig config,
+                           obs::MetricsRegistry* registry)
+    : config_(config) {
+  const std::size_t count = round_up_pow2(config_.shards == 0 ? 16 : config_.shards);
+  shard_mask_ = count - 1;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (registry != nullptr) {
+      shard->contention =
+          &registry->counter("cs2p_server_session_shard_contention_total",
+                             {{"shard", std::to_string(i)}});
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.evict_scan_budget == 0) config_.evict_scan_budget = 1;
+}
+
+SessionTable::Shard& SessionTable::shard_for(std::uint64_t id) noexcept {
+  return *shards_[mix64(id) & shard_mask_];
+}
+
+std::unique_lock<std::mutex> SessionTable::lock_shard(Shard& shard) noexcept {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contentions_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.contention != nullptr) shard.contention->inc();
+    lock.lock();
+  }
+  return lock;
+}
+
+bool SessionTable::erase(std::uint64_t id, bool* traced) {
+  Shard& shard = shard_for(id);
+  const auto lock = lock_shard(shard);
+  const auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return false;
+  if (traced != nullptr) *traced = it->second.traced;
+  shard.entries.erase(it);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+SessionTable::EvictStats SessionTable::evict_tick(Clock::time_point now,
+                                                  const EvictCallback& on_evict) {
+  EvictStats stats;
+  if (config_.ttl_ms <= 0) return stats;
+  const auto deadline = now - std::chrono::milliseconds(config_.ttl_ms);
+  std::vector<std::uint64_t> expired;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    expired.clear();
+    const auto lock = lock_shard(shard);
+    const std::size_t buckets = shard.entries.bucket_count();
+    if (buckets == 0 || shard.entries.empty()) continue;
+    if (shard.cursor >= buckets) shard.cursor = 0;
+    const std::size_t start = shard.cursor;
+    std::size_t scanned = 0;
+    // Whole buckets at a time (chains are short under the default load
+    // factor), stopping once the budget is met — the lock hold is bounded by
+    // the budget plus one bucket's chain, never by the table size.
+    do {
+      for (auto it = shard.entries.begin(shard.cursor);
+           it != shard.entries.end(shard.cursor); ++it) {
+        ++scanned;
+        if (it->second.last_used < deadline) expired.push_back(it->first);
+      }
+      shard.cursor = (shard.cursor + 1) % buckets;
+    } while (scanned < config_.evict_scan_budget && shard.cursor != start);
+    for (const std::uint64_t id : expired) {
+      const auto it = shard.entries.find(id);
+      if (it == shard.entries.end()) continue;
+      if (on_evict) on_evict(id, it->second);
+      shard.entries.erase(it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    std::size_t seen = max_scanned_.load(std::memory_order_relaxed);
+    while (scanned > seen &&
+           !max_scanned_.compare_exchange_weak(seen, scanned,
+                                               std::memory_order_relaxed)) {
+    }
+    stats.scanned += scanned;
+    stats.evicted += expired.size();
+  }
+  return stats;
+}
+
+}  // namespace cs2p

@@ -1,0 +1,171 @@
+// SessionTable: sharded per-session predictor state of the serving core
+// (DESIGN.md §12).
+//
+// The paper's deployed engine (§6) keeps every session's HMM filter state
+// server-side, so serving capacity is bounded by how cheaply the server can
+// hold and touch millions of concurrent entries. This module owns that
+// state: a power-of-two array of shards, each a mutex + hash map, with the
+// owning shard picked by a splitmix64 hash of the session id. N serving
+// threads touching N different sessions take N different locks.
+//
+// Contracts the server relies on:
+//   - Entries pin their creating model (RCU hot-swap, DESIGN.md §9): the
+//     `owner` reference keeps a swapped-out engine alive until the last
+//     session created from it says BYE or expires.
+//   - TTL eviction is incremental and amortized: one evict_tick() examines
+//     at most `evict_scan_budget` entries per shard (resuming from a
+//     per-shard bucket cursor), so no lock is ever held for a scan of the
+//     whole table — the full-table sweep the old accept loop ran under one
+//     global mutex is gone by construction.
+//   - with_session() runs the caller's closure under the owning shard's
+//     lock, so a session touched from several connections (HELLO on one,
+//     OBSERVE on another — sessions migrate freely between connections)
+//     always sees one coherent filter state.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+
+struct SessionTableConfig {
+  /// Shard count; rounded up to a power of two, minimum 1; 0 picks the
+  /// default (16). More shards = less lock contention, slightly costlier
+  /// eviction sweeps.
+  std::size_t shards = 16;
+  /// Entries untouched this long are eligible for eviction; <= 0 disables
+  /// TTL eviction entirely.
+  int ttl_ms = 120'000;
+  /// Maximum entries examined per shard per evict_tick() — the amortization
+  /// knob bounding every eviction lock hold.
+  std::size_t evict_scan_budget = 64;
+};
+
+class SessionTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One live session. The table never dereferences `predictor` itself —
+  /// callers use it under with_session() — so tests may store nullptr.
+  struct Entry {
+    std::unique_ptr<SessionPredictor> predictor;
+    /// Pins the model that created the predictor (HmmSessionPredictor holds
+    /// references into its engine); released on erase/eviction.
+    std::shared_ptr<const PredictorModel> owner;
+    Clock::time_point last_used{};
+    /// Trace-sampling decision made once at creation (obs/trace.h).
+    bool traced = false;
+  };
+
+  struct EvictStats {
+    std::size_t scanned = 0;
+    std::size_t evicted = 0;
+  };
+
+  /// Called for each evicted entry, under the owning shard's lock — keep it
+  /// cheap and never call back into the table.
+  using EvictCallback =
+      std::function<void(std::uint64_t id, const Entry& entry)>;
+
+  /// `registry` (optional) receives per-shard contention counters
+  /// (cs2p_server_session_shard_contention_total{shard="i"}); it must
+  /// outlive the table.
+  explicit SessionTable(SessionTableConfig config,
+                        obs::MetricsRegistry* registry = nullptr);
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  /// Allocates the next session id (ids start at 1 and never repeat),
+  /// builds the entry via `make(id)` outside any lock, and inserts it under
+  /// the owning shard's lock. Returns the id.
+  template <typename Make>
+  std::uint64_t emplace(Make&& make) {
+    const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    Entry entry = make(id);
+    Shard& shard = shard_for(id);
+    const auto lock = lock_shard(shard);
+    shard.entries.emplace(id, std::move(entry));
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  /// Runs `fn(entry)` under the owning shard's lock. Returns false when the
+  /// session is unknown (expired, BYEd, or never created). `fn` is
+  /// responsible for refreshing entry.last_used if the touch should count
+  /// against the TTL.
+  template <typename Fn>
+  bool with_session(std::uint64_t id, Fn&& fn) {
+    Shard& shard = shard_for(id);
+    const auto lock = lock_shard(shard);
+    const auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    fn(it->second);
+    return true;
+  }
+
+  /// Removes the session. Returns true if it existed; `*traced` (optional)
+  /// reports the entry's trace flag for the caller's BYE trace record.
+  bool erase(std::uint64_t id, bool* traced = nullptr);
+
+  /// Live entries across all shards. Lock-free (a relaxed counter), may be
+  /// momentarily stale relative to concurrent mutators.
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// One amortized TTL sweep step: examines at most `evict_scan_budget`
+  /// entries in each shard (separate lock holds), resuming where the last
+  /// tick left off, and evicts the expired ones it saw. Call it often (the
+  /// I/O workers tick it between poll waits); repeated ticks visit every
+  /// entry. No-op when ttl_ms <= 0.
+  EvictStats evict_tick(Clock::time_point now,
+                        const EvictCallback& on_evict = {});
+
+  /// Times a shard lock was already held by another thread when requested.
+  std::uint64_t lock_contentions() const noexcept {
+    return contentions_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest number of entries ever examined under one eviction lock hold —
+  /// the observable guarantee that eviction is incremental (stays around
+  /// evict_scan_budget no matter how large the table grows).
+  std::size_t max_scanned_in_one_hold() const noexcept {
+    return max_scanned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    /// Bucket index where the next evict_tick resumes scanning.
+    std::size_t cursor = 0;
+    /// Contention counter of this shard (null without a registry).
+    obs::Counter* contention = nullptr;
+  };
+
+  Shard& shard_for(std::uint64_t id) noexcept;
+  std::unique_lock<std::mutex> lock_shard(Shard& shard) noexcept;
+
+  SessionTableConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::uint64_t> contentions_{0};
+  std::atomic<std::size_t> max_scanned_{0};
+};
+
+}  // namespace cs2p

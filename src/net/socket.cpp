@@ -160,4 +160,47 @@ bool recv_all(const FdHandle& socket, std::span<std::byte> data) {
   return true;
 }
 
+std::optional<std::size_t> recv_some(const FdHandle& socket,
+                                     std::span<std::byte> data) {
+  while (true) {
+    const ssize_t n = ::recv(socket.get(), data.data(), data.size(), 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return std::nullopt;  // orderly shutdown
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("recv");
+  }
+}
+
+std::size_t send_some(const FdHandle& socket, std::span<const std::byte> data) {
+  while (true) {
+    const ssize_t n =
+        ::send(socket.get(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("send");
+  }
+}
+
+std::pair<FdHandle, FdHandle> make_wake_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("pipe");
+  FdHandle read_end(fds[0]), write_end(fds[1]);
+  set_nonblocking(read_end);
+  set_nonblocking(write_end);
+  return {std::move(read_end), std::move(write_end)};
+}
+
+void wake_pipe_signal(const FdHandle& write_end) noexcept {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_end.get(), &byte, 1);
+}
+
+void wake_pipe_drain(const FdHandle& read_end) noexcept {
+  char sink[64];
+  while (::read(read_end.get(), sink, sizeof(sink)) > 0) {
+  }
+}
+
 }  // namespace cs2p

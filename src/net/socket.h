@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <utility>
 
@@ -65,5 +66,31 @@ void send_all(const FdHandle& socket, std::span<const std::byte> data);
 /// message boundary (0 bytes read so far); throws on errors or mid-buffer
 /// EOF.
 bool recv_all(const FdHandle& socket, std::span<std::byte> data);
+
+// -- Non-blocking primitives (event-driven serving core) ---------------------
+
+/// Single non-blocking read. Returns the byte count read (> 0), 0 when the
+/// socket has no data right now (EAGAIN — poll again), or nullopt on orderly
+/// peer shutdown (EOF). Throws std::system_error on hard errors (reset).
+std::optional<std::size_t> recv_some(const FdHandle& socket,
+                                     std::span<std::byte> data);
+
+/// Single non-blocking write. Returns the byte count the kernel accepted
+/// (0 when the send buffer is full — poll for writability). Throws
+/// std::system_error on hard errors (EPIPE, reset).
+std::size_t send_some(const FdHandle& socket, std::span<const std::byte> data);
+
+/// Self-pipe for waking a poll(2) loop from another thread: returns
+/// {read_end, write_end}, both non-blocking. Poll the read end; write one
+/// byte to the write end to wake (wake_pipe_signal), drain on wakeup
+/// (wake_pipe_drain).
+std::pair<FdHandle, FdHandle> make_wake_pipe();
+
+/// Best-effort single-byte write to a wake pipe; a full pipe already means a
+/// wakeup is pending, so EAGAIN is silently fine.
+void wake_pipe_signal(const FdHandle& write_end) noexcept;
+
+/// Drains every pending wakeup byte.
+void wake_pipe_drain(const FdHandle& read_end) noexcept;
 
 }  // namespace cs2p

@@ -3,33 +3,42 @@
 #include <array>
 #include <charconv>
 #include <cstring>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 namespace cs2p {
 namespace {
 
-std::vector<std::string> tokenize(std::string_view payload) {
-  std::vector<std::string> tokens;
-  std::istringstream is{std::string(payload)};
-  std::string token;
-  while (is >> token) tokens.push_back(std::move(token));
+constexpr bool is_wire_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+// Whitespace split without streams: requests ride the serve hot path, and an
+// istringstream round-trip costs more than the rest of the parse combined.
+// Views alias `payload`, which outlives every parse_* call that uses them.
+std::vector<std::string_view> tokenize(std::string_view payload) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < payload.size()) {
+    while (i < payload.size() && is_wire_space(payload[i])) ++i;
+    const std::size_t start = i;
+    while (i < payload.size() && !is_wire_space(payload[i])) ++i;
+    if (i > start) tokens.push_back(payload.substr(start, i - start));
+  }
   return tokens;
 }
 
-double parse_double(const std::string& token, const char* what) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(token, &consumed);
-    if (consumed != token.size()) throw std::invalid_argument(token);
-    return value;
-  } catch (const std::exception&) {
+double parse_double(std::string_view token, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
     throw ProtocolError(std::string("wire: bad number for ") + what);
-  }
+  return value;
 }
 
-std::uint64_t parse_u64(const std::string& token, const char* what) {
+std::uint64_t parse_u64(std::string_view token, const char* what) {
   std::uint64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(token.data(), token.data() + token.size(), value);
@@ -68,11 +77,21 @@ std::uint32_t decode_frame_header(const std::array<std::byte, 4>& header) {
   return size;
 }
 
-std::string format_double(double v) {
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
+// Shortest round-trip formatting (to_chars default): decodes to the exact
+// same double, and at a fraction of an ostringstream's cost. 32 chars covers
+// the longest shortest-form double ("-2.2250738585072014e-308" is 24).
+void append_double(std::string& out, double v) {
+  std::array<char, 32> buf;
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) throw ProtocolError("wire: unformattable number");
+  out.append(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  std::array<char, 20> buf;
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) throw ProtocolError("wire: unformattable number");
+  out.append(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
 }
 
 }  // namespace
@@ -102,18 +121,37 @@ std::optional<WireErrorCode> wire_error_code_from_name(
   return std::nullopt;
 }
 
-void send_frame(const FdHandle& socket, std::string_view payload) {
+std::string encode_frame(std::string_view payload) {
   if (payload.size() > kMaxFrameBytes)
     throw ProtocolError("wire: frame too large");
-  send_all(socket, encode_frame_header(static_cast<std::uint32_t>(payload.size())));
-  send_all(socket, std::as_bytes(std::span(payload.data(), payload.size())));
+  const auto header =
+      encode_frame_header(static_cast<std::uint32_t>(payload.size()));
+  std::string frame;
+  frame.reserve(header.size() + payload.size());
+  frame.append(reinterpret_cast<const char*>(header.data()), header.size());
+  frame.append(payload);
+  return frame;
+}
+
+std::uint32_t parse_frame_header(std::string_view header) {
+  if (header.size() < kFrameHeaderBytes)
+    throw ProtocolError("wire: short frame header");
+  std::array<std::byte, 4> bytes{};
+  std::memcpy(bytes.data(), header.data(), bytes.size());
+  return decode_frame_header(bytes);
+}
+
+// Both senders emit header + payload as ONE buffer/syscall: with TCP_NODELAY
+// set, split sends can leave the 4-byte header in its own segment and cost
+// the peer an extra wakeup per frame.
+void send_frame(const FdHandle& socket, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  send_all(socket, std::as_bytes(std::span(frame.data(), frame.size())));
 }
 
 void send_frame(Transport& transport, std::string_view payload) {
-  if (payload.size() > kMaxFrameBytes)
-    throw ProtocolError("wire: frame too large");
-  transport.send(encode_frame_header(static_cast<std::uint32_t>(payload.size())));
-  transport.send(std::as_bytes(std::span(payload.data(), payload.size())));
+  const std::string frame = encode_frame(payload);
+  transport.send(std::as_bytes(std::span(frame.data(), frame.size())));
 }
 
 std::optional<std::string> recv_frame(const FdHandle& socket) {
@@ -139,36 +177,65 @@ std::optional<std::string> recv_frame(Transport& transport) {
 }
 
 std::string serialize_request(const Request& request) {
-  std::ostringstream os;
-  os.precision(17);
+  std::string out;
+  out.reserve(96);
   if (const auto* hello = std::get_if<HelloRequest>(&request)) {
     const auto& f = hello->features;
     for (FeatureId id : all_features()) require_token(f.value(id), "HELLO");
-    os << "HELLO " << f.isp << ' ' << f.as_number << ' ' << f.province << ' '
-       << f.city << ' ' << f.server << ' ' << f.client_prefix << ' '
-       << hello->start_hour;
+    out += "HELLO ";
+    out += f.isp;
+    out += ' ';
+    out += f.as_number;
+    out += ' ';
+    out += f.province;
+    out += ' ';
+    out += f.city;
+    out += ' ';
+    out += f.server;
+    out += ' ';
+    out += f.client_prefix;
+    out += ' ';
+    append_double(out, hello->start_hour);
   } else if (const auto* observe = std::get_if<ObserveRequest>(&request)) {
-    os << "OBSERVE " << observe->session_id << ' ' << observe->throughput_mbps;
+    out += "OBSERVE ";
+    append_u64(out, observe->session_id);
+    out += ' ';
+    append_double(out, observe->throughput_mbps);
   } else if (const auto* predict = std::get_if<PredictRequest>(&request)) {
-    os << "PREDICT " << predict->session_id << ' ' << predict->steps_ahead;
+    out += "PREDICT ";
+    append_u64(out, predict->session_id);
+    out += ' ';
+    append_u64(out, predict->steps_ahead);
   } else if (const auto* bye = std::get_if<ByeRequest>(&request)) {
-    os << "BYE " << bye->session_id;
+    out += "BYE ";
+    append_u64(out, bye->session_id);
   } else if (const auto* model = std::get_if<ModelRequest>(&request)) {
     const auto& f = model->features;
     for (FeatureId id : all_features()) require_token(f.value(id), "MODEL");
-    os << "MODEL " << f.isp << ' ' << f.as_number << ' ' << f.province << ' '
-       << f.city << ' ' << f.server << ' ' << f.client_prefix << ' '
-       << model->start_hour;
+    out += "MODEL ";
+    out += f.isp;
+    out += ' ';
+    out += f.as_number;
+    out += ' ';
+    out += f.province;
+    out += ' ';
+    out += f.city;
+    out += ' ';
+    out += f.server;
+    out += ' ';
+    out += f.client_prefix;
+    out += ' ';
+    append_double(out, model->start_hour);
   } else if (std::holds_alternative<StatsRequest>(request)) {
-    os << "STATS";
+    out += "STATS";
   }
-  return os.str();
+  return out;
 }
 
 Request parse_request(std::string_view payload) {
   const auto tokens = tokenize(payload);
   if (tokens.empty()) throw ProtocolError("wire: empty request");
-  const std::string& verb = tokens[0];
+  const std::string_view verb = tokens[0];
   if (verb == "HELLO") {
     if (tokens.size() != 8) throw ProtocolError("wire: HELLO wants 7 fields");
     HelloRequest hello;
@@ -212,35 +279,46 @@ Request parse_request(std::string_view payload) {
     model.start_hour = parse_double(tokens[7], "start_hour");
     return model;
   }
-  throw ProtocolError("wire: unknown request verb " + verb);
+  throw ProtocolError("wire: unknown request verb " + std::string(verb));
 }
 
 std::string serialize_response(const Response& response) {
-  std::ostringstream os;
-  os.precision(17);
+  std::string out;
+  out.reserve(64);
   if (const auto* session = std::get_if<SessionResponse>(&response)) {
-    os << "SESSION " << session->session_id << ' '
-       << format_double(session->initial_mbps) << ' '
-       << (session->used_global_model ? 1 : 0) << ' '
-       << (session->cluster_label.empty() ? "-" : session->cluster_label);
+    out += "SESSION ";
+    append_u64(out, session->session_id);
+    out += ' ';
+    append_double(out, session->initial_mbps);
+    out += session->used_global_model ? " 1 " : " 0 ";
+    out += session->cluster_label.empty() ? "-" : session->cluster_label;
   } else if (const auto* pred = std::get_if<PredictionResponse>(&response)) {
-    os << "PRED " << format_double(pred->mbps) << ' '
-       << static_cast<unsigned>(pred->flags);
+    out += "PRED ";
+    append_double(out, pred->mbps);
+    out += ' ';
+    append_u64(out, pred->flags);
   } else if (std::holds_alternative<OkResponse>(response)) {
-    os << "OK";
+    out += "OK";
   } else if (const auto* err = std::get_if<ErrorResponse>(&response)) {
-    os << "ERR " << wire_error_code_name(err->code) << ' ' << err->message;
+    out += "ERR ";
+    out += wire_error_code_name(err->code);
+    out += ' ';
+    out += err->message;
   } else if (const auto* model = std::get_if<ModelResponse>(&response)) {
     // Header line, then the serialized model verbatim.
-    os << "MODEL " << format_double(model->initial_mbps) << ' '
-       << (model->used_global_model ? 1 : 0) << '\n'
-       << model->serialized_hmm;
+    out += "MODEL ";
+    append_double(out, model->initial_mbps);
+    out += model->used_global_model ? " 1\n" : " 0\n";
+    out += model->serialized_hmm;
   } else if (const auto* stats = std::get_if<StatsResponse>(&response)) {
     // Header line, then the text exposition verbatim (same body-after-header
     // shape as MODEL).
-    os << "STATS " << stats->exposition_version << '\n' << stats->exposition;
+    out += "STATS ";
+    append_u64(out, static_cast<std::uint64_t>(stats->exposition_version));
+    out += '\n';
+    out += stats->exposition;
   }
-  return os.str();
+  return out;
 }
 
 Response parse_response(std::string_view payload) {
@@ -276,14 +354,15 @@ Response parse_response(std::string_view payload) {
   }
   const auto tokens = tokenize(payload);
   if (tokens.empty()) throw ProtocolError("wire: empty response");
-  const std::string& verb = tokens[0];
+  const std::string_view verb = tokens[0];
   if (verb == "SESSION") {
     if (tokens.size() != 5) throw ProtocolError("wire: SESSION wants 4 fields");
     SessionResponse session;
     session.session_id = parse_u64(tokens[1], "session_id");
     session.initial_mbps = parse_double(tokens[2], "initial_mbps");
     session.used_global_model = parse_u64(tokens[3], "global_flag") != 0;
-    session.cluster_label = tokens[4] == "-" ? std::string{} : tokens[4];
+    session.cluster_label =
+        tokens[4] == "-" ? std::string{} : std::string(tokens[4]);
     return session;
   }
   if (verb == "PRED") {
@@ -319,7 +398,7 @@ Response parse_response(std::string_view payload) {
     }
     return error;
   }
-  throw ProtocolError("wire: unknown response verb " + verb);
+  throw ProtocolError("wire: unknown response verb " + std::string(verb));
 }
 
 }  // namespace cs2p

@@ -55,6 +55,9 @@ inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Must fit the 24-bit length field of the frame header.
 inline constexpr std::uint32_t kMaxFrameBytes = 64 * 1024;
 
+/// Size of the frame header ([version][len-hi][len-mid][len-lo]).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
 /// A malformed frame or payload (bad version byte, oversized length,
 /// unparseable message). Distinct from TransportError: the bytes arrived but
 /// do not decode, so the stream may be desynced and should be reconnected.
@@ -96,6 +99,18 @@ class ServerError : public std::runtime_error {
  private:
   WireErrorCode code_;
 };
+
+/// Encodes one length-prefixed frame (header + payload) into a contiguous
+/// buffer — the form buffered non-blocking writers queue. send_frame() is
+/// equivalent to sending this in one piece. Throws ProtocolError on
+/// oversized payloads.
+std::string encode_frame(std::string_view payload);
+
+/// Decodes a frame header (first kFrameHeaderBytes of `header`), validating
+/// the version byte and the length field; returns the payload size. Throws
+/// ProtocolError on a version mismatch or oversized length — the stream is
+/// desynced and must be dropped.
+std::uint32_t parse_frame_header(std::string_view header);
 
 /// Sends one length-prefixed frame.
 void send_frame(const FdHandle& socket, std::string_view payload);

@@ -103,6 +103,12 @@ std::vector<double> default_error_buckets() {
   return {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 2.0, 5.0};
 }
 
+std::vector<double> default_duration_buckets_seconds() {
+  std::vector<double> bounds;
+  for (double b = 1e-3; b < 5000.0; b *= 4.0) bounds.push_back(b);
+  return bounds;
+}
+
 // -- MetricsRegistry ---------------------------------------------------------
 
 namespace {

@@ -131,6 +131,11 @@ std::vector<double> default_latency_buckets_seconds();
 /// Buckets for relative prediction error (|w_hat - w| / w): 1% .. 100%+.
 std::vector<double> default_error_buckets();
 
+/// Buckets for long-lived durations (connection lifetimes, churn): 1 ms ..
+/// ~68 min, quadrupling — a short ladder spanning a quick probe through a
+/// feature-length streaming session.
+std::vector<double> default_duration_buckets_seconds();
+
 /// Version stamped into the first line of every scrape
 /// (`# cs2p_metrics_version N`); bumped when the exposition grammar changes.
 inline constexpr int kMetricsExpositionVersion = 1;

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
@@ -13,6 +15,8 @@
 
 #include "net/client.h"
 #include "net/server.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "predictors/predictor.h"
 
@@ -535,6 +539,171 @@ TEST(PredictionService, StatsInvariantHoldsUnderConcurrentScrapes) {
   done.store(true, std::memory_order_relaxed);
   scraper.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+// -- Sharded serving core: worker pool + session migration --------------------
+
+/// Live thread count of this process (the "Threads:" row of
+/// /proc/self/status); 0 if unreadable.
+std::size_t process_thread_count() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0)
+      return std::stoul(line.substr(sizeof("Threads:") - 1));
+  }
+  return 0;
+}
+
+// The migration tests below speak the wire protocol over raw transports:
+// PredictionClient rewrites session ids to client-local handles and heals
+// UNKNOWN_SESSION by replaying HELLO, which would mask exactly the
+// server-side semantics under test (true ids, shared state, hard
+// invalidation).
+std::unique_ptr<Transport> raw_connection(std::uint16_t port) {
+  return loopback_connector(port, TransportDeadlines{2'000, 2'000})();
+}
+
+Response raw_round_trip(Transport& transport, const Request& request) {
+  send_frame(transport, serialize_request(request));
+  const auto frame = recv_frame(transport);
+  if (!frame) throw ConnectionError("server closed connection");
+  return parse_response(*frame);
+}
+
+// Sessions are addressed by id, not by connection: a session opened on one
+// connection is fully usable — and closable — from any other.
+TEST(PredictionService, SessionMigratesAcrossConnections) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  const auto a = raw_connection(server.port());
+  const auto b = raw_connection(server.port());
+  const auto c = raw_connection(server.port());
+
+  const Response hello = raw_round_trip(*a, HelloRequest{features(), 1.0});
+  const auto* session = std::get_if<SessionResponse>(&hello);
+  ASSERT_NE(session, nullptr);
+  const std::uint64_t id = session->session_id;
+
+  const Response obs = raw_round_trip(*b, ObserveRequest{id, 5.0});
+  const auto* forecast = std::get_if<PredictionResponse>(&obs);
+  ASSERT_NE(forecast, nullptr);
+  EXPECT_DOUBLE_EQ(forecast->mbps, 6.0);
+
+  const Response pred = raw_round_trip(*c, PredictRequest{id, 3});
+  const auto* direct = std::get_if<PredictionResponse>(&pred);
+  ASSERT_NE(direct, nullptr);
+  EXPECT_DOUBLE_EQ(direct->mbps, 8.0);
+
+  // BYE from a fourth connection invalidates the session everywhere.
+  const auto d = raw_connection(server.port());
+  EXPECT_TRUE(std::holds_alternative<OkResponse>(
+      raw_round_trip(*d, ByeRequest{id})));
+  const Response gone = raw_round_trip(*a, ObserveRequest{id, 1.0});
+  const auto* err = std::get_if<ErrorResponse>(&gone);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, WireErrorCode::kUnknownSession);
+}
+
+// A migrated session keeps the model that created it even when the server
+// hot-swaps mid-lifetime (the table entry pins the owner); new sessions pick
+// up the new model.
+TEST(PredictionService, MigratedSessionSurvivesModelSwap) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  const auto a = raw_connection(server.port());
+  const Response hello = raw_round_trip(*a, HelloRequest{features(), 1.0});
+  const std::uint64_t id = std::get<SessionResponse>(hello).session_id;
+
+  server.swap_model(std::make_shared<SwitchableModel>());
+
+  // EchoPlusOne semantics (last + 1) persist for the pinned session, even
+  // when touched from a fresh connection after the swap.
+  const auto b = raw_connection(server.port());
+  const Response obs = raw_round_trip(*b, ObserveRequest{id, 5.0});
+  EXPECT_DOUBLE_EQ(std::get<PredictionResponse>(obs).mbps, 6.0);
+
+  // Switchable semantics (predict == last) apply to sessions born after.
+  const Response fresh_hello = raw_round_trip(*b, HelloRequest{features(), 1.0});
+  const std::uint64_t fresh = std::get<SessionResponse>(fresh_hello).session_id;
+  EXPECT_NE(fresh, id);
+  const Response fresh_obs = raw_round_trip(*b, ObserveRequest{fresh, 5.0});
+  EXPECT_DOUBLE_EQ(std::get<PredictionResponse>(fresh_obs).mbps, 5.0);
+}
+
+TEST(PredictionService, SessionMigrationCoherentUnderConcurrentSwaps) {
+  PredictionServer server(std::make_shared<EchoPlusOneModel>());
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::thread swapper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      server.swap_model(std::make_shared<EchoPlusOneModel>());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kWorkers = 4;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&server, &failures, w] {
+      try {
+        for (int round = 0; round < 10; ++round) {
+          // Every verb of the lifecycle rides a different connection.
+          const auto opener = raw_connection(server.port());
+          const auto toucher = raw_connection(server.port());
+          const auto closer = raw_connection(server.port());
+          const Response hello = raw_round_trip(
+              *opener, HelloRequest{features(), static_cast<double>(w)});
+          const std::uint64_t id = std::get<SessionResponse>(hello).session_id;
+          for (int i = 0; i < 5; ++i) {
+            const double sample = 1.0 + (w + i) % 7;
+            const Response obs =
+                raw_round_trip(*toucher, ObserveRequest{id, sample});
+            if (std::get<PredictionResponse>(obs).mbps != sample + 1.0)
+              ++failures;
+          }
+          if (!std::holds_alternative<OkResponse>(
+                  raw_round_trip(*closer, ByeRequest{id})))
+            ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The regression the worker pool exists to pin down: serving threads are a
+// function of --io-threads, never of how many connections come and go.
+TEST(PredictionService, WorkerPoolKeepsThreadCountFixedUnderChurn) {
+  ServerConfig config;
+  config.io_threads = 4;
+
+  const std::size_t before = process_thread_count();
+  ASSERT_GT(before, 0u) << "/proc/self/status unreadable";
+
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+  EXPECT_EQ(server.config().io_threads, 4u);
+  const std::size_t budget = before + config.io_threads + 1;  // pool + accept
+  EXPECT_LE(process_thread_count(), budget);
+
+  std::size_t peak = 0;
+  for (int i = 0; i < 500; ++i) {
+    PredictionClient client(server.port());
+    const SessionResponse session = client.hello(features(), 1.0);
+    client.observe(session.session_id, 1.0);
+    // Half the connections say BYE, half abandon their session outright;
+    // either way the connection itself churns (client destructor closes it).
+    if (i % 2 == 0) client.bye(session.session_id);
+    if (i % 16 == 0) peak = std::max(peak, process_thread_count());
+  }
+  peak = std::max(peak, process_thread_count());
+  EXPECT_LE(peak, budget)
+      << "thread count grew with connection churn — thread-per-connection is back";
+  EXPECT_GE(server.requests_handled(), 1000u);
 }
 
 }  // namespace

@@ -69,6 +69,12 @@ int main(int argc, char** argv) try {
   args.add_option("hmm-states", "HMM state count", "6");
   args.add_option("warm-up", "pre-train cluster HMMs before serving (1/0)", "1");
   args.add_option("max-connections", "reject connections beyond this cap", "64");
+  args.add_option("io-threads",
+                  "serving worker threads; each runs an event loop over its "
+                  "share of the connections (0 = hardware concurrency)", "0");
+  args.add_option("session-shards",
+                  "session-table shard count, rounded up to a power of two "
+                  "(0 = default 16)", "0");
   args.add_option("idle-timeout-ms", "close connections idle this long", "30000");
   args.add_option("session-ttl-ms", "evict sessions untouched this long", "120000");
   args.add_option("max-sample-mbps", "reject OBSERVE samples above this", "10000");
@@ -193,6 +199,9 @@ int main(int argc, char** argv) try {
   ServerConfig server_config;
   server_config.max_connections =
       static_cast<std::size_t>(args.get_long("max-connections"));
+  server_config.io_threads = static_cast<std::size_t>(args.get_long("io-threads"));
+  server_config.session_shards =
+      static_cast<std::size_t>(args.get_long("session-shards"));
   server_config.idle_timeout_ms = static_cast<int>(args.get_long("idle-timeout-ms"));
   server_config.session_ttl_ms = static_cast<int>(args.get_long("session-ttl-ms"));
   server_config.max_sample_mbps =
@@ -207,6 +216,8 @@ int main(int argc, char** argv) try {
   std::printf("limits: %zu connections, %d ms idle timeout, %d ms session TTL\n",
               server_config.max_connections, server_config.idle_timeout_ms,
               server_config.session_ttl_ms);
+  std::printf("serving core: %zu io thread(s), %zu session shard(s)\n",
+              server.config().io_threads, server.config().session_shards);
   if (reload_interval_s > 0)
     std::printf("reload: retrain + hot-swap every %ld s\n", reload_interval_s);
   if (config.guardrail.enabled)
