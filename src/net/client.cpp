@@ -18,6 +18,17 @@ bool retryable(WireErrorCode code) {
 
 }  // namespace
 
+int jittered_backoff_ms(int backoff_ms, double jitter, Rng& rng) noexcept {
+  if (backoff_ms <= 0) return 0;
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  if (j <= 0.0) return backoff_ms;
+  // Uniform in ((1 - j) * b, b]: full jitter at j = 1 decorrelates the retry
+  // storms of every client that lost the same replica at the same instant.
+  const double scaled =
+      static_cast<double>(backoff_ms) * (1.0 - j * rng.uniform());
+  return std::max(j >= 1.0 ? 0 : 1, static_cast<int>(scaled));
+}
+
 PredictionClient::PredictionClient(std::uint16_t port, ClientConfig config)
     : PredictionClient(
           loopback_connector(port, TransportDeadlines{config.recv_timeout_ms,
@@ -25,9 +36,16 @@ PredictionClient::PredictionClient(std::uint16_t port, ClientConfig config)
           config) {}
 
 PredictionClient::PredictionClient(TransportFactory connector, ClientConfig config)
-    : connector_(std::move(connector)), config_(config) {
+    : connector_(std::move(connector)),
+      config_(config),
+      backoff_rng_(config.backoff_seed) {
   if (!connector_)
     throw std::invalid_argument("PredictionClient: null connector");
+  if (config_.metrics) {
+    overloaded_counter_ =
+        &config_.metrics->counter("cs2p_client_overloaded_replies_total");
+    retries_counter_ = &config_.metrics->counter("cs2p_client_retries_total");
+  }
 }
 
 void PredictionClient::ensure_connected() {
@@ -48,6 +66,12 @@ Response PredictionClient::locked_round_trip(const Request& request) {
       Response response = parse_response(*frame);
       const auto* err = std::get_if<ErrorResponse>(&response);
       if (err == nullptr) return response;
+      if (err->code == WireErrorCode::kOverloaded) {
+        // The replica is shedding load: record it (ReplicaSet treats this
+        // as a failover signal, not a retry-this-socket signal).
+        overloaded_.fetch_add(1, std::memory_order_relaxed);
+        if (overloaded_counter_ != nullptr) overloaded_counter_->inc();
+      }
       if (last_attempt || !retryable(err->code))
         throw ServerError(err->code, err->message);
       // Retryable server error: same connection, backoff below.
@@ -61,7 +85,9 @@ Response PredictionClient::locked_round_trip(const Request& request) {
       if (last_attempt) throw;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    if (retries_counter_ != nullptr) retries_counter_->inc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        jittered_backoff_ms(backoff_ms, config_.backoff_jitter, backoff_rng_)));
     backoff_ms = std::min(
         config_.backoff_max_ms,
         static_cast<int>(backoff_ms * std::max(1.0, config_.backoff_multiplier)));
@@ -160,6 +186,78 @@ StatsResponse PredictionClient::stats() {
   throw std::runtime_error("PredictionClient: unexpected response to STATS");
 }
 
+void PredictionClient::push_snapshot(const std::string& snapshot_bytes) {
+  if (snapshot_bytes.empty())
+    throw std::invalid_argument("PredictionClient: empty snapshot");
+  std::scoped_lock lock(mutex_);
+  const std::uint64_t checksum = sync_checksum(snapshot_bytes);
+  const auto expect_ok = [this](const Request& request) {
+    const Response response = locked_round_trip(request);
+    if (std::holds_alternative<OkResponse>(response)) return;
+    if (const auto* err = std::get_if<ErrorResponse>(&response))
+      throw ServerError(err->code, err->message);
+    throw std::runtime_error("PredictionClient: unexpected response to SYNC");
+  };
+  for (int attempt = 0;; ++attempt) {
+    try {
+      expect_ok(SyncBeginRequest{snapshot_bytes.size(), checksum});
+      for (std::size_t offset = 0; offset < snapshot_bytes.size();
+           offset += kSyncChunkBytes) {
+        expect_ok(SyncChunkRequest{
+            snapshot_bytes.substr(offset, kSyncChunkBytes)});
+      }
+      expect_ok(SyncCommitRequest{});
+      return;
+    } catch (const ServerError& e) {
+      // The staging buffer lives on one server connection: a mid-push
+      // reconnect orphans it and the next frame answers SYNC_REJECTED.
+      // One clean restart of the whole sequence covers that race; a second
+      // rejection is a real refusal (corrupt or mismatched snapshot).
+      if (e.code() != WireErrorCode::kSyncRejected || attempt > 0) throw;
+    }
+  }
+}
+
+std::string PredictionClient::fetch_snapshot() {
+  std::scoped_lock lock(mutex_);
+  // A republish mid-fetch changes the declared (total, checksum): restart.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::string bytes;
+    std::uint64_t total = 0;
+    std::uint64_t checksum = 0;
+    bool restart = false;
+    while (true) {
+      // locked_round_trip surfaces ERR replies (e.g. UNSUPPORTED when no
+      // snapshot is published) as ServerError before we get here.
+      const Response response =
+          locked_round_trip(SyncFetchRequest{bytes.size()});
+      const auto* chunk = std::get_if<SnapshotChunkResponse>(&response);
+      if (chunk == nullptr)
+        throw std::runtime_error(
+            "PredictionClient: unexpected response to SYNCFETCH");
+      if (bytes.empty()) {
+        total = chunk->total_bytes;
+        checksum = chunk->checksum;
+      } else if (chunk->total_bytes != total || chunk->checksum != checksum) {
+        restart = true;
+        break;
+      }
+      if (chunk->offset != bytes.size())
+        throw ProtocolError("wire: SNAPSHOT chunk at wrong offset");
+      bytes += chunk->data;
+      if (bytes.size() >= total) break;
+      if (chunk->data.empty())
+        throw ProtocolError("wire: empty SNAPSHOT chunk before end");
+    }
+    if (restart) continue;
+    if (sync_checksum(bytes) != checksum)
+      throw ProtocolError(
+          "wire: fetched snapshot does not match its declared checksum");
+    return bytes;
+  }
+  throw ProtocolError("wire: snapshot kept changing during fetch");
+}
+
 void PredictionClient::bye(std::uint64_t session_id) {
   std::scoped_lock lock(mutex_);
   std::uint64_t remote_id = session_id;
@@ -174,7 +272,7 @@ void PredictionClient::bye(std::uint64_t session_id) {
 
 // -- RemoteSessionPredictor --------------------------------------------------
 
-RemoteSessionPredictor::RemoteSessionPredictor(PredictionClient& client,
+RemoteSessionPredictor::RemoteSessionPredictor(SessionClient& client,
                                                const SessionFeatures& features,
                                                double start_hour)
     : client_(&client) {

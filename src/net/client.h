@@ -29,12 +29,17 @@
 #include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "predictors/predictor.h"
+#include "util/rng.h"
 
 namespace cs2p {
 
 /// Deadline/retry policy of one client. max_retries counts retries after
-/// the first attempt; backoff doubles (capped) between attempts.
+/// the first attempt; backoff doubles (capped) between attempts, with full
+/// jitter: each sleep is drawn uniformly from ((1 - jitter) * b, b]. Without
+/// jitter, every client that lost the same replica retries on the same
+/// deterministic schedule — a synchronized retry storm the instant it dies.
 struct ClientConfig {
   int recv_timeout_ms = 2'000;
   int send_timeout_ms = 2'000;
@@ -42,11 +47,41 @@ struct ClientConfig {
   int backoff_initial_ms = 10;
   double backoff_multiplier = 2.0;
   int backoff_max_ms = 200;
+  /// Fraction of each backoff randomized away (1.0 = full jitter, 0 = the
+  /// old deterministic doubling).
+  double backoff_jitter = 1.0;
+  /// Seed of the jitter stream; deterministic so tests replay exactly.
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ULL;
+  /// Optional telemetry sink: OVERLOADED replies and retry counters land
+  /// here when set (DESIGN.md §13). Null: client-local atomics only.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+/// The backoff actually slept before a retry: `backoff_ms` shrunk by up to
+/// `jitter` of itself, uniformly at random. Pure — exposed so tests can
+/// assert the jitter window without timing a sleep.
+int jittered_backoff_ms(int backoff_ms, double jitter, Rng& rng) noexcept;
+
+/// Player-facing session operations of the prediction service — the surface
+/// RemoteSessionPredictor drives. Implemented by PredictionClient (one
+/// server) and ReplicaSet (replicated tier with rendezvous-hash failover,
+/// net/replica_set.h), so a player binds to either without changing.
+class SessionClient {
+ public:
+  virtual ~SessionClient() = default;
+
+  virtual SessionResponse hello(const SessionFeatures& features,
+                                double start_hour) = 0;
+  virtual PredictionResponse observe_response(std::uint64_t session_id,
+                                              double throughput_mbps) = 0;
+  virtual PredictionResponse predict_response(std::uint64_t session_id,
+                                              unsigned steps_ahead) = 0;
+  virtual void bye(std::uint64_t session_id) = 0;
 };
 
 /// One logical connection to a PredictionServer; reconnects transparently.
 /// Thread-safe (per-call lock).
-class PredictionClient {
+class PredictionClient final : public SessionClient {
  public:
   /// Connects lazily to 127.0.0.1:`port` with the config's deadlines.
   explicit PredictionClient(std::uint16_t port, ClientConfig config = {});
@@ -60,7 +95,8 @@ class PredictionClient {
   /// stays valid across reconnects and server-side session loss (the
   /// client replays HELLO under the hood). Throws ServerError on
   /// server-reported errors, TransportError when the retry budget runs out.
-  SessionResponse hello(const SessionFeatures& features, double start_hour);
+  SessionResponse hello(const SessionFeatures& features,
+                        double start_hour) override;
 
   /// Reports a measurement; returns the next-epoch forecast.
   double observe(std::uint64_t session_id, double throughput_mbps);
@@ -71,12 +107,12 @@ class PredictionClient {
   /// Full-reply variants carrying the v2 serve-flags byte alongside the
   /// forecast (why the server answered from the path it did).
   PredictionResponse observe_response(std::uint64_t session_id,
-                                      double throughput_mbps);
+                                      double throughput_mbps) override;
   PredictionResponse predict_response(std::uint64_t session_id,
-                                      unsigned steps_ahead);
+                                      unsigned steps_ahead) override;
 
   /// Ends a session server-side.
-  void bye(std::uint64_t session_id);
+  void bye(std::uint64_t session_id) override;
 
   /// Downloads the compact per-session model for local execution (§5.3's
   /// client-side solution): no per-epoch round trips afterwards. Throws
@@ -89,6 +125,20 @@ class PredictionClient {
   /// cs2p_stats is built on.
   StatsResponse stats();
 
+  /// Ships a model_store snapshot to the server over the v4 SYNC verbs
+  /// (BEGIN, kSyncChunkBytes-sized DATA frames, COMMIT). The server
+  /// verifies the declared checksum byte-for-byte before hot-swapping; a
+  /// rejected snapshot throws ServerError{kSyncRejected} and the server
+  /// keeps its current model. A mid-push reconnect (the server's staging is
+  /// per-connection) restarts the whole sequence once before giving up.
+  void push_snapshot(const std::string& snapshot_bytes);
+
+  /// Pulls the server's published snapshot chunk by chunk (SYNCFETCH),
+  /// verifying the declared checksum over the reassembled bytes. A
+  /// republish mid-fetch restarts the pull. Throws ServerError when the
+  /// server has no snapshot published, ProtocolError on a checksum mismatch.
+  std::string fetch_snapshot();
+
   const ClientConfig& config() const noexcept { return config_; }
 
   /// Transport teardowns that forced a fresh connect.
@@ -100,6 +150,13 @@ class PredictionClient {
   /// Sessions re-established by replaying HELLO after UNKNOWN_SESSION.
   std::uint64_t sessions_reestablished() const noexcept {
     return rehellos_.load();
+  }
+
+  /// OVERLOADED replies seen (also counted in the registry when one is
+  /// configured). A failover signal, not a retry-this-socket signal: the
+  /// replica is shedding load, so ReplicaSet moves the session elsewhere.
+  std::uint64_t overloaded_replies() const noexcept {
+    return overloaded_.load();
   }
 
  private:
@@ -119,9 +176,13 @@ class PredictionClient {
   std::unique_ptr<Transport> transport_;
   std::unordered_map<std::uint64_t, SessionRecord> sessions_;
   std::uint64_t next_local_id_ = 1;
+  Rng backoff_rng_;  ///< jitter stream; guarded by mutex_ like the transport
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> rehellos_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+  obs::Counter* overloaded_counter_ = nullptr;  ///< null without a registry
+  obs::Counter* retries_counter_ = nullptr;
 };
 
 /// SessionPredictor adapter over a PredictionClient. The client must
@@ -135,7 +196,7 @@ class PredictionClient {
 /// QoE-under-failure.
 class RemoteSessionPredictor final : public SessionPredictor {
  public:
-  RemoteSessionPredictor(PredictionClient& client, const SessionFeatures& features,
+  RemoteSessionPredictor(SessionClient& client, const SessionFeatures& features,
                          double start_hour);
   ~RemoteSessionPredictor() override;
 
@@ -170,7 +231,7 @@ class RemoteSessionPredictor final : public SessionPredictor {
   void degrade() const noexcept;
   double fallback_forecast() const;
 
-  PredictionClient* client_;
+  SessionClient* client_;
   std::uint64_t session_id_ = 0;
   bool session_established_ = false;
   double initial_mbps_ = 0.0;

@@ -106,4 +106,83 @@ TransportFactory fault_injecting_connector(
   };
 }
 
+ChaosReplica::ChaosReplica(
+    std::function<std::shared_ptr<const PredictorModel>()> make_model,
+    ServerConfig config, ReplicaFaultSpec fault)
+    : make_model_(std::move(make_model)),
+      config_(std::move(config)),
+      fault_(fault) {
+  if (!make_model_)
+    throw std::invalid_argument("ChaosReplica: null model factory");
+  std::scoped_lock lock(mutex_);
+  // First incarnation binds an ephemeral port; every resurrection reuses it
+  // (listen_loopback sets SO_REUSEADDR, so the rebind is immediate).
+  server_ = std::make_unique<PredictionServer>(make_model_(), config_);
+  port_ = server_->port();
+  requests_at_birth_ = server_->requests_handled();
+}
+
+ChaosReplica::~ChaosReplica() {
+  stopping_.store(true);
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void ChaosReplica::poll() {
+  std::scoped_lock lock(mutex_);
+  if (server_) {
+    if (fault_.die_after_requests == 0) return;
+    const std::uint64_t served =
+        server_->requests_handled() - requests_at_birth_;
+    if (served < fault_.die_after_requests) return;
+    server_.reset();
+    died_at_ = Clock::now();
+    kills_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!fault_.resurrect) return;
+  if (Clock::now() - died_at_ < std::chrono::milliseconds(fault_.dead_for_ms))
+    return;
+  locked_resurrect();
+}
+
+void ChaosReplica::start_monitor() {
+  if (monitor_.joinable()) return;
+  monitor_ = std::thread([this] {
+    while (!stopping_.load()) {
+      poll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+}
+
+bool ChaosReplica::alive() const {
+  std::scoped_lock lock(mutex_);
+  return server_ != nullptr;
+}
+
+void ChaosReplica::kill_now() {
+  std::scoped_lock lock(mutex_);
+  if (!server_) return;
+  server_.reset();
+  died_at_ = Clock::now();
+  kills_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChaosReplica::resurrect_now() {
+  std::scoped_lock lock(mutex_);
+  if (server_) return;
+  locked_resurrect();
+}
+
+void ChaosReplica::locked_resurrect() {
+  server_ = std::make_unique<PredictionServer>(make_model_(), config_, port_);
+  requests_at_birth_ = server_->requests_handled();
+  resurrections_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PredictionServer* ChaosReplica::server() {
+  std::scoped_lock lock(mutex_);
+  return server_.get();
+}
+
 }  // namespace cs2p

@@ -6,12 +6,23 @@
 // latency, and single-byte corruption. The same seed always yields the same
 // fault schedule, so chaos tests are reproducible. Counters record what was
 // actually injected so tests can assert the run exercised faults at all.
+//
+// ChaosReplica raises the blast radius from one transport to one replica:
+// it runs a real PredictionServer on a stable port and kills the whole
+// process-equivalent (listener, workers, sessions) after a request quota,
+// leaves the port refusing connections for a dwell, then resurrects a fresh
+// server on the same port — the failure mode the ReplicaSet failover layer
+// (net/replica_set.h) exists to absorb.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 
+#include "net/server.h"
 #include "net/transport.h"
 #include "util/rng.h"
 
@@ -74,5 +85,76 @@ class FaultInjectingTransport final : public Transport {
 TransportFactory fault_injecting_connector(
     TransportFactory inner, FaultSpec spec, std::uint64_t seed,
     std::shared_ptr<FaultCounters> counters);
+
+/// Whole-replica fault schedule.
+struct ReplicaFaultSpec {
+  /// Kill the replica once its current incarnation has handled this many
+  /// requests (frames). 0 = never auto-kill; use kill_now().
+  std::uint64_t die_after_requests = 0;
+  /// How long the port refuses connections before resurrection.
+  int dead_for_ms = 200;
+  /// Bring a fresh server back on the same port after the dwell. When
+  /// false the replica stays dead until resurrect_now().
+  bool resurrect = true;
+};
+
+/// A PredictionServer under whole-replica chaos: dies (full teardown —
+/// listener closed, in-flight connections dropped, all sessions lost),
+/// refuses connections for a dwell, resurrects on the same port with a
+/// fresh model instance from the factory. The schedule advances on poll()
+/// — call it from the test loop, or start_monitor() to self-drive.
+class ChaosReplica {
+ public:
+  /// `make_model` is invoked per incarnation. `config.metrics` may be a
+  /// shared registry; the request quota is tracked per incarnation either
+  /// way. Starts alive on an ephemeral port (fixed for the object's life).
+  ChaosReplica(std::function<std::shared_ptr<const PredictorModel>()> make_model,
+               ServerConfig config, ReplicaFaultSpec fault);
+  ~ChaosReplica();
+
+  ChaosReplica(const ChaosReplica&) = delete;
+  ChaosReplica& operator=(const ChaosReplica&) = delete;
+
+  /// The stable port; refuses connections while dead.
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Advances the kill/resurrect schedule; cheap, safe from any thread.
+  void poll();
+
+  /// Background thread calling poll() every few milliseconds.
+  void start_monitor();
+
+  bool alive() const;
+  void kill_now();
+  void resurrect_now();
+
+  std::uint64_t kills() const noexcept { return kills_.load(); }
+  std::uint64_t resurrections() const noexcept { return resurrections_.load(); }
+
+  /// The live server (STATS scraping, introspection); null while dead.
+  /// The pointer is invalidated by the next kill — use only while the
+  /// schedule is quiescent or from the thread driving poll().
+  PredictionServer* server();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void locked_resurrect();
+
+  std::function<std::shared_ptr<const PredictorModel>()> make_model_;
+  ServerConfig config_;
+  ReplicaFaultSpec fault_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<PredictionServer> server_;
+  std::uint64_t requests_at_birth_ = 0;
+  Clock::time_point died_at_{};
+
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> resurrections_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread monitor_;
+};
 
 }  // namespace cs2p

@@ -1,0 +1,370 @@
+#include "net/replica_set.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace cs2p {
+namespace {
+
+// FNV-1a 64 (the same mixing wire.cpp uses for snapshot checksums) plus a
+// SplitMix64 finalizer — FNV alone has weak high bits, and rendezvous
+// ranking compares full 64-bit scores.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view data) noexcept {
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t finalize(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string_view replica_health_name(ReplicaHealth health) noexcept {
+  switch (health) {
+    case ReplicaHealth::kHealthy: return "HEALTHY";
+    case ReplicaHealth::kSuspect: return "SUSPECT";
+    case ReplicaHealth::kDown: return "DOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::uint64_t make_session_key(const SessionFeatures& features,
+                               double start_hour,
+                               std::uint64_t nonce) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a(hash, features.isp);
+  hash = fnv1a(hash, features.as_number);
+  hash = fnv1a(hash, features.province);
+  hash = fnv1a(hash, features.city);
+  hash = fnv1a(hash, features.server);
+  hash = fnv1a(hash, features.client_prefix);
+  std::uint64_t hour_bits = 0;
+  static_assert(sizeof(hour_bits) == sizeof(start_hour));
+  __builtin_memcpy(&hour_bits, &start_hour, sizeof(hour_bits));
+  hash = fnv1a(hash, hour_bits);
+  hash = fnv1a(hash, nonce);
+  return finalize(hash);
+}
+
+std::uint64_t rendezvous_score(std::uint64_t key,
+                               std::string_view name) noexcept {
+  return finalize(fnv1a(fnv1a(kFnvOffset, name), key));
+}
+
+ReplicaSet::ReplicaSet(std::vector<Endpoint> endpoints,
+                       ReplicaSetConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.metrics ? config_.metrics
+                               : std::make_shared<obs::MetricsRegistry>()) {
+  if (endpoints.empty())
+    throw std::invalid_argument("ReplicaSet: no replicas");
+  if (config_.down_after_failures < 1)
+    throw std::invalid_argument("ReplicaSet: down_after_failures must be >= 1");
+  if (config_.recover_after_successes < 1)
+    throw std::invalid_argument(
+        "ReplicaSet: recover_after_successes must be >= 1");
+  failovers_ = &metrics_->counter("cs2p_client_failovers_total");
+  failover_seconds_ =
+      &metrics_->histogram("cs2p_client_failover_seconds",
+                           obs::default_latency_buckets_seconds());
+  recovery_seconds_ =
+      &metrics_->histogram("cs2p_client_replica_recovery_seconds",
+                           obs::default_duration_buckets_seconds());
+  replicas_.reserve(endpoints.size());
+  std::uint64_t replica_index = 0;
+  for (auto& endpoint : endpoints) {
+    if (endpoint.name.empty())
+      throw std::invalid_argument("ReplicaSet: empty replica name");
+    if (!endpoint.connector)
+      throw std::invalid_argument("ReplicaSet: null connector for " +
+                                  endpoint.name);
+    auto replica = std::make_unique<Replica>();
+    replica->name = endpoint.name;
+    ClientConfig client_config = config_.client;
+    client_config.metrics = metrics_;
+    // Distinct jitter streams per replica: a shared seed would re-sync the
+    // very retry storms jitter exists to break up.
+    client_config.backoff_seed =
+        finalize(client_config.backoff_seed ^ fnv1a(kFnvOffset, replica_index));
+    replica->client = std::make_unique<PredictionClient>(
+        std::move(endpoint.connector), client_config);
+    replica->failures = &metrics_->counter(
+        "cs2p_client_replica_failures_total", {{"replica", replica->name}});
+    replica->health_gauge = &metrics_->gauge("cs2p_client_replica_health",
+                                             {{"replica", replica->name}});
+    replica->health_gauge->set(0.0);
+    replicas_.push_back(std::move(replica));
+    ++replica_index;
+  }
+}
+
+ReplicaSet::ReplicaSet(const std::vector<std::uint16_t>& ports,
+                       ReplicaSetConfig config)
+    : ReplicaSet(
+          [&ports, &config] {
+            std::vector<Endpoint> endpoints;
+            endpoints.reserve(ports.size());
+            for (const std::uint16_t port : ports) {
+              TransportDeadlines deadlines;
+              deadlines.recv_timeout_ms = config.client.recv_timeout_ms;
+              deadlines.send_timeout_ms = config.client.send_timeout_ms;
+              endpoints.push_back(
+                  Endpoint{"127.0.0.1:" + std::to_string(port),
+                           loopback_connector(port, deadlines)});
+            }
+            return endpoints;
+          }(),
+          std::move(config)) {}
+
+std::vector<std::size_t> ReplicaSet::preference_order(
+    std::uint64_t key) const {
+  std::vector<std::size_t> order(replicas_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto sa = rendezvous_score(key, replicas_[a]->name);
+    const auto sb = rendezvous_score(key, replicas_[b]->name);
+    if (sa != sb) return sa > sb;
+    return a < b;  // total order even on (vanishingly unlikely) score ties
+  });
+  return order;
+}
+
+ReplicaHealth ReplicaSet::health(std::size_t index) const {
+  std::scoped_lock lock(health_mutex_);
+  return replicas_.at(index)->health;
+}
+
+std::size_t ReplicaSet::session_replica(std::uint64_t session_id) const {
+  std::scoped_lock lock(sessions_mutex_);
+  return sessions_.at(session_id).replica;
+}
+
+std::vector<std::size_t> ReplicaSet::candidates(std::uint64_t key,
+                                                bool include_resting_down) {
+  const auto order = preference_order(key);
+  std::vector<std::size_t> usable;
+  std::vector<std::size_t> resting;
+  const auto now = Clock::now();
+  const auto probe_rest =
+      std::chrono::milliseconds(std::max(0, config_.down_probe_after_ms));
+  std::scoped_lock lock(health_mutex_);
+  for (const std::size_t index : order) {
+    Replica& replica = *replicas_[index];
+    if (replica.health != ReplicaHealth::kDown) {
+      usable.push_back(index);
+      continue;
+    }
+    const auto rested_since =
+        std::max(replica.down_since, replica.last_probe);
+    if (now - rested_since >= probe_rest) {
+      replica.last_probe = now;  // one probe per rest interval, not a stampede
+      usable.push_back(index);
+    } else {
+      resting.push_back(index);
+    }
+  }
+  if (include_resting_down)
+    usable.insert(usable.end(), resting.begin(), resting.end());
+  return usable;
+}
+
+void ReplicaSet::record_failure(std::size_t index) {
+  Replica& replica = *replicas_[index];
+  replica.failures->inc();
+  std::scoped_lock lock(health_mutex_);
+  replica.success_streak = 0;
+  replica.failure_streak += 1;
+  if (replica.health == ReplicaHealth::kHealthy)
+    replica.health = ReplicaHealth::kSuspect;
+  if (replica.health == ReplicaHealth::kSuspect &&
+      replica.failure_streak >= config_.down_after_failures) {
+    replica.health = ReplicaHealth::kDown;
+    replica.down_since = Clock::now();
+    replica.last_probe = replica.down_since;
+  }
+  replica.health_gauge->set(static_cast<double>(
+      static_cast<std::uint8_t>(replica.health)));
+}
+
+void ReplicaSet::record_success(std::size_t index) {
+  Replica& replica = *replicas_[index];
+  std::scoped_lock lock(health_mutex_);
+  replica.failure_streak = 0;
+  if (replica.health == ReplicaHealth::kHealthy) return;
+  replica.success_streak += 1;
+  if (replica.success_streak < config_.recover_after_successes) return;
+  if (replica.health == ReplicaHealth::kDown)
+    recovery_seconds_->observe(
+        std::chrono::duration<double>(Clock::now() - replica.down_since)
+            .count());
+  replica.health = ReplicaHealth::kHealthy;
+  replica.success_streak = 0;
+  replica.health_gauge->set(0.0);
+}
+
+bool ReplicaSet::is_failover_signal(const ServerError& error) noexcept {
+  // OVERLOADED / SHUTTING_DOWN: the replica told us to go elsewhere.
+  // Anything else (BAD_REQUEST, INVALID_SAMPLE, ...) reflects our request,
+  // and would fail identically on every replica.
+  return error.code() == WireErrorCode::kOverloaded ||
+         error.code() == WireErrorCode::kShuttingDown;
+}
+
+SessionResponse ReplicaSet::hello(const SessionFeatures& features,
+                                  double start_hour) {
+  std::uint64_t nonce = 0;
+  {
+    std::scoped_lock lock(sessions_mutex_);
+    nonce = next_nonce_++;
+  }
+  const std::uint64_t key = make_session_key(features, start_hour, nonce);
+  std::exception_ptr last_error;
+  for (const std::size_t index : candidates(key, /*include_resting_down=*/true)) {
+    try {
+      SessionResponse response =
+          replicas_[index]->client->hello(features, start_hour);
+      record_success(index);
+      SessionRecord record;
+      record.hello = HelloRequest{features, start_hour};
+      record.key = key;
+      record.replica = index;
+      record.remote_id = response.session_id;
+      std::scoped_lock lock(sessions_mutex_);
+      const std::uint64_t local_id = next_session_id_++;
+      sessions_[local_id] = std::move(record);
+      response.session_id = local_id;
+      return response;
+    } catch (const ServerError& e) {
+      if (!is_failover_signal(e)) throw;
+      record_failure(index);
+      last_error = std::current_exception();
+    } catch (const TransportError&) {
+      record_failure(index);
+      last_error = std::current_exception();
+    } catch (const ProtocolError&) {
+      record_failure(index);
+      last_error = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last_error);
+}
+
+ReplicaSet::SessionRecord ReplicaSet::record_copy(
+    std::uint64_t session_id) const {
+  std::scoped_lock lock(sessions_mutex_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end())
+    throw std::invalid_argument("ReplicaSet: unknown session " +
+                                std::to_string(session_id));
+  return it->second;
+}
+
+template <typename Op>
+PredictionResponse ReplicaSet::session_op(std::uint64_t session_id, Op&& op) {
+  SessionRecord record = record_copy(session_id);
+  // The current replica first (sticky placement), then the preference list.
+  std::vector<std::size_t> order{record.replica};
+  for (const std::size_t index : candidates(record.key, true))
+    if (index != record.replica) order.push_back(index);
+
+  std::exception_ptr last_error;
+  Clock::time_point first_failure{};
+  for (const std::size_t index : order) {
+    const bool migrating = index != record.replica;
+    try {
+      if (migrating) {
+        // Replay HELLO on the new replica: same re-establishment path the
+        // single-replica client uses when a server loses a session. The
+        // replica-local handle below stays valid across its own reconnects.
+        const SessionResponse session = replicas_[index]->client->hello(
+            record.hello.features, record.hello.start_hour);
+        record.replica = index;
+        record.remote_id = session.session_id;
+      }
+      PredictionResponse response = op(*replicas_[index]->client,
+                                       record.remote_id);
+      record_success(index);
+      if (migrating) {
+        failovers_->inc();
+        failover_seconds_->observe(
+            std::chrono::duration<double>(Clock::now() - first_failure)
+                .count());
+        std::scoped_lock lock(sessions_mutex_);
+        const auto it = sessions_.find(session_id);
+        if (it != sessions_.end()) it->second = record;
+      }
+      return response;
+    } catch (const ServerError& e) {
+      if (!is_failover_signal(e)) throw;
+      record_failure(index);
+      last_error = std::current_exception();
+    } catch (const TransportError&) {
+      record_failure(index);
+      last_error = std::current_exception();
+    } catch (const ProtocolError&) {
+      record_failure(index);
+      last_error = std::current_exception();
+    }
+    if (first_failure == Clock::time_point{}) first_failure = Clock::now();
+  }
+  std::rethrow_exception(last_error);
+}
+
+PredictionResponse ReplicaSet::observe_response(std::uint64_t session_id,
+                                                double throughput_mbps) {
+  return session_op(session_id,
+                    [&](PredictionClient& client, std::uint64_t remote_id) {
+                      return client.observe_response(remote_id,
+                                                     throughput_mbps);
+                    });
+}
+
+PredictionResponse ReplicaSet::predict_response(std::uint64_t session_id,
+                                                unsigned steps_ahead) {
+  return session_op(session_id,
+                    [&](PredictionClient& client, std::uint64_t remote_id) {
+                      return client.predict_response(remote_id, steps_ahead);
+                    });
+}
+
+void ReplicaSet::bye(std::uint64_t session_id) {
+  SessionRecord record;
+  {
+    std::scoped_lock lock(sessions_mutex_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    record = it->second;
+    sessions_.erase(it);
+  }
+  try {
+    replicas_[record.replica]->client->bye(record.remote_id);
+    record_success(record.replica);
+  } catch (const std::exception&) {
+    // Best-effort: a dead replica forgets the session via TTL eviction, and
+    // a BYE that cannot be delivered is not worth a migration.
+    record_failure(record.replica);
+  }
+}
+
+}  // namespace cs2p

@@ -1,0 +1,201 @@
+// ReplicaSet: client-side failover across a replicated serving tier
+// (DESIGN.md §13, ROADMAP item 2).
+//
+// The paper's pilot (§6–§7) runs prediction as one always-on service; at
+// million-user scale that service is N replicas, and the client is where
+// failover must live — the prediction service sits on the ABR critical
+// path, so a dead replica must cost one migration, not a dropped session.
+//
+// Placement: rendezvous (highest-random-weight) hashing. Each session draws
+// a key from its features + start hour + a local nonce and scores every
+// replica against that key; sorting the scores yields a per-session
+// preference list that every client computes identically with no
+// coordination, and removing a replica only moves the sessions that
+// preferred it (the minimal-disruption property consistent hashing is used
+// for).
+//
+// Failover: a session sticks to its current replica until an operation
+// fails with a failover signal — transport failure after the retry budget
+// (connect refusal, deadline), a desynced stream, or an OVERLOADED /
+// SHUTTING_DOWN reply (the replica is shedding load; hammering the same
+// socket makes it worse). The session then migrates down its preference
+// list: replay HELLO on the next replica (the same re-establishment path
+// PredictionClient uses for UNKNOWN_SESSION), re-issue the operation, and
+// carry on. The server-side filter restarts from the cluster prior — a
+// forecast-quality hiccup, never a player-visible failure.
+//
+// Health: per-replica HEALTHY → SUSPECT (first failure) → DOWN (failure
+// streak) with hysteresis, mirroring predictors/guardrail.h's
+// SurpriseMonitor — one failure must not banish a replica, and recovery
+// requires a success streak so a flapping replica cannot oscillate. DOWN
+// replicas are skipped when placing sessions until a probe interval
+// elapses; a successful probe walks the replica back to HEALTHY and records
+// the outage duration (time-to-recover) in the obs registry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace cs2p {
+
+/// Per-replica availability as seen from this client. Numeric values are
+/// what the cs2p_client_replica_health gauge exports.
+enum class ReplicaHealth : std::uint8_t {
+  kHealthy = 0,  ///< serving normally
+  kSuspect = 1,  ///< failed recently; still tried, watched closely
+  kDown = 2,     ///< failure streak exhausted; skipped except for probes
+};
+
+std::string_view replica_health_name(ReplicaHealth health) noexcept;
+
+/// Failover and hysteresis knobs of one ReplicaSet.
+struct ReplicaSetConfig {
+  /// Per-replica client policy (deadlines, retry budget, jitter). Each
+  /// replica gets its own PredictionClient; backoff seeds are derived per
+  /// replica so their jitter streams differ.
+  ClientConfig client;
+  /// Consecutive failed operations before SUSPECT becomes DOWN.
+  int down_after_failures = 2;
+  /// Consecutive successes before a SUSPECT/DOWN replica is HEALTHY again.
+  int recover_after_successes = 2;
+  /// How long a DOWN replica rests before new sessions probe it.
+  int down_probe_after_ms = 500;
+  /// Telemetry sink shared by the set and its per-replica clients
+  /// (failovers, per-replica health/failures, time-to-recover). Null: a
+  /// private registry.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+/// Deterministic rendezvous key of one session: mixes the feature tuple,
+/// the start hour, and a caller-supplied nonce (distinct sessions with
+/// identical features must not all land on one replica).
+std::uint64_t make_session_key(const SessionFeatures& features,
+                               double start_hour, std::uint64_t nonce) noexcept;
+
+/// Rendezvous score of `key` on the replica named `name`; the preference
+/// list is replicas sorted by this, descending. Pure and stable — every
+/// client ranks identically.
+std::uint64_t rendezvous_score(std::uint64_t key, std::string_view name) noexcept;
+
+/// SessionClient over N replicas with rendezvous placement and automatic
+/// failover. Thread-safe: concurrent sessions migrate independently (no
+/// lock is ever held across a network call).
+class ReplicaSet final : public SessionClient {
+ public:
+  /// One serving replica: a stable name (the rendezvous identity — keep it
+  /// stable across restarts or every session re-ranks) and the transport
+  /// factory its client (re)connects through.
+  struct Endpoint {
+    std::string name;
+    TransportFactory connector;
+  };
+
+  ReplicaSet(std::vector<Endpoint> endpoints, ReplicaSetConfig config = {});
+
+  /// Convenience: loopback replicas on `ports`, named "127.0.0.1:<port>".
+  explicit ReplicaSet(const std::vector<std::uint16_t>& ports,
+                      ReplicaSetConfig config = {});
+
+  // SessionClient surface. hello() places the session on its preference
+  // list; the session_id returned is a ReplicaSet-local handle that stays
+  // valid across any number of migrations.
+  SessionResponse hello(const SessionFeatures& features,
+                        double start_hour) override;
+  PredictionResponse observe_response(std::uint64_t session_id,
+                                      double throughput_mbps) override;
+  PredictionResponse predict_response(std::uint64_t session_id,
+                                      unsigned steps_ahead) override;
+  /// Best-effort: a replica that died still forgets the session via TTL.
+  void bye(std::uint64_t session_id) override;
+
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+
+  /// The preference list (replica indices, best first) this set computes
+  /// for `key` — exposed so tests can assert placement determinism.
+  std::vector<std::size_t> preference_order(std::uint64_t key) const;
+
+  /// Health of replica `index` as currently believed.
+  ReplicaHealth health(std::size_t index) const;
+
+  /// Sessions successfully migrated to another replica.
+  std::uint64_t failovers() const noexcept { return failovers_->value(); }
+
+  /// The replica `session_id` is currently served by.
+  std::size_t session_replica(std::uint64_t session_id) const;
+
+  /// The per-replica client (test introspection: reconnects, overloaded
+  /// replies). Index must be < replica_count().
+  PredictionClient& replica_client(std::size_t index) {
+    return *replicas_[index]->client;
+  }
+
+  /// The registry this set reports into (config metrics or the private one).
+  obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Replica {
+    std::string name;
+    std::unique_ptr<PredictionClient> client;
+    // Health state below is guarded by ReplicaSet::health_mutex_.
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    int failure_streak = 0;
+    int success_streak = 0;
+    Clock::time_point down_since{};
+    Clock::time_point last_probe{};
+    obs::Counter* failures = nullptr;
+    obs::Gauge* health_gauge = nullptr;
+  };
+
+  struct SessionRecord {
+    HelloRequest hello;          ///< replayed on every migration
+    std::uint64_t key = 0;       ///< rendezvous key (fixed at HELLO)
+    std::size_t replica = 0;     ///< index currently serving the session
+    std::uint64_t remote_id = 0; ///< that replica's client-local handle
+  };
+
+  /// Candidate replicas for (re)placing a session with rendezvous key
+  /// `key`: usable replicas (non-DOWN, or DOWN past the probe interval) in
+  /// preference order, then the remaining DOWN replicas as a last resort —
+  /// an all-replicas-down set still tries everything before giving up.
+  std::vector<std::size_t> candidates(std::uint64_t key,
+                                      bool include_resting_down);
+
+  /// Runs `op` against the session's current replica, migrating down the
+  /// preference list on failover signals. Returns the op's response.
+  template <typename Op>
+  PredictionResponse session_op(std::uint64_t session_id, Op&& op);
+
+  SessionRecord record_copy(std::uint64_t session_id) const;
+  void record_failure(std::size_t index);
+  void record_success(std::size_t index);
+  static bool is_failover_signal(const ServerError& error) noexcept;
+
+  ReplicaSetConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  mutable std::mutex health_mutex_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, SessionRecord> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t next_nonce_ = 0;
+
+  obs::Counter* failovers_ = nullptr;
+  obs::Histogram* failover_seconds_ = nullptr;
+  obs::Histogram* recovery_seconds_ = nullptr;
+};
+
+}  // namespace cs2p

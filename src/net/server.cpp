@@ -60,12 +60,15 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
   m.verb_bye = verb("bye");
   m.verb_model = verb("model");
   m.verb_stats = verb("stats");
+  m.verb_sync = verb("sync");
   m.verb_invalid = verb("invalid");
   m.connections = &registry.counter("cs2p_server_connections_total");
   m.idle_timeouts = &registry.counter("cs2p_server_idle_timeouts_total");
   m.rejected = &registry.counter("cs2p_server_connections_rejected_total");
   m.evicted = &registry.counter("cs2p_server_sessions_evicted_total");
   m.swaps = &registry.counter("cs2p_server_model_swaps_total");
+  m.syncs_applied = &registry.counter("cs2p_server_syncs_applied_total");
+  m.syncs_rejected = &registry.counter("cs2p_server_syncs_rejected_total");
   m.loop_iterations = &registry.counter("cs2p_server_loop_iterations_total");
   m.active_connections = &registry.gauge("cs2p_server_active_connections");
   m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
@@ -86,6 +89,11 @@ obs::Counter* PredictionServer::verb_counter(
   if (std::holds_alternative<ByeRequest>(request)) return m_.verb_bye;
   if (std::holds_alternative<ModelRequest>(request)) return m_.verb_model;
   if (std::holds_alternative<StatsRequest>(request)) return m_.verb_stats;
+  if (std::holds_alternative<SyncBeginRequest>(request) ||
+      std::holds_alternative<SyncChunkRequest>(request) ||
+      std::holds_alternative<SyncCommitRequest>(request) ||
+      std::holds_alternative<SyncFetchRequest>(request))
+    return m_.verb_sync;
   return m_.verb_invalid;
 }
 
@@ -159,6 +167,23 @@ void PredictionServer::swap_model(std::shared_ptr<const PredictorModel> model) {
 std::shared_ptr<const PredictorModel> PredictionServer::current_model() const {
   std::scoped_lock lock(model_mutex_);
   return model_;
+}
+
+void PredictionServer::publish_snapshot(std::string snapshot_bytes) {
+  std::shared_ptr<const std::string> published;
+  std::uint64_t checksum = 0;
+  if (!snapshot_bytes.empty()) {
+    published = std::make_shared<const std::string>(std::move(snapshot_bytes));
+    checksum = sync_checksum(*published);  // hashed once, served many times
+  }
+  std::scoped_lock lock(snapshot_mutex_);
+  snapshot_ = std::move(published);
+  snapshot_checksum_ = checksum;
+}
+
+std::shared_ptr<const std::string> PredictionServer::published_snapshot() const {
+  std::scoped_lock lock(snapshot_mutex_);
+  return snapshot_;
 }
 
 void PredictionServer::reject_connection(const FdHandle& connection) {
@@ -387,7 +412,7 @@ bool PredictionServer::process_read_buffer(Connection& conn) {
       const auto t_parsed = Clock::now();
       conn.parse_us = elapsed_us(conn.t_recv, t_parsed);
       verb_counter(request)->inc();
-      response = handle(request, conn.info);
+      response = handle(request, conn);
       conn.handle_us = elapsed_us(t_parsed, Clock::now());
     } catch (const ProtocolError& e) {
       m_.verb_invalid->inc();
@@ -474,9 +499,18 @@ PredictionResponse PredictionServer::make_prediction_response(
   return response;
 }
 
-Response PredictionServer::handle(const Request& request, RequestInfo& info) {
+Response PredictionServer::handle(const Request& request, Connection& conn) {
+  RequestInfo& info = conn.info;
   if (stopping_.load())
     return ErrorResponse{WireErrorCode::kShuttingDown, "server is stopping"};
+
+  if (std::holds_alternative<SyncBeginRequest>(request) ||
+      std::holds_alternative<SyncChunkRequest>(request) ||
+      std::holds_alternative<SyncCommitRequest>(request) ||
+      std::holds_alternative<SyncFetchRequest>(request)) {
+    info.event = "sync";
+    return handle_sync(request, conn.sync);
+  }
 
   if (const auto* hello = std::get_if<HelloRequest>(&request)) {
     info.event = "hello";
@@ -615,6 +649,88 @@ Response PredictionServer::handle(const Request& request, RequestInfo& info) {
     return response;
   }
   return ErrorResponse{WireErrorCode::kBadRequest, "unhandled request"};
+}
+
+Response PredictionServer::handle_sync(const Request& request,
+                                       SyncStaging& staging) {
+  const auto reject = [&](const std::string& why) -> Response {
+    staging = SyncStaging{};
+    m_.syncs_rejected->inc();
+    return ErrorResponse{WireErrorCode::kSyncRejected, why};
+  };
+
+  if (const auto* begin = std::get_if<SyncBeginRequest>(&request)) {
+    if (!config_.sync_apply)
+      return reject("this replica does not accept SYNC");
+    if (begin->total_bytes == 0)
+      return reject("snapshot must not be empty");
+    if (begin->total_bytes > config_.max_sync_bytes)
+      return reject("snapshot exceeds max_sync_bytes (" +
+                    std::to_string(config_.max_sync_bytes) + ")");
+    // A BEGIN while a shipment is staged restarts it — this is how a trainer
+    // recovers from its own mid-push reconnect without a new connection.
+    staging = SyncStaging{};
+    staging.active = true;
+    staging.expected_bytes = begin->total_bytes;
+    staging.expected_checksum = begin->checksum;
+    staging.buffer.reserve(begin->total_bytes);
+    return OkResponse{};
+  }
+
+  if (const auto* chunk = std::get_if<SyncChunkRequest>(&request)) {
+    if (!staging.active) return reject("no SYNC in progress");
+    if (staging.buffer.size() + chunk->data.size() > staging.expected_bytes)
+      return reject("more bytes than SYNCBEGIN declared");
+    staging.buffer += chunk->data;
+    return OkResponse{};
+  }
+
+  if (std::holds_alternative<SyncCommitRequest>(request)) {
+    if (!staging.active) return reject("no SYNC in progress");
+    if (staging.buffer.size() != staging.expected_bytes)
+      return reject("staged " + std::to_string(staging.buffer.size()) +
+                    " bytes, SYNCBEGIN declared " +
+                    std::to_string(staging.expected_bytes));
+    // Byte-for-byte verification against the declared checksum before the
+    // decode ever runs: a corrupt snapshot never reaches the swap.
+    if (sync_checksum(staging.buffer) != staging.expected_checksum)
+      return reject("snapshot checksum mismatch");
+    std::shared_ptr<const PredictorModel> model;
+    try {
+      model = config_.sync_apply(staging.buffer);
+    } catch (const std::exception& e) {
+      return reject(std::string("snapshot rejected: ") + e.what());
+    }
+    if (!model) return reject("snapshot rejected by this replica");
+    swap_model(std::move(model));
+    publish_snapshot(staging.buffer);  // re-serve what we accepted
+    staging = SyncStaging{};
+    m_.syncs_applied->inc();
+    return OkResponse{};
+  }
+
+  if (const auto* fetch = std::get_if<SyncFetchRequest>(&request)) {
+    std::shared_ptr<const std::string> snapshot;
+    std::uint64_t checksum = 0;
+    {
+      std::scoped_lock lock(snapshot_mutex_);
+      snapshot = snapshot_;
+      checksum = snapshot_checksum_;
+    }
+    if (!snapshot)
+      return ErrorResponse{WireErrorCode::kUnsupported,
+                           "no snapshot published on this replica"};
+    if (fetch->offset >= snapshot->size())
+      return ErrorResponse{WireErrorCode::kBadRequest,
+                           "offset past end of snapshot"};
+    SnapshotChunkResponse response;
+    response.total_bytes = snapshot->size();
+    response.checksum = checksum;
+    response.offset = fetch->offset;
+    response.data = snapshot->substr(fetch->offset, kSyncChunkBytes);
+    return response;
+  }
+  return ErrorResponse{WireErrorCode::kBadRequest, "unhandled SYNC request"};
 }
 
 }  // namespace cs2p

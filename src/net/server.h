@@ -35,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -74,6 +75,15 @@ struct ServerConfig {
   std::shared_ptr<obs::MetricsRegistry> metrics;
   /// Per-session prediction trace (DESIGN.md §11). Null: tracing off.
   std::shared_ptr<obs::TraceLog> trace;
+  /// Decodes a SYNC-shipped snapshot into a servable model (DESIGN.md §13).
+  /// The server core is model-format-agnostic: cs2p_serve wires this to
+  /// core/model_store's restore path. Returning null or throwing answers
+  /// SYNC_REJECTED and keeps the current model. Null function: this replica
+  /// refuses SYNCBEGIN outright (serving-only, no trainer trust).
+  std::function<std::shared_ptr<const PredictorModel>(const std::string&)>
+      sync_apply;
+  /// Largest snapshot a SYNCBEGIN may declare; guards the staging buffer.
+  std::size_t max_sync_bytes = 256 * 1024 * 1024;
 };
 
 class PredictionServer {
@@ -146,6 +156,23 @@ class PredictionServer {
   /// Number of successful swap_model() calls.
   std::uint64_t models_swapped() const noexcept { return m_.swaps->value(); }
 
+  /// Publishes snapshot bytes for SYNCFETCH pulls (a fresh replica
+  /// bootstrapping from this node). Also called internally after a SYNC
+  /// commit so a replica chain re-serves what it accepted. Empty clears.
+  void publish_snapshot(std::string snapshot_bytes);
+
+  /// The currently published snapshot (null when none).
+  std::shared_ptr<const std::string> published_snapshot() const;
+
+  /// SYNC commits that passed verification and hot-swapped the model.
+  std::uint64_t syncs_applied() const noexcept { return m_.syncs_applied->value(); }
+
+  /// SYNC attempts refused (checksum/byte-count mismatch, decode failure,
+  /// out-of-order verbs, or SYNC disabled). The served model is unchanged.
+  std::uint64_t syncs_rejected() const noexcept {
+    return m_.syncs_rejected->value();
+  }
+
   /// Safe to call repeatedly and from multiple threads concurrently.
   void stop();
 
@@ -174,6 +201,16 @@ class PredictionServer {
     kWriting,
   };
 
+  /// In-progress SYNC shipment on one connection. Staging is per-connection
+  /// by design: a dropped trainer connection discards its partial snapshot
+  /// with the fd, and concurrent trainers cannot interleave chunks.
+  struct SyncStaging {
+    bool active = false;
+    std::uint64_t expected_bytes = 0;
+    std::uint64_t expected_checksum = 0;
+    std::string buffer;
+  };
+
   struct Connection {
     FdHandle fd;
     ConnState state = ConnState::kReadingHeader;
@@ -191,6 +228,7 @@ class PredictionServer {
     RequestInfo info;
     bool reply_is_error = false;
     std::string_view error_code;  ///< wire_error_code_name of an ERR reply
+    SyncStaging sync;             ///< SYNC shipment staged on this connection
   };
 
   /// One event-loop worker: a poll(2) loop over the connections it owns
@@ -219,12 +257,15 @@ class PredictionServer {
     obs::Counter* verb_bye = nullptr;
     obs::Counter* verb_model = nullptr;
     obs::Counter* verb_stats = nullptr;
+    obs::Counter* verb_sync = nullptr;
     obs::Counter* verb_invalid = nullptr;
     obs::Counter* connections = nullptr;
     obs::Counter* idle_timeouts = nullptr;
     obs::Counter* rejected = nullptr;
     obs::Counter* evicted = nullptr;
     obs::Counter* swaps = nullptr;
+    obs::Counter* syncs_applied = nullptr;
+    obs::Counter* syncs_rejected = nullptr;
     obs::Counter* loop_iterations = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* live_sessions = nullptr;
@@ -247,7 +288,8 @@ class PredictionServer {
   /// accounting, fd teardown — a connection that dies mid-reply goes
   /// through here exactly like any other.
   void close_connection(Connection& conn, bool idle_timed_out);
-  Response handle(const Request& request, RequestInfo& info);
+  Response handle(const Request& request, Connection& conn);
+  Response handle_sync(const Request& request, SyncStaging& staging);
   PredictionResponse make_prediction_response(const SessionPredictor& predictor,
                                               unsigned steps_ahead);
   void reject_connection(const FdHandle& connection);
@@ -255,6 +297,9 @@ class PredictionServer {
 
   mutable std::mutex model_mutex_;  ///< guards model_ (reads copy the ptr)
   std::shared_ptr<const PredictorModel> model_;
+  mutable std::mutex snapshot_mutex_;  ///< guards snapshot_ (reads copy)
+  std::shared_ptr<const std::string> snapshot_;  ///< served to SYNCFETCH
+  std::uint64_t snapshot_checksum_ = 0;  ///< cached sync_checksum(*snapshot_)
   ServerConfig config_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   MetricHandles m_;

@@ -94,7 +94,33 @@ void append_u64(std::string& out, std::uint64_t v) {
   out.append(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
 }
 
+/// Fixed-width 16-hex checksum, matching the snapshot store's footer format.
+void append_hex16(std::string& out, std::uint64_t v) {
+  constexpr char digits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out += digits[(v >> shift) & 0xf];
+}
+
+std::uint64_t parse_hex64(std::string_view token, const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 16);
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw ProtocolError(std::string("wire: bad hex value for ") + what);
+  return value;
+}
+
 }  // namespace
+
+std::uint64_t sync_checksum(std::string_view data) noexcept {
+  // FNV-1a 64, identical to core/model_store's snapshot footer hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 std::string_view wire_error_code_name(WireErrorCode code) noexcept {
   switch (code) {
@@ -105,6 +131,7 @@ std::string_view wire_error_code_name(WireErrorCode code) noexcept {
     case WireErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case WireErrorCode::kUnsupported: return "UNSUPPORTED";
     case WireErrorCode::kInternal: return "INTERNAL";
+    case WireErrorCode::kSyncRejected: return "SYNC_REJECTED";
   }
   return "INTERNAL";
 }
@@ -115,7 +142,7 @@ std::optional<WireErrorCode> wire_error_code_from_name(
        {WireErrorCode::kBadRequest, WireErrorCode::kUnknownSession,
         WireErrorCode::kInvalidSample, WireErrorCode::kOverloaded,
         WireErrorCode::kShuttingDown, WireErrorCode::kUnsupported,
-        WireErrorCode::kInternal}) {
+        WireErrorCode::kInternal, WireErrorCode::kSyncRejected}) {
     if (name == wire_error_code_name(code)) return code;
   }
   return std::nullopt;
@@ -228,11 +255,32 @@ std::string serialize_request(const Request& request) {
     append_double(out, model->start_hour);
   } else if (std::holds_alternative<StatsRequest>(request)) {
     out += "STATS";
+  } else if (const auto* begin = std::get_if<SyncBeginRequest>(&request)) {
+    out += "SYNCBEGIN ";
+    append_u64(out, begin->total_bytes);
+    out += ' ';
+    append_hex16(out, begin->checksum);
+  } else if (const auto* chunk = std::get_if<SyncChunkRequest>(&request)) {
+    // Raw bytes after the header line, the body-after-header shape of MODEL.
+    out += "SYNCDATA\n";
+    out += chunk->data;
+  } else if (std::holds_alternative<SyncCommitRequest>(request)) {
+    out += "SYNCCOMMIT";
+  } else if (const auto* fetch = std::get_if<SyncFetchRequest>(&request)) {
+    out += "SYNCFETCH ";
+    append_u64(out, fetch->offset);
   }
   return out;
 }
 
 Request parse_request(std::string_view payload) {
+  // SYNCDATA carries raw snapshot bytes after its header line; handle it
+  // before whitespace tokenization (snapshot bytes may contain anything).
+  if (payload.starts_with("SYNCDATA\n")) {
+    SyncChunkRequest chunk;
+    chunk.data = std::string(payload.substr(9));
+    return chunk;
+  }
   const auto tokens = tokenize(payload);
   if (tokens.empty()) throw ProtocolError("wire: empty request");
   const std::string_view verb = tokens[0];
@@ -266,6 +314,21 @@ Request parse_request(std::string_view payload) {
   if (verb == "STATS") {
     if (tokens.size() != 1) throw ProtocolError("wire: STATS wants no fields");
     return StatsRequest{};
+  }
+  if (verb == "SYNCBEGIN") {
+    if (tokens.size() != 3)
+      throw ProtocolError("wire: SYNCBEGIN wants 2 fields");
+    return SyncBeginRequest{parse_u64(tokens[1], "total_bytes"),
+                            parse_hex64(tokens[2], "checksum")};
+  }
+  if (verb == "SYNCCOMMIT") {
+    if (tokens.size() != 1)
+      throw ProtocolError("wire: SYNCCOMMIT wants no fields");
+    return SyncCommitRequest{};
+  }
+  if (verb == "SYNCFETCH") {
+    if (tokens.size() != 2) throw ProtocolError("wire: SYNCFETCH wants 1 field");
+    return SyncFetchRequest{parse_u64(tokens[1], "offset")};
   }
   if (verb == "MODEL") {
     if (tokens.size() != 8) throw ProtocolError("wire: MODEL wants 7 fields");
@@ -317,6 +380,15 @@ std::string serialize_response(const Response& response) {
     append_u64(out, static_cast<std::uint64_t>(stats->exposition_version));
     out += '\n';
     out += stats->exposition;
+  } else if (const auto* snap = std::get_if<SnapshotChunkResponse>(&response)) {
+    out += "SNAPSHOT ";
+    append_u64(out, snap->total_bytes);
+    out += ' ';
+    append_hex16(out, snap->checksum);
+    out += ' ';
+    append_u64(out, snap->offset);
+    out += '\n';
+    out += snap->data;
   }
   return out;
 }
@@ -336,6 +408,21 @@ Response parse_response(std::string_view payload) {
         static_cast<int>(parse_u64(header[1], "exposition_version"));
     stats.exposition = std::string(payload.substr(newline + 1));
     return stats;
+  }
+  // SNAPSHOT chunks carry raw snapshot bytes after the header line.
+  if (payload.starts_with("SNAPSHOT ")) {
+    const auto newline = payload.find('\n');
+    if (newline == std::string_view::npos)
+      throw ProtocolError("wire: SNAPSHOT response missing body");
+    const auto header = tokenize(payload.substr(0, newline));
+    if (header.size() != 4)
+      throw ProtocolError("wire: SNAPSHOT header wants 3 fields");
+    SnapshotChunkResponse snap;
+    snap.total_bytes = parse_u64(header[1], "total_bytes");
+    snap.checksum = parse_hex64(header[2], "checksum");
+    snap.offset = parse_u64(header[3], "offset");
+    snap.data = std::string(payload.substr(newline + 1));
+    return snap;
   }
   // MODEL responses carry a raw body after the header line; handle them
   // before whitespace tokenization.

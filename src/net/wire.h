@@ -17,6 +17,15 @@
 //     STATS                                (scrape the server's metrics
 //                                           registry, DESIGN.md §11)
 //     BYE <session-id>
+//     SYNCBEGIN <total-bytes> <fnv64-hex>  (start shipping a model_store
+//                                           snapshot to this replica,
+//                                           DESIGN.md §13)
+//     SYNCDATA \n <raw snapshot chunk>     (append bytes to the staged
+//                                           snapshot; one frame per chunk)
+//     SYNCCOMMIT                           (verify byte count + checksum,
+//                                           then hot-swap the decoded model)
+//     SYNCFETCH <offset>                   (pull a chunk of the replica's
+//                                           published snapshot)
 //   server -> client
 //     SESSION <session-id> <initial-mbps> <global 0|1> <cluster-label>
 //     PRED <mbps> <flags>         (flags: serve_flags:: bits — why this
@@ -25,6 +34,7 @@
 //                                  tolerates both)
 //     MODEL <initial-mbps> <global 0|1> \n <serialized hmm ...>
 //     STATS <exposition-version> \n <metrics text exposition ...>
+//     SNAPSHOT <total-bytes> <fnv64-hex> <offset> \n <raw snapshot chunk>
 //     OK
 //     ERR <code> <message>        (code: see WireErrorCode below)
 //
@@ -47,9 +57,9 @@ namespace cs2p {
 /// Version stamped into byte 0 of every frame header; a peer speaking a
 /// different framing is rejected with ProtocolError instead of desyncing.
 /// v2 added the serve-flags field to PRED responses; v3 added the STATS
-/// scrape verb (a v1/v2 client is rejected at the frame header, before any
-/// verb parsing).
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// scrape verb; v4 added the SYNC snapshot-shipping verbs (a v1–v3 client
+/// is rejected at the frame header, before any verb parsing).
+inline constexpr std::uint8_t kProtocolVersion = 4;
 
 /// Maximum accepted frame payload; guards against malformed length prefixes.
 /// Must fit the 24-bit length field of the frame header.
@@ -57,6 +67,16 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64 * 1024;
 
 /// Size of the frame header ([version][len-hi][len-mid][len-lo]).
 inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Raw snapshot bytes carried per SYNCDATA/SNAPSHOT frame. Leaves headroom
+/// inside kMaxFrameBytes for the verb header line.
+inline constexpr std::size_t kSyncChunkBytes = 48 * 1024;
+
+/// FNV-1a 64 over `data` — the wire-level snapshot checksum declared by
+/// SYNCBEGIN and verified byte-for-byte before a replica commits a shipped
+/// snapshot (the same algorithm core/model_store uses for its footer, so a
+/// trainer can checksum once). Stable across platforms.
+std::uint64_t sync_checksum(std::string_view data) noexcept;
 
 /// A malformed frame or payload (bad version byte, oversized length,
 /// unparseable message). Distinct from TransportError: the bytes arrived but
@@ -76,6 +96,8 @@ enum class WireErrorCode : std::uint8_t {
   kShuttingDown,     ///< server is stopping
   kUnsupported,      ///< operation not supported by this model family
   kInternal,         ///< unexpected server-side failure
+  kSyncRejected,     ///< shipped snapshot refused (corrupt, mismatched, or
+                     ///< no SYNC in progress); the served model is unchanged
 };
 
 /// Stable token used on the wire ("BAD_REQUEST", "UNKNOWN_SESSION", ...).
@@ -146,8 +168,32 @@ struct ModelRequest {
 /// registry is a process-wide singleton root, and keeping the verb static
 /// lets any operator tool speak it without knowing what is registered.
 struct StatsRequest {};
+/// Start shipping a model_store snapshot to this replica (protocol v4,
+/// DESIGN.md §13). Declares the byte count and checksum up front so the
+/// receiver can verify byte-for-byte before the RCU hot-swap ever runs.
+struct SyncBeginRequest {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t checksum = 0;  ///< sync_checksum() of the full snapshot
+};
+/// One chunk of snapshot bytes; appended to the connection's staging buffer
+/// in order. Rejected with SYNC_REJECTED when no SYNCBEGIN is in progress.
+struct SyncChunkRequest {
+  std::string data;
+};
+/// Finish the shipment: the server verifies the staged byte count and
+/// checksum against SYNCBEGIN's declaration, decodes the snapshot, and
+/// hot-swaps the model — or answers SYNC_REJECTED and keeps serving the
+/// current model. Never a partial swap.
+struct SyncCommitRequest {};
+/// Pull one chunk of the replica's published snapshot starting at `offset`
+/// (the pull direction of SYNC: a fresh replica bootstraps from a trainer).
+struct SyncFetchRequest {
+  std::uint64_t offset = 0;
+};
 using Request = std::variant<HelloRequest, ObserveRequest, PredictRequest,
-                             ByeRequest, ModelRequest, StatsRequest>;
+                             ByeRequest, ModelRequest, StatsRequest,
+                             SyncBeginRequest, SyncChunkRequest,
+                             SyncCommitRequest, SyncFetchRequest>;
 
 struct SessionResponse {
   std::uint64_t session_id = 0;
@@ -180,8 +226,18 @@ struct StatsResponse {
   int exposition_version = 0;
   std::string exposition;
 };
+/// Reply to SYNCFETCH: one chunk of the published snapshot. `total_bytes`
+/// and `checksum` describe the whole snapshot (repeated on every chunk so a
+/// puller detects a republish mid-fetch and restarts cleanly).
+struct SnapshotChunkResponse {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t offset = 0;
+  std::string data;
+};
 using Response = std::variant<SessionResponse, PredictionResponse, OkResponse,
-                              ErrorResponse, ModelResponse, StatsResponse>;
+                              ErrorResponse, ModelResponse, StatsResponse,
+                              SnapshotChunkResponse>;
 
 /// Parse/serialize. parse_* throws ProtocolError on malformed payloads.
 std::string serialize_request(const Request& request);

@@ -82,7 +82,7 @@ TEST(Wire, ErrorCodeRoundTrips) {
        {WireErrorCode::kBadRequest, WireErrorCode::kUnknownSession,
         WireErrorCode::kInvalidSample, WireErrorCode::kOverloaded,
         WireErrorCode::kShuttingDown, WireErrorCode::kUnsupported,
-        WireErrorCode::kInternal}) {
+        WireErrorCode::kInternal, WireErrorCode::kSyncRejected}) {
     const Response parsed =
         parse_response(serialize_response(ErrorResponse{code, "detail text"}));
     const auto* out = std::get_if<ErrorResponse>(&parsed);
@@ -91,6 +91,82 @@ TEST(Wire, ErrorCodeRoundTrips) {
     EXPECT_EQ(out->message, "detail text");
     EXPECT_EQ(wire_error_code_from_name(wire_error_code_name(code)), code);
   }
+}
+
+// -- SYNC verbs (protocol v4): snapshot shipping ----------------------------
+
+TEST(Wire, SyncBeginRoundTrip) {
+  const SyncBeginRequest in{123456789ull, 0xdeadbeefcafef00dull};
+  const Request parsed = parse_request(serialize_request(in));
+  const auto* out = std::get_if<SyncBeginRequest>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->total_bytes, 123456789ull);
+  EXPECT_EQ(out->checksum, 0xdeadbeefcafef00dull);
+}
+
+TEST(Wire, SyncChunkCarriesArbitraryBytes) {
+  // Snapshot bytes are raw: embedded newlines, NULs and frame-like headers
+  // must survive verbatim — SYNCDATA is length-delimited, not line-parsed.
+  std::string data = "line1\nline2\n";
+  data += '\0';
+  data += "SYNCCOMMIT\xff\x01 binary";
+  for (int b = 0; b < 256; ++b) data += static_cast<char>(b);
+  const Request parsed = parse_request(serialize_request(SyncChunkRequest{data}));
+  const auto* out = std::get_if<SyncChunkRequest>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->data, data);
+}
+
+TEST(Wire, SyncCommitAndFetchRoundTrip) {
+  {
+    const Request parsed = parse_request(serialize_request(SyncCommitRequest{}));
+    EXPECT_NE(std::get_if<SyncCommitRequest>(&parsed), nullptr);
+  }
+  {
+    const Request parsed =
+        parse_request(serialize_request(SyncFetchRequest{987654321ull}));
+    const auto* out = std::get_if<SyncFetchRequest>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->offset, 987654321ull);
+  }
+}
+
+TEST(Wire, SnapshotChunkResponseRoundTrip) {
+  SnapshotChunkResponse in;
+  in.total_bytes = 1'000'000;
+  in.checksum = 0x0123456789abcdefull;
+  in.offset = 48 * 1024;
+  in.data = std::string("\x00\x01\xff raw\npayload", 16);
+  const Response parsed = parse_response(serialize_response(in));
+  const auto* out = std::get_if<SnapshotChunkResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->total_bytes, in.total_bytes);
+  EXPECT_EQ(out->checksum, in.checksum);
+  EXPECT_EQ(out->offset, in.offset);
+  EXPECT_EQ(out->data, in.data);
+}
+
+TEST(Wire, SyncChecksumMatchesModelStoreFnv) {
+  // The wire checksum is FNV-1a 64 — the exact algorithm model_store uses
+  // for its snapshot footer, so a trainer checksums once. Pin the constants.
+  EXPECT_EQ(sync_checksum(""), 0xcbf29ce484222325ull);  // offset basis
+  EXPECT_EQ(sync_checksum("a"),
+            (0xcbf29ce484222325ull ^ 'a') * 0x100000001b3ull);
+  // A single flipped bit changes the checksum.
+  std::string bytes(1024, 'x');
+  const std::uint64_t clean = sync_checksum(bytes);
+  bytes[512] ^= 0x04;
+  EXPECT_NE(sync_checksum(bytes), clean);
+}
+
+TEST(Wire, MalformedSyncPayloadsThrow) {
+  EXPECT_THROW(parse_request("SYNCBEGIN"), ProtocolError);
+  EXPECT_THROW(parse_request("SYNCBEGIN 100"), ProtocolError);
+  EXPECT_THROW(parse_request("SYNCBEGIN 100 nothex!"), ProtocolError);
+  EXPECT_THROW(parse_request("SYNCFETCH"), ProtocolError);
+  EXPECT_THROW(parse_request("SYNCFETCH -1"), ProtocolError);
+  EXPECT_THROW(parse_response("SNAPSHOT 10 abc"), ProtocolError);
+  EXPECT_THROW(parse_response("SNAPSHOT 10 0123456789abcdef"), ProtocolError);
 }
 
 TEST(Wire, PredictionFlagsRoundTripAllValues) {
@@ -323,9 +399,10 @@ TEST(WireHardening, BadVersionByteRejected) {
 }
 
 TEST(WireHardening, OldProtocolVersionsRejectedAtFrameHeader) {
-  // A v1 or v2 client (pre-STATS protocol) must be refused before any verb
-  // parsing: the frame header's version byte is the compatibility gate.
-  for (const std::uint8_t old_version : {std::uint8_t{1}, std::uint8_t{2}}) {
+  // A v1, v2 or v3 client (pre-SYNC protocol) must be refused before any
+  // verb parsing: the frame header's version byte is the compatibility gate.
+  for (const std::uint8_t old_version :
+       {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{3}}) {
     auto [listener, port] = listen_loopback(0);
     const std::byte frame[9] = {std::byte{old_version}, std::byte{0},
                                 std::byte{0},   std::byte{5},   std::byte{'h'},

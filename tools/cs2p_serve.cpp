@@ -37,17 +37,30 @@
 //   - --trace-log FILE --trace-sample R appends the JSONL prediction trace
 //     of a deterministic R-fraction of sessions; flushed on every metrics
 //     tick and on the signal path.
+//
+// Replication (DESIGN.md §13):
+//   - --peers P1,P2 pushes every built model's checksummed snapshot to the
+//     replicas on those ports over the SYNC verbs; each replica verifies
+//     byte-for-byte before hot-swapping, so the whole tier serves the same
+//     model without shared disk.
+//   - --sync-from P bootstraps this replica by pulling the snapshot
+//     published on port P (falling back to local training), so a fresh
+//     replica joins the tier without a Baum-Welch pass.
+//   - --accept-sync 0 refuses shipped snapshots (trainer-only trust).
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/model_store.h"
 #include "dataset/dataset.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -58,6 +71,25 @@ std::atomic<bool> g_stop{false};
 std::atomic<bool> g_reload{false};
 void handle_signal(int) { g_stop.store(true); }
 void handle_sighup(int) { g_reload.store(true); }
+
+/// "9001,9002" -> {9001, 9002}; throws on junk so a typo'd replica list
+/// fails at startup, not at the first push.
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string token = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const long port = std::stol(token);
+    if (port <= 0 || port > 65535)
+      throw std::runtime_error("bad port in peer list: " + token);
+    ports.push_back(static_cast<std::uint16_t>(port));
+  }
+  return ports;
+}
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -104,6 +136,17 @@ int main(int argc, char** argv) try {
   args.add_option("trace-seed",
                   "session-sampling hash seed (same seed + rate = same "
                   "sessions traced)", "1555217942");
+  args.add_option("peers",
+                  "comma-separated loopback ports of serving replicas; every "
+                  "built model's snapshot is SYNC-pushed to each of them "
+                  "(empty = off)", "");
+  args.add_option("sync-from",
+                  "bootstrap the model by SYNC-fetching a snapshot from the "
+                  "replica on this loopback port instead of training; falls "
+                  "back to local training on failure (0 = off)", "0");
+  args.add_option("accept-sync",
+                  "accept SYNC-shipped snapshots from a trainer and hot-swap "
+                  "them after verification (1/0)", "1");
   if (!args.parse(argc, argv)) return 1;
 
   // The one registry of the process: engine(s), guardrails and server all
@@ -194,7 +237,41 @@ int main(int argc, char** argv) try {
     return std::make_shared<Cs2pPredictorModel>(std::move(engine));
   };
 
-  auto model = build_model(/*use_snapshot=*/true);
+  // -- Replication (DESIGN.md §13) ------------------------------------------
+  const std::vector<std::uint16_t> peer_ports = parse_ports(args.get("peers"));
+  const auto sync_from =
+      static_cast<std::uint16_t>(args.get_long("sync-from"));
+  const bool accept_sync = args.get_long("accept-sync") != 0;
+
+  // SYNC restore needs the training split (snapshot fingerprints are
+  // verified against it); load it once up front when any SYNC path is on.
+  std::shared_ptr<const Dataset> sync_training;
+  if (accept_sync || sync_from != 0) {
+    Dataset dataset = load_dataset();
+    auto [train, test] = dataset.split_by_day(train_days);
+    (void)test;
+    sync_training = std::make_shared<const Dataset>(std::move(train));
+  }
+
+  std::shared_ptr<Cs2pPredictorModel> model;
+  if (sync_from != 0) {
+    try {
+      PredictionClient seed(sync_from);
+      const std::string bytes = seed.fetch_snapshot();
+      auto engine = restore_engine_from_bytes(bytes, *sync_training, config);
+      model = std::make_shared<Cs2pPredictorModel>(
+          std::shared_ptr<const Cs2pEngine>(std::move(engine)));
+      std::printf("model: restored %zu-byte snapshot from replica "
+                  "127.0.0.1:%u\n",
+                  bytes.size(), sync_from);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "sync: fetch from 127.0.0.1:%u failed (%s), training "
+                   "locally\n",
+                   sync_from, e.what());
+    }
+  }
+  if (!model) model = build_model(/*use_snapshot=*/true);
 
   ServerConfig server_config;
   server_config.max_connections =
@@ -208,6 +285,18 @@ int main(int argc, char** argv) try {
       static_cast<double>(args.get_long("max-sample-mbps"));
   server_config.metrics = metrics;
   server_config.trace = trace;
+  if (accept_sync) {
+    // Decode a SYNC-shipped snapshot against our training split + config;
+    // any fingerprint/parse failure throws SnapshotError and the server
+    // answers SYNC_REJECTED without touching the served model.
+    server_config.sync_apply =
+        [sync_training, config](const std::string& bytes)
+        -> std::shared_ptr<const PredictorModel> {
+      auto engine = restore_engine_from_bytes(bytes, *sync_training, config);
+      return std::make_shared<Cs2pPredictorModel>(
+          std::shared_ptr<const Cs2pEngine>(std::move(engine)));
+    };
+  }
 
   PredictionServer server(model, server_config,
                           static_cast<std::uint16_t>(args.get_long("port")));
@@ -229,6 +318,36 @@ int main(int argc, char** argv) try {
   if (trace)
     std::printf("trace: %s (sample rate %.3f)\n",
                 trace->config().path.c_str(), trace->config().sample_rate);
+  if (accept_sync) std::printf("sync: accepting shipped snapshots\n");
+  if (!peer_ports.empty())
+    std::printf("sync: pushing snapshots to %zu peer replica(s)\n",
+                peer_ports.size());
+
+  // Publish the served model's snapshot for SYNCFETCH pulls and push it to
+  // every --peers replica. Runs at startup and after every hot-swap; a
+  // failed push is that replica's loss, never ours.
+  auto publish_and_push = [&](const Cs2pPredictorModel& built) {
+    std::string bytes;
+    try {
+      bytes = serialize_engine(built.engine());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sync: serialize failed: %s\n", e.what());
+      return;
+    }
+    server.publish_snapshot(bytes);
+    for (const std::uint16_t peer_port : peer_ports) {
+      try {
+        PredictionClient peer(peer_port);
+        peer.push_snapshot(bytes);
+        std::printf("sync: pushed %zu-byte snapshot to 127.0.0.1:%u\n",
+                    bytes.size(), peer_port);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "sync: push to 127.0.0.1:%u failed: %s\n",
+                     peer_port, e.what());
+      }
+    }
+  };
+  publish_and_push(*model);
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -281,6 +400,7 @@ int main(int argc, char** argv) try {
       server.swap_model(fresh);
       model = std::move(fresh);  // poll drift on the engine now serving
       drift_handled = 0;
+      publish_and_push(*model);
       std::printf("hot-swap #%llu complete (%zu live sessions keep their "
                   "old model)\n",
                   static_cast<unsigned long long>(server.models_swapped()),

@@ -4,11 +4,19 @@
 //   cs2p_stats --port 9000 --raw 1         dump the raw text exposition
 //   cs2p_stats --port 9000 --diff 5        scrape twice, 5 s apart, and
 //                                          print what moved in between
+//   cs2p_stats --peers 9000,9001,9002      scrape every replica of a tier
+//                                          and print a merged/diffed view
 //
 // The pretty printer folds histogram families into one line with count,
 // mean and interpolated p50/p90/p99 (from the cumulative le-buckets); the
 // diff mode shows counter/histogram deltas and gauge old -> new, which is
 // the quickest way to answer "what is this server doing right now".
+//
+// --peers prints one row per series with the tier-wide total and the
+// per-replica values side by side, so a skewed replica (one node eating all
+// the HELLOs, one rejecting SYNCs) is visible at a glance; combined with
+// --diff it shows per-replica deltas. A replica that cannot be scraped is
+// reported and skipped — a dead node must not hide the survivors' stats.
 
 #include <algorithm>
 #include <chrono>
@@ -174,6 +182,127 @@ void print_diff(const Scrape& before, const Scrape& after, long seconds) {
   }
 }
 
+/// "9000,9001" -> {9000, 9001}.
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string token = csv.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    const long port = std::stol(token);
+    if (port <= 0 || port > 65535)
+      throw std::runtime_error("bad port in --peers: " + token);
+    ports.push_back(static_cast<std::uint16_t>(port));
+  }
+  return ports;
+}
+
+/// Scrape of one replica; `ok` false when the node could not be reached
+/// (its column prints as "-" so the survivors still line up).
+struct ReplicaScrape {
+  std::uint16_t port = 0;
+  bool ok = false;
+  Scrape scrape;
+};
+
+std::vector<ReplicaScrape> scrape_tier(const std::vector<std::uint16_t>& ports) {
+  std::vector<ReplicaScrape> out;
+  out.reserve(ports.size());
+  for (const std::uint16_t port : ports) {
+    ReplicaScrape replica;
+    replica.port = port;
+    try {
+      replica.scrape = scrape_server(port);
+      replica.ok = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: replica 127.0.0.1:%u unreachable (%s)\n",
+                   port, e.what());
+    }
+    out.push_back(std::move(replica));
+  }
+  return out;
+}
+
+/// Union of series keys -> per-replica column (NaN where absent/dead).
+std::map<std::string, std::vector<double>> tier_table(
+    const std::vector<ReplicaScrape>& tier) {
+  std::map<std::string, std::vector<double>> table;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < tier.size(); ++i) {
+    if (!tier[i].ok) continue;
+    for (const auto& [key, value] : tier[i].scrape.series) {
+      auto& row = table[key];
+      row.resize(tier.size(), nan);
+      row[i] = value;
+    }
+  }
+  return table;
+}
+
+/// Width of the series-name column: the longest key, so long histogram
+/// bucket labels cannot push their values out of alignment.
+int key_column_width(const std::map<std::string, std::vector<double>>& table) {
+  std::size_t width = 56;
+  for (const auto& [key, row] : table) width = std::max(width, key.size());
+  return static_cast<int>(width);
+}
+
+void print_merged(const std::vector<ReplicaScrape>& tier) {
+  std::printf("# replicas:");
+  for (const auto& replica : tier)
+    std::printf(" 127.0.0.1:%u%s", replica.port, replica.ok ? "" : "(down)");
+  const auto table = tier_table(tier);
+  const int width = key_column_width(table);
+  std::printf("\n%-*s %12s  per-replica\n", width, "# series", "total");
+  for (const auto& [key, row] : table) {
+    double total = 0.0;
+    for (const double v : row)
+      if (!std::isnan(v)) total += v;
+    std::printf("%-*s %12.6g ", width, key.c_str(), total);
+    for (const double v : row) {
+      if (std::isnan(v)) std::printf("  %10s", "-");
+      else std::printf("  %10.6g", v);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_merged_diff(const std::vector<ReplicaScrape>& before,
+                       const std::vector<ReplicaScrape>& after, long seconds) {
+  std::printf("# tier delta over %ld s\n", seconds);
+  const auto old_table = tier_table(before);
+  const auto new_table = tier_table(after);
+  const int width = key_column_width(new_table);
+  for (const auto& [key, row] : new_table) {
+    const auto it = old_table.find(key);
+    double total_delta = 0.0;
+    std::vector<double> deltas(row.size(),
+                               std::numeric_limits<double>::quiet_NaN());
+    bool moved = false;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (std::isnan(row[i])) continue;
+      const double old_value =
+          it != old_table.end() && i < it->second.size() &&
+                  !std::isnan(it->second[i])
+              ? it->second[i]
+              : 0.0;
+      deltas[i] = row[i] - old_value;
+      total_delta += deltas[i];
+      if (deltas[i] != 0.0) moved = true;
+    }
+    if (!moved) continue;
+    std::printf("%-*s %+12.6g ", width, key.c_str(), total_delta);
+    for (const double d : deltas) {
+      if (std::isnan(d)) std::printf("  %10s", "-");
+      else std::printf("  %+10.6g", d);
+    }
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -184,7 +313,23 @@ int main(int argc, char** argv) try {
   args.add_option("diff",
                   "scrape twice, N seconds apart, and print the deltas "
                   "(0 = single scrape)", "0");
+  args.add_option("peers",
+                  "comma-separated replica ports; scrape every one and print "
+                  "a merged per-replica view (overrides --port)", "");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::vector<std::uint16_t> peer_ports = parse_ports(args.get("peers"));
+  if (!peer_ports.empty()) {
+    const long tier_diff_s = args.get_long("diff");
+    const auto first = scrape_tier(peer_ports);
+    if (tier_diff_s <= 0) {
+      print_merged(first);
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(tier_diff_s));
+    print_merged_diff(first, scrape_tier(peer_ports), tier_diff_s);
+    return 0;
+  }
 
   const auto port = static_cast<std::uint16_t>(args.get_long("port"));
   if (args.get_long("raw") != 0) {
