@@ -73,7 +73,7 @@ Response PredictionClient::locked_round_trip(const Request& request) {
         if (overloaded_counter_ != nullptr) overloaded_counter_->inc();
       }
       if (last_attempt || !retryable(err->code))
-        throw ServerError(err->code, err->message);
+        throw ServerError(err->code, err->message, err->retry_after_ms);
       // Retryable server error: same connection, backoff below.
     } catch (const ServerError&) {
       throw;
@@ -195,7 +195,7 @@ void PredictionClient::push_snapshot(const std::string& snapshot_bytes) {
     const Response response = locked_round_trip(request);
     if (std::holds_alternative<OkResponse>(response)) return;
     if (const auto* err = std::get_if<ErrorResponse>(&response))
-      throw ServerError(err->code, err->message);
+      throw ServerError(err->code, err->message, err->retry_after_ms);
     throw std::runtime_error("PredictionClient: unexpected response to SYNC");
   };
   for (int attempt = 0;; ++attempt) {

@@ -106,6 +106,30 @@ TransportFactory fault_injecting_connector(
   };
 }
 
+SlowClientTransport::SlowClientTransport(std::unique_ptr<Transport> inner,
+                                         int recv_delay_ms)
+    : inner_(std::move(inner)), recv_delay_ms_(recv_delay_ms) {}
+
+void SlowClientTransport::send(std::span<const std::byte> data) {
+  inner_->send(data);
+}
+
+bool SlowClientTransport::recv(std::span<std::byte> data) {
+  if (recv_delay_ms_ > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(recv_delay_ms_));
+  return inner_->recv(data);
+}
+
+void SlowClientTransport::shutdown() noexcept { inner_->shutdown(); }
+
+TransportFactory slow_client_connector(TransportFactory inner,
+                                       int recv_delay_ms) {
+  return [inner = std::move(inner),
+          recv_delay_ms]() -> std::unique_ptr<Transport> {
+    return std::make_unique<SlowClientTransport>(inner(), recv_delay_ms);
+  };
+}
+
 ChaosReplica::ChaosReplica(
     std::function<std::shared_ptr<const PredictorModel>()> make_model,
     ServerConfig config, ReplicaFaultSpec fault)
@@ -172,6 +196,39 @@ void ChaosReplica::resurrect_now() {
   std::scoped_lock lock(mutex_);
   if (server_) return;
   locked_resurrect();
+}
+
+bool ChaosReplica::drain_and_restart(int drain_deadline_ms) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (!server_) return false;
+    server_->begin_drain();
+  }
+  drains_.fetch_add(1, std::memory_order_relaxed);
+  // Wait in short lock grabs: alive()/poll()/server() callers (and the
+  // monitor thread) must not stall behind a multi-second drain.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(std::max(0, drain_deadline_ms));
+  bool clean = false;
+  while (true) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (!server_) return false;  // killed concurrently; nothing to restart
+      if (server_->drained()) clean = true;
+    }
+    if (clean || Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::scoped_lock lock(mutex_);
+  if (!server_) return false;
+  // Publish the drain-duration gauge before teardown (wait_drained(0) is a
+  // non-blocking metrics flush once drained).
+  server_->wait_drained(0);
+  server_.reset();
+  died_at_ = Clock::now();
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  locked_resurrect();
+  return clean;
 }
 
 void ChaosReplica::locked_resurrect() {

@@ -86,6 +86,28 @@ TransportFactory fault_injecting_connector(
     TransportFactory inner, FaultSpec spec, std::uint64_t seed,
     std::shared_ptr<FaultCounters> counters);
 
+/// A deterministically slow reader: sleeps `recv_delay_ms` before every
+/// recv (sends pass straight through). Models the congested or throttled
+/// player that drains replies slower than the server produces them — the
+/// client the server's write-backpressure machinery exists for.
+class SlowClientTransport final : public Transport {
+ public:
+  SlowClientTransport(std::unique_ptr<Transport> inner, int recv_delay_ms);
+
+  void send(std::span<const std::byte> data) override;
+  bool recv(std::span<std::byte> data) override;
+  void shutdown() noexcept override;
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  int recv_delay_ms_ = 0;
+};
+
+/// Wraps `inner` so every produced transport reads slowly (see
+/// SlowClientTransport).
+TransportFactory slow_client_connector(TransportFactory inner,
+                                       int recv_delay_ms);
+
 /// Whole-replica fault schedule.
 struct ReplicaFaultSpec {
   /// Kill the replica once its current incarnation has handled this many
@@ -128,8 +150,20 @@ class ChaosReplica {
   void kill_now();
   void resurrect_now();
 
+  /// Rolling-restart step (DESIGN.md §14): begin_drain() on the live
+  /// server, wait for the drain to complete (sessions BYEd, migrated by the
+  /// client tier, or TTL-reaped under the shrunk drain TTL) up to
+  /// `drain_deadline_ms`, then tear down and resurrect on the same port.
+  /// Returns true when the drain completed before the deadline (a clean,
+  /// zero-drop restart); false when the deadline forced the kill or the
+  /// replica was already dead.
+  bool drain_and_restart(int drain_deadline_ms);
+
   std::uint64_t kills() const noexcept { return kills_.load(); }
   std::uint64_t resurrections() const noexcept { return resurrections_.load(); }
+
+  /// Drains initiated via drain_and_restart.
+  std::uint64_t drains() const noexcept { return drains_.load(); }
 
   /// The live server (STATS scraping, introspection); null while dead.
   /// The pointer is invalidated by the next kill — use only while the
@@ -153,6 +187,7 @@ class ChaosReplica {
 
   std::atomic<std::uint64_t> kills_{0};
   std::atomic<std::uint64_t> resurrections_{0};
+  std::atomic<std::uint64_t> drains_{0};
   std::atomic<bool> stopping_{false};
   std::thread monitor_;
 };

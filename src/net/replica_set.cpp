@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
+
+#include "predictors/predictor.h"
 
 namespace cs2p {
 namespace {
@@ -85,6 +88,8 @@ ReplicaSet::ReplicaSet(std::vector<Endpoint> endpoints,
     throw std::invalid_argument(
         "ReplicaSet: recover_after_successes must be >= 1");
   failovers_ = &metrics_->counter("cs2p_client_failovers_total");
+  planned_migrations_ =
+      &metrics_->counter("cs2p_client_planned_migrations_total");
   failover_seconds_ =
       &metrics_->histogram("cs2p_client_failover_seconds",
                            obs::default_latency_buckets_seconds());
@@ -114,6 +119,9 @@ ReplicaSet::ReplicaSet(std::vector<Endpoint> endpoints,
     replica->health_gauge = &metrics_->gauge("cs2p_client_replica_health",
                                              {{"replica", replica->name}});
     replica->health_gauge->set(0.0);
+    replica->draining_gauge = &metrics_->gauge(
+        "cs2p_client_replica_draining", {{"replica", replica->name}});
+    replica->draining_gauge->set(0.0);
     replicas_.push_back(std::move(replica));
     ++replica_index;
   }
@@ -164,6 +172,7 @@ std::vector<std::size_t> ReplicaSet::candidates(std::uint64_t key,
                                                 bool include_resting_down) {
   const auto order = preference_order(key);
   std::vector<std::size_t> usable;
+  std::vector<std::size_t> draining;
   std::vector<std::size_t> resting;
   const auto now = Clock::now();
   const auto probe_rest =
@@ -172,7 +181,11 @@ std::vector<std::size_t> ReplicaSet::candidates(std::uint64_t key,
   for (const std::size_t index : order) {
     Replica& replica = *replicas_[index];
     if (replica.health != ReplicaHealth::kDown) {
-      usable.push_back(index);
+      // A draining replica still serves its sessions but refuses new ones:
+      // rank it behind every non-draining replica so placements avoid it,
+      // but keep it ahead of resting-DOWN — it is alive and may have
+      // restarted (in which case its reply clears the flag).
+      (replica.draining ? draining : usable).push_back(index);
       continue;
     }
     const auto rested_since =
@@ -184,9 +197,37 @@ std::vector<std::size_t> ReplicaSet::candidates(std::uint64_t key,
       resting.push_back(index);
     }
   }
+  usable.insert(usable.end(), draining.begin(), draining.end());
   if (include_resting_down)
     usable.insert(usable.end(), resting.begin(), resting.end());
   return usable;
+}
+
+bool ReplicaSet::replica_draining(std::size_t index) const {
+  std::scoped_lock lock(health_mutex_);
+  return replicas_.at(index)->draining;
+}
+
+void ReplicaSet::set_draining(std::size_t index, bool draining) {
+  Replica& replica = *replicas_[index];
+  std::scoped_lock lock(health_mutex_);
+  if (replica.draining == draining) return;
+  replica.draining = draining;
+  replica.draining_gauge->set(draining ? 1.0 : 0.0);
+}
+
+void ReplicaSet::overload_backoff(std::uint32_t retry_after_ms) {
+  const int capped = static_cast<int>(
+      std::min<std::uint32_t>(retry_after_ms,
+                              static_cast<std::uint32_t>(
+                                  std::max(1, config_.max_retry_after_ms))));
+  int sleep_ms = 0;
+  {
+    std::scoped_lock lock(backoff_mutex_);
+    sleep_ms = jittered_backoff_ms(std::max(1, capped),
+                                   config_.client.backoff_jitter, backoff_rng_);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
 }
 
 void ReplicaSet::record_failure(std::size_t index) {
@@ -240,32 +281,49 @@ SessionResponse ReplicaSet::hello(const SessionFeatures& features,
   }
   const std::uint64_t key = make_session_key(features, start_hour, nonce);
   std::exception_ptr last_error;
-  for (const std::size_t index : candidates(key, /*include_resting_down=*/true)) {
-    try {
-      SessionResponse response =
-          replicas_[index]->client->hello(features, start_hour);
-      record_success(index);
-      SessionRecord record;
-      record.hello = HelloRequest{features, start_hour};
-      record.key = key;
-      record.replica = index;
-      record.remote_id = response.session_id;
-      std::scoped_lock lock(sessions_mutex_);
-      const std::uint64_t local_id = next_session_id_++;
-      sessions_[local_id] = std::move(record);
-      response.session_id = local_id;
-      return response;
-    } catch (const ServerError& e) {
-      if (!is_failover_signal(e)) throw;
-      record_failure(index);
-      last_error = std::current_exception();
-    } catch (const TransportError&) {
-      record_failure(index);
-      last_error = std::current_exception();
-    } catch (const ProtocolError&) {
-      record_failure(index);
-      last_error = std::current_exception();
+  const int passes = std::max(1, config_.overload_retry_passes);
+  for (int pass = 0; pass < passes; ++pass) {
+    std::uint32_t retry_after = 0;  // min server hint seen this pass
+    for (const std::size_t index :
+         candidates(key, /*include_resting_down=*/true)) {
+      try {
+        SessionResponse response =
+            replicas_[index]->client->hello(features, start_hour);
+        record_success(index);
+        // A draining replica refuses HELLO, so accepting one proves it is
+        // not (anymore) — this is how a restarted replica sheds the flag.
+        set_draining(index, false);
+        SessionRecord record;
+        record.hello = HelloRequest{features, start_hour};
+        record.key = key;
+        record.replica = index;
+        record.remote_id = response.session_id;
+        std::scoped_lock lock(sessions_mutex_);
+        const std::uint64_t local_id = next_session_id_++;
+        sessions_[local_id] = std::move(record);
+        response.session_id = local_id;
+        return response;
+      } catch (const ServerError& e) {
+        if (!is_failover_signal(e)) throw;
+        if (e.code() == WireErrorCode::kShuttingDown) set_draining(index, true);
+        if (e.retry_after_ms() > 0 &&
+            (retry_after == 0 || e.retry_after_ms() < retry_after))
+          retry_after = e.retry_after_ms();
+        record_failure(index);
+        last_error = std::current_exception();
+      } catch (const TransportError&) {
+        record_failure(index);
+        last_error = std::current_exception();
+      } catch (const ProtocolError&) {
+        record_failure(index);
+        last_error = std::current_exception();
+      }
     }
+    // The whole tier turned us away. If any replica supplied a retry-after
+    // hint, honor it (jittered) and sweep again instead of surfacing a
+    // hot-spin-inducing error; without a hint there is nothing to wait for.
+    if (retry_after == 0 || pass + 1 >= passes) break;
+    overload_backoff(retry_after);
   }
   std::rethrow_exception(last_error);
 }
@@ -282,53 +340,138 @@ ReplicaSet::SessionRecord ReplicaSet::record_copy(
 
 template <typename Op>
 PredictionResponse ReplicaSet::session_op(std::uint64_t session_id, Op&& op) {
-  SessionRecord record = record_copy(session_id);
-  // The current replica first (sticky placement), then the preference list.
-  std::vector<std::size_t> order{record.replica};
-  for (const std::size_t index : candidates(record.key, true))
-    if (index != record.replica) order.push_back(index);
-
   std::exception_ptr last_error;
-  Clock::time_point first_failure{};
-  for (const std::size_t index : order) {
-    const bool migrating = index != record.replica;
-    try {
-      if (migrating) {
-        // Replay HELLO on the new replica: same re-establishment path the
-        // single-replica client uses when a server loses a session. The
-        // replica-local handle below stays valid across its own reconnects.
-        const SessionResponse session = replicas_[index]->client->hello(
-            record.hello.features, record.hello.start_hour);
-        record.replica = index;
-        record.remote_id = session.session_id;
+  const int passes = std::max(1, config_.overload_retry_passes);
+  for (int pass = 0; pass < passes; ++pass) {
+    SessionRecord record = record_copy(session_id);
+    // The current replica first (sticky placement), then the preference
+    // list.
+    std::vector<std::size_t> order{record.replica};
+    for (const std::size_t index : candidates(record.key, true))
+      if (index != record.replica) order.push_back(index);
+
+    std::uint32_t retry_after = 0;  // min server hint seen this pass
+    Clock::time_point first_failure{};
+    for (const std::size_t index : order) {
+      const bool migrating = index != record.replica;
+      try {
+        if (migrating) {
+          // Replay HELLO on the new replica: same re-establishment path the
+          // single-replica client uses when a server loses a session. The
+          // replica-local handle below stays valid across its own
+          // reconnects.
+          const SessionResponse session = replicas_[index]->client->hello(
+              record.hello.features, record.hello.start_hour);
+          record.replica = index;
+          record.remote_id = session.session_id;
+        }
+        PredictionResponse response = op(*replicas_[index]->client,
+                                         record.remote_id);
+        record_success(index);
+        const bool drain_hinted =
+            (response.flags & serve_flags::kDraining) != 0;
+        set_draining(index, drain_hinted);
+        if (migrating) {
+          failovers_->inc();
+          failover_seconds_->observe(
+              std::chrono::duration<double>(Clock::now() - first_failure)
+                  .count());
+          std::scoped_lock lock(sessions_mutex_);
+          const auto it = sessions_.find(session_id);
+          if (it != sessions_.end()) it->second = record;
+        }
+        // Planned migration (DESIGN.md §14): the reply is good, but the
+        // replica told us it is draining — move the session now, while both
+        // sides are still serving, instead of waiting for the replica to
+        // die under us. Best-effort; the answer we already have is
+        // returned either way.
+        if (drain_hinted) migrate_off_draining(session_id, record);
+        return response;
+      } catch (const ServerError& e) {
+        if (!is_failover_signal(e)) throw;
+        if (e.code() == WireErrorCode::kShuttingDown) set_draining(index, true);
+        if (e.retry_after_ms() > 0 &&
+            (retry_after == 0 || e.retry_after_ms() < retry_after))
+          retry_after = e.retry_after_ms();
+        record_failure(index);
+        last_error = std::current_exception();
+      } catch (const TransportError&) {
+        record_failure(index);
+        last_error = std::current_exception();
+      } catch (const ProtocolError&) {
+        record_failure(index);
+        last_error = std::current_exception();
       }
-      PredictionResponse response = op(*replicas_[index]->client,
-                                       record.remote_id);
-      record_success(index);
-      if (migrating) {
-        failovers_->inc();
-        failover_seconds_->observe(
-            std::chrono::duration<double>(Clock::now() - first_failure)
-                .count());
-        std::scoped_lock lock(sessions_mutex_);
-        const auto it = sessions_.find(session_id);
-        if (it != sessions_.end()) it->second = record;
-      }
-      return response;
-    } catch (const ServerError& e) {
-      if (!is_failover_signal(e)) throw;
-      record_failure(index);
-      last_error = std::current_exception();
-    } catch (const TransportError&) {
-      record_failure(index);
-      last_error = std::current_exception();
-    } catch (const ProtocolError&) {
-      record_failure(index);
-      last_error = std::current_exception();
+      if (first_failure == Clock::time_point{}) first_failure = Clock::now();
     }
-    if (first_failure == Clock::time_point{}) first_failure = Clock::now();
+    if (retry_after == 0 || pass + 1 >= passes) break;
+    overload_backoff(retry_after);
   }
   std::rethrow_exception(last_error);
+}
+
+void ReplicaSet::migrate_off_draining(std::uint64_t session_id,
+                                      SessionRecord record) {
+  const std::vector<std::size_t> order =
+      candidates(record.key, /*include_resting_down=*/false);
+  // Replicas still marked draining go last, as probes: the mark can be
+  // stale — a drained replica that restarted sheds it only when traffic
+  // lands on it again, and during a rolling restart the freshly restarted
+  // replicas are exactly the marked ones. The HELLO doubles as the probe: a
+  // genuinely draining target refuses it with SHUTTING_DOWN and keeps its
+  // mark, a restarted one accepts and clears it.
+  for (const bool probe_marked : {false, true}) {
+    for (const std::size_t index : order) {
+      if (index == record.replica || replica_draining(index) != probe_marked)
+        continue;
+      SessionRecord moved = record;
+      try {
+        const SessionResponse session = replicas_[index]->client->hello(
+            record.hello.features, record.hello.start_hour);
+        moved.replica = index;
+        moved.remote_id = session.session_id;
+        record_success(index);
+        set_draining(index, false);  // the accepted HELLO is the probe result
+      } catch (const ServerError& e) {
+        if (e.code() == WireErrorCode::kShuttingDown)
+          set_draining(index, true);
+        record_failure(index);
+        continue;  // try the next candidate
+      } catch (const std::exception&) {
+        record_failure(index);
+        continue;
+      }
+      bool committed = false;
+      {
+        std::scoped_lock lock(sessions_mutex_);
+        const auto it = sessions_.find(session_id);
+        // The session may have BYEd or migrated concurrently; only commit
+        // if it is still where we copied it from.
+        if (it != sessions_.end() && it->second.replica == record.replica) {
+          it->second = moved;
+          committed = true;
+        }
+      }
+      if (!committed) {
+        // Lost the race: the session we just opened on `index` is an orphan.
+        try {
+          replicas_[index]->client->bye(moved.remote_id);
+        } catch (const std::exception&) {
+        }
+        return;
+      }
+      planned_migrations_->inc();
+      // Tell the draining replica the session is gone so its drain completes
+      // now rather than when the shrunk TTL expires. Best-effort.
+      try {
+        replicas_[record.replica]->client->bye(record.remote_id);
+      } catch (const std::exception&) {
+      }
+      return;
+    }
+  }
+  // Every other replica is down or refused the HELLO: stay put — the shrunk
+  // drain TTL or a later op will move us.
 }
 
 PredictionResponse ReplicaSet::observe_response(std::uint64_t session_id,

@@ -70,6 +70,16 @@ struct ReplicaSetConfig {
   int recover_after_successes = 2;
   /// How long a DOWN replica rests before new sessions probe it.
   int down_probe_after_ms = 500;
+  /// When a whole candidate pass fails and at least one replica answered
+  /// OVERLOADED/SHUTTING_DOWN with a retry-after hint, sleep that hint
+  /// (jittered, capped below) and sweep again — up to this many passes in
+  /// total. 1 disables the backoff (one pass, then the error surfaces).
+  /// This is what turns a briefly all-shedding tier into a short stall
+  /// instead of a hot-spin of HELLO replays.
+  int overload_retry_passes = 2;
+  /// Upper bound honored for a server-supplied retry-after hint; a
+  /// misconfigured server cannot park clients for minutes.
+  int max_retry_after_ms = 2'000;
   /// Telemetry sink shared by the set and its per-replica clients
   /// (failovers, per-replica health/failures, time-to-recover). Null: a
   /// private registry.
@@ -130,6 +140,16 @@ class ReplicaSet final : public SessionClient {
   /// Sessions successfully migrated to another replica.
   std::uint64_t failovers() const noexcept { return failovers_->value(); }
 
+  /// Sessions moved off a replica that hinted kDraining on a reply — the
+  /// proactive half of a zero-drop rolling restart (the session migrates
+  /// while the old replica is still answering, not after it dies).
+  std::uint64_t planned_migrations() const noexcept {
+    return planned_migrations_->value();
+  }
+
+  /// Whether replica `index` is currently believed to be draining.
+  bool replica_draining(std::size_t index) const;
+
   /// The replica `session_id` is currently served by.
   std::size_t session_replica(std::uint64_t session_id) const;
 
@@ -152,10 +172,16 @@ class ReplicaSet final : public SessionClient {
     ReplicaHealth health = ReplicaHealth::kHealthy;
     int failure_streak = 0;
     int success_streak = 0;
+    /// Replica hinted kDraining (or refused with SHUTTING_DOWN): new and
+    /// migrating sessions prefer any non-draining replica, and served
+    /// sessions proactively move off it. Cleared on the first reply without
+    /// the hint (the replica restarted).
+    bool draining = false;
     Clock::time_point down_since{};
     Clock::time_point last_probe{};
     obs::Counter* failures = nullptr;
     obs::Gauge* health_gauge = nullptr;
+    obs::Gauge* draining_gauge = nullptr;
   };
 
   struct SessionRecord {
@@ -180,6 +206,15 @@ class ReplicaSet final : public SessionClient {
   SessionRecord record_copy(std::uint64_t session_id) const;
   void record_failure(std::size_t index);
   void record_success(std::size_t index);
+  void set_draining(std::size_t index, bool draining);
+  /// Best-effort move of a session off a draining replica onto the best
+  /// non-draining candidate: HELLO there, BYE here (so the old replica's
+  /// drain completes without waiting out the TTL), update the record. The
+  /// session stays put if there is nowhere better to go.
+  void migrate_off_draining(std::uint64_t session_id, SessionRecord record);
+  /// Jittered sleep honoring a server-supplied retry-after hint (capped at
+  /// max_retry_after_ms).
+  void overload_backoff(std::uint32_t retry_after_ms);
   static bool is_failover_signal(const ServerError& error) noexcept;
 
   ReplicaSetConfig config_;
@@ -193,7 +228,11 @@ class ReplicaSet final : public SessionClient {
   std::uint64_t next_session_id_ = 1;
   std::uint64_t next_nonce_ = 0;
 
+  mutable std::mutex backoff_mutex_;  ///< guards backoff_rng_
+  Rng backoff_rng_{0x5eedc0dec52bULL};
+
   obs::Counter* failovers_ = nullptr;
+  obs::Counter* planned_migrations_ = nullptr;
   obs::Histogram* failover_seconds_ = nullptr;
   obs::Histogram* recovery_seconds_ = nullptr;
 };

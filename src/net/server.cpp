@@ -28,8 +28,16 @@ ServerConfig resolve_config(ServerConfig config) {
   }
   if (config.session_shards == 0) config.session_shards = 16;
   if (config.evict_scan_budget == 0) config.evict_scan_budget = 64;
+  if (config.write_budget_bytes == 0) config.write_budget_bytes = 256 * 1024;
+  if (config.retry_after_ms <= 0) config.retry_after_ms = 250;
   return config;
 }
+
+/// Smoothing factor of the per-worker utilization EWMA. One loop iteration
+/// is at most ~kMaxPollWaitMs, so the window is a few hundred ms — fast
+/// enough to track an overload ramp, slow enough not to shed on one
+/// expensive request.
+constexpr double kUtilizationAlpha = 0.2;
 
 /// Eviction cadence per worker: often enough that TTLs in the tens of
 /// milliseconds (tests) are honored promptly, rare enough to stay amortized.
@@ -70,8 +78,17 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
   m.syncs_applied = &registry.counter("cs2p_server_syncs_applied_total");
   m.syncs_rejected = &registry.counter("cs2p_server_syncs_rejected_total");
   m.loop_iterations = &registry.counter("cs2p_server_loop_iterations_total");
+  m.hellos_shed = &registry.counter("cs2p_server_hellos_shed_total");
+  m.slow_reader_kicks =
+      &registry.counter("cs2p_server_slow_reader_kicks_total");
+  m.brownout_replies = &registry.counter("cs2p_server_brownout_replies_total");
+  m.drain_rejections = &registry.counter("cs2p_server_drain_rejections_total");
   m.active_connections = &registry.gauge("cs2p_server_active_connections");
   m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
+  m.draining = &registry.gauge("cs2p_server_draining");
+  m.brownout_level = &registry.gauge("cs2p_server_brownout_level");
+  m.last_drain_seconds = &registry.gauge("cs2p_server_last_drain_seconds");
+  m.max_write_queue = &registry.gauge("cs2p_server_max_write_queue_bytes");
   m.request_seconds =
       &registry.histogram("cs2p_server_request_seconds",
                           obs::default_latency_buckets_seconds());
@@ -128,6 +145,8 @@ PredictionServer::PredictionServer(std::shared_ptr<const PredictorModel> model,
     auto [wake_read, wake_write] = make_wake_pipe();
     worker->wake_read = std::move(wake_read);
     worker->wake_write = std::move(wake_write);
+    worker->utilization_gauge = &metrics_->gauge(
+        "cs2p_server_worker_utilization", {{"worker", std::to_string(i)}});
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_)
@@ -186,13 +205,110 @@ std::shared_ptr<const std::string> PredictionServer::published_snapshot() const 
   return snapshot_;
 }
 
-void PredictionServer::reject_connection(const FdHandle& connection) {
+bool PredictionServer::should_shed(const Worker& worker) const noexcept {
+  if (shed_override_.load(std::memory_order_relaxed)) return true;
+  if (config_.shed_pending_replies > 0 &&
+      worker.queued_replies.load(std::memory_order_relaxed) >=
+          config_.shed_pending_replies)
+    return true;
+  if (config_.shed_utilization > 0.0 &&
+      worker.utilization.load(std::memory_order_relaxed) >=
+          config_.shed_utilization)
+    return true;
+  return false;
+}
+
+int PredictionServer::brownout_level() const noexcept {
+  const int pinned = brownout_override_.load(std::memory_order_relaxed);
+  if (pinned >= 0) return pinned;
+  if (config_.brownout_enter_ticks <= 0) return 0;
+  const int score = brownout_score_.load(std::memory_order_relaxed);
+  if (score >= 3 * config_.brownout_enter_ticks) return 2;
+  if (score >= config_.brownout_enter_ticks) return 1;
+  return 0;
+}
+
+void PredictionServer::set_brownout_level(int level) noexcept {
+  brownout_override_.store(level, std::memory_order_relaxed);
+  m_.brownout_level->set(static_cast<double>(brownout_level()));
+}
+
+void PredictionServer::brownout_tick() {
+  if (config_.brownout_enter_ticks <= 0 &&
+      brownout_override_.load(std::memory_order_relaxed) < 0)
+    return;
+  bool pressure = false;
+  for (const auto& worker : workers_)
+    if (should_shed(*worker)) {
+      pressure = true;
+      break;
+    }
+  // Leaky integrator: pressure must be *sustained* to climb the ladder, and
+  // one quiet tick starts climbing back down — brownout recovers as smoothly
+  // as it engages.
+  const int ceiling = std::max(1, 4 * config_.brownout_enter_ticks);
+  int score = brownout_score_.load(std::memory_order_relaxed);
+  int next;
+  do {
+    next = pressure ? std::min(score + 1, ceiling) : std::max(score - 1, 0);
+  } while (!brownout_score_.compare_exchange_weak(score, next,
+                                                  std::memory_order_relaxed));
+  m_.brownout_level->set(static_cast<double>(brownout_level()));
+}
+
+void PredictionServer::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now().time_since_epoch())
+                          .count();
+  drain_started_us_.store(now_us, std::memory_order_release);
+  m_.draining->set(1.0);
+  if (config_.drain_session_ttl_ms > 0)
+    sessions_.set_ttl_ms(
+        std::min(config_.session_ttl_ms, config_.drain_session_ttl_ms));
+  // Wake every worker: the drain TTL and the kDraining reply stamping take
+  // effect on their next iteration, not at their next natural wakeup.
+  for (auto& worker : workers_) wake_pipe_signal(worker->wake_write);
+}
+
+void PredictionServer::note_drain_progress() {
+  if (!draining() || sessions_.size() != 0) return;
+  if (drain_recorded_.exchange(true, std::memory_order_acq_rel)) return;
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now().time_since_epoch())
+                          .count();
+  const auto started = drain_started_us_.load(std::memory_order_acquire);
+  m_.last_drain_seconds->set(static_cast<double>(now_us - started) / 1e6);
+}
+
+bool PredictionServer::wait_drained(int timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(std::max(0, timeout_ms));
+  while (!drained()) {
+    if (Clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  note_drain_progress();
+  return drained();
+}
+
+void PredictionServer::record_write_queue_depth(std::size_t bytes) noexcept {
+  std::size_t seen = max_write_queue_.load(std::memory_order_relaxed);
+  while (bytes > seen && !max_write_queue_.compare_exchange_weak(
+                             seen, bytes, std::memory_order_relaxed)) {
+  }
+  if (bytes > seen) m_.max_write_queue->set(static_cast<double>(bytes));
+}
+
+void PredictionServer::reject_connection(const FdHandle& connection,
+                                         WireErrorCode code,
+                                         const std::string& message) {
   m_.rejected->inc();
   try {
     send_frame(connection,
                serialize_response(ErrorResponse{
-                   WireErrorCode::kOverloaded,
-                   "connection limit reached, try again later"}));
+                   code, message,
+                   static_cast<std::uint32_t>(config_.retry_after_ms)}));
     // The client's request is sitting unread in our receive buffer, and
     // close(2) with unread data sends RST — which can destroy the rejection
     // frame before the peer reads it. Half-close our side, then drain the
@@ -216,8 +332,18 @@ void PredictionServer::accept_loop() {
     }
     FdHandle connection = try_accept(listener_);
     if (!connection.valid()) continue;  // spurious wakeup or shutdown
+    if (draining()) {
+      // A draining replica takes no new connections at all: the rejection
+      // frame carries the retry-after hint so the client tier lands the
+      // session elsewhere immediately.
+      m_.drain_rejections->inc();
+      reject_connection(connection, WireErrorCode::kShuttingDown,
+                        "server is draining, connect to another replica");
+      continue;
+    }
     if (active_connections_.load() >= config_.max_connections) {
-      reject_connection(connection);
+      reject_connection(connection, WireErrorCode::kOverloaded,
+                        "connection limit reached, try again later");
       continue;  // FdHandle destructor closes it
     }
     dispatch_connection(std::move(connection));
@@ -237,10 +363,17 @@ void PredictionServer::dispatch_connection(FdHandle connection) {
         static_cast<double>(active_connections_.fetch_sub(1) - 1));
     return;
   }
+  if (config_.so_sndbuf > 0) {
+    // Best-effort: a small kernel send buffer makes the user-space write
+    // queue (and so the backpressure machinery) observable at test scales.
+    const int size = config_.so_sndbuf;
+    ::setsockopt(connection.get(), SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+  }
   Connection conn;
   conn.fd = std::move(connection);
   conn.opened_at = Clock::now();
   conn.last_activity = conn.opened_at;
+  conn.last_write_progress = conn.opened_at;
   Worker& worker =
       *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
                 workers_.size()];
@@ -263,8 +396,15 @@ void PredictionServer::adopt_inbox(Worker& worker) {
   }
 }
 
-void PredictionServer::close_connection(Connection& conn, bool idle_timed_out) {
+void PredictionServer::close_connection(Worker& worker, Connection& conn,
+                                        bool idle_timed_out) {
   if (idle_timed_out) m_.idle_timeouts->inc();
+  // Replies queued on a dying connection will never flush; release their
+  // contribution to the worker's pending-work depth.
+  if (!conn.pending.empty())
+    worker.queued_replies.fetch_sub(conn.pending.size(),
+                                    std::memory_order_relaxed);
+  conn.pending.clear();
   m_.connection_seconds->observe(
       std::chrono::duration<double>(Clock::now() - conn.opened_at).count());
   m_.active_connections->set(
@@ -274,15 +414,17 @@ void PredictionServer::close_connection(Connection& conn, bool idle_timed_out) {
 
 void PredictionServer::worker_loop(Worker& worker) {
   std::vector<pollfd> pollfds;
-  std::vector<int> ready;     // fds with events this iteration
-  std::vector<int> expired;   // fds past their idle deadline
+  std::vector<std::pair<int, short>> ready;  // fd + revents this iteration
+  std::vector<int> expired;   // fds past their idle or stall deadline
   auto next_evict = Clock::now();
+  auto iter_start = Clock::now();
+  const bool leads_ticks = !workers_.empty() && workers_[0].get() == &worker;
   while (true) {
     adopt_inbox(worker);
     const bool stopping = stopping_.load();
     if (stopping) {
       for (auto& [fd, conn] : worker.connections)
-        close_connection(conn, /*idle_timed_out=*/false);
+        close_connection(worker, conn, /*idle_timed_out=*/false);
       worker.connections.clear();
       // One last inbox sweep: a connection dispatched after our previous
       // adopt still gets the close-path accounting.
@@ -294,8 +436,13 @@ void PredictionServer::worker_loop(Worker& worker) {
     pollfds.clear();
     pollfds.push_back({worker.wake_read.get(), POLLIN, 0});
     for (const auto& [fd, conn] : worker.connections) {
-      const short events =
-          conn.state == ConnState::kWriting ? POLLOUT : POLLIN;
+      // Backpressure lives here: a connection with queued reply bytes wants
+      // POLLOUT; one whose queue is over budget stops being read until the
+      // flush brings it back under (the slow reader throttles itself).
+      short events = 0;
+      const std::size_t queued = conn.write_buffer.size() - conn.write_pos;
+      if (queued > 0) events |= POLLOUT;
+      if (queued <= config_.write_budget_bytes) events |= POLLIN;
       pollfds.push_back({fd, events, 0});
     }
 
@@ -311,27 +458,47 @@ void PredictionServer::worker_loop(Worker& worker) {
       wait_ms = std::clamp(static_cast<int>(remaining.count()), 0,
                            kMaxPollWaitMs);
     }
+    const auto poll_start = Clock::now();
     const int rc = ::poll(pollfds.data(), pollfds.size(), wait_ms);
+    const auto poll_end = Clock::now();
     m_.loop_iterations->inc();
     if (rc < 0 && errno != EINTR && errno != EAGAIN) break;  // should not happen
+
+    // Utilization EWMA: the busy fraction of this loop iteration (everything
+    // that was not waiting inside poll). Admission control reads it.
+    {
+      const auto total = poll_end - iter_start;
+      const auto waited = poll_end - poll_start;
+      double busy = 0.0;
+      if (total.count() > 0) {
+        busy = 1.0 - std::chrono::duration<double>(waited).count() /
+                         std::chrono::duration<double>(total).count();
+        busy = std::clamp(busy, 0.0, 1.0);
+      }
+      const double prev = worker.utilization.load(std::memory_order_relaxed);
+      worker.utilization.store(
+          prev + kUtilizationAlpha * (busy - prev), std::memory_order_relaxed);
+      iter_start = poll_end;
+    }
 
     if (pollfds[0].revents != 0) wake_pipe_drain(worker.wake_read);
     ready.clear();
     for (std::size_t i = 1; i < pollfds.size(); ++i)
-      if (pollfds[i].revents != 0) ready.push_back(pollfds[i].fd);
-    for (const int fd : ready) {
+      if (pollfds[i].revents != 0)
+        ready.emplace_back(pollfds[i].fd, pollfds[i].revents);
+    for (const auto& [fd, revents] : ready) {
       const auto it = worker.connections.find(fd);
       if (it == worker.connections.end()) continue;
       bool keep = false;
       try {
-        keep = handle_io(it->second);
+        keep = handle_io(worker, it->second, revents);
       } catch (const std::exception&) {
         // Connection-level failure (reset, desynced framing): drop the
         // connection, keep serving others.
         keep = false;
       }
       if (!keep) {
-        close_connection(it->second, /*idle_timed_out=*/false);
+        close_connection(worker, it->second, /*idle_timed_out=*/false);
         worker.connections.erase(it);
       }
     }
@@ -345,7 +512,27 @@ void PredictionServer::worker_loop(Worker& worker) {
         if (conn.last_activity < deadline) expired.push_back(fd);
       for (const int fd : expired) {
         const auto it = worker.connections.find(fd);
-        close_connection(it->second, /*idle_timed_out=*/true);
+        close_connection(worker, it->second, /*idle_timed_out=*/true);
+        worker.connections.erase(it);
+      }
+    }
+
+    if (config_.write_stall_timeout_ms > 0) {
+      // Slow-reader kick: queued replies whose flush made zero progress past
+      // the stall deadline mean the peer stopped reading — reclaim the
+      // buffer and the slot instead of carrying the connection forever.
+      const auto now = Clock::now();
+      const auto stall_deadline =
+          now - std::chrono::milliseconds(config_.write_stall_timeout_ms);
+      expired.clear();
+      for (const auto& [fd, conn] : worker.connections)
+        if (conn.write_pos < conn.write_buffer.size() &&
+            conn.last_write_progress < stall_deadline)
+          expired.push_back(fd);
+      for (const int fd : expired) {
+        const auto it = worker.connections.find(fd);
+        m_.slow_reader_kicks->inc();
+        close_connection(worker, it->second, /*idle_timed_out=*/false);
         worker.connections.erase(it);
       }
     }
@@ -358,62 +545,90 @@ void PredictionServer::worker_loop(Worker& worker) {
             if (trace_ && entry.traced)
               trace_->emit("evict", id,
                            {{"ttl_ms", static_cast<std::int64_t>(
-                                           config_.session_ttl_ms)}});
+                                           sessions_.ttl_ms())}});
             m_.evicted->inc();
           });
       if (stats.evicted > 0)
         m_.live_sessions->set(static_cast<double>(sessions_.size()));
+      if (leads_ticks) {
+        // One worker owns the process-wide control ticks so the brownout
+        // integrator steps once per interval, not once per worker.
+        brownout_tick();
+        for (auto& w : workers_)
+          if (w->utilization_gauge != nullptr)
+            w->utilization_gauge->set(
+                w->utilization.load(std::memory_order_relaxed));
+      }
+      if (draining()) note_drain_progress();
     }
   }
 }
 
-bool PredictionServer::handle_io(Connection& conn) {
-  if (conn.state == ConnState::kWriting) {
-    conn.last_activity = Clock::now();
-    if (!flush_write(conn)) return true;  // still blocked on POLLOUT
-    // Reply done; buffered pipelined input may already hold the next frame.
-    return process_read_buffer(conn);
+bool PredictionServer::handle_io(Worker& worker, Connection& conn,
+                                 short revents) {
+  if ((revents & POLLOUT) != 0) {
+    if (!flush_write(worker, conn)) return false;  // peer gone mid-reply
+    // The flush may have pulled the queue back under budget. Frames read
+    // before backpressure engaged are still sitting in read_buffer and get
+    // no further POLLIN (the kernel side is already drained) — resume them
+    // here or a slow-then-recovering reader wedges with buffered requests.
+    if (!conn.read_buffer.empty() && !process_read_buffer(worker, conn))
+      return false;
   }
-  std::byte chunk[kReadChunkBytes];
-  const auto n = recv_some(conn.fd, chunk);
-  if (!n.has_value()) return false;  // clean EOF
-  if (*n == 0) return true;          // spurious wakeup
-  conn.last_activity = Clock::now();
-  conn.read_buffer.append(reinterpret_cast<const char*>(chunk), *n);
-  return process_read_buffer(conn);
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+    // Respect backpressure even when poll raced a flush: no reads while the
+    // queue is over budget.
+    const std::size_t queued = conn.write_buffer.size() - conn.write_pos;
+    if (queued > config_.write_budget_bytes) return true;
+    std::byte chunk[kReadChunkBytes];
+    const auto n = recv_some(conn.fd, chunk);
+    if (!n.has_value()) return false;  // clean EOF
+    if (*n == 0) return true;          // spurious wakeup
+    conn.read_buffer.append(reinterpret_cast<const char*>(chunk), *n);
+    return process_read_buffer(worker, conn);
+  }
+  return true;
 }
 
-bool PredictionServer::process_read_buffer(Connection& conn) {
-  while (conn.state != ConnState::kWriting) {
+bool PredictionServer::process_read_buffer(Worker& worker, Connection& conn) {
+  // Pipelined serving: consume every complete frame in the buffer, queueing
+  // each reply, until the write queue crosses its budget — then stop and let
+  // backpressure gate further reads. The queue can exceed the budget by at
+  // most the one reply that crossed it, which is the bound
+  // max_write_queue_bytes() certifies.
+  while (conn.write_buffer.size() - conn.write_pos <=
+         config_.write_budget_bytes) {
     if (conn.state == ConnState::kReadingHeader) {
-      if (conn.read_buffer.size() < kFrameHeaderBytes) return true;
+      if (conn.read_buffer.size() < kFrameHeaderBytes) break;
       // A malformed header (wrong version, absurd length) desyncs the
       // stream: drop the connection, exactly like the blocking server did.
       conn.body_size = parse_frame_header(conn.read_buffer);
       conn.read_buffer.erase(0, kFrameHeaderBytes);
       conn.state = ConnState::kReadingBody;
     }
-    if (conn.read_buffer.size() < conn.body_size) return true;
+    if (conn.read_buffer.size() < conn.body_size) break;
     const std::string payload = conn.read_buffer.substr(0, conn.body_size);
     conn.read_buffer.erase(0, conn.body_size);
     conn.state = ConnState::kReadingHeader;
+    // A complete frame is the activity signal for the idle sweep — a peer
+    // trickling header bytes never refreshes its deadline (slow-header
+    // folding, DESIGN.md §14).
+    conn.last_activity = Clock::now();
 
     // Count before replying: once the client sees the response, the
     // request must already be visible in requests_handled() — and a reply
     // can never outrun its request (the scrape invariant of §11).
     m_.requests->inc();
-    conn.t_recv = Clock::now();
+    PendingReply reply;
+    reply.t_recv = Clock::now();
     Response response;
-    conn.info = RequestInfo{};
-    conn.parse_us = 0;
-    conn.handle_us = 0;
     try {
       const Request request = parse_request(payload);
       const auto t_parsed = Clock::now();
-      conn.parse_us = elapsed_us(conn.t_recv, t_parsed);
+      reply.parse_us = elapsed_us(reply.t_recv, t_parsed);
       verb_counter(request)->inc();
-      response = handle(request, conn);
-      conn.handle_us = elapsed_us(t_parsed, Clock::now());
+      response = handle(request, worker, conn, reply.info);
+      reply.handle_us = elapsed_us(t_parsed, Clock::now());
     } catch (const ProtocolError& e) {
       m_.verb_invalid->inc();
       response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
@@ -421,68 +636,84 @@ bool PredictionServer::process_read_buffer(Connection& conn) {
       response = ErrorResponse{WireErrorCode::kInternal, e.what()};
     }
     const auto* err = std::get_if<ErrorResponse>(&response);
-    conn.reply_is_error = err != nullptr;
-    conn.error_code = err != nullptr ? wire_error_code_name(err->code)
-                                     : std::string_view{};
-    if (conn.reply_is_error) m_.error_replies->inc();
-    conn.write_buffer = encode_frame(serialize_response(response));
-    conn.write_pos = 0;
-    conn.state = ConnState::kWriting;
-    conn.t_send = Clock::now();
-    if (!flush_write(conn)) return true;  // wait for POLLOUT
+    reply.is_error = err != nullptr;
+    reply.error_code = err != nullptr ? wire_error_code_name(err->code)
+                                      : std::string_view{};
+    if (reply.is_error) m_.error_replies->inc();
+    if (conn.pending.empty()) conn.last_write_progress = Clock::now();
+    conn.write_buffer += encode_frame(serialize_response(response));
+    reply.end_offset = conn.write_buffer.size();
+    conn.pending.push_back(std::move(reply));
+    worker.queued_replies.fetch_add(1, std::memory_order_relaxed);
+    record_write_queue_depth(conn.write_buffer.size() - conn.write_pos);
+    // Opportunistic flush: most replies go straight to the kernel without a
+    // POLLOUT round-trip, and the queue only builds when the peer is slow.
+    if (!flush_write(worker, conn)) return false;
   }
   return true;
 }
 
-bool PredictionServer::flush_write(Connection& conn) {
+bool PredictionServer::flush_write(Worker& worker, Connection& conn) {
   while (conn.write_pos < conn.write_buffer.size()) {
     const auto remaining = std::span(conn.write_buffer).subspan(conn.write_pos);
     const std::size_t n = send_some(conn.fd, std::as_bytes(remaining));
-    if (n == 0) return false;  // kernel buffer full
+    if (n == 0) break;  // kernel buffer full; wait for POLLOUT
     conn.write_pos += n;
+    conn.last_write_progress = Clock::now();
   }
-  finish_reply(conn);
+  complete_flushed_replies(worker, conn);
+  if (conn.write_pos >= conn.write_buffer.size()) {
+    // Fully flushed: reclaim the buffer instead of letting offsets grow
+    // without bound over the connection's lifetime.
+    conn.write_buffer.clear();
+    conn.write_pos = 0;
+  }
   return true;
 }
 
-void PredictionServer::finish_reply(Connection& conn) {
-  m_.replies->inc();
-  const auto t_done = Clock::now();
-  conn.last_activity = t_done;
-  m_.request_seconds->observe(
-      std::chrono::duration<double>(t_done - conn.t_recv).count());
-  conn.write_buffer.clear();
-  conn.write_pos = 0;
-  conn.state = ConnState::kReadingHeader;
-  const RequestInfo& info = conn.info;
-  if (trace_ && info.traced) {
-    const std::uint64_t send_us = elapsed_us(conn.t_send, t_done);
-    if (conn.reply_is_error) {
-      trace_->emit("reply-error", info.session_id,
-                   {{"verb", info.event},
-                    {"code", conn.error_code},
-                    {"parse_us", conn.parse_us},
-                    {"handle_us", conn.handle_us},
-                    {"send_us", send_us}});
-    } else if (info.event == "hello") {
-      trace_->emit("hello", info.session_id,
-                   {{"cluster", std::string_view(info.cluster_label)},
-                    {"initial_mbps", info.mbps},
-                    {"parse_us", conn.parse_us},
-                    {"handle_us", conn.handle_us},
-                    {"send_us", send_us}});
-    } else {
-      // observe / predict / bye: flags + prediction + the filter's
-      // predictive log-likelihood (NaN serializes as null when absent).
-      trace_->emit(
-          info.event, info.session_id,
-          {{"flags", info.flags},
-           {"mbps", info.mbps},
-           {"ll", info.log_likelihood.value_or(
-                      std::numeric_limits<double>::quiet_NaN())},
-           {"parse_us", conn.parse_us},
-           {"handle_us", conn.handle_us},
-           {"send_us", send_us}});
+void PredictionServer::complete_flushed_replies(Worker& worker,
+                                                Connection& conn) {
+  while (!conn.pending.empty() &&
+         conn.pending.front().end_offset <= conn.write_pos) {
+    const PendingReply reply = std::move(conn.pending.front());
+    conn.pending.pop_front();
+    worker.queued_replies.fetch_sub(1, std::memory_order_relaxed);
+    m_.replies->inc();
+    const auto t_done = Clock::now();
+    conn.last_activity = t_done;
+    m_.request_seconds->observe(
+        std::chrono::duration<double>(t_done - reply.t_recv).count());
+    const RequestInfo& info = reply.info;
+    if (trace_ && info.traced) {
+      const std::uint64_t send_us = elapsed_us(reply.t_recv, t_done) -
+                                    reply.parse_us - reply.handle_us;
+      if (reply.is_error) {
+        trace_->emit("reply-error", info.session_id,
+                     {{"verb", info.event},
+                      {"code", reply.error_code},
+                      {"parse_us", reply.parse_us},
+                      {"handle_us", reply.handle_us},
+                      {"send_us", send_us}});
+      } else if (info.event == "hello") {
+        trace_->emit("hello", info.session_id,
+                     {{"cluster", std::string_view(info.cluster_label)},
+                      {"initial_mbps", info.mbps},
+                      {"parse_us", reply.parse_us},
+                      {"handle_us", reply.handle_us},
+                      {"send_us", send_us}});
+      } else {
+        // observe / predict / bye: flags + prediction + the filter's
+        // predictive log-likelihood (NaN serializes as null when absent).
+        trace_->emit(
+            info.event, info.session_id,
+            {{"flags", info.flags},
+             {"mbps", info.mbps},
+             {"ll", info.log_likelihood.value_or(
+                        std::numeric_limits<double>::quiet_NaN())},
+             {"parse_us", reply.parse_us},
+             {"handle_us", reply.handle_us},
+             {"send_us", send_us}});
+      }
     }
   }
 }
@@ -494,13 +725,30 @@ PredictionResponse PredictionServer::make_prediction_response(
   // same reply.
   PredictionResponse response;
   response.flags = predictor.serve_flags();
-  response.mbps = predictor.predict(steps_ahead);
-  if (response.flags != serve_flags::kPrimary) m_.degraded_replies->inc();
+  // Brownout ladder (DESIGN.md §14): level 1 degrades sessions the
+  // guardrails already doubt (SUSPECT tier), level 2 degrades every session
+  // with a cheap path. Predictors without one keep serving primary.
+  const int level = brownout_level();
+  std::optional<double> cheap;
+  if (level >= 2 || (level >= 1 && predictor.suspect()))
+    cheap = predictor.predict_brownout(steps_ahead);
+  if (cheap.has_value()) {
+    response.mbps = *cheap;
+    response.flags |= serve_flags::kBrownout | serve_flags::kDegraded;
+    m_.brownout_replies->inc();
+  } else {
+    response.mbps = predictor.predict(steps_ahead);
+  }
+  if (draining()) response.flags |= serve_flags::kDraining;
+  // kDraining alone is planned-migration housekeeping, not a degraded
+  // answer — the health signal counts everything else.
+  if ((response.flags & ~serve_flags::kDraining) != serve_flags::kPrimary)
+    m_.degraded_replies->inc();
   return response;
 }
 
-Response PredictionServer::handle(const Request& request, Connection& conn) {
-  RequestInfo& info = conn.info;
+Response PredictionServer::handle(const Request& request, Worker& worker,
+                                  Connection& conn, RequestInfo& info) {
   if (stopping_.load())
     return ErrorResponse{WireErrorCode::kShuttingDown, "server is stopping"};
 
@@ -514,6 +762,22 @@ Response PredictionServer::handle(const Request& request, Connection& conn) {
 
   if (const auto* hello = std::get_if<HelloRequest>(&request)) {
     info.event = "hello";
+    // Admission control gates session creation, not the verbs of sessions
+    // already admitted: a draining or shedding server keeps serving what it
+    // owns and turns away only new work, with a retry-after hint so the
+    // client tier backs off instead of hot-spinning replays.
+    if (draining()) {
+      m_.drain_rejections->inc();
+      return ErrorResponse{WireErrorCode::kShuttingDown,
+                           "server is draining, connect to another replica",
+                           static_cast<std::uint32_t>(config_.retry_after_ms)};
+    }
+    if (should_shed(worker)) {
+      m_.hellos_shed->inc();
+      return ErrorResponse{WireErrorCode::kOverloaded,
+                           "server is shedding new sessions, retry later",
+                           static_cast<std::uint32_t>(config_.retry_after_ms)};
+    }
     if (!std::isfinite(hello->start_hour))
       return ErrorResponse{WireErrorCode::kBadRequest,
                            "start_hour must be finite"};
@@ -608,6 +872,9 @@ Response PredictionServer::handle(const Request& request, Connection& conn) {
     bool traced = false;
     if (sessions_.erase(bye->session_id, &traced)) info.traced = traced;
     m_.live_sessions->set(static_cast<double>(sessions_.size()));
+    // The last BYE is usually what completes a drain — record it now rather
+    // than waiting for the next evict tick.
+    if (draining()) note_drain_progress();
     return OkResponse{};
   }
 

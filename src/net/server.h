@@ -7,7 +7,8 @@
 // The accept thread hands each connection to one of `io_threads` workers;
 // every worker runs a poll(2) loop over its connections with non-blocking
 // sockets, buffering partial frames through a per-connection state machine
-// (READING_HEADER → READING_BODY → WRITING). The server's thread count is
+// (READING_HEADER → READING_BODY, replies pipelining through a bounded
+// per-connection write queue). The server's thread count is
 // io_threads + 1 (accept) regardless of connection count — no
 // thread-per-connection, no thread churn. Per-session predictor state lives
 // in a sharded SessionTable (net/session_table.h) so a session can migrate
@@ -25,6 +26,25 @@
 //   - TTL eviction of session entries abandoned without BYE (a crashed
 //     client leaks nothing permanently).
 //
+// Overload control & drain (DESIGN.md §14):
+//   - write backpressure: replies queue in a bounded per-connection write
+//     buffer; a connection whose queue exceeds write_budget_bytes stops
+//     being read (so a slow reader throttles itself, not the worker), and
+//     one whose queue makes no progress past write_stall_timeout_ms is
+//     closed — the unbounded-buffer OOM hole is shut by construction,
+//   - admission control: each worker tracks a utilization EWMA and its
+//     queued-reply depth; past the shed thresholds new HELLOs answer
+//     OVERLOADED with a retry-after hint while existing sessions keep
+//     being served — latency sheds before it collapses,
+//   - brownout: under sustained shed pressure predictions step down to the
+//     predictors' cheap fallback path (predict_brownout), SUSPECT-tier
+//     sessions first, so goodput degrades smoothly instead of cliffing,
+//   - graceful drain: begin_drain() stops accepting, answers new HELLOs
+//     with SHUTTING_DOWN + retry-after, stamps kDraining on every PRED so
+//     ReplicaSet migrates sessions proactively, and shrinks the session TTL
+//     so abandoned entries cannot hold the drain open — a SIGTERM becomes a
+//     zero-drop rolling restart.
+//
 // Model lifecycle (DESIGN.md §9): the served model sits behind an RCU-style
 // shared_ptr. swap_model() atomically publishes a retrained model; sessions
 // opened before the swap pin their creating model (each session entry holds
@@ -35,6 +55,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -84,6 +105,39 @@ struct ServerConfig {
       sync_apply;
   /// Largest snapshot a SYNCBEGIN may declare; guards the staging buffer.
   std::size_t max_sync_bytes = 256 * 1024 * 1024;
+
+  // -- Overload control & drain (DESIGN.md §14) ------------------------------
+
+  /// Queued reply bytes a connection may hold before the worker stops
+  /// reading more requests from it (read-throttle). The queue itself never
+  /// exceeds this by more than one encoded frame — the bound the slow-reader
+  /// test asserts. 0 restores the default (256 KB).
+  std::size_t write_budget_bytes = 256 * 1024;
+  /// A connection with queued replies whose flush made zero progress for
+  /// this long is a slow reader and is closed. <= 0 disables the kick.
+  int write_stall_timeout_ms = 10'000;
+  /// Shed new HELLOs when the handling worker's utilization EWMA (busy
+  /// fraction of its event loop) is at or above this. <= 0 disables.
+  double shed_utilization = 0.0;
+  /// Shed new HELLOs when the handling worker has at least this many
+  /// replies queued across its connections (the pending-work depth signal).
+  /// 0 disables.
+  std::size_t shed_pending_replies = 0;
+  /// Backoff hint stamped on OVERLOADED/SHUTTING_DOWN replies (protocol
+  /// v5); what ReplicaSet sleeps when the whole tier is shedding.
+  int retry_after_ms = 250;
+  /// Consecutive 20 ms pressure ticks before brownout level 1 engages
+  /// (level 2 at 3x). Pressure = any worker past a shed threshold. 0
+  /// disables the automatic controller (set_brownout_level still works).
+  int brownout_enter_ticks = 0;
+  /// Session TTL while draining: begin_drain() re-arms the table to
+  /// min(session_ttl_ms, this) so abandoned sessions cannot hold the drain
+  /// open for the steady-state TTL. <= 0 keeps the serving TTL.
+  int drain_session_ttl_ms = 1'000;
+  /// SO_SNDBUF for accepted connections (0 = kernel default). Shrinking it
+  /// makes write backpressure observable at small scales — tests and the
+  /// overload bench use it; production normally leaves the default.
+  int so_sndbuf = 0;
 };
 
 class PredictionServer {
@@ -173,6 +227,64 @@ class PredictionServer {
     return m_.syncs_rejected->value();
   }
 
+  // -- Overload control & drain (DESIGN.md §14) ------------------------------
+
+  /// New HELLOs answered OVERLOADED by admission control (existing sessions
+  /// kept being served).
+  std::uint64_t hellos_shed() const noexcept { return m_.hellos_shed->value(); }
+
+  /// Connections closed because their queued replies made no flush progress
+  /// past write_stall_timeout_ms.
+  std::uint64_t slow_reader_kicks() const noexcept {
+    return m_.slow_reader_kicks->value();
+  }
+
+  /// PRED replies served from the predictors' cheap brownout path.
+  std::uint64_t brownout_replies() const noexcept {
+    return m_.brownout_replies->value();
+  }
+
+  /// High-water mark of any connection's queued reply bytes — the
+  /// observable guarantee that write backpressure bounds the queue (stays
+  /// within write_budget_bytes + one frame no matter how slow a reader is).
+  std::size_t max_write_queue_bytes() const noexcept {
+    return max_write_queue_.load(std::memory_order_relaxed);
+  }
+
+  /// Forces admission control on/off regardless of the utilization and
+  /// queue-depth thresholds — deterministic shed for tests and operator
+  /// tooling ("stop taking new sessions, keep serving current ones").
+  void set_shedding(bool shed) noexcept {
+    shed_override_.store(shed, std::memory_order_relaxed);
+  }
+
+  /// Brownout ladder position: 0 = off, 1 = SUSPECT-tier sessions serve the
+  /// cheap path, 2 = every session with a brownout path does.
+  int brownout_level() const noexcept;
+
+  /// Pins the brownout level (overriding the automatic controller); pass -1
+  /// to hand control back to the controller.
+  void set_brownout_level(int level) noexcept;
+
+  /// Starts a graceful drain: stop accepting, answer new HELLOs with
+  /// SHUTTING_DOWN + retry-after, stamp kDraining on in-flight sessions'
+  /// replies so the client tier migrates them, shrink the session TTL.
+  /// In-flight sessions keep being served until they BYE, migrate, or
+  /// expire. Idempotent; irreversible for this server instance.
+  void begin_drain();
+
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Drain complete: draining and the session table is empty. The caller
+  /// (cs2p_serve's SIGTERM path, ChaosReplica::drain_and_restart) may then
+  /// stop() with zero session loss.
+  bool drained() const { return draining() && sessions_.size() == 0; }
+
+  /// Blocks until drained() or `timeout_ms` elapses; returns drained().
+  bool wait_drained(int timeout_ms);
+
   /// Safe to call repeatedly and from multiple threads concurrently.
   void stop();
 
@@ -191,14 +303,27 @@ class PredictionServer {
     std::string cluster_label;       ///< HELLO only
   };
 
-  /// Per-connection frame state machine. One request is in flight at a
-  /// time: while WRITING, buffered input waits until the reply is fully on
-  /// the wire (which is also what keeps requests_total >= replies_total
-  /// trivially true per connection).
+  /// Per-connection frame state machine (the read side). Requests pipeline:
+  /// replies append to the bounded write queue and input keeps being
+  /// consumed until the queue reaches write_budget_bytes, at which point
+  /// the worker stops polling the connection for reads (backpressure)
+  /// until the queue flushes back under budget.
   enum class ConnState : std::uint8_t {
     kReadingHeader,
     kReadingBody,
-    kWriting,
+  };
+
+  /// One queued reply's telemetry context, finished (counted, timed,
+  /// traced) when write_pos passes end_offset — i.e. when the reply's last
+  /// byte has been handed to the kernel.
+  struct PendingReply {
+    std::size_t end_offset = 0;  ///< write_buffer offset one past the reply
+    Clock::time_point t_recv{};
+    std::uint64_t parse_us = 0;
+    std::uint64_t handle_us = 0;
+    RequestInfo info;
+    bool is_error = false;
+    std::string_view error_code;  ///< wire_error_code_name of an ERR reply
   };
 
   /// In-progress SYNC shipment on one connection. Staging is per-connection
@@ -216,18 +341,21 @@ class PredictionServer {
     ConnState state = ConnState::kReadingHeader;
     std::string read_buffer;    ///< unconsumed inbound bytes
     std::uint32_t body_size = 0;
-    std::string write_buffer;   ///< unsent reply bytes
+    /// The bounded write queue: encoded replies append here, flush_write
+    /// drains from write_pos, and the buffer is compacted once fully
+    /// flushed. pending tracks each reply's end offset + telemetry.
+    std::string write_buffer;
     std::size_t write_pos = 0;
+    std::deque<PendingReply> pending;
     Clock::time_point opened_at{};
+    /// Progress clock for the idle sweep: refreshed only when a *complete*
+    /// frame is consumed or a reply flushes — a peer trickling header bytes
+    /// is as idle as a silent one (slow-header folding, DESIGN.md §14).
     Clock::time_point last_activity{};
-    // Telemetry context of the in-flight request (valid while WRITING).
-    Clock::time_point t_recv{};
-    Clock::time_point t_send{};
-    std::uint64_t parse_us = 0;
-    std::uint64_t handle_us = 0;
-    RequestInfo info;
-    bool reply_is_error = false;
-    std::string_view error_code;  ///< wire_error_code_name of an ERR reply
+    /// Last time flush_write moved write_pos forward; a connection with
+    /// queued replies and no progress past write_stall_timeout_ms is a slow
+    /// reader and is kicked.
+    Clock::time_point last_write_progress{};
     SyncStaging sync;             ///< SYNC shipment staged on this connection
   };
 
@@ -242,6 +370,14 @@ class PredictionServer {
     std::mutex inbox_mutex;
     std::vector<Connection> inbox;
     std::unordered_map<int, Connection> connections;
+    /// Busy-fraction EWMA of the event loop (1 - poll_wait/iteration),
+    /// admission control's load signal. Written by the owning worker,
+    /// read by should_shed() from any worker.
+    std::atomic<double> utilization{0.0};
+    /// Replies queued across this worker's connections (pending-work
+    /// depth, the other shed signal).
+    std::atomic<std::size_t> queued_replies{0};
+    obs::Gauge* utilization_gauge = nullptr;
   };
 
   /// Registry handles cached at construction: the serving path increments
@@ -267,8 +403,16 @@ class PredictionServer {
     obs::Counter* syncs_applied = nullptr;
     obs::Counter* syncs_rejected = nullptr;
     obs::Counter* loop_iterations = nullptr;
+    obs::Counter* hellos_shed = nullptr;
+    obs::Counter* slow_reader_kicks = nullptr;
+    obs::Counter* brownout_replies = nullptr;
+    obs::Counter* drain_rejections = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* live_sessions = nullptr;
+    obs::Gauge* draining = nullptr;
+    obs::Gauge* brownout_level = nullptr;
+    obs::Gauge* last_drain_seconds = nullptr;
+    obs::Gauge* max_write_queue = nullptr;
     obs::Histogram* request_seconds = nullptr;
     obs::Histogram* connection_seconds = nullptr;
 
@@ -280,20 +424,31 @@ class PredictionServer {
   void worker_loop(Worker& worker);
   void adopt_inbox(Worker& worker);
   /// Returns false when the connection must be closed.
-  bool handle_io(Connection& conn);
-  bool process_read_buffer(Connection& conn);
-  bool flush_write(Connection& conn);
-  void finish_reply(Connection& conn);
+  bool handle_io(Worker& worker, Connection& conn, short revents);
+  bool process_read_buffer(Worker& worker, Connection& conn);
+  bool flush_write(Worker& worker, Connection& conn);
+  /// Counts/times/traces every pending reply whose bytes are fully on the
+  /// wire (end_offset <= write_pos).
+  void complete_flushed_replies(Worker& worker, Connection& conn);
   /// The single close path: churn histogram, active-connection gauge, idle
   /// accounting, fd teardown — a connection that dies mid-reply goes
   /// through here exactly like any other.
-  void close_connection(Connection& conn, bool idle_timed_out);
-  Response handle(const Request& request, Connection& conn);
+  void close_connection(Worker& worker, Connection& conn, bool idle_timed_out);
+  Response handle(const Request& request, Worker& worker, Connection& conn,
+                  RequestInfo& info);
   Response handle_sync(const Request& request, SyncStaging& staging);
   PredictionResponse make_prediction_response(const SessionPredictor& predictor,
                                               unsigned steps_ahead);
-  void reject_connection(const FdHandle& connection);
+  void reject_connection(const FdHandle& connection, WireErrorCode code,
+                         const std::string& message);
   obs::Counter* verb_counter(const Request& request) const noexcept;
+  /// Admission verdict for a new HELLO landing on `worker`.
+  bool should_shed(const Worker& worker) const noexcept;
+  /// Ticks the automatic brownout controller (worker 0, every evict tick).
+  void brownout_tick();
+  /// Publishes the drain-duration gauge once the table first reaches empty.
+  void note_drain_progress();
+  void record_write_queue_depth(std::size_t bytes) noexcept;
 
   mutable std::mutex model_mutex_;  ///< guards model_ (reads copy the ptr)
   std::shared_ptr<const PredictorModel> model_;
@@ -313,6 +468,20 @@ class PredictionServer {
   std::atomic<std::size_t> active_connections_{0};
   std::atomic<std::size_t> next_worker_{0};  ///< round-robin dispatch
   std::mutex stop_mutex_;  ///< serializes concurrent stop() callers
+
+  // -- Overload control & drain state (DESIGN.md §14) ------------------------
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_recorded_{false};
+  /// begin_drain() timestamp (us since epoch of Clock); stored before the
+  /// draining_ release-store so note_drain_progress always sees it.
+  std::atomic<std::int64_t> drain_started_us_{0};
+  std::atomic<bool> shed_override_{false};
+  /// Pressure integrator of the automatic brownout controller.
+  std::atomic<int> brownout_score_{0};
+  /// Operator/test pin; -1 = controller-driven.
+  std::atomic<int> brownout_override_{-1};
+  std::atomic<std::size_t> max_write_queue_{0};
+
   std::thread accept_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -26,7 +26,7 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 
 SessionTable::SessionTable(SessionTableConfig config,
                            obs::MetricsRegistry* registry)
-    : config_(config) {
+    : config_(config), ttl_ms_(config.ttl_ms) {
   const std::size_t count = round_up_pow2(config_.shards == 0 ? 16 : config_.shards);
   shard_mask_ = count - 1;
   shards_.reserve(count);
@@ -70,8 +70,9 @@ bool SessionTable::erase(std::uint64_t id, bool* traced) {
 SessionTable::EvictStats SessionTable::evict_tick(Clock::time_point now,
                                                   const EvictCallback& on_evict) {
   EvictStats stats;
-  if (config_.ttl_ms <= 0) return stats;
-  const auto deadline = now - std::chrono::milliseconds(config_.ttl_ms);
+  const int ttl = ttl_ms_.load(std::memory_order_relaxed);
+  if (ttl <= 0) return stats;
+  const auto deadline = now - std::chrono::milliseconds(ttl);
   std::vector<std::uint64_t> expired;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;

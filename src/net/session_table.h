@@ -134,6 +134,18 @@ class SessionTable {
   EvictStats evict_tick(Clock::time_point now,
                         const EvictCallback& on_evict = {});
 
+  /// The TTL currently in force (may differ from the constructed config
+  /// after set_ttl_ms).
+  int ttl_ms() const noexcept { return ttl_ms_.load(std::memory_order_relaxed); }
+
+  /// Re-arms the eviction TTL while serving — the drain path (DESIGN.md
+  /// §14) shrinks it so abandoned sessions stop holding a draining server
+  /// open for the full steady-state TTL. Safe to call concurrently with
+  /// evict_tick and every accessor; takes effect on the next tick.
+  void set_ttl_ms(int ttl_ms) noexcept {
+    ttl_ms_.store(ttl_ms, std::memory_order_relaxed);
+  }
+
   /// Times a shard lock was already held by another thread when requested.
   std::uint64_t lock_contentions() const noexcept {
     return contentions_.load(std::memory_order_relaxed);
@@ -160,6 +172,8 @@ class SessionTable {
   std::unique_lock<std::mutex> lock_shard(Shard& shard) noexcept;
 
   SessionTableConfig config_;
+  /// Live TTL; seeded from config_.ttl_ms, re-armed by set_ttl_ms (drain).
+  std::atomic<int> ttl_ms_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t shard_mask_ = 0;
   std::atomic<std::uint64_t> next_id_{1};

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <charconv>
 #include <cstring>
@@ -363,8 +364,12 @@ std::string serialize_response(const Response& response) {
   } else if (std::holds_alternative<OkResponse>(response)) {
     out += "OK";
   } else if (const auto* err = std::get_if<ErrorResponse>(&response)) {
+    // v5: the retry-after hint always travels (0 = none), so the field count
+    // is fixed and the free-form message stays last.
     out += "ERR ";
     out += wire_error_code_name(err->code);
+    out += ' ';
+    append_u64(out, err->retry_after_ms);
     out += ' ';
     out += err->message;
   } else if (const auto* model = std::get_if<ModelResponse>(&response)) {
@@ -470,15 +475,30 @@ Response parse_response(std::string_view payload) {
     const auto pos = payload.find("ERR") + 3;
     std::string rest;
     if (payload.size() > pos + 1) rest = std::string(payload.substr(pos + 1));
-    // "ERR <code> <message>"; tolerate a missing/unknown code token (treat
-    // the whole remainder as the message) so older peers still decode.
+    // "ERR <code> <retry-after-ms> <message>"; tolerate a missing/unknown
+    // code token (treat the whole remainder as the message) and a missing
+    // retry-after field (a v4 capture) so older peers still decode. The
+    // hint is a bare digit token — a v4 message starting with digits is
+    // indistinguishable, which is why v5 always serializes the field.
     ErrorResponse error;
     const auto space = rest.find(' ');
     const std::string head = rest.substr(0, space);
     if (const auto code = wire_error_code_from_name(head)) {
       error.code = *code;
-      error.message = space == std::string::npos ? std::string{}
-                                                 : rest.substr(space + 1);
+      std::string tail = space == std::string::npos ? std::string{}
+                                                    : rest.substr(space + 1);
+      const auto tail_space = tail.find(' ');
+      const std::string hint = tail.substr(0, tail_space);
+      if (!hint.empty() &&
+          hint.find_first_not_of("0123456789") == std::string::npos &&
+          hint.size() <= 10) {
+        const std::uint64_t parsed = parse_u64(hint, "retry_after_ms");
+        error.retry_after_ms = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(parsed, 0xffffffffULL));
+        tail = tail_space == std::string::npos ? std::string{}
+                                               : tail.substr(tail_space + 1);
+      }
+      error.message = std::move(tail);
     } else {
       error.code = WireErrorCode::kInternal;
       error.message = std::move(rest);

@@ -36,7 +36,11 @@
 //     STATS <exposition-version> \n <metrics text exposition ...>
 //     SNAPSHOT <total-bytes> <fnv64-hex> <offset> \n <raw snapshot chunk>
 //     OK
-//     ERR <code> <message>        (code: see WireErrorCode below)
+//     ERR <code> <retry-after-ms> <message>
+//                                 (code: see WireErrorCode below; the
+//                                  retry-after field is the server's backoff
+//                                  hint in milliseconds, 0 = none — v4 peers
+//                                  omitted it, parse tolerates both)
 //
 // Feature values must be whitespace-free tokens (true for every dataset this
 // library produces); HELLO validates this instead of escaping.
@@ -57,9 +61,11 @@ namespace cs2p {
 /// Version stamped into byte 0 of every frame header; a peer speaking a
 /// different framing is rejected with ProtocolError instead of desyncing.
 /// v2 added the serve-flags field to PRED responses; v3 added the STATS
-/// scrape verb; v4 added the SYNC snapshot-shipping verbs (a v1–v3 client
-/// is rejected at the frame header, before any verb parsing).
-inline constexpr std::uint8_t kProtocolVersion = 4;
+/// scrape verb; v4 added the SYNC snapshot-shipping verbs; v5 added the
+/// retry-after-ms field to ERR responses (overload shedding + graceful
+/// drain, DESIGN.md §14) and the kDraining/kBrownout serve-flag bits (a
+/// v1–v4 client is rejected at the frame header, before any verb parsing).
+inline constexpr std::uint8_t kProtocolVersion = 5;
 
 /// Maximum accepted frame payload; guards against malformed length prefixes.
 /// Must fit the 24-bit length field of the frame header.
@@ -110,16 +116,24 @@ std::optional<WireErrorCode> wire_error_code_from_name(std::string_view name) no
 /// Unlike TransportError, the round trip itself succeeded.
 class ServerError : public std::runtime_error {
  public:
-  ServerError(WireErrorCode code, const std::string& message)
+  ServerError(WireErrorCode code, const std::string& message,
+              std::uint32_t retry_after_ms = 0)
       : std::runtime_error("prediction server: [" +
                            std::string(wire_error_code_name(code)) + "] " +
                            message),
-        code_(code) {}
+        code_(code),
+        retry_after_ms_(retry_after_ms) {}
 
   WireErrorCode code() const noexcept { return code_; }
 
+  /// The server's backoff hint (protocol v5): how long it suggests waiting
+  /// before retrying anywhere in the tier. 0 = no hint. ReplicaSet honors
+  /// this when every replica is shedding (DESIGN.md §14).
+  std::uint32_t retry_after_ms() const noexcept { return retry_after_ms_; }
+
  private:
   WireErrorCode code_;
+  std::uint32_t retry_after_ms_;
 };
 
 /// Encodes one length-prefixed frame (header + payload) into a contiguous
@@ -212,6 +226,11 @@ struct OkResponse {};
 struct ErrorResponse {
   WireErrorCode code = WireErrorCode::kInternal;
   std::string message;
+  /// Backoff hint in milliseconds (protocol v5), 0 = none. Stamped by the
+  /// server on OVERLOADED/SHUTTING_DOWN replies so a shedding or draining
+  /// tier tells clients how long to wait instead of absorbing a hot-spin of
+  /// HELLO replays.
+  std::uint32_t retry_after_ms = 0;
 };
 struct ModelResponse {
   double initial_mbps = 0.0;

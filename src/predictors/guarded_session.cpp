@@ -85,6 +85,15 @@ void GuardedSessionPredictor::observe(double throughput_mbps) {
   }
 }
 
+std::optional<double> GuardedSessionPredictor::predict_brownout(
+    unsigned steps_ahead) const {
+  (void)steps_ahead;  // the fallback chain is horizon-free by construction
+  ++fallback_predictions_;
+  if (metrics_ != nullptr && metrics_->fallback_predictions != nullptr)
+    metrics_->fallback_predictions->inc();
+  return fallback_forecast();
+}
+
 std::uint8_t GuardedSessionPredictor::serve_flags() const {
   std::uint8_t flags = static_flags_;
   if (degraded())

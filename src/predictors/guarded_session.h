@@ -82,6 +82,17 @@ class GuardedSessionPredictor final : public SessionPredictor {
   std::uint8_t serve_flags() const override;
   std::optional<double> last_log_likelihood() const override;
 
+  /// Brownout path (DESIGN.md §14): the stateless HM/global fallback chain,
+  /// served without touching the HMM filter — the cheap answer the server
+  /// swaps in under sustained shed pressure.
+  std::optional<double> predict_brownout(unsigned steps_ahead) const override;
+
+  /// SUSPECT or DEGRADED: the surprise monitor already doubts the primary
+  /// path, so brownout level 1 degrades this session before healthy ones.
+  bool suspect() const override {
+    return monitor_.state() != GuardrailState::kHealthy;
+  }
+
   GuardrailState guardrail_state() const noexcept { return monitor_.state(); }
   Stats stats() const;
 

@@ -50,6 +50,8 @@ inline constexpr std::uint8_t kGuardrailTripped = 1u << 1;  ///< per-session gua
 inline constexpr std::uint8_t kClusterDrifted = 1u << 2;    ///< cluster marked drifted at HELLO
 inline constexpr std::uint8_t kGlobalModel = 1u << 3;       ///< session runs on the global HMM
 inline constexpr std::uint8_t kRemoteFallback = 1u << 4;    ///< client-side local fallback (service lost)
+inline constexpr std::uint8_t kDraining = 1u << 5;          ///< replica is draining; plan a migration
+inline constexpr std::uint8_t kBrownout = 1u << 6;          ///< cheap fallback served under overload brownout
 }  // namespace serve_flags
 
 /// Per-session prediction state machine.
@@ -88,6 +90,22 @@ class SessionPredictor {
   virtual std::optional<double> last_log_likelihood() const {
     return std::nullopt;
   }
+
+  /// Cheap degraded forecast for overload brownout (DESIGN.md §14): a
+  /// forecast that skips the expensive primary path (e.g. the guarded
+  /// predictor's HM/global fallback chain instead of full HMM filtering).
+  /// nullopt when this family has no cheaper path — the server then serves
+  /// the primary forecast even in brownout rather than inventing one.
+  virtual std::optional<double> predict_brownout(unsigned steps_ahead) const {
+    (void)steps_ahead;
+    return std::nullopt;
+  }
+
+  /// True when the predictor's own quality monitor already doubts the
+  /// primary path (guardrail SUSPECT or worse). Brownout level 1 degrades
+  /// these sessions first: their expensive filtering is the work buying the
+  /// least forecast quality under pressure.
+  virtual bool suspect() const { return degraded(); }
 };
 
 /// A compact, self-contained model a client can download and run on its own

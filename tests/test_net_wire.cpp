@@ -205,6 +205,59 @@ TEST(Wire, ErrorWithoutCodeTokenFallsBackToInternal) {
   EXPECT_EQ(out->message, "something broke badly");
 }
 
+TEST(Wire, ErrorRetryAfterRoundTrips) {
+  // Protocol v5: ERR carries a retry-after-ms backoff hint.
+  const Response parsed = parse_response(serialize_response(
+      ErrorResponse{WireErrorCode::kOverloaded, "shed: worker saturated", 250}));
+  const auto* out = std::get_if<ErrorResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->code, WireErrorCode::kOverloaded);
+  EXPECT_EQ(out->retry_after_ms, 250u);
+  EXPECT_EQ(out->message, "shed: worker saturated");
+
+  // Zero (no hint) survives too.
+  const Response zero = parse_response(serialize_response(
+      ErrorResponse{WireErrorCode::kBadRequest, "bad verb", 0}));
+  const auto* zout = std::get_if<ErrorResponse>(&zero);
+  ASSERT_NE(zout, nullptr);
+  EXPECT_EQ(zout->retry_after_ms, 0u);
+  EXPECT_EQ(zout->message, "bad verb");
+}
+
+TEST(Wire, ErrorWithoutRetryAfterTokenParsesAsNoHint) {
+  // A v4 peer sends "ERR <code> <message>" with no retry-after field; the
+  // message must not lose its first word to the hint parser.
+  const Response parsed = parse_response("ERR OVERLOADED try again later");
+  const auto* out = std::get_if<ErrorResponse>(&parsed);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->code, WireErrorCode::kOverloaded);
+  EXPECT_EQ(out->retry_after_ms, 0u);
+  EXPECT_EQ(out->message, "try again later");
+}
+
+TEST(Wire, ErrorRetryAfterDisambiguatesNumericMessages) {
+  // v5 grammar: the token right after the code is the hint only when it is
+  // all digits and plausibly a duration. A message that *starts* with a
+  // short number is consumed as the hint (the unavoidable v4 ambiguity the
+  // protocol accepts); an over-long digit run stays prose.
+  {
+    const Response parsed = parse_response("ERR SHUTTING_DOWN 500 draining");
+    const auto* out = std::get_if<ErrorResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->code, WireErrorCode::kShuttingDown);
+    EXPECT_EQ(out->retry_after_ms, 500u);
+    EXPECT_EQ(out->message, "draining");
+  }
+  {
+    // Eleven digits cannot be a retry hint: it stays in the message.
+    const Response parsed = parse_response("ERR INTERNAL 12345678901 rows");
+    const auto* out = std::get_if<ErrorResponse>(&parsed);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->retry_after_ms, 0u);
+    EXPECT_EQ(out->message, "12345678901 rows");
+  }
+}
+
 TEST(Wire, EmptyClusterLabelUsesPlaceholder) {
   const SessionResponse in{1, 2.0, false, ""};
   const Response parsed = parse_response(serialize_response(in));

@@ -1,0 +1,596 @@
+// Overload control & zero-downtime drain (DESIGN.md §14).
+//
+// Covers the four tentpole behaviors end to end over real sockets:
+//   - write backpressure: a slow reader's queue is bounded by construction
+//     (write_budget_bytes + one frame) and a stalled one is kicked,
+//   - admission control: shed HELLOs answer OVERLOADED with the configured
+//     retry-after hint while existing sessions keep being served,
+//   - brownout: the ladder steps SUSPECT-tier sessions onto the predictors'
+//     cheap path first, then everyone, and steps back off,
+//   - graceful drain: new work refused with SHUTTING_DOWN, in-flight
+//     sessions stamped kDraining and proactively migrated by ReplicaSet,
+//     abandoned sessions reaped under the shrunk drain TTL.
+//
+// The rolling-restart soak at the bottom is the CI zero-drop gate: three
+// ChaosReplicas drained in turn under 64 live sessions, no session ever
+// observing a failed operation.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "net/client.h"
+#include "net/fault_injection.h"
+#include "net/replica_set.h"
+#include "net/server.h"
+#include "net/session_table.h"
+#include "net/socket.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "predictors/predictor.h"
+
+namespace cs2p {
+namespace {
+
+/// Deterministic in-process model: initial = 2.0, forecast = last + 1.
+class EchoPlusOneModel final : public PredictorModel {
+ public:
+  std::string name() const override { return "EchoPlusOne"; }
+  std::unique_ptr<SessionPredictor> make_session(const SessionContext&) const override {
+    class S final : public SessionPredictor {
+     public:
+      std::optional<double> predict_initial() const override { return 2.0; }
+      double predict(unsigned steps) const override {
+        return last_ + static_cast<double>(steps);
+      }
+      void observe(double w) override { last_ = w; }
+
+     private:
+      double last_ = 0.0;
+    };
+    return std::make_unique<S>();
+  }
+};
+
+/// Primary forecast 10.0, cheap brownout forecast 1.0, suspect() driven by
+/// a shared flag — the controllable predictor the brownout ladder tests use.
+class BrownoutModel final : public PredictorModel {
+ public:
+  explicit BrownoutModel(std::shared_ptr<std::atomic<bool>> suspect)
+      : suspect_(std::move(suspect)) {}
+  std::string name() const override { return "Brownout"; }
+  std::unique_ptr<SessionPredictor> make_session(const SessionContext&) const override {
+    class S final : public SessionPredictor {
+     public:
+      explicit S(std::shared_ptr<std::atomic<bool>> suspect)
+          : suspect_(std::move(suspect)) {}
+      std::optional<double> predict_initial() const override { return 10.0; }
+      double predict(unsigned) const override { return 10.0; }
+      void observe(double) override {}
+      std::optional<double> predict_brownout(unsigned) const override {
+        return 1.0;
+      }
+      bool suspect() const override {
+        return suspect_->load(std::memory_order_relaxed);
+      }
+
+     private:
+      std::shared_ptr<std::atomic<bool>> suspect_;
+    };
+    return std::make_unique<S>(suspect_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> suspect_;
+};
+
+SessionFeatures features() {
+  return {"ISP0", "AS0", "P0", "C0", "S0", "Pfx0"};
+}
+
+/// Value of the series rendered exactly as `key`, or NaN.
+double series_value(const std::string& exposition, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t end = exposition.find('\n', pos);
+    if (end == std::string::npos) end = exposition.size();
+    const std::string line = exposition.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.size() > key.size() + 1 && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ')
+      return std::stod(line.substr(key.size() + 1));
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void shrink_rcvbuf(const FdHandle& fd, int bytes) {
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bytes, sizeof bytes);
+}
+
+// -- Write backpressure -------------------------------------------------------
+
+TEST(Backpressure, SlowReaderQueueBoundedAndRepliesPipeline) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.write_budget_bytes = 4 * 1024;
+  config.write_stall_timeout_ms = 0;  // reader is slow forever; never kick
+  config.so_sndbuf = 4 * 1024;        // make backpressure visible at test scale
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  // A raw socket that floods STATS requests (each reply is several KB) and
+  // reads nothing: the server must stop reading it once the write queue
+  // crosses budget instead of buffering replies without bound.
+  FdHandle slow = connect_loopback(server.port());
+  shrink_rcvbuf(slow, 4 * 1024);
+  const std::string frame = encode_frame(serialize_request(StatsRequest{}));
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i)
+    send_all(slow, std::as_bytes(std::span(frame.data(), frame.size())));
+
+  // Let the server chew as far as backpressure allows.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_LT(server.requests_handled(), static_cast<std::uint64_t>(kRequests));
+
+  // The worker is not wedged behind the slow reader: a second connection is
+  // served normally the whole time.
+  PredictionClient probe(server.port());
+  const SessionResponse session = probe.hello(features(), 0.0);
+  EXPECT_DOUBLE_EQ(probe.observe(session.session_id, 3.0), 4.0);
+  probe.bye(session.session_id);
+
+  // The reader recovers: every flood request eventually gets its pipelined
+  // reply, in order, as we drain.
+  for (int i = 0; i < kRequests; ++i) {
+    const std::optional<std::string> payload = recv_frame(slow);
+    ASSERT_TRUE(payload.has_value()) << "EOF after " << i << " replies";
+    const Response response = parse_response(*payload);
+    ASSERT_TRUE(std::holds_alternative<StatsResponse>(response));
+  }
+
+  // The bound the whole mechanism exists for: no matter how slow the reader,
+  // the queue high-water mark stays within budget + one encoded frame.
+  EXPECT_GT(server.max_write_queue_bytes(), 0u);
+  EXPECT_LE(server.max_write_queue_bytes(),
+            config.write_budget_bytes + kMaxFrameBytes + kFrameHeaderBytes);
+}
+
+TEST(Backpressure, StalledReaderIsKicked) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.write_budget_bytes = 4 * 1024;
+  config.write_stall_timeout_ms = 100;
+  config.so_sndbuf = 4 * 1024;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  FdHandle stalled = connect_loopback(server.port());
+  shrink_rcvbuf(stalled, 4 * 1024);
+  const std::string frame = encode_frame(serialize_request(StatsRequest{}));
+  for (int i = 0; i < 200; ++i)
+    send_all(stalled, std::as_bytes(std::span(frame.data(), frame.size())));
+
+  // Never read: once the kernel buffers fill, the flush makes no progress
+  // and the stall deadline closes the connection.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.slow_reader_kicks() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(server.slow_reader_kicks(), 1u);
+
+  // The slot is reclaimed; a well-behaved client is unaffected.
+  PredictionClient probe(server.port());
+  const SessionResponse session = probe.hello(features(), 0.0);
+  EXPECT_DOUBLE_EQ(probe.observe(session.session_id, 3.0), 4.0);
+}
+
+// -- Admission control --------------------------------------------------------
+
+TEST(AdmissionControl, ShedRejectsNewHellosKeepsServingSessions) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.retry_after_ms = 123;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 0.0);
+
+  server.set_shedding(true);
+  PredictionClient late(server.port());
+  try {
+    late.hello(features(), 1.0);
+    FAIL() << "shed HELLO must answer OVERLOADED";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kOverloaded);
+    EXPECT_EQ(e.retry_after_ms(), 123u);
+  }
+  EXPECT_GE(server.hellos_shed(), 1u);
+
+  // Shedding gates admission only: the established session is untouched.
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 3.0), 4.0);
+  EXPECT_DOUBLE_EQ(client.predict(session.session_id, 1), 4.0);
+
+  server.set_shedding(false);
+  const SessionResponse second = late.hello(features(), 1.0);
+  EXPECT_GT(second.session_id, 0u);
+}
+
+// -- Brownout ladder ----------------------------------------------------------
+
+TEST(Brownout, LadderServesCheapPathSuspectTierFirst) {
+  auto suspect = std::make_shared<std::atomic<bool>>(false);
+  ServerConfig config;
+  config.io_threads = 1;
+  PredictionServer server(std::make_shared<BrownoutModel>(suspect), config);
+
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 0.0);
+
+  // Level 0: primary path.
+  PredictionResponse r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 10.0);
+  EXPECT_EQ(r.flags, serve_flags::kPrimary);
+
+  // Level 1 degrades only SUSPECT-tier sessions.
+  server.set_brownout_level(1);
+  EXPECT_EQ(server.brownout_level(), 1);
+  r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 10.0);  // healthy session keeps the primary path
+
+  suspect->store(true, std::memory_order_relaxed);
+  r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 1.0);
+  EXPECT_NE(r.flags & serve_flags::kBrownout, 0);
+  EXPECT_NE(r.flags & serve_flags::kDegraded, 0);
+  EXPECT_GE(server.brownout_replies(), 1u);
+
+  // Level 2 degrades everyone with a cheap path.
+  suspect->store(false, std::memory_order_relaxed);
+  server.set_brownout_level(2);
+  r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 1.0);
+  EXPECT_NE(r.flags & serve_flags::kBrownout, 0);
+
+  // Stepping back off restores the primary path.
+  server.set_brownout_level(0);
+  r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 10.0);
+  EXPECT_EQ(r.flags, serve_flags::kPrimary);
+}
+
+TEST(Brownout, FamiliesWithoutCheapPathStayPrimary) {
+  ServerConfig config;
+  config.io_threads = 1;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 0.0);
+
+  // EchoPlusOne has no predict_brownout: even at level 2 the server serves
+  // the primary forecast rather than inventing a degraded one.
+  server.set_brownout_level(2);
+  client.observe(session.session_id, 3.0);
+  const PredictionResponse r = client.predict_response(session.session_id, 1);
+  EXPECT_DOUBLE_EQ(r.mbps, 4.0);
+  EXPECT_EQ(r.flags & serve_flags::kBrownout, 0);
+  EXPECT_EQ(server.brownout_replies(), 0u);
+}
+
+// -- Graceful drain -----------------------------------------------------------
+
+TEST(Drain, LifecycleRefusesNewWorkStampsDrainingCompletesOnBye) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.retry_after_ms = 77;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  PredictionClient client(server.port());
+  const SessionResponse session = client.hello(features(), 0.0);
+  EXPECT_FALSE(server.draining());
+
+  server.begin_drain();
+  EXPECT_TRUE(server.draining());
+  EXPECT_FALSE(server.drained());  // the session is still live
+
+  // New connections are refused at accept with SHUTTING_DOWN + retry-after.
+  PredictionClient late(server.port());
+  try {
+    late.hello(features(), 1.0);
+    FAIL() << "draining server must refuse new connections";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kShuttingDown);
+    EXPECT_EQ(e.retry_after_ms(), 77u);
+  }
+
+  // A new HELLO on an established connection is refused the same way.
+  try {
+    client.hello(features(), 2.0);
+    FAIL() << "draining server must refuse new HELLOs";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kShuttingDown);
+    EXPECT_EQ(e.retry_after_ms(), 77u);
+  }
+
+  // The in-flight session keeps being served, every reply stamped kDraining
+  // — the migrate-now hint — without counting as a degraded forecast.
+  const PredictionResponse r = client.observe_response(session.session_id, 3.0);
+  EXPECT_DOUBLE_EQ(r.mbps, 4.0);
+  EXPECT_NE(r.flags & serve_flags::kDraining, 0);
+  EXPECT_EQ(server.degraded_replies(), 0u);
+
+  client.bye(session.session_id);
+  EXPECT_TRUE(server.wait_drained(2'000));
+  EXPECT_TRUE(server.drained());
+
+  const std::string scrape = server.metrics().scrape();
+  EXPECT_DOUBLE_EQ(series_value(scrape, "cs2p_server_draining"), 1.0);
+  EXPECT_GE(series_value(scrape, "cs2p_server_drain_rejections_total"), 2.0);
+  EXPECT_GE(series_value(scrape, "cs2p_server_last_drain_seconds"), 0.0);
+
+  server.begin_drain();  // idempotent
+  EXPECT_TRUE(server.drained());
+}
+
+TEST(Drain, ShrunkTtlReapsAbandonedSessions) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.session_ttl_ms = 120'000;   // steady state would hold them forever
+  config.drain_session_ttl_ms = 50;  // the drain must not wait that out
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(), config);
+
+  PredictionClient client(server.port());
+  constexpr int kAbandoned = 8;
+  for (int i = 0; i < kAbandoned; ++i) client.hello(features(), 0.0);
+  EXPECT_EQ(server.session_count(), static_cast<std::size_t>(kAbandoned));
+
+  server.begin_drain();
+  EXPECT_EQ(server.session_table().ttl_ms(), 50);
+  EXPECT_TRUE(server.wait_drained(5'000));
+  EXPECT_GE(server.sessions_evicted(), static_cast<std::uint64_t>(kAbandoned));
+}
+
+TEST(Drain, SessionTableEvictionRacesTtlRearm) {
+  // The drain path re-arms the TTL while workers keep ticking eviction and
+  // the serve path keeps inserting/erasing — the TSan job runs this to prove
+  // those never race.
+  SessionTableConfig config;
+  config.shards = 4;
+  config.ttl_ms = 100'000;
+  config.evict_scan_budget = 8;
+  SessionTable table(config);
+
+  const auto make_entry = [](std::uint64_t) {
+    SessionTable::Entry entry;
+    entry.last_used = SessionTable::Clock::now();
+    return entry;
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    std::vector<std::uint64_t> ids;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 4; ++i) ids.push_back(table.emplace(make_entry));
+      while (ids.size() > 2) {
+        table.erase(ids.back());
+        ids.pop_back();
+      }
+    }
+  });
+  std::thread evictor([&] {
+    while (!stop.load(std::memory_order_relaxed))
+      table.evict_tick(SessionTable::Clock::now());
+  });
+  std::thread rearmer([&] {
+    bool drain = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      table.set_ttl_ms(drain ? 1 : 100'000);
+      drain = !drain;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true, std::memory_order_relaxed);
+  mutator.join();
+  evictor.join();
+  rearmer.join();
+
+  // Final drain sweep: with the TTL at its floor every survivor expires.
+  table.set_ttl_ms(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (table.size() > 0 && std::chrono::steady_clock::now() < deadline) {
+    table.evict_tick(SessionTable::Clock::now());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// -- Client tier under overload and drain ------------------------------------
+
+TEST(ReplicaOverload, BacksOffOnRetryAfterThenRecovers) {
+  ServerConfig config;
+  config.io_threads = 1;
+  config.retry_after_ms = 40;
+  PredictionServer a(std::make_shared<EchoPlusOneModel>(), config);
+  PredictionServer b(std::make_shared<EchoPlusOneModel>(), config);
+  a.set_shedding(true);
+  b.set_shedding(true);
+
+  ReplicaSetConfig rc;
+  rc.client.backoff_jitter = 0.5;  // sleeps land in (20, 40] ms
+  rc.overload_retry_passes = 4;
+  rc.down_probe_after_ms = 1;
+  ReplicaSet set({a.port(), b.port()}, rc);
+
+  // The whole tier sheds, then one replica recovers mid-backoff: the hello
+  // must ride the server's retry-after hint to success instead of failing.
+  std::thread relief([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    a.set_shedding(false);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const SessionResponse session = set.hello(features(), 0.0);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  relief.join();
+  EXPECT_GT(session.session_id, 0u);
+  // At least one jittered retry-after sleep happened (no hot-spin).
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(waited).count(),
+            20);
+  EXPECT_GE(set.replica_client(0).overloaded_replies() +
+                set.replica_client(1).overloaded_replies(),
+            1u);
+
+  // With every pass exhausted the overload finally surfaces — typed, after
+  // the full backoff schedule, not as a spin.
+  a.set_shedding(true);
+  const auto t1 = std::chrono::steady_clock::now();
+  try {
+    set.hello(features(), 1.0);
+    FAIL() << "an all-shedding tier must surface OVERLOADED";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kOverloaded);
+  }
+  const auto exhausted = std::chrono::steady_clock::now() - t1;
+  EXPECT_GE(
+      std::chrono::duration_cast<std::chrono::milliseconds>(exhausted).count(),
+      3 * 20);  // (passes - 1) sleeps, each > 20 ms
+}
+
+TEST(ReplicaDrain, PlannedMigrationOnDrainingHint) {
+  ServerConfig config;
+  config.io_threads = 1;
+  PredictionServer a(std::make_shared<EchoPlusOneModel>(), config);
+  PredictionServer b(std::make_shared<EchoPlusOneModel>(), config);
+  ReplicaSet set({a.port(), b.port()});
+
+  const SessionResponse session = set.hello(features(), 3.0);
+  const std::size_t first = set.session_replica(session.session_id);
+  PredictionServer& old_server = first == 0 ? a : b;
+  PredictionServer& new_server = first == 0 ? b : a;
+  EXPECT_EQ(old_server.session_count(), 1u);
+
+  old_server.begin_drain();
+
+  // The very next operation is still served (and answers correctly), carries
+  // the kDraining hint, and triggers the proactive move.
+  const PredictionResponse r = set.observe_response(session.session_id, 3.0);
+  EXPECT_DOUBLE_EQ(r.mbps, 4.0);
+  EXPECT_NE(r.flags & serve_flags::kDraining, 0);
+  EXPECT_NE(set.session_replica(session.session_id), first);
+  EXPECT_GE(set.planned_migrations(), 1u);
+  EXPECT_TRUE(set.replica_draining(first));
+
+  // The migration BYEd the old replica, so its drain completes without
+  // waiting out any TTL.
+  EXPECT_TRUE(old_server.wait_drained(2'000));
+  EXPECT_EQ(new_server.session_count(), 1u);
+
+  // The session keeps serving from the new replica, hint-free.
+  const PredictionResponse r2 = set.observe_response(session.session_id, 5.0);
+  EXPECT_DOUBLE_EQ(r2.mbps, 6.0);
+  EXPECT_EQ(r2.flags & serve_flags::kDraining, 0);
+}
+
+// -- Rolling restart (the CI zero-drop soak) ---------------------------------
+
+TEST(RollingRestart, DrainEachReplicaInTurnDropsNoSessions) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  ServerConfig config;
+  config.io_threads = 2;
+  config.session_shards = 4;
+  config.drain_session_ttl_ms = 200;
+  config.retry_after_ms = 50;
+  config.metrics = registry;
+  ReplicaFaultSpec fault;  // no auto-kill; drains are driven explicitly
+
+  constexpr int kReplicas = 3;
+  std::vector<std::unique_ptr<ChaosReplica>> replicas;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < kReplicas; ++i) {
+    replicas.push_back(std::make_unique<ChaosReplica>(
+        [] { return std::make_shared<EchoPlusOneModel>(); }, config, fault));
+    ports.push_back(replicas.back()->port());
+  }
+
+  ReplicaSetConfig rc;
+  rc.overload_retry_passes = 3;
+  rc.down_probe_after_ms = 50;
+  rc.metrics = registry;
+  ReplicaSet set(ports, rc);
+
+  constexpr int kThreads = 16;
+  constexpr int kSessionsPerThread = 4;  // 64 live sessions
+  std::atomic<bool> stop{false};
+  std::atomic<int> dropped{0};
+  std::vector<std::thread> players;
+  for (int t = 0; t < kThreads; ++t) {
+    players.emplace_back([&, t] {
+      std::vector<std::uint64_t> ids;
+      try {
+        for (int s = 0; s < kSessionsPerThread; ++s)
+          ids.push_back(
+              set.hello(features(), static_cast<double>(t % 24)).session_id);
+        int round = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (const std::uint64_t id : ids) {
+            const double sample = 1.0 + (t + round) % 7;
+            const PredictionResponse r = set.observe_response(id, sample);
+            if (r.mbps != sample + 1.0) ++dropped;
+          }
+          ++round;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      } catch (const std::exception&) {
+        // Any thrown operation is a dropped session — the soak's failure.
+        ++dropped;
+      }
+      try {
+        for (const std::uint64_t id : ids) set.bye(id);
+      } catch (const std::exception&) {
+        // BYE is best-effort by contract.
+      }
+    });
+  }
+
+  // Let the fleet of sessions establish, then restart every replica in
+  // turn: each must drain clean (sessions migrated or reaped) before its
+  // deadline, and no player may ever see a failed operation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::vector<bool> clean;
+  for (auto& replica : replicas) {
+    clean.push_back(replica->drain_and_restart(/*drain_deadline_ms=*/5'000));
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : players) t.join();
+
+  EXPECT_EQ(dropped.load(), 0);
+  for (int i = 0; i < kReplicas; ++i) {
+    EXPECT_TRUE(clean[static_cast<std::size_t>(i)]) << "replica " << i;
+    EXPECT_EQ(replicas[static_cast<std::size_t>(i)]->drains(), 1u);
+    EXPECT_EQ(replicas[static_cast<std::size_t>(i)]->resurrections(), 1u);
+  }
+  EXPECT_GE(set.planned_migrations(), 1u);
+
+  // Drain telemetry is scrapable over the wire from any live replica (the
+  // registry is shared across the tier).
+  PredictionClient scraper(ports[0]);
+  const StatsResponse stats = scraper.stats();
+  EXPECT_GE(series_value(stats.exposition, "cs2p_server_last_drain_seconds"),
+            0.0);
+  EXPECT_GE(series_value(stats.exposition, "cs2p_server_drain_rejections_total"),
+            0.0);
+}
+
+}  // namespace
+}  // namespace cs2p

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/fault_injection.h"
 #include "net/server.h"
+#include "net/transport.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
@@ -139,7 +141,40 @@ TEST(ServerChurnSoak, SixtyFourClientsOverFourWorkers) {
       }
     });
   }
+  // A slow-reader cohort rides along: clients that sleep before every recv
+  // drain replies slower than the server produces them, exercising the
+  // write-backpressure path (bounded queues, read throttling) concurrently
+  // with the fast churn above — under TSan this is the mixed-cohort race.
+  constexpr int kSlowClients = 8;
+  constexpr int kSlowRounds = 2;
+  std::vector<std::thread> slow_clients;
+  for (int c = 0; c < kSlowClients; ++c) {
+    slow_clients.emplace_back([&server, &failures, &byes, c] {
+      try {
+        for (int round = 0; round < kSlowRounds; ++round) {
+          PredictionClient client(
+              slow_client_connector(loopback_connector(server.port()),
+                                    /*recv_delay_ms=*/3));
+          const SessionResponse session =
+              client.hello(features(), static_cast<double>(c % 24));
+          for (int i = 0; i < 2; ++i) {
+            const double sample = 1.0 + (c + round + i) % 9;
+            if (client.observe(session.session_id, sample) != sample + 1.0) {
+              ++failures;
+              return;
+            }
+          }
+          client.bye(session.session_id);
+          byes.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+
   for (auto& t : clients) t.join();
+  for (auto& t : slow_clients) t.join();
   stop.store(true, std::memory_order_relaxed);
   swapper.join();
   scraper.join();

@@ -68,8 +68,13 @@
 
 namespace {
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_drain{false};
 std::atomic<bool> g_reload{false};
 void handle_signal(int) { g_stop.store(true); }
+// SIGTERM = orchestrated restart: drain first (stop accepting, migrate
+// sessions off via the kDraining hint), hard-stop only at the deadline.
+// SIGINT stays the immediate stop it always was.
+void handle_sigterm(int) { g_drain.store(true); }
 void handle_sighup(int) { g_reload.store(true); }
 
 /// "9001,9002" -> {9001, 9002}; throws on junk so a typo'd replica list
@@ -147,6 +152,29 @@ int main(int argc, char** argv) try {
   args.add_option("accept-sync",
                   "accept SYNC-shipped snapshots from a trainer and hot-swap "
                   "them after verification (1/0)", "1");
+  args.add_option("drain-deadline-ms",
+                  "on SIGTERM, drain gracefully (stop accepting, hint "
+                  "clients to migrate) and exit once all sessions are gone "
+                  "or this deadline passes", "10000");
+  args.add_option("shed-utilization",
+                  "shed new HELLOs when a worker's event-loop utilization "
+                  "EWMA reaches this fraction (0 = off)", "0");
+  args.add_option("shed-pending",
+                  "shed new HELLOs when a worker has this many replies "
+                  "queued (0 = off)", "0");
+  args.add_option("retry-after-ms",
+                  "backoff hint stamped on OVERLOADED/SHUTTING_DOWN replies",
+                  "250");
+  args.add_option("write-budget-bytes",
+                  "per-connection queued-reply budget; connections over it "
+                  "stop being read until they drain (0 = default 256 KiB)",
+                  "0");
+  args.add_option("write-stall-timeout-ms",
+                  "close a connection whose queued replies made no flush "
+                  "progress this long (slow reader; 0 = off)", "10000");
+  args.add_option("brownout-enter-ticks",
+                  "consecutive 20 ms pressure ticks before brownout level 1 "
+                  "(level 2 at 3x); 0 disables the brownout controller", "0");
   if (!args.parse(argc, argv)) return 1;
 
   // The one registry of the process: engine(s), guardrails and server all
@@ -285,6 +313,19 @@ int main(int argc, char** argv) try {
       static_cast<double>(args.get_long("max-sample-mbps"));
   server_config.metrics = metrics;
   server_config.trace = trace;
+  server_config.shed_utilization = args.get_double("shed-utilization");
+  server_config.shed_pending_replies =
+      static_cast<std::size_t>(args.get_long("shed-pending"));
+  server_config.retry_after_ms =
+      static_cast<int>(args.get_long("retry-after-ms"));
+  server_config.write_budget_bytes =
+      static_cast<std::size_t>(args.get_long("write-budget-bytes"));
+  server_config.write_stall_timeout_ms =
+      static_cast<int>(args.get_long("write-stall-timeout-ms"));
+  server_config.brownout_enter_ticks =
+      static_cast<int>(args.get_long("brownout-enter-ticks"));
+  const int drain_deadline_ms =
+      static_cast<int>(args.get_long("drain-deadline-ms"));
   if (accept_sync) {
     // Decode a SYNC-shipped snapshot against our training split + config;
     // any fingerprint/parse failure throws SnapshotError and the server
@@ -307,6 +348,20 @@ int main(int argc, char** argv) try {
               server_config.session_ttl_ms);
   std::printf("serving core: %zu io thread(s), %zu session shard(s)\n",
               server.config().io_threads, server.config().session_shards);
+  std::printf("overload: %zu B write budget, %d ms stall kick, "
+              "drain deadline %d ms (SIGTERM)\n",
+              server.config().write_budget_bytes,
+              server.config().write_stall_timeout_ms, drain_deadline_ms);
+  if (server.config().shed_utilization > 0.0 ||
+      server.config().shed_pending_replies > 0)
+    std::printf("overload: shed HELLOs at %.2f utilization / %zu queued "
+                "replies (retry-after %d ms)\n",
+                server.config().shed_utilization,
+                server.config().shed_pending_replies,
+                server.config().retry_after_ms);
+  if (server.config().brownout_enter_ticks > 0)
+    std::printf("overload: brownout after %d pressure tick(s)\n",
+                server.config().brownout_enter_ticks);
   if (reload_interval_s > 0)
     std::printf("reload: retrain + hot-swap every %ld s\n", reload_interval_s);
   if (config.guardrail.enabled)
@@ -350,7 +405,7 @@ int main(int argc, char** argv) try {
   publish_and_push(*model);
 
   std::signal(SIGINT, handle_signal);
-  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGTERM, handle_sigterm);
   std::signal(SIGHUP, handle_sighup);
 
   // One flush point for both sinks: metrics go to stdout, the trace tail to
@@ -372,8 +427,34 @@ int main(int argc, char** argv) try {
   // Drift-marked clusters already answered with a retrain: a failed reload
   // must not retrigger every poll tick.
   std::size_t drift_handled = 0;
+  auto drain_started = Clock::time_point{};
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Zero-downtime drain (DESIGN.md §14): SIGTERM stops accepting, answers
+    // new HELLOs SHUTTING_DOWN, stamps replies kDraining so the client tier
+    // migrates, and exits once the session table empties (or the deadline
+    // forces the issue). SIGINT remains the immediate stop.
+    if (g_drain.load() && drain_started == Clock::time_point{}) {
+      drain_started = Clock::now();
+      std::printf("drain: SIGTERM received, draining %zu session(s) "
+                  "(deadline %d ms)\n",
+                  server.session_count(), drain_deadline_ms);
+      std::fflush(stdout);
+      server.begin_drain();
+    }
+    if (drain_started != Clock::time_point{}) {
+      if (server.wait_drained(0)) {
+        std::printf("drain: complete, exiting\n");
+        break;
+      }
+      if (Clock::now() - drain_started >=
+          std::chrono::milliseconds(drain_deadline_ms)) {
+        std::printf("drain: deadline reached with %zu session(s) remaining, "
+                    "exiting\n",
+                    server.session_count());
+        break;
+      }
+    }
     if (metrics_interval_s > 0 &&
         Clock::now() - last_metrics >= std::chrono::seconds(metrics_interval_s)) {
       last_metrics = Clock::now();
