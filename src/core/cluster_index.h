@@ -56,6 +56,15 @@ class CandidateIndex {
   /// The cluster a session with these features/time falls into, or nullptr.
   const Cluster* find(const SessionFeatures& features, double start_hour) const;
 
+  /// The stable bucket key a session with these features/time maps to —
+  /// the cluster identity snapshots and the continuous trainer use
+  /// (core/model_store.h, core/trainer.h). Defined whether or not the
+  /// bucket currently holds any training session.
+  std::string bucket_key_for(const SessionFeatures& features,
+                             double start_hour) const {
+    return bucket_key(features, start_hour);
+  }
+
   const CandidateSpec& candidate() const noexcept { return spec_; }
   std::size_t num_clusters() const noexcept { return clusters_.size(); }
 

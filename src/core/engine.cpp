@@ -143,6 +143,43 @@ Cs2pEngine::Cs2pEngine(Dataset training, Cs2pConfig config,
           "Cs2pEngine: duplicate cluster model in restored state");
     m_.clusters_restored->inc();
   }
+  lineage_ = restored.lineage;
+}
+
+const Cluster* Cs2pEngine::find_cluster(std::size_t candidate_id,
+                                        const std::string& bucket_key) const {
+  if (candidate_id >= index_.num_candidates()) return nullptr;
+  const auto& clusters = index_.index_for(candidate_id).clusters();
+  const auto it = clusters.find(bucket_key);
+  return it == clusters.end() ? nullptr : &it->second;
+}
+
+ClusterModelView Cs2pEngine::cluster_model_view(
+    std::size_t candidate_id, const std::string& bucket_key) const {
+  ClusterModelView view;
+  const Cluster* cluster = find_cluster(candidate_id, bucket_key);
+  if (cluster == nullptr) {
+    view.hmm = global_hmm_;
+    return view;
+  }
+  {
+    std::scoped_lock lock(drift_mutex_);
+    if (drifted_.contains(cluster)) {
+      view.hmm = global_hmm_;
+      return view;
+    }
+  }
+  std::scoped_lock lock(cache_mutex_);
+  if (!quarantined_.contains(cluster)) {
+    const auto it = hmm_cache_.find(cluster);
+    if (it != hmm_cache_.end()) {
+      view.hmm = *it->second;
+      view.cluster_specific = true;
+      return view;
+    }
+  }
+  view.hmm = global_hmm_;
+  return view;
 }
 
 std::vector<ClusterModelEntry> Cs2pEngine::export_cluster_models() const {

@@ -97,6 +97,17 @@ struct EngineStats {
   std::size_t guardrail_recoveries = 0;  ///< session-level recoveries
 };
 
+/// Where a trained engine sits in the continuous-training lineage
+/// (DESIGN.md §15). Generation 0 with a zero parent checksum is the
+/// offline-trained root; every canary-accepted retrain (and every rollback)
+/// increments the generation and records the snapshot checksum of the
+/// engine it was derived from, so an operator can walk a serving model back
+/// to its ancestry and the trainer can re-swap the parent on rollback.
+struct ModelLineage {
+  std::uint64_t generation = 0;
+  std::uint64_t parent_checksum = 0;  ///< snapshot_checksum of the parent
+};
+
 /// One cached per-cluster model, addressed by its stable identity
 /// (candidate id + bucket key) instead of the in-memory Cluster pointer —
 /// this is what the snapshot store persists and the restore path replays.
@@ -113,6 +124,16 @@ struct EngineRestoreData {
   GaussianHmm global_hmm;
   std::vector<std::vector<double>> selector_table;  ///< err(M, s') rows
   std::vector<ClusterModelEntry> cluster_models;
+  ModelLineage lineage;
+};
+
+/// What a (candidate id, bucket key) cluster serves right now — the view
+/// the continuous trainer's canary gate evaluates candidates against.
+struct ClusterModelView {
+  GaussianHmm hmm;  ///< copy of the serving model
+  /// False when the cluster is served by the global fallback (uncached,
+  /// quarantined, or drift-marked) instead of its own model.
+  bool cluster_specific = false;
 };
 
 class Cs2pEngine {
@@ -177,6 +198,27 @@ class Cs2pEngine {
   /// True when the given cluster is drift-marked.
   bool cluster_drifted(const Cluster* cluster) const;
 
+  /// Where this engine sits in the continuous-training lineage. The main
+  /// constructor produces generation 0 (offline root); the restore
+  /// constructor adopts whatever the snapshot recorded.
+  const ModelLineage& lineage() const noexcept { return lineage_; }
+  void set_lineage(ModelLineage lineage) noexcept { lineage_ = lineage; }
+
+  /// The cluster a (candidate id, bucket key) identity resolves to in this
+  /// engine's index, or nullptr when the bucket does not exist (e.g. the
+  /// training set has no session with those features). Stable for the
+  /// engine's lifetime — this is how the trainer maps cluster identities
+  /// back onto drift/quarantine state after a hot-swap.
+  const Cluster* find_cluster(std::size_t candidate_id,
+                              const std::string& bucket_key) const;
+
+  /// What the given cluster identity serves *right now*: its cached
+  /// per-cluster HMM, or the global fallback when the model is uncached,
+  /// quarantined, or drift-marked. Never triggers an EM run — the canary
+  /// gate must observe the serving state, not force training.
+  ClusterModelView cluster_model_view(std::size_t candidate_id,
+                                      const std::string& bucket_key) const;
+
   const GaussianHmm& global_hmm() const noexcept { return global_hmm_; }
   double global_initial() const noexcept { return global_initial_; }
   const ClusterIndex& cluster_index() const noexcept { return index_; }
@@ -224,6 +266,7 @@ class Cs2pEngine {
   GuardrailMetrics guardrail_metrics_;
   GaussianHmm global_hmm_;
   double global_initial_ = 0.0;
+  ModelLineage lineage_;
 
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<const Cluster*, std::unique_ptr<GaussianHmm>> hmm_cache_;
@@ -264,6 +307,12 @@ class Cs2pPredictorModel final : public PredictorModel {
       const SessionContext& context) const override;
 
   const Cs2pEngine& engine() const noexcept { return *engine_; }
+
+  /// Shared handle to the engine — what the continuous trainer holds so the
+  /// incumbent stays alive across hot-swaps while a canary is evaluated.
+  std::shared_ptr<const Cs2pEngine> engine_ptr() const noexcept {
+    return engine_;
+  }
 
  private:
   std::shared_ptr<const Cs2pEngine> engine_;

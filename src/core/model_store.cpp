@@ -139,6 +139,10 @@ std::string_view snapshot_error_code_name(SnapshotErrorCode code) noexcept {
   return "UNKNOWN";
 }
 
+std::uint64_t snapshot_checksum(const std::string& snapshot_bytes) noexcept {
+  return fnv1a64(snapshot_bytes);
+}
+
 std::uint64_t config_fingerprint(const Cs2pConfig& config) noexcept {
   std::uint64_t h = kFnvOffset;
   h = fnv_mix_u64(h, config.selector.min_cluster_size);
@@ -184,6 +188,10 @@ std::string serialize_engine(const Cs2pEngine& engine) {
   payload << "config " << hex16(config_fingerprint(engine.config())) << "\n";
   payload << "dataset " << hex16(dataset_fingerprint(engine.training())) << ' '
           << engine.training().size() << "\n";
+  // Continuous-training lineage (DESIGN.md §15). Written unconditionally;
+  // readers treat it as optional so pre-lineage snapshots stay loadable.
+  payload << "lineage " << engine.lineage().generation << ' '
+          << hex16(engine.lineage().parent_checksum) << "\n";
   payload << "global-initial " << engine.global_initial() << "\n";
 
   const std::string global_hmm = serialize_hmm(engine.global_hmm());
@@ -298,7 +306,20 @@ EngineRestoreData parse_snapshot(const std::string& bytes,
 
   EngineRestoreData restored;
   {
-    auto is = expect_tag(cursor, "global-initial");
+    // Optional lineage record (snapshots predating continuous training go
+    // straight to global-initial and keep the zero-lineage default).
+    auto is = line_stream(cursor.next_line());
+    std::string tag;
+    if (!(is >> tag)) corrupt("empty payload record");
+    if (tag == "lineage") {
+      std::string parent_hex;
+      if (!(is >> restored.lineage.generation >> parent_hex))
+        corrupt("lineage record malformed");
+      restored.lineage.parent_checksum = parse_hex16(parent_hex);
+      is = line_stream(cursor.next_line());
+      if (!(is >> tag)) corrupt("empty payload record");
+    }
+    if (tag != "global-initial") corrupt("expected 'global-initial' record");
     if (!(is >> restored.global_initial) ||
         !std::isfinite(restored.global_initial) || restored.global_initial < 0.0)
       corrupt("global-initial invalid");

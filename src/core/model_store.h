@@ -77,6 +77,11 @@ std::uint64_t config_fingerprint(const Cs2pConfig& config) noexcept;
 /// trained on (cluster bucket keys and the error table index into it).
 std::uint64_t dataset_fingerprint(const Dataset& dataset) noexcept;
 
+/// FNV-1a 64-bit over the complete snapshot bytes (header + payload +
+/// footer). This is the identity recorded in ModelLineage::parent_checksum:
+/// two byte-identical snapshots are the same model generation.
+std::uint64_t snapshot_checksum(const std::string& snapshot_bytes) noexcept;
+
 /// Serializes the engine's trained state into complete snapshot bytes
 /// (header + payload + checksum footer), ready to be written to disk.
 std::string serialize_engine(const Cs2pEngine& engine);

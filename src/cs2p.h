@@ -24,6 +24,7 @@
 // Predictors: interface, CS2P engine, baselines, evaluation harness.
 #include "core/engine.h"             // IWYU pragma: export
 #include "core/model_store.h"        // IWYU pragma: export
+#include "core/trainer.h"            // IWYU pragma: export
 #include "predictors/evaluation.h"   // IWYU pragma: export
 #include "predictors/ghm.h"          // IWYU pragma: export
 #include "predictors/history.h"      // IWYU pragma: export

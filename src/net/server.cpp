@@ -83,6 +83,8 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
       &registry.counter("cs2p_server_slow_reader_kicks_total");
   m.brownout_replies = &registry.counter("cs2p_server_brownout_replies_total");
   m.drain_rejections = &registry.counter("cs2p_server_drain_rejections_total");
+  m.completion_hook_errors =
+      &registry.counter("cs2p_server_completion_hook_errors_total");
   m.active_connections = &registry.gauge("cs2p_server_active_connections");
   m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
   m.draining = &registry.gauge("cs2p_server_draining");
@@ -94,6 +96,9 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
                           obs::default_latency_buckets_seconds());
   m.connection_seconds =
       &registry.histogram("cs2p_server_connection_seconds",
+                          obs::default_duration_buckets_seconds());
+  m.session_seconds =
+      &registry.histogram("cs2p_server_session_seconds",
                           obs::default_duration_buckets_seconds());
   return m;
 }
@@ -279,6 +284,30 @@ void PredictionServer::note_drain_progress() {
                           .count();
   const auto started = drain_started_us_.load(std::memory_order_acquire);
   m_.last_drain_seconds->set(static_cast<double>(now_us - started) / 1e6);
+}
+
+void PredictionServer::complete_session(std::uint64_t id,
+                                        SessionTable::Entry& entry,
+                                        std::string_view reason) {
+  if (entry.created_at != Clock::time_point{}) {
+    m_.session_seconds->observe(
+        std::chrono::duration<double>(Clock::now() - entry.created_at)
+            .count());
+  }
+  if (!config_.on_session_complete) return;
+  CompletedSession completed;
+  completed.session_id = id;
+  completed.features = std::move(entry.features);
+  completed.start_hour = entry.start_hour;
+  completed.observations = std::move(entry.observations);
+  completed.reason = reason;
+  try {
+    config_.on_session_complete(std::move(completed));
+  } catch (const std::exception&) {
+    // The trainer's problem stays the trainer's problem: the session is
+    // already gone, the serve path moves on.
+    m_.completion_hook_errors->inc();
+  }
 }
 
 bool PredictionServer::wait_drained(int timeout_ms) {
@@ -541,12 +570,13 @@ void PredictionServer::worker_loop(Worker& worker) {
     if (now >= next_evict) {
       next_evict = now + kEvictTickInterval;
       const auto stats = sessions_.evict_tick(
-          now, [this](std::uint64_t id, const SessionTable::Entry& entry) {
+          now, [this](std::uint64_t id, SessionTable::Entry& entry) {
             if (trace_ && entry.traced)
               trace_->emit("evict", id,
                            {{"ttl_ms", static_cast<std::int64_t>(
                                            sessions_.ttl_ms())}});
             m_.evicted->inc();
+            complete_session(id, entry, "evict");
           });
       if (stats.evicted > 0)
         m_.live_sessions->set(static_cast<double>(sessions_.size()));
@@ -804,6 +834,13 @@ Response PredictionServer::handle(const Request& request, Worker& worker,
       entry.owner = std::move(model);
       entry.last_used = now;
       entry.traced = info.traced;
+      entry.created_at = now;
+      if (config_.on_session_complete) {
+        // Keep the identity + history the completion hook will need; when
+        // no hook is installed the entry stays as lean as before.
+        entry.features = context.features;
+        entry.start_hour = context.start_hour;
+      }
       return entry;
     });
     info.mbps = response.initial_mbps;
@@ -829,6 +866,9 @@ Response PredictionServer::handle(const Request& request, Worker& worker,
       if (!valid) return;  // leave last_used alone; the error wins below
       entry.last_used = Clock::now();
       entry.predictor->observe(w);
+      if (config_.on_session_complete &&
+          entry.observations.size() < config_.session_history_cap)
+        entry.observations.push_back(w);
       const PredictionResponse response =
           make_prediction_response(*entry.predictor, 1);
       info.flags = response.flags;
@@ -870,7 +910,15 @@ Response PredictionServer::handle(const Request& request, Worker& worker,
     info.event = "bye";
     info.session_id = bye->session_id;
     bool traced = false;
-    if (sessions_.erase(bye->session_id, &traced)) info.traced = traced;
+    // Same teardown tail as eviction (complete_session): BYE is just the
+    // polite way into the unified completion path.
+    if (sessions_.erase(
+            bye->session_id,
+            [this](std::uint64_t id, SessionTable::Entry& entry) {
+              complete_session(id, entry, "bye");
+            },
+            &traced))
+      info.traced = traced;
     m_.live_sessions->set(static_cast<double>(sessions_.size()));
     // The last BYE is usually what completes a drain — record it now rather
     // than waiting for the next evict tick.
@@ -929,6 +977,15 @@ Response PredictionServer::handle_sync(const Request& request,
   if (const auto* begin = std::get_if<SyncBeginRequest>(&request)) {
     if (!config_.sync_apply)
       return reject("this replica does not accept SYNC");
+    // A draining replica is on its way out: starting a shipment it may die
+    // in the middle of helps nobody, so new pushes are cleanly refused. A
+    // shipment staged BEFORE the drain began may still commit — the commit
+    // path below is atomic (verify, decode, swap) so the accepted model is
+    // never torn, drained or not.
+    if (draining()) {
+      m_.drain_rejections->inc();
+      return reject("replica is draining, push to another replica");
+    }
     if (begin->total_bytes == 0)
       return reject("snapshot must not be empty");
     if (begin->total_bytes > config_.max_sync_bytes)

@@ -75,6 +75,19 @@
 
 namespace cs2p {
 
+/// Everything a finished session leaves behind, whichever way it ended.
+/// Handed to ServerConfig::on_session_complete so the continuous-training
+/// pipeline (DESIGN.md §15) sees the full observation stream — a session
+/// that times out carries exactly as much training signal as one that says
+/// BYE politely.
+struct CompletedSession {
+  std::uint64_t session_id = 0;
+  SessionFeatures features;
+  double start_hour = 0.0;
+  std::vector<double> observations;  ///< validated OBSERVE samples, in order
+  std::string_view reason;           ///< "bye" or "evict"
+};
+
 /// Robustness and scaling knobs of the service; the defaults suit tests and
 /// the pilot bench, cs2p_serve exposes them as flags.
 struct ServerConfig {
@@ -105,6 +118,17 @@ struct ServerConfig {
       sync_apply;
   /// Largest snapshot a SYNCBEGIN may declare; guards the staging buffer.
   std::size_t max_sync_bytes = 256 * 1024 * 1024;
+  /// Unified session-teardown hook (DESIGN.md §15): called exactly once per
+  /// session, outside every shard lock, whether the session ended by BYE or
+  /// by TTL/drain eviction. When set, the server records each session's
+  /// features and validated OBSERVE samples so the hook receives the full
+  /// training signal; when null, no history is kept (zero steady-state
+  /// cost). Exceptions are swallowed and counted — a broken trainer must
+  /// not take the serve path down.
+  std::function<void(CompletedSession&&)> on_session_complete;
+  /// Cap on the per-session observation history kept for the hook; samples
+  /// past it are dropped oldest-last (the filter state is unaffected).
+  std::size_t session_history_cap = 512;
 
   // -- Overload control & drain (DESIGN.md §14) ------------------------------
 
@@ -407,6 +431,7 @@ class PredictionServer {
     obs::Counter* slow_reader_kicks = nullptr;
     obs::Counter* brownout_replies = nullptr;
     obs::Counter* drain_rejections = nullptr;
+    obs::Counter* completion_hook_errors = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* live_sessions = nullptr;
     obs::Gauge* draining = nullptr;
@@ -415,6 +440,10 @@ class PredictionServer {
     obs::Gauge* max_write_queue = nullptr;
     obs::Histogram* request_seconds = nullptr;
     obs::Histogram* connection_seconds = nullptr;
+    /// Session lifetime from HELLO to teardown, observed on BOTH completion
+    /// paths (BYE and eviction) — eviction used to bypass all duration
+    /// accounting.
+    obs::Histogram* session_seconds = nullptr;
 
     static MetricHandles create(obs::MetricsRegistry& registry);
   };
@@ -448,6 +477,11 @@ class PredictionServer {
   void brownout_tick();
   /// Publishes the drain-duration gauge once the table first reaches empty.
   void note_drain_progress();
+  /// The single teardown tail shared by BYE and eviction: session-duration
+  /// histogram, then the on_session_complete hook. Runs outside shard locks
+  /// (the entry has already been moved out of the table).
+  void complete_session(std::uint64_t id, SessionTable::Entry& entry,
+                        std::string_view reason);
   void record_write_queue_depth(std::size_t bytes) noexcept;
 
   mutable std::mutex model_mutex_;  ///< guards model_ (reads copy the ptr)

@@ -67,6 +67,23 @@ bool SessionTable::erase(std::uint64_t id, bool* traced) {
   return true;
 }
 
+bool SessionTable::erase(std::uint64_t id, const EvictCallback& on_erase,
+                         bool* traced) {
+  Shard& shard = shard_for(id);
+  Entry removed;
+  {
+    const auto lock = lock_shard(shard);
+    const auto it = shard.entries.find(id);
+    if (it == shard.entries.end()) return false;
+    removed = std::move(it->second);
+    shard.entries.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (traced != nullptr) *traced = removed.traced;
+  if (on_erase) on_erase(id, removed);
+  return true;
+}
+
 SessionTable::EvictStats SessionTable::evict_tick(Clock::time_point now,
                                                   const EvictCallback& on_evict) {
   EvictStats stats;
@@ -74,40 +91,49 @@ SessionTable::EvictStats SessionTable::evict_tick(Clock::time_point now,
   if (ttl <= 0) return stats;
   const auto deadline = now - std::chrono::milliseconds(ttl);
   std::vector<std::uint64_t> expired;
+  std::vector<std::pair<std::uint64_t, Entry>> removed;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     expired.clear();
-    const auto lock = lock_shard(shard);
-    const std::size_t buckets = shard.entries.bucket_count();
-    if (buckets == 0 || shard.entries.empty()) continue;
-    if (shard.cursor >= buckets) shard.cursor = 0;
-    const std::size_t start = shard.cursor;
-    std::size_t scanned = 0;
-    // Whole buckets at a time (chains are short under the default load
-    // factor), stopping once the budget is met — the lock hold is bounded by
-    // the budget plus one bucket's chain, never by the table size.
-    do {
-      for (auto it = shard.entries.begin(shard.cursor);
-           it != shard.entries.end(shard.cursor); ++it) {
-        ++scanned;
-        if (it->second.last_used < deadline) expired.push_back(it->first);
+    removed.clear();
+    {
+      const auto lock = lock_shard(shard);
+      const std::size_t buckets = shard.entries.bucket_count();
+      if (buckets == 0 || shard.entries.empty()) continue;
+      if (shard.cursor >= buckets) shard.cursor = 0;
+      const std::size_t start = shard.cursor;
+      std::size_t scanned = 0;
+      // Whole buckets at a time (chains are short under the default load
+      // factor), stopping once the budget is met — the lock hold is bounded
+      // by the budget plus one bucket's chain, never by the table size.
+      do {
+        for (auto it = shard.entries.begin(shard.cursor);
+             it != shard.entries.end(shard.cursor); ++it) {
+          ++scanned;
+          if (it->second.last_used < deadline) expired.push_back(it->first);
+        }
+        shard.cursor = (shard.cursor + 1) % buckets;
+      } while (scanned < config_.evict_scan_budget && shard.cursor != start);
+      for (const std::uint64_t id : expired) {
+        const auto it = shard.entries.find(id);
+        if (it == shard.entries.end()) continue;
+        removed.emplace_back(id, std::move(it->second));
+        shard.entries.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
       }
-      shard.cursor = (shard.cursor + 1) % buckets;
-    } while (scanned < config_.evict_scan_budget && shard.cursor != start);
-    for (const std::uint64_t id : expired) {
-      const auto it = shard.entries.find(id);
-      if (it == shard.entries.end()) continue;
-      if (on_evict) on_evict(id, it->second);
-      shard.entries.erase(it);
-      size_.fetch_sub(1, std::memory_order_relaxed);
+      std::size_t seen = max_scanned_.load(std::memory_order_relaxed);
+      while (scanned > seen &&
+             !max_scanned_.compare_exchange_weak(seen, scanned,
+                                                 std::memory_order_relaxed)) {
+      }
+      stats.scanned += scanned;
+      stats.evicted += removed.size();
     }
-    std::size_t seen = max_scanned_.load(std::memory_order_relaxed);
-    while (scanned > seen &&
-           !max_scanned_.compare_exchange_weak(seen, scanned,
-                                               std::memory_order_relaxed)) {
-    }
-    stats.scanned += scanned;
-    stats.evicted += expired.size();
+    // Callbacks run after the shard lock is released: the completion hook
+    // may feed the trainer (its own locks, possibly EM in progress) and must
+    // never extend an eviction lock hold.
+    if (on_evict)
+      for (auto& [id, entry] : removed) on_evict(id, entry);
   }
   return stats;
 }

@@ -65,6 +65,15 @@ class SessionTable {
     Clock::time_point last_used{};
     /// Trace-sampling decision made once at creation (obs/trace.h).
     bool traced = false;
+    /// Session identity + observation history for the completion hook
+    /// (DESIGN.md §15): the server fills these at HELLO/OBSERVE when a
+    /// ServerConfig::on_session_complete consumer exists, so BOTH teardown
+    /// paths (BYE and TTL/drain eviction) can hand the full training signal
+    /// to the continuous trainer instead of silently dropping it.
+    Clock::time_point created_at{};
+    SessionFeatures features;
+    double start_hour = 0.0;
+    std::vector<double> observations;
   };
 
   struct EvictStats {
@@ -72,10 +81,12 @@ class SessionTable {
     std::size_t evicted = 0;
   };
 
-  /// Called for each evicted entry, under the owning shard's lock — keep it
-  /// cheap and never call back into the table.
-  using EvictCallback =
-      std::function<void(std::uint64_t id, const Entry& entry)>;
+  /// Called for each removed entry. Invoked OUTSIDE the owning shard's lock,
+  /// on the entry already moved out of the table — the callback may be
+  /// arbitrarily expensive (it feeds the training pipeline) and may take
+  /// other locks, but the session is already gone when it runs, so it must
+  /// not expect to find `id` in the table.
+  using EvictCallback = std::function<void(std::uint64_t id, Entry& entry)>;
 
   /// `registry` (optional) receives per-shard contention counters
   /// (cs2p_server_session_shard_contention_total{shard="i"}); it must
@@ -117,6 +128,12 @@ class SessionTable {
   /// Removes the session. Returns true if it existed; `*traced` (optional)
   /// reports the entry's trace flag for the caller's BYE trace record.
   bool erase(std::uint64_t id, bool* traced = nullptr);
+
+  /// Removes the session and hands the moved-out entry to `on_erase`
+  /// (invoked outside the shard lock, like eviction callbacks) — the BYE
+  /// leg of the unified session-completion teardown. Returns true if the
+  /// session existed.
+  bool erase(std::uint64_t id, const EvictCallback& on_erase, bool* traced);
 
   /// Live entries across all shards. Lock-free (a relaxed counter), may be
   /// momentarily stale relative to concurrent mutators.

@@ -345,6 +345,65 @@ TEST(Sync, DisabledByDefaultRefusesShipments) {
   EXPECT_EQ(server.models_swapped(), 0u);
 }
 
+// -- SYNC vs zero-downtime drain (the §13 x §14 interaction) ----------------
+
+TEST(Sync, PushArrivingMidDrainIsCleanlyRejected) {
+  ServerConfig config;
+  config.sync_apply = parse_test_snapshot;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(2.0), config);
+  PredictionClient client(server.port());
+  const auto session = client.hello(features(), 1.0);  // holds the drain open
+
+  // A model push landing on an already-admitted connection after the drain
+  // starts: a draining replica is about to disappear, so starting a new
+  // shipment is refused outright — never half-staged, never a torn swap.
+  server.begin_drain();
+  try {
+    client.push_snapshot("initial=9.0");
+    FAIL() << "draining replica accepted a new SYNC shipment";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.code(), WireErrorCode::kSyncRejected);
+  }
+  EXPECT_EQ(server.syncs_applied(), 0u);
+  EXPECT_EQ(server.models_swapped(), 0u);
+
+  // The in-flight session keeps serving on the untouched incumbent.
+  EXPECT_DOUBLE_EQ(client.observe(session.session_id, 3.0), 4.0);
+  client.bye(session.session_id);
+  EXPECT_TRUE(server.wait_drained(2'000));
+}
+
+TEST(Sync, ShipmentStagedBeforeDrainCommitsAtomically) {
+  ServerConfig config;
+  config.sync_apply = parse_test_snapshot;
+  PredictionServer server(std::make_shared<EchoPlusOneModel>(2.0), config);
+
+  const std::string bytes = "initial=7.5";
+  FdHandle raw = connect_loopback(server.port());
+  const auto round_trip = [&raw](const Request& request) {
+    send_frame(raw, serialize_request(request));
+    const auto reply = recv_frame(raw);
+    if (!reply.has_value()) throw std::runtime_error("connection closed");
+    return parse_response(*reply);
+  };
+  ASSERT_TRUE(std::holds_alternative<OkResponse>(
+      round_trip(SyncBeginRequest{bytes.size(), sync_checksum(bytes)})));
+  ASSERT_TRUE(std::holds_alternative<OkResponse>(
+      round_trip(SyncChunkRequest{bytes})));
+
+  // Drain starts with the shipment fully staged and verified bytes already
+  // on the replica: the commit still applies atomically (verify -> decode ->
+  // swap is one step) — the other leg of "rejected or swapped, never torn".
+  server.begin_drain();
+  const Response commit = round_trip(SyncCommitRequest{});
+  EXPECT_TRUE(std::holds_alternative<OkResponse>(commit))
+      << "staged-before-drain commit must still apply";
+  EXPECT_EQ(server.syncs_applied(), 1u);
+  EXPECT_EQ(server.syncs_rejected(), 0u);
+  EXPECT_EQ(server.models_swapped(), 1u);
+  EXPECT_TRUE(server.wait_drained(2'000));
+}
+
 // -- Cross-version frame rejection against live peers -----------------------
 
 TEST(CrossVersion, V3ClientAgainstV4ServerGetsCleanRejection) {

@@ -28,6 +28,18 @@
 //     hot-swap, same path as SIGHUP — the drifted cluster serves the global
 //     fallback in the meantime.
 //
+// Continuous training (DESIGN.md §15):
+//   - With --continuous-train (implies the guardrail), every completed
+//     session (BYE or eviction) streams into per-cluster reservoirs and a
+//     background trainer retrains clusters whose statistics moved. Candidate
+//     models must beat the incumbent on a held-out canary slice by
+//     --canary-margin before they are hot-swapped; accepted generations
+//     serve under a --probation-ms window in which a drift-quorum trip
+//     rolls the cluster back to its parent generation automatically.
+//   - Interval reloads skip the full retrain when the dataset fingerprint
+//     is unchanged (SIGHUP and drift retrains always run — they exist to
+//     rebuild state, not to pick up new rows).
+//
 // Telemetry (DESIGN.md §11):
 //   - One process-wide metrics registry is wired through the engine, the
 //     guardrails and the server, so a STATS scrape (or cs2p_stats) sees the
@@ -53,12 +65,14 @@
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/model_store.h"
+#include "core/trainer.h"
 #include "dataset/dataset.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -127,6 +141,19 @@ int main(int argc, char** argv) try {
   args.add_option("drift-reload",
                   "retrain + hot-swap when a cluster drifts (implies "
                   "--guardrail 1) (1/0)", "0");
+  args.add_option("continuous-train",
+                  "stream completed sessions into a background trainer with "
+                  "a canary gate + probation rollback (implies --guardrail "
+                  "1) (1/0)", "0");
+  args.add_option("canary-margin",
+                  "nats/observation a candidate model must win the held-out "
+                  "log-likelihood canary by before it is hot-swapped", "0.05");
+  args.add_option("probation-ms",
+                  "post-swap probation window; a drift-quorum trip inside it "
+                  "rolls the cluster back to its parent generation", "5000");
+  args.add_option("reservoir-size",
+                  "completed-session sequences retained per cluster for "
+                  "retraining + canary holdout", "64");
   args.add_option("lenient-ingest",
                   "skip invalid rows in --data instead of aborting (1/0)", "0");
   args.add_option("metrics-interval",
@@ -194,7 +221,11 @@ int main(int argc, char** argv) try {
   config.metrics = metrics;
   config.hmm.num_states = static_cast<std::size_t>(args.get_long("hmm-states"));
   const bool drift_reload = args.get_long("drift-reload") != 0;
-  config.guardrail.enabled = args.get_long("guardrail") != 0 || drift_reload;
+  const bool continuous_train = args.get_long("continuous-train") != 0;
+  // Continuous training leans on the drift quorum for rollback, so it
+  // forces the guardrail on just like --drift-reload does.
+  config.guardrail.enabled =
+      args.get_long("guardrail") != 0 || drift_reload || continuous_train;
   const bool lenient_ingest = args.get_long("lenient-ingest") != 0;
   const int train_days = static_cast<int>(args.get_long("train-days"));
   const bool warm_up = args.get_long("warm-up") != 0;
@@ -234,13 +265,25 @@ int main(int argc, char** argv) try {
 
   // Builds a model from the (possibly updated) dataset on disk; used for
   // both the initial model and every reload. `use_snapshot` is true only at
-  // startup — a reload exists to pick up new data, so it always retrains.
-  auto build_model = [&](bool use_snapshot) {
+  // startup. Interval reloads pass `skip_if_unchanged`: they exist to pick
+  // up new rows, so when the training split hashes to the fingerprint the
+  // serving engine was built from, the retrain is skipped (returns null)
+  // instead of burning a Baum-Welch pass to rebuild the same model. SIGHUP
+  // and drift retrains never skip — they rebuild state on purpose (a drift
+  // retrain must clear the drift marks even on identical data).
+  std::uint64_t served_dataset_fp = 0;
+  auto build_model = [&](bool use_snapshot, bool skip_if_unchanged =
+                                                false) -> std::shared_ptr<Cs2pPredictorModel> {
     const Dataset dataset = load_dataset();
     auto [train, test] = dataset.split_by_day(train_days);
     (void)test;
     if (train.empty())
       throw std::runtime_error("no training sessions in " + args.get("data"));
+    const std::uint64_t fp = dataset_fingerprint(train);
+    if (skip_if_unchanged && fp == served_dataset_fp) {
+      std::printf("reload: dataset unchanged, skipped retrain\n");
+      return nullptr;
+    }
     std::printf("building CS2P engine on %zu sessions...\n", train.size());
     std::string status;
     std::shared_ptr<const Cs2pEngine> engine;
@@ -262,6 +305,7 @@ int main(int argc, char** argv) try {
       }
     }
     std::printf("model: %s\n", status.c_str());
+    served_dataset_fp = fp;
     return std::make_shared<Cs2pPredictorModel>(std::move(engine));
   };
 
@@ -301,6 +345,24 @@ int main(int argc, char** argv) try {
   }
   if (!model) model = build_model(/*use_snapshot=*/true);
 
+  // -- Continuous training (DESIGN.md §15) ----------------------------------
+  // The trainer is declared BEFORE the server so the completion hook's
+  // target outlives the serving workers that call it; a scope guard declared
+  // after the server joins the trainer thread before the server (which the
+  // publish hook swaps models into) can be torn down.
+  std::mutex model_mutex;  // guards `model`: main loop vs trainer publish
+  std::unique_ptr<ContinuousTrainer> trainer;
+  if (continuous_train) {
+    TrainerConfig trainer_config;
+    trainer_config.canary_margin = args.get_double("canary-margin");
+    trainer_config.probation_ms =
+        static_cast<std::uint64_t>(args.get_long("probation-ms"));
+    trainer_config.reservoir_size =
+        static_cast<std::size_t>(args.get_long("reservoir-size"));
+    trainer = std::make_unique<ContinuousTrainer>(model->engine_ptr(),
+                                                  trainer_config);
+  }
+
   ServerConfig server_config;
   server_config.max_connections =
       static_cast<std::size_t>(args.get_long("max-connections"));
@@ -336,6 +398,15 @@ int main(int argc, char** argv) try {
       auto engine = restore_engine_from_bytes(bytes, *sync_training, config);
       return std::make_shared<Cs2pPredictorModel>(
           std::shared_ptr<const Cs2pEngine>(std::move(engine)));
+    };
+  }
+  if (trainer) {
+    // Both teardown paths (BYE and TTL/drain eviction) land here — the
+    // unified complete_session hook — so no completed session's observation
+    // history is lost to the trainer.
+    ContinuousTrainer* t = trainer.get();
+    server_config.on_session_complete = [t](CompletedSession&& done) {
+      t->ingest(done.features, done.start_hour, done.observations);
     };
   }
 
@@ -378,17 +449,11 @@ int main(int argc, char** argv) try {
     std::printf("sync: pushing snapshots to %zu peer replica(s)\n",
                 peer_ports.size());
 
-  // Publish the served model's snapshot for SYNCFETCH pulls and push it to
-  // every --peers replica. Runs at startup and after every hot-swap; a
-  // failed push is that replica's loss, never ours.
-  auto publish_and_push = [&](const Cs2pPredictorModel& built) {
-    std::string bytes;
-    try {
-      bytes = serialize_engine(built.engine());
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "sync: serialize failed: %s\n", e.what());
-      return;
-    }
+  // Publish a model's snapshot bytes for SYNCFETCH pulls and push them to
+  // every --peers replica. Runs at startup, after every hot-swap, and from
+  // the trainer's publish hook; a failed push is that replica's loss, never
+  // ours.
+  auto push_snapshot_bytes = [&](const std::string& bytes) {
     server.publish_snapshot(bytes);
     for (const std::uint16_t peer_port : peer_ports) {
       try {
@@ -402,7 +467,53 @@ int main(int argc, char** argv) try {
       }
     }
   };
+  auto publish_and_push = [&](const Cs2pPredictorModel& built) -> std::string {
+    std::string bytes;
+    try {
+      bytes = serialize_engine(built.engine());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sync: serialize failed: %s\n", e.what());
+      return std::string();
+    }
+    push_snapshot_bytes(bytes);
+    return bytes;
+  };
   publish_and_push(*model);
+
+  // Drift-marked clusters already answered with a retrain: a failed reload
+  // must not retrigger every poll tick. Atomic because the trainer's publish
+  // hook (trainer thread) resets it when a swap clears the drift marks.
+  std::atomic<std::size_t> drift_handled{0};
+
+  // Joins the trainer thread on every exit path BEFORE the server (declared
+  // above it) is destroyed — the publish hook below swaps models into the
+  // server, so the thread must be gone first.
+  struct TrainerStopGuard {
+    ContinuousTrainer* trainer;
+    ~TrainerStopGuard() {
+      if (trainer != nullptr) trainer->stop();
+    }
+  } trainer_stop{trainer.get()};
+  if (trainer) {
+    trainer->set_publish([&](const std::shared_ptr<const Cs2pEngine>& engine,
+                             const std::string& bytes) {
+      auto fresh = std::make_shared<Cs2pPredictorModel>(engine);
+      server.swap_model(fresh);
+      {
+        const std::lock_guard<std::mutex> lock(model_mutex);
+        model = fresh;
+      }
+      drift_handled.store(0);  // fresh engines start with clean drift marks
+      push_snapshot_bytes(bytes);
+      return true;
+    });
+    trainer->start();
+    std::printf("trainer: continuous training on (reservoir %zu, canary "
+                "margin %.3f nats, probation %llu ms)\n",
+                trainer->config().reservoir_size,
+                trainer->config().canary_margin,
+                static_cast<unsigned long long>(trainer->config().probation_ms));
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_sigterm);
@@ -424,9 +535,11 @@ int main(int argc, char** argv) try {
   using Clock = std::chrono::steady_clock;
   auto last_reload = Clock::now();
   auto last_metrics = Clock::now();
-  // Drift-marked clusters already answered with a retrain: a failed reload
-  // must not retrigger every poll tick.
-  std::size_t drift_handled = 0;
+  // The model currently served, read consistently against trainer swaps.
+  auto current_model = [&] {
+    const std::lock_guard<std::mutex> lock(model_mutex);
+    return model;
+  };
   auto drain_started = Clock::time_point{};
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
@@ -465,23 +578,38 @@ int main(int argc, char** argv) try {
         Clock::now() - last_reload >= std::chrono::seconds(reload_interval_s);
     bool drift_due = false;
     if (drift_reload) {
-      const std::size_t drifted = model->engine().drifted_cluster_count();
-      if (drifted > drift_handled) {
+      const std::size_t drifted =
+          current_model()->engine().drifted_cluster_count();
+      if (drifted > drift_handled.load()) {
         std::printf("drift: %zu cluster(s) tripped their quorum, retraining\n",
                     drifted);
-        drift_handled = drifted;
+        drift_handled.store(drifted);
         drift_due = true;
       }
     }
-    if (!g_reload.exchange(false) && !interval_due && !drift_due) continue;
+    const bool manual_reload = g_reload.exchange(false);
+    if (!manual_reload && !interval_due && !drift_due) continue;
     last_reload = Clock::now();
     try {
       // Retrain while the old model keeps serving; swap only on success.
-      auto fresh = build_model(/*use_snapshot=*/false);
+      // Only the pure interval trigger may skip on an unchanged dataset:
+      // SIGHUP is an operator order and a drift retrain must rebuild state.
+      auto fresh = build_model(
+          /*use_snapshot=*/false,
+          /*skip_if_unchanged=*/interval_due && !manual_reload && !drift_due);
+      if (!fresh) continue;  // dataset unchanged, retrain skipped
       server.swap_model(fresh);
-      model = std::move(fresh);  // poll drift on the engine now serving
-      drift_handled = 0;
-      publish_and_push(*model);
+      {
+        const std::lock_guard<std::mutex> lock(model_mutex);
+        model = fresh;  // poll drift on the engine now serving
+      }
+      drift_handled.store(0);
+      const std::string bytes = publish_and_push(*fresh);
+      // Hand the reloaded engine to the trainer OUTSIDE model_mutex: its
+      // publish hook takes model_mutex on the trainer thread while holding
+      // the training lock that set_engine needs.
+      if (trainer && !bytes.empty())
+        trainer->set_engine(fresh->engine_ptr(), bytes);
       std::printf("hot-swap #%llu complete (%zu live sessions keep their "
                   "old model)\n",
                   static_cast<unsigned long long>(server.models_swapped()),
@@ -491,6 +619,20 @@ int main(int argc, char** argv) try {
                    e.what());
     }
   }
+  // Stop the trainer first: its summary below must be final, and the model
+  // pointer must stop moving before the stats reads.
+  if (trainer) {
+    trainer->stop();
+    const TrainerStats ts = trainer->stats();
+    std::printf("trainer: %llu ingested, %llu retrains, %llu canary accepts, "
+                "%llu rejects, %llu rollbacks (generation %llu)\n",
+                static_cast<unsigned long long>(ts.sessions_ingested),
+                static_cast<unsigned long long>(ts.retrains),
+                static_cast<unsigned long long>(ts.canary_accepts),
+                static_cast<unsigned long long>(ts.canary_rejects),
+                static_cast<unsigned long long>(ts.rollbacks),
+                static_cast<unsigned long long>(ts.generation));
+  }
   // Final telemetry BEFORE teardown: stop() joins workers, and a hung
   // connection makes that wait — the stats must already be out by then.
   flush_telemetry(/*dump_metrics=*/metrics_interval_s > 0);
@@ -498,7 +640,7 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(server.requests_handled()),
               static_cast<unsigned long long>(server.models_swapped()));
   if (config.guardrail.enabled) {
-    const EngineStats engine_stats = model->engine().stats();
+    const EngineStats engine_stats = current_model()->engine().stats();
     std::printf("guardrail: %zu guarded sessions, %zu trips, %zu recoveries, "
                 "%zu drifted clusters, %llu degraded replies\n",
                 engine_stats.guarded_sessions, engine_stats.guardrail_trips,

@@ -126,8 +126,38 @@ double family_quantile(const HistogramFamily& h, double q) {
   return prev_le;
 }
 
+/// One cluster's row of the trainer model table (pretty view): the
+/// per-cluster gauges cs2p_trainer_cluster_generation{cluster="k"} and
+/// cs2p_trainer_cluster_model_age_seconds{cluster="k"} fold into one line
+/// per cluster instead of two interleaved scalar dumps.
+struct ClusterModelRow {
+  double generation = std::numeric_limits<double>::quiet_NaN();
+  double age_seconds = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Consumes a per-cluster trainer gauge into `rows`; false for everything
+/// else (the series stays a plain scalar).
+bool fold_cluster_model_series(const std::string& key, double value,
+                               std::map<std::string, ClusterModelRow>& rows) {
+  const bool is_generation =
+      key.starts_with("cs2p_trainer_cluster_generation{");
+  const bool is_age =
+      !is_generation &&
+      key.starts_with("cs2p_trainer_cluster_model_age_seconds{");
+  if (!is_generation && !is_age) return false;
+  const std::size_t label = key.find("cluster=\"");
+  if (label == std::string::npos) return false;
+  const std::size_t begin = label + 9;
+  const std::size_t end = key.find('"', begin);
+  if (end == std::string::npos) return false;
+  auto& row = rows[key.substr(begin, end - begin)];
+  (is_generation ? row.generation : row.age_seconds) = value;
+  return true;
+}
+
 void pretty_print(const Scrape& scrape) {
   std::map<std::string, HistogramFamily> histograms;
+  std::map<std::string, ClusterModelRow> cluster_models;
   std::vector<std::pair<std::string, double>> scalars;
   for (const auto& [key, value] : scrape.series) {
     std::string family;
@@ -136,6 +166,7 @@ void pretty_print(const Scrape& scrape) {
       histograms[family].buckets.emplace_back(le, value);
       continue;
     }
+    if (fold_cluster_model_series(key, value, cluster_models)) continue;
     const std::size_t brace = key.find('{');
     const std::string name = key.substr(0, brace);
     if (name.size() > 4 && name.ends_with("_sum")) {
@@ -168,6 +199,17 @@ void pretty_print(const Scrape& scrape) {
     std::printf("%-56s count=%.0f mean=%.3gs p50=%.3gs p90=%.3gs p99=%.3gs\n",
                 family.c_str(), h.count, mean, family_quantile(h, 0.5),
                 family_quantile(h, 0.9), family_quantile(h, 0.99));
+  }
+  if (!cluster_models.empty()) {
+    std::printf("# trainer per-cluster models\n");
+    std::printf("%-44s %12s %14s\n", "# cluster", "generation", "model age");
+    for (const auto& [cluster, row] : cluster_models) {
+      std::printf("%-44s ", cluster.c_str());
+      if (std::isnan(row.generation)) std::printf("%12s ", "-");
+      else std::printf("%12.0f ", row.generation);
+      if (std::isnan(row.age_seconds)) std::printf("%14s\n", "-");
+      else std::printf("%13.1fs\n", row.age_seconds);
+    }
   }
 }
 
