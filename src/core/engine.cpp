@@ -343,6 +343,21 @@ SurpriseBaseline Cs2pEngine::surprise_baseline(const GaussianHmm* hmm) const {
   return baseline_cache_.emplace(hmm, baseline).first->second;
 }
 
+std::shared_ptr<const HmmKernel> Cs2pEngine::hmm_kernel(
+    const GaussianHmm* hmm) const {
+  {
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = kernel_cache_.find(hmm);
+    if (it != kernel_cache_.end()) return it->second;
+  }
+  // Built outside the lock (Matrix::pow up to kMaxCachedPowers); a rare
+  // duplicate build is harmless, first insert wins and the loser's copy is
+  // dropped.
+  auto kernel = HmmKernel::create(*hmm);
+  std::scoped_lock lock(cache_mutex_);
+  return kernel_cache_.emplace(hmm, std::move(kernel)).first->second;
+}
+
 void Cs2pEngine::note_guardrail_event(const Cluster* cluster,
                                       GuardrailEvent event,
                                       bool tripped) const {
@@ -421,9 +436,13 @@ std::unique_ptr<SessionPredictor> Cs2pPredictorModel::make_session(
   const SessionModelRef ref =
       engine_->session_model(context.features, context.start_hour);
   const Cs2pConfig& config = engine_->config();
+  // Sessions share their model's SoA kernel: one contiguous constants block
+  // per model instead of a private copy per session, and the handle the
+  // batch driver groups by.
+  auto kernel = engine_->hmm_kernel(ref.hmm);
   if (!config.guardrail.enabled) {
     return std::make_unique<HmmSessionPredictor>(
-        *ref.hmm, ref.initial_prediction, config.prediction_rule);
+        std::move(kernel), ref.initial_prediction, config.prediction_rule);
   }
 
   std::uint8_t static_flags = serve_flags::kPrimary;
@@ -435,7 +454,7 @@ std::unique_ptr<SessionPredictor> Cs2pPredictorModel::make_session(
   auto engine = engine_;
   const Cluster* cluster = ref.cluster;
   return std::make_unique<GuardedSessionPredictor>(
-      *ref.hmm, ref.initial_prediction, engine_->global_initial(),
+      std::move(kernel), ref.initial_prediction, engine_->global_initial(),
       engine_->surprise_baseline(ref.hmm), config.guardrail,
       config.prediction_rule, static_flags,
       [engine = std::move(engine), cluster](GuardrailEvent event, bool tripped) {

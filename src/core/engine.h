@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -136,6 +137,37 @@ struct ClusterModelView {
   bool cluster_specific = false;
 };
 
+// -- Batched serving API (DESIGN.md §16) -------------------------------------
+// One poll round's worth of (session, value) pairs, grouped by shared HMM
+// kernel and pushed through BatchHmmFilter in one state-matrix walk per
+// group. Items whose predictor is not batchable (non-HMM family, cold start,
+// degraded fallback, sanitizer reject) run their scalar path — the batch
+// driver is an optimization, never a semantic fork.
+
+/// One OBSERVE: advance the session on `observation`, then produce the
+/// next-epoch prediction (the server's OBSERVE reply).
+struct ObserveBatchItem {
+  SessionPredictor* predictor = nullptr;
+  double observation = 0.0;
+  double prediction = 0.0;      ///< out
+  bool via_batch_kernel = false;  ///< out: prediction came from the batch kernel
+};
+
+/// One PREDICT at an arbitrary horizon.
+struct PredictBatchItem {
+  SessionPredictor* predictor = nullptr;
+  unsigned steps_ahead = 1;  ///< must be >= 1
+  double prediction = 0.0;      ///< out
+  bool via_batch_kernel = false;  ///< out
+};
+
+/// How much of a batch the kernel actually served (feeds the
+/// cs2p_server_batched_predicts counter).
+struct BatchStats {
+  std::size_t batched = 0;  ///< predictions served by the batch kernel
+  std::size_t scalar = 0;   ///< predictions that fell back to scalar predict()
+};
+
 class Cs2pEngine {
  public:
   /// Copies the training dataset (the engine must outlive external data).
@@ -180,6 +212,26 @@ class Cs2pEngine {
   /// HMM), computed lazily once per model and cached. The pointer must come
   /// from a SessionModelRef of this engine.
   SurpriseBaseline surprise_baseline(const GaussianHmm* hmm) const;
+
+  /// Shared SoA inference kernel of an engine-owned HMM (hmm/kernel.h),
+  /// built lazily once per model and cached — every session pinned to that
+  /// model shares one kernel block, which is what makes them batchable.
+  /// Same pointer contract as surprise_baseline().
+  std::shared_ptr<const HmmKernel> hmm_kernel(const GaussianHmm* hmm) const;
+
+  /// Advances every item's session on its observation and produces the
+  /// next-epoch prediction, grouping kernel-sharing sessions through
+  /// BatchHmmFilter (one state-matrix walk per model per round). Each
+  /// session id must appear at most once per call (core/batch.cpp explains
+  /// the sequential-dependence rule); the caller holds whatever locks
+  /// protect the predictors. Static: operates on any predictor mix and
+  /// touches no engine state.
+  static BatchStats observe_batch(std::span<ObserveBatchItem> items);
+
+  /// Batched horizon predictions; groups by (kernel, steps_ahead). Items
+  /// whose predictor cannot batch (cold start, degraded, non-HMM) run
+  /// scalar predict() with identical results and side effects.
+  static BatchStats predict_batch(std::span<PredictBatchItem> items);
 
   /// Guardrail lifecycle feed (called by Cs2pPredictorModel's event hook,
   /// possibly from many serving threads). Aggregates per-session trips into
@@ -278,6 +330,9 @@ class Cs2pEngine {
   /// Lazily-computed per-model surprise baselines, keyed by the stable
   /// address of an engine-owned HMM (global_hmm_ or a hmm_cache_ entry).
   mutable std::unordered_map<const GaussianHmm*, SurpriseBaseline> baseline_cache_;
+  /// Lazily-built shared inference kernels, same key (DESIGN.md §16).
+  mutable std::unordered_map<const GaussianHmm*, std::shared_ptr<const HmmKernel>>
+      kernel_cache_;
 
   /// Cluster-level drift aggregation (guarded by its own mutex: the event
   /// feed runs on serving threads and must not contend with EM training).

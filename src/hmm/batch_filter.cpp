@@ -1,0 +1,273 @@
+#include "hmm/batch_filter.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <new>
+#include <stdexcept>
+
+namespace cs2p {
+
+namespace {
+
+constexpr std::size_t kLaneAlign = 8;  // doubles per cache line / zmm
+
+constexpr std::size_t pad_lanes(std::size_t width) noexcept {
+  return (width + kLaneAlign - 1) / kLaneAlign * kLaneAlign;
+}
+
+// The lane-inner kernels below take __restrict pointers: the staging rows,
+// lane sums, and extraction scratch are distinct sections of one scratch
+// block, and telling the compiler so is what lets it vectorize a
+// symbolic-width inner loop without runtime alias versioning (without it GCC
+// reports "complicated access pattern" and emits scalar code). Widths are
+// pre-padded to kLaneAlign, and every row starts on a cache line, so the
+// loops are whole aligned vectors with no scalar tail.
+
+inline double* row_at(double* base, std::size_t offset) noexcept {
+  return std::assume_aligned<64>(base + offset);
+}
+inline const double* row_at(const double* base, std::size_t offset) noexcept {
+  return std::assume_aligned<64>(base + offset);
+}
+
+/// next = belief · P over every lane: one walk of the state matrix for the
+/// whole batch. Per (lane, j) the accumulation visits i ascending — the
+/// scalar vec_mat order, with P's row 0 writing the initial term — so each
+/// lane's result is the scalar result.
+void propagate_batch(const double* __restrict p, std::size_t n,
+                     std::size_t width, const double* __restrict belief,
+                     double* __restrict next) noexcept {
+  {
+    const double* __restrict in_row = row_at(belief, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p0j = p[j];
+      double* __restrict out_row = row_at(next, j * width);
+      for (std::size_t b = 0; b < width; ++b) out_row[b] = in_row[b] * p0j;
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* __restrict in_row = row_at(belief, i * width);
+    const double* __restrict p_row = p + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pij = p_row[j];
+      double* __restrict out_row = row_at(next, j * width);
+      for (std::size_t b = 0; b < width; ++b) out_row[b] += in_row[b] * pij;
+    }
+  }
+}
+
+/// sums[b] = sum over states of stage[x * width + b], x ascending — the
+/// scalar mass-sum order per lane.
+void sum_rows(const double* __restrict stage, std::size_t n, std::size_t width,
+              double* __restrict sums) noexcept {
+  {
+    const double* __restrict row = row_at(stage, 0);
+    for (std::size_t b = 0; b < width; ++b) sums[b] = row[b];
+  }
+  for (std::size_t x = 1; x < n; ++x) {
+    const double* __restrict row = row_at(stage, x * width);
+    for (std::size_t b = 0; b < width; ++b) sums[b] += row[b];
+  }
+}
+
+/// stage[x * width + b] /= sums[b] — the scalar normalize division.
+void divide_rows(double* __restrict stage, std::size_t n, std::size_t width,
+                 const double* __restrict sums) noexcept {
+  for (std::size_t x = 0; x < n; ++x) {
+    double* __restrict row = row_at(stage, x * width);
+    for (std::size_t b = 0; b < width; ++b) row[b] /= sums[b];
+  }
+}
+
+/// Both extraction rules across all lanes in one pass: unnormalized
+/// posterior-mean numerator into expect[], and the strict-greater first-wins
+/// argmax (x ascending, the scalar order) into best_idx[].
+void extract_rules(const double* __restrict stage,
+                   const double* __restrict mu, std::size_t n,
+                   std::size_t width, double* __restrict expect,
+                   double* __restrict best_val,
+                   std::size_t* __restrict best_idx) noexcept {
+  {
+    const double* __restrict row0 = row_at(stage, 0);
+    const double mu0 = mu[0];
+    for (std::size_t b = 0; b < width; ++b) {
+      best_val[b] = row0[b];
+      best_idx[b] = 0;
+      expect[b] = row0[b] * mu0;
+    }
+  }
+  for (std::size_t x = 1; x < n; ++x) {
+    const double* __restrict row = row_at(stage, x * width);
+    const double mux = mu[x];
+    for (std::size_t b = 0; b < width; ++b) {
+      expect[b] += row[b] * mux;
+      const bool better = row[b] > best_val[b];
+      best_val[b] = better ? row[b] : best_val[b];
+      best_idx[b] = better ? x : best_idx[b];
+    }
+  }
+}
+
+}  // namespace
+
+void BatchHmmFilter::AlignedFree::operator()(double* p) const noexcept {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+double* BatchHmmFilter::ensure_scratch(std::size_t doubles) {
+  if (doubles > block_capacity_) {
+    block_.reset(static_cast<double*>(
+        ::operator new[](doubles * sizeof(double), std::align_val_t{64})));
+    block_capacity_ = doubles;
+  }
+  return std::assume_aligned<64>(block_.get());
+}
+
+void BatchHmmFilter::observe(const HmmKernel& kernel,
+                             std::span<OnlineHmmFilter* const> filters,
+                             std::span<const double> observations) {
+  const std::size_t width = filters.size();
+  assert(observations.size() == width);
+  if (width == 0) return;
+  const std::size_t n = kernel.num_states();
+  const std::size_t wp = pad_lanes(width);
+  double* block = ensure_scratch((2 * n + 1) * wp);
+  double* belief_stage = block;
+  double* next_stage = block + n * wp;
+  double* sums = next_stage + n * wp;
+
+  for (std::size_t b = 0; b < width; ++b) {
+    assert(filters[b]->kernel().get() == &kernel);
+    const Vec& belief = filters[b]->belief_;
+    for (std::size_t x = 0; x < n; ++x) belief_stage[x * wp + b] = belief[x];
+  }
+  // Zero the padding lanes: they flow through the arithmetic below (that is
+  // what keeps the vector loops tail-free) and must stay finite.
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t b = width; b < wp; ++b) belief_stage[x * wp + b] = 0.0;
+
+  propagate_batch(kernel.power(1), n, wp, belief_stage, next_stage);
+
+  // First-epoch sessions condition the prior directly: overwrite their lane
+  // with the unpropagated belief (the scalar observations_ == 0 branch).
+  for (std::size_t b = 0; b < width; ++b) {
+    if (filters[b]->observations_ != 0) continue;
+    for (std::size_t x = 0; x < n; ++x)
+      next_stage[x * wp + b] = belief_stage[x * wp + b];
+  }
+
+  // Correction: multiply each lane by its observation's emission vector.
+  // State-outer so mu/sigma/log_sigma load once per state; the same
+  // expression tree as HmmKernel::emissions per (state, lane). The exp call
+  // keeps this loop scalar — the price of bit-equal likelihoods — so it runs
+  // the real lanes only.
+  const double* mu = kernel.mu();
+  const double* sigma = kernel.sigma();
+  const double* log_sigma = kernel.log_sigma();
+  const double half_log_2pi = kernel.half_log_2pi();
+  for (std::size_t x = 0; x < n; ++x) {
+    const double m = mu[x];
+    const double s = sigma[x];
+    const double ls = log_sigma[x];
+    double* row = next_stage + x * wp;
+    for (std::size_t b = 0; b < width; ++b) {
+      const double z = (observations[b] - m) / s;
+      row[b] *= std::exp(-0.5 * z * z - ls - half_log_2pi);
+    }
+  }
+
+  // Likelihood per lane (x-ascending like the scalar sum), then normalize
+  // the staging in place — the same `corrected[i] / likelihood` division the
+  // scalar filter performs. Degenerate lanes (sum <= 0 or non-finite) divide
+  // to garbage here and are overwritten with the uniform reset in the
+  // scatter below, exactly the scalar branch.
+  sum_rows(next_stage, n, wp, sums);
+  divide_rows(next_stage, n, wp, sums);
+
+  // Per-lane scatter + bookkeeping (the only remaining lane-strided walk).
+  const double uniform = 1.0 / static_cast<double>(n);
+  for (std::size_t b = 0; b < width; ++b) {
+    OnlineHmmFilter& filter = *filters[b];
+    const double likelihood = sums[b];
+    if (likelihood > 0.0 && std::isfinite(likelihood)) {
+      filter.last_log_likelihood_ = std::log(likelihood);
+      for (std::size_t x = 0; x < n; ++x)
+        filter.belief_[x] = next_stage[x * wp + b];
+    } else {
+      filter.last_log_likelihood_ = -std::numeric_limits<double>::infinity();
+      ++filter.degenerate_updates_;
+      for (std::size_t x = 0; x < n; ++x) filter.belief_[x] = uniform;
+    }
+    ++filter.observations_;
+  }
+}
+
+void BatchHmmFilter::predict(const HmmKernel& kernel,
+                             std::span<const OnlineHmmFilter* const> filters,
+                             unsigned steps_ahead, std::span<double> out) {
+  if (steps_ahead == 0)
+    throw std::invalid_argument("BatchHmmFilter::predict: steps_ahead must be >= 1");
+  const std::size_t width = filters.size();
+  assert(out.size() == width);
+  if (width == 0) return;
+  const std::size_t n = kernel.num_states();
+  const std::size_t wp = pad_lanes(width);
+  double* block = ensure_scratch((2 * n + 3) * wp);
+  double* belief_stage = block;
+  double* next_stage = block + n * wp;
+  double* sums = next_stage + n * wp;
+  double* expect = sums + wp;
+  double* best_val = expect + wp;
+  best_idx_.resize(wp);
+
+  for (std::size_t b = 0; b < width; ++b) {
+    assert(filters[b]->kernel().get() == &kernel);
+    const Vec& belief = filters[b]->belief_;
+    for (std::size_t x = 0; x < n; ++x) belief_stage[x * wp + b] = belief[x];
+  }
+  for (std::size_t x = 0; x < n; ++x)
+    for (std::size_t b = width; b < wp; ++b) belief_stage[x * wp + b] = 0.0;
+
+  const double* p = kernel.power(steps_ahead);
+  Matrix fallback;
+  if (p == nullptr) {
+    // Horizon beyond the cache: one Matrix::pow for the whole batch —
+    // identical doubles to the scalar fallback.
+    fallback = kernel.model().transition.pow(steps_ahead);
+    p = fallback.data().data();
+  }
+  propagate_batch(p, n, wp, belief_stage, next_stage);
+
+  // Scalar predict's tail is normalize-then-extract. Normalization is a
+  // positive per-lane scale, so extraction runs on the raw projected mass:
+  // the argmax is scale-invariant (same strict-> first-wins scan, x
+  // ascending), and the posterior mean divides once per lane at the end —
+  // (sum_x pi_x mu_x) / sum instead of sum_x (pi_x / sum) mu_x, equal to a
+  // couple of ulp (the property test's 1e-9 holds either way).
+  sum_rows(next_stage, n, wp, sums);
+  const double* mu = kernel.mu();
+  extract_rules(next_stage, mu, n, wp, expect, best_val, best_idx_.data());
+
+  for (std::size_t b = 0; b < width; ++b) {
+    if (sums[b] <= 0.0 || !std::isfinite(sums[b])) {
+      // Degenerate lane: the scalar path fills uniform and extracts from
+      // that — argmax lands on state 0, the mean is the uniform mixture,
+      // accumulated in the scalar x-ascending order.
+      const double uniform = 1.0 / static_cast<double>(n);
+      if (filters[b]->rule_ == PredictionRule::kMleState) {
+        out[b] = mu[0];
+      } else {
+        double expectation = 0.0;
+        for (std::size_t x = 0; x < n; ++x) expectation += uniform * mu[x];
+        out[b] = expectation;
+      }
+    } else {
+      out[b] = filters[b]->rule_ == PredictionRule::kMleState
+                   ? mu[best_idx_[b]]
+                   : expect[b] / sums[b];
+    }
+  }
+}
+
+}  // namespace cs2p

@@ -1,31 +1,59 @@
 #include "hmm/online_filter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace cs2p {
 
+namespace {
+
+/// normalize_in_place's semantics on a flat buffer: scale to sum 1, or fill
+/// uniform on a degenerate (non-positive / non-finite) sum.
+void normalize_buffer(double* v, std::size_t n) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  if (sum <= 0.0 || !std::isfinite(sum)) {
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = uniform;
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) v[i] /= sum;
+}
+
+std::size_t argmax_buffer(const double* v, std::size_t n) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+}  // namespace
+
 OnlineHmmFilter::OnlineHmmFilter(GaussianHmm model, PredictionRule rule)
-    : model_(std::move(model)), rule_(rule) {
-  model_.validate(1e-3);
-  belief_ = model_.initial;
+    : OnlineHmmFilter(HmmKernel::create(std::move(model)), rule) {}
+
+OnlineHmmFilter::OnlineHmmFilter(std::shared_ptr<const HmmKernel> kernel,
+                                 PredictionRule rule)
+    : kernel_(std::move(kernel)), rule_(rule) {
+  belief_ = kernel_->model().initial;
 }
 
 double OnlineHmmFilter::predict(unsigned steps_ahead) const {
   if (steps_ahead == 0)
     throw std::invalid_argument("OnlineHmmFilter::predict: steps_ahead must be >= 1");
-  // pi_{t+tau|t} = pi_{t|t} P^tau. For tau == 1 this is a single
-  // vector-matrix product; the generic path uses repeated squaring.
-  Vec projected = steps_ahead == 1
-                      ? vec_mat(belief_, model_.transition)
-                      : vec_mat(belief_, model_.transition.pow(steps_ahead));
-  normalize_in_place(projected);
+  const std::size_t n = kernel_->num_states();
+  // pi_{t+tau|t} = pi_{t|t} P^tau, served from the kernel's cached powers.
+  // Stack scratch: the filter never allocates on the predict path.
+  double projected[kMaxHmmStates];
+  kernel_->propagate_steps(belief_.data(), steps_ahead, projected);
+  normalize_buffer(projected, n);
+  const double* mu = kernel_->mu();
   if (rule_ == PredictionRule::kMleState) {
-    return model_.states[argmax(projected)].mean;
+    return mu[argmax_buffer(projected, n)];
   }
   double expectation = 0.0;
-  for (std::size_t i = 0; i < projected.size(); ++i)
-    expectation += projected[i] * model_.states[i].mean;
+  for (std::size_t i = 0; i < n; ++i) expectation += projected[i] * mu[i];
   return expectation;
 }
 
@@ -34,17 +62,20 @@ OnlineHmmFilter::Forecast OnlineHmmFilter::predict_distribution(
   if (steps_ahead == 0)
     throw std::invalid_argument(
         "OnlineHmmFilter::predict_distribution: steps_ahead must be >= 1");
-  Vec projected = steps_ahead == 1
-                      ? vec_mat(belief_, model_.transition)
-                      : vec_mat(belief_, model_.transition.pow(steps_ahead));
-  normalize_in_place(projected);
+  const std::size_t n = kernel_->num_states();
+  double projected[kMaxHmmStates];
+  kernel_->propagate_steps(belief_.data(), steps_ahead, projected);
+  normalize_buffer(projected, n);
 
   // Mixture moments: E[W] = sum p_x mu_x;
   // Var[W] = sum p_x (sigma_x^2 + mu_x^2) - E[W]^2.
+  // Uses the model's raw sigmas (the emission floor is a density-evaluation
+  // concern, not a moment of the mixture).
+  const auto& states = kernel_->model().states;
   Forecast out;
   double second_moment = 0.0;
-  for (std::size_t i = 0; i < projected.size(); ++i) {
-    const auto& state = model_.states[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& state = states[i];
     out.mean += projected[i] * state.mean;
     second_moment +=
         projected[i] * (state.sigma * state.sigma + state.mean * state.mean);
@@ -55,28 +86,39 @@ OnlineHmmFilter::Forecast OnlineHmmFilter::predict_distribution(
 }
 
 void OnlineHmmFilter::observe(double throughput) {
-  Vec propagated = observations_ == 0 ? belief_ : vec_mat(belief_, model_.transition);
-  Vec corrected = hadamard(propagated, model_.emission_probabilities(throughput));
+  const std::size_t n = kernel_->num_states();
+  double corrected[kMaxHmmStates];
+  if (observations_ == 0) {
+    // First epoch: condition the prior directly, no propagation.
+    std::copy(belief_.begin(), belief_.end(), corrected);
+  } else {
+    kernel_->propagate(belief_.data(), kernel_->power(1), corrected);
+  }
+  double emission[kMaxHmmStates];
+  kernel_->emissions(throughput, emission);
+  for (std::size_t i = 0; i < n; ++i) corrected[i] *= emission[i];
   // The un-normalized mass sum_x pi_{t|t-1}(x) e_x(w_t) IS the one-step
   // predictive likelihood p(w_t | w_1..t-1): record it before normalizing
   // so guardrails can score how surprising this observation was.
-  const double likelihood = vec_sum(corrected);
+  double likelihood = 0.0;
+  for (std::size_t i = 0; i < n; ++i) likelihood += corrected[i];
   if (likelihood > 0.0 && std::isfinite(likelihood)) {
     last_log_likelihood_ = std::log(likelihood);
+    for (std::size_t i = 0; i < n; ++i) belief_[i] = corrected[i] / likelihood;
   } else {
     // Every emission probability underflowed (observation many sigmas from
-    // all states). normalize_in_place resets to uniform — the historical
-    // behavior — but the event is no longer silent.
+    // all states). The belief resets to uniform — the historical behavior —
+    // but the event is no longer silent.
     last_log_likelihood_ = -std::numeric_limits<double>::infinity();
     ++degenerate_updates_;
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) belief_[i] = uniform;
   }
-  normalize_in_place(corrected);  // degenerate likelihood -> uniform belief
-  belief_ = std::move(corrected);
   ++observations_;
 }
 
 void OnlineHmmFilter::reset() {
-  belief_ = model_.initial;
+  belief_ = kernel_->model().initial;
   observations_ = 0;
   last_log_likelihood_ = std::numeric_limits<double>::quiet_NaN();
   degenerate_updates_ = 0;

@@ -7,13 +7,18 @@
 //   4. measures the actual throughput w_t,
 //   5. updates the belief (forward step) pi_{t|t} ∝ pi_{t|t-1} ∘ e(w_t).
 //
-// The filter owns a copy of its (small) model so a client can run fully
-// decentralised, as §5.3 describes.
+// The filter runs on an immutable HmmKernel (hmm/kernel.h): the SoA block
+// holding mu/sigma/P^tau constants. A session may own its kernel (the
+// standalone-client mode §5.3 describes) or share one with every other
+// session pinned to the same model — the serving tier's arrangement, and
+// what lets BatchHmmFilter advance many sessions in one state-matrix walk.
 #pragma once
 
 #include <cstddef>
 #include <limits>
+#include <memory>
 
+#include "hmm/kernel.h"
 #include "hmm/model.h"
 
 namespace cs2p {
@@ -29,12 +34,19 @@ enum class PredictionRule {
 /// Stateful per-session HMM filter.
 class OnlineHmmFilter {
  public:
-  /// Takes ownership of a validated model. Belief starts at model.initial.
+  /// Takes ownership of a validated model (builds a private kernel).
+  /// Belief starts at model.initial.
   explicit OnlineHmmFilter(GaussianHmm model,
+                           PredictionRule rule = PredictionRule::kMleState);
+
+  /// Shares a prebuilt kernel — the serving tier's constructor: one kernel
+  /// block serves every session pinned to the same model.
+  explicit OnlineHmmFilter(std::shared_ptr<const HmmKernel> kernel,
                            PredictionRule rule = PredictionRule::kMleState);
 
   /// Predicts throughput `steps_ahead` epochs into the future from the
   /// current belief (steps_ahead = 1 is "next epoch"). Requires >= 1.
+  /// Served from the kernel's cached P^tau powers; allocation-free.
   double predict(unsigned steps_ahead = 1) const;
 
   /// Moments of the full predictive distribution of W_{t+steps_ahead}:
@@ -71,13 +83,21 @@ class OnlineHmmFilter {
   /// Most likely current state index under the belief.
   std::size_t mle_state() const;
 
-  const GaussianHmm& model() const noexcept { return model_; }
+  const GaussianHmm& model() const noexcept { return kernel_->model(); }
+
+  /// The shared constants this filter runs on. BatchHmmFilter groups
+  /// sessions by this pointer.
+  const std::shared_ptr<const HmmKernel>& kernel() const noexcept {
+    return kernel_;
+  }
 
   /// Number of observations consumed since construction/reset.
   std::size_t observations() const noexcept { return observations_; }
 
  private:
-  GaussianHmm model_;
+  friend class BatchHmmFilter;
+
+  std::shared_ptr<const HmmKernel> kernel_;
   PredictionRule rule_;
   Vec belief_;
   std::size_t observations_ = 0;

@@ -9,6 +9,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/engine.h"
+
 namespace cs2p {
 namespace {
 
@@ -51,6 +53,24 @@ constexpr std::size_t kReadChunkBytes = 16 * 1024;
 
 }  // namespace
 
+/// One frame moving through a batch round (DESIGN.md §16). Extracted off its
+/// connection's read buffer, parsed, dispatched either scalar or through the
+/// engine's batch API, and finally emitted back onto the connection — the
+/// fd, not a Connection*, is the link, because a connection can be closed by
+/// an earlier frame's flush failure within the same round.
+struct PredictionServer::RoundFrame {
+  int fd = -1;
+  std::string payload;
+  PendingReply reply;     ///< t_recv stamped at extraction
+  Request request;
+  bool parsed = false;
+  Response response;
+  bool handled = false;
+  /// 0 = scalar path, 1 = batched OBSERVE, 2 = batched PREDICT.
+  int batch_kind = 0;
+  std::uint64_t batch_session = 0;
+};
+
 PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
     obs::MetricsRegistry& registry) {
   MetricHandles m;
@@ -85,6 +105,8 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
   m.drain_rejections = &registry.counter("cs2p_server_drain_rejections_total");
   m.completion_hook_errors =
       &registry.counter("cs2p_server_completion_hook_errors_total");
+  m.batched_predicts =
+      &registry.counter("cs2p_server_batched_predicts_total");
   m.active_connections = &registry.gauge("cs2p_server_active_connections");
   m.live_sessions = &registry.gauge("cs2p_server_live_sessions");
   m.draining = &registry.gauge("cs2p_server_draining");
@@ -100,6 +122,9 @@ PredictionServer::MetricHandles PredictionServer::MetricHandles::create(
   m.session_seconds =
       &registry.histogram("cs2p_server_session_seconds",
                           obs::default_duration_buckets_seconds());
+  m.batch_size = &registry.histogram(
+      "cs2p_server_batch_size",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
   return m;
 }
 
@@ -532,6 +557,10 @@ void PredictionServer::worker_loop(Worker& worker) {
       }
     }
 
+    // Everything readable this wakeup has been pulled into read buffers;
+    // drain the complete frames in batched rounds (DESIGN.md §16).
+    run_batch_rounds(worker);
+
     if (config_.idle_timeout_ms > 0) {
       const auto now = Clock::now();
       const auto deadline =
@@ -598,12 +627,11 @@ bool PredictionServer::handle_io(Worker& worker, Connection& conn,
                                  short revents) {
   if ((revents & POLLOUT) != 0) {
     if (!flush_write(worker, conn)) return false;  // peer gone mid-reply
-    // The flush may have pulled the queue back under budget. Frames read
+    // The flush may have pulled the queue back under budget; frames read
     // before backpressure engaged are still sitting in read_buffer and get
-    // no further POLLIN (the kernel side is already drained) — resume them
-    // here or a slow-then-recovering reader wedges with buffered requests.
-    if (!conn.read_buffer.empty() && !process_read_buffer(worker, conn))
-      return false;
+    // no further POLLIN (the kernel side is already drained). The batch
+    // rounds after the ready sweep re-scan every connection, so they resume
+    // automatically — a slow-then-recovering reader cannot wedge.
   }
   if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
     // Respect backpressure even when poll raced a flush: no reads while the
@@ -615,72 +643,315 @@ bool PredictionServer::handle_io(Worker& worker, Connection& conn,
     if (!n.has_value()) return false;  // clean EOF
     if (*n == 0) return true;          // spurious wakeup
     conn.read_buffer.append(reinterpret_cast<const char*>(chunk), *n);
-    return process_read_buffer(worker, conn);
+    // Frames are consumed by run_batch_rounds after the ready sweep, in the
+    // same loop iteration — reading and handling are decoupled so frames
+    // arriving on many connections in one poll wakeup batch together.
   }
   return true;
 }
 
-bool PredictionServer::process_read_buffer(Worker& worker, Connection& conn) {
-  // Pipelined serving: consume every complete frame in the buffer, queueing
-  // each reply, until the write queue crosses its budget — then stop and let
-  // backpressure gate further reads. The queue can exceed the budget by at
-  // most the one reply that crossed it, which is the bound
-  // max_write_queue_bytes() certifies.
-  while (conn.write_buffer.size() - conn.write_pos <=
-         config_.write_budget_bytes) {
-    if (conn.state == ConnState::kReadingHeader) {
-      if (conn.read_buffer.size() < kFrameHeaderBytes) break;
-      // A malformed header (wrong version, absurd length) desyncs the
-      // stream: drop the connection, exactly like the blocking server did.
-      conn.body_size = parse_frame_header(conn.read_buffer);
-      conn.read_buffer.erase(0, kFrameHeaderBytes);
-      conn.state = ConnState::kReadingBody;
-    }
-    if (conn.read_buffer.size() < conn.body_size) break;
-    const std::string payload = conn.read_buffer.substr(0, conn.body_size);
-    conn.read_buffer.erase(0, conn.body_size);
-    conn.state = ConnState::kReadingHeader;
-    // A complete frame is the activity signal for the idle sweep — a peer
-    // trickling header bytes never refreshes its deadline (slow-header
-    // folding, DESIGN.md §14).
-    conn.last_activity = Clock::now();
+bool PredictionServer::extract_frame(Connection& conn, std::string& payload) {
+  if (conn.state == ConnState::kReadingHeader) {
+    if (conn.read_buffer.size() < kFrameHeaderBytes) return false;
+    // A malformed header (wrong version, absurd length) desyncs the
+    // stream: drop the connection, exactly like the blocking server did.
+    conn.body_size = parse_frame_header(conn.read_buffer);
+    conn.read_buffer.erase(0, kFrameHeaderBytes);
+    conn.state = ConnState::kReadingBody;
+  }
+  if (conn.read_buffer.size() < conn.body_size) return false;
+  payload = conn.read_buffer.substr(0, conn.body_size);
+  conn.read_buffer.erase(0, conn.body_size);
+  conn.state = ConnState::kReadingHeader;
+  // A complete frame is the activity signal for the idle sweep — a peer
+  // trickling header bytes never refreshes its deadline (slow-header
+  // folding, DESIGN.md §14).
+  conn.last_activity = Clock::now();
+  // Count before replying: once the client sees the response, the request
+  // must already be visible in requests_handled() — and a reply can never
+  // outrun its request (the scrape invariant of §11).
+  m_.requests->inc();
+  return true;
+}
 
-    // Count before replying: once the client sees the response, the
-    // request must already be visible in requests_handled() — and a reply
-    // can never outrun its request (the scrape invariant of §11).
-    m_.requests->inc();
-    PendingReply reply;
-    reply.t_recv = Clock::now();
-    Response response;
+void PredictionServer::run_batch_rounds(Worker& worker) {
+  // Reused round scratch: one worker per thread, so thread_local is exactly
+  // per-worker state, and the steady-state serve path allocates nothing.
+  thread_local std::vector<RoundFrame> round;
+  thread_local std::vector<int> dead;
+  while (!worker.connections.empty()) {
+    round.clear();
+    dead.clear();
+    for (auto& [fd, conn] : worker.connections) {
+      if (conn.read_buffer.empty() && conn.state == ConnState::kReadingHeader)
+        continue;
+      // Pipelined serving with backpressure: a connection stops contributing
+      // frames once its write queue crosses the budget, so the queue can
+      // exceed it by at most the one reply that crossed — the bound
+      // max_write_queue_bytes() certifies, unchanged by batching.
+      if (conn.write_buffer.size() - conn.write_pos >
+          config_.write_budget_bytes)
+        continue;
+      RoundFrame frame;
+      frame.fd = fd;
+      try {
+        if (!extract_frame(conn, frame.payload)) continue;
+      } catch (const std::exception&) {
+        dead.push_back(fd);  // desynced framing: drop the connection
+        continue;
+      }
+      frame.reply.t_recv = Clock::now();
+      round.push_back(std::move(frame));
+    }
+    for (const int fd : dead) {
+      const auto it = worker.connections.find(fd);
+      if (it == worker.connections.end()) continue;
+      close_connection(worker, it->second, /*idle_timed_out=*/false);
+      worker.connections.erase(it);
+    }
+    if (round.empty()) break;
+    handle_round(worker, round);
+  }
+}
+
+void PredictionServer::handle_round(Worker& worker,
+                                    std::vector<RoundFrame>& round) {
+  // Phase 1: parse every frame. Errors short-circuit to a reply here; the
+  // accounting (verb counters, parse_us timing) matches the old inline path
+  // exactly.
+  for (RoundFrame& frame : round) {
     try {
-      const Request request = parse_request(payload);
-      const auto t_parsed = Clock::now();
-      reply.parse_us = elapsed_us(reply.t_recv, t_parsed);
-      verb_counter(request)->inc();
-      response = handle(request, worker, conn, reply.info);
-      reply.handle_us = elapsed_us(t_parsed, Clock::now());
+      frame.request = parse_request(frame.payload);
+      frame.reply.parse_us = elapsed_us(frame.reply.t_recv, Clock::now());
+      verb_counter(frame.request)->inc();
+      frame.parsed = true;
     } catch (const ProtocolError& e) {
       m_.verb_invalid->inc();
-      response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
+      frame.response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
+      frame.handled = true;
     } catch (const std::exception& e) {
-      response = ErrorResponse{WireErrorCode::kInternal, e.what()};
+      frame.response = ErrorResponse{WireErrorCode::kInternal, e.what()};
+      frame.handled = true;
     }
-    const auto* err = std::get_if<ErrorResponse>(&response);
-    reply.is_error = err != nullptr;
-    reply.error_code = err != nullptr ? wire_error_code_name(err->code)
-                                      : std::string_view{};
-    if (reply.is_error) m_.error_replies->inc();
+  }
+
+  // Phase 2: classify. OBSERVE and PREDICT are batchable when the server is
+  // in its primary serving mode; under brownout, shutdown, or for a session
+  // id appearing twice in one round (sequential dependence — core/batch.cpp)
+  // the frame takes the scalar path, which is always semantically complete.
+  thread_local std::vector<std::uint64_t> batch_ids;
+  batch_ids.clear();
+  const bool can_batch = !stopping_.load() && brownout_level() == 0;
+  if (can_batch) {
+    for (RoundFrame& frame : round) {
+      if (!frame.parsed || frame.handled) continue;
+      std::uint64_t session = 0;
+      int kind = 0;
+      if (const auto* observe = std::get_if<ObserveRequest>(&frame.request)) {
+        session = observe->session_id;
+        kind = 1;
+      } else if (const auto* predict =
+                     std::get_if<PredictRequest>(&frame.request)) {
+        session = predict->session_id;
+        kind = 2;
+      } else {
+        continue;
+      }
+      if (std::find(batch_ids.begin(), batch_ids.end(), session) !=
+          batch_ids.end())
+        continue;  // duplicate in this round: scalar keeps the chaining
+      batch_ids.push_back(session);
+      frame.batch_kind = kind;
+      frame.batch_session = session;
+    }
+  }
+
+  // Phase 3: scalar frames through the unchanged handle() path (HELLO, BYE,
+  // SYNC, STATS, MODEL, plus any OBSERVE/PREDICT the batch declined).
+  for (RoundFrame& frame : round) {
+    if (frame.handled || frame.batch_kind != 0) continue;
+    const auto it = worker.connections.find(frame.fd);
+    if (it == worker.connections.end()) continue;
+    const auto t_handle = Clock::now();
+    try {
+      frame.response = handle(frame.request, worker, it->second, frame.reply.info);
+    } catch (const ProtocolError& e) {
+      m_.verb_invalid->inc();
+      frame.response = ErrorResponse{WireErrorCode::kBadRequest, e.what()};
+    } catch (const std::exception& e) {
+      frame.response = ErrorResponse{WireErrorCode::kInternal, e.what()};
+    }
+    frame.reply.handle_us = elapsed_us(t_handle, Clock::now());
+    frame.handled = true;
+  }
+
+  // Phase 4: the batched frames. One multi-shard lock acquisition covers
+  // lookup, validation, the engine's batch advance/predict, and reply
+  // composition — the per-frame semantics (validation order, last_used
+  // refresh, history capture, serve flags read after the advance, degraded
+  // accounting) replicate handle()'s scalar OBSERVE/PREDICT exactly.
+  if (!batch_ids.empty()) {
+    thread_local std::vector<RoundFrame*> batch_frames;
+    thread_local std::vector<ObserveBatchItem> observe_items;
+    thread_local std::vector<std::size_t> observe_frames;
+    thread_local std::vector<SessionTable::Entry*> observe_entries;
+    thread_local std::vector<PredictBatchItem> predict_items;
+    thread_local std::vector<std::size_t> predict_frames;
+    thread_local std::vector<SessionTable::Entry*> predict_entries;
+    batch_frames.clear();
+    for (RoundFrame& frame : round)
+      if (frame.batch_kind != 0) batch_frames.push_back(&frame);
+
+    const auto t_batch = Clock::now();
+    BatchStats stats;
+    sessions_.with_sessions(
+        batch_ids, [&](std::span<SessionTable::Entry* const> entries) {
+          observe_items.clear();
+          observe_frames.clear();
+          observe_entries.clear();
+          predict_items.clear();
+          predict_frames.clear();
+          predict_entries.clear();
+          const auto now = Clock::now();
+          for (std::size_t i = 0; i < batch_frames.size(); ++i) {
+            RoundFrame& frame = *batch_frames[i];
+            SessionTable::Entry* entry = entries[i];
+            RequestInfo& info = frame.reply.info;
+            info.session_id = frame.batch_session;
+            if (entry != nullptr) info.traced = entry->traced;
+            if (frame.batch_kind == 1) {
+              info.event = "observe";
+              const auto& observe = std::get<ObserveRequest>(frame.request);
+              const double w = observe.throughput_mbps;
+              // Validate before touching the predictor (one NaN poisons the
+              // forward filter); an invalid sample outranks an unknown
+              // session, and leaves last_used alone — both exactly as the
+              // scalar path decides.
+              if (!(std::isfinite(w) && w >= 0.0 &&
+                    w <= config_.max_sample_mbps)) {
+                frame.response = ErrorResponse{
+                    WireErrorCode::kInvalidSample,
+                    "throughput sample must be finite, non-negative and <= " +
+                        std::to_string(config_.max_sample_mbps)};
+                frame.handled = true;
+                continue;
+              }
+              if (entry == nullptr) {
+                frame.response = ErrorResponse{WireErrorCode::kUnknownSession,
+                                               "unknown session"};
+                frame.handled = true;
+                continue;
+              }
+              entry->last_used = now;
+              if (config_.on_session_complete &&
+                  entry->observations.size() < config_.session_history_cap)
+                entry->observations.push_back(w);
+              observe_items.push_back({entry->predictor.get(), w, 0.0, false});
+              observe_frames.push_back(i);
+              observe_entries.push_back(entry);
+            } else {
+              info.event = "predict";
+              const auto& predict = std::get<PredictRequest>(frame.request);
+              if (entry == nullptr) {
+                frame.response = ErrorResponse{WireErrorCode::kUnknownSession,
+                                               "unknown session"};
+                frame.handled = true;
+                continue;
+              }
+              if (predict.steps_ahead == 0) {
+                frame.response = ErrorResponse{WireErrorCode::kBadRequest,
+                                               "steps_ahead must be >= 1"};
+                frame.handled = true;
+                continue;
+              }
+              entry->last_used = now;
+              predict_items.push_back(
+                  {entry->predictor.get(), predict.steps_ahead, 0.0, false});
+              predict_frames.push_back(i);
+              predict_entries.push_back(entry);
+            }
+          }
+          if (!observe_items.empty()) {
+            const BatchStats s = Cs2pEngine::observe_batch(observe_items);
+            stats.batched += s.batched;
+            stats.scalar += s.scalar;
+          }
+          if (!predict_items.empty()) {
+            const BatchStats s = Cs2pEngine::predict_batch(predict_items);
+            stats.batched += s.batched;
+            stats.scalar += s.scalar;
+          }
+          const auto compose = [&](RoundFrame& frame,
+                                   const SessionTable::Entry& entry,
+                                   double mbps) {
+            PredictionResponse response;
+            // serve_flags() after the advance, before this reply — the same
+            // point in the session's life the scalar path reads it.
+            response.flags = entry.predictor->serve_flags();
+            response.mbps = mbps;
+            if (draining()) response.flags |= serve_flags::kDraining;
+            if ((response.flags & ~serve_flags::kDraining) !=
+                serve_flags::kPrimary)
+              m_.degraded_replies->inc();
+            RequestInfo& info = frame.reply.info;
+            info.flags = response.flags;
+            info.mbps = response.mbps;
+            info.log_likelihood = entry.predictor->last_log_likelihood();
+            frame.response = response;
+            frame.handled = true;
+          };
+          for (std::size_t k = 0; k < observe_items.size(); ++k)
+            compose(*batch_frames[observe_frames[k]], *observe_entries[k],
+                    observe_items[k].prediction);
+          for (std::size_t k = 0; k < predict_items.size(); ++k)
+            compose(*batch_frames[predict_frames[k]], *predict_entries[k],
+                    predict_items[k].prediction);
+        });
+    const std::size_t width = observe_items.size() + predict_items.size();
+    if (width > 0) {
+      m_.batch_size->observe(static_cast<double>(width));
+      m_.batched_predicts->inc(stats.batched);
+      // Attribute the batch's wall time evenly: per-reply handle_us stays
+      // meaningful in traces without per-frame clock reads inside the lock.
+      const std::uint64_t per_frame =
+          elapsed_us(t_batch, Clock::now()) / width;
+      for (const std::size_t i : observe_frames)
+        batch_frames[i]->reply.handle_us = per_frame;
+      for (const std::size_t i : predict_frames)
+        batch_frames[i]->reply.handle_us = per_frame;
+    }
+  }
+
+  // Phase 5: emit, in round order. Reply framing, error accounting, write
+  // backpressure, and the opportunistic flush are the old per-frame tail.
+  for (RoundFrame& frame : round) {
+    const auto it = worker.connections.find(frame.fd);
+    if (it == worker.connections.end()) continue;  // closed earlier this round
+    Connection& conn = it->second;
+    const auto* err = std::get_if<ErrorResponse>(&frame.response);
+    frame.reply.is_error = err != nullptr;
+    frame.reply.error_code = err != nullptr ? wire_error_code_name(err->code)
+                                            : std::string_view{};
+    if (frame.reply.is_error) m_.error_replies->inc();
     if (conn.pending.empty()) conn.last_write_progress = Clock::now();
-    conn.write_buffer += encode_frame(serialize_response(response));
-    reply.end_offset = conn.write_buffer.size();
-    conn.pending.push_back(std::move(reply));
+    conn.write_buffer += encode_frame(serialize_response(frame.response));
+    frame.reply.end_offset = conn.write_buffer.size();
+    conn.pending.push_back(std::move(frame.reply));
     worker.queued_replies.fetch_add(1, std::memory_order_relaxed);
     record_write_queue_depth(conn.write_buffer.size() - conn.write_pos);
     // Opportunistic flush: most replies go straight to the kernel without a
     // POLLOUT round-trip, and the queue only builds when the peer is slow.
-    if (!flush_write(worker, conn)) return false;
+    bool keep = false;
+    try {
+      keep = flush_write(worker, conn);
+    } catch (const std::exception&) {
+      keep = false;
+    }
+    if (!keep) {
+      close_connection(worker, conn, /*idle_timed_out=*/false);
+      worker.connections.erase(it);
+    }
   }
-  return true;
 }
 
 bool PredictionServer::flush_write(Worker& worker, Connection& conn) {

@@ -16,6 +16,19 @@
 // locks; TTL eviction is amortized into the worker loops (bounded scans,
 // never a full-table sweep under one lock).
 //
+// Batched inference (DESIGN.md §16): after each poll wakeup the worker
+// drains its readable connections in rounds — one complete frame per
+// connection per round (per-connection reply order is untouched; a session
+// driven over two connections at once is routed scalar). Each round's
+// OBSERVE/PREDICT frames lock their shards once through
+// SessionTable::with_sessions and run through Cs2pEngine::observe_batch /
+// predict_batch, which group kernel-sharing sessions into one SoA
+// state-matrix walk (hmm/batch_filter.h). Everything else about a frame's
+// life — validation order, serve flags, degraded accounting, backpressure,
+// the budget + one-frame write-queue bound — is identical to the scalar
+// path, and the scalar path remains the fallback for every frame the batch
+// cannot take (HELLO/BYE/SYNC/STATS, brownout, shutdown, duplicates).
+//
 // Fault discipline (ROADMAP north star: degrade, don't die):
 //   - connection cap with a typed OVERLOADED rejection frame,
 //   - per-connection idle deadline enforced by the worker loop (a hung or
@@ -268,6 +281,12 @@ class PredictionServer {
     return m_.brownout_replies->value();
   }
 
+  /// Predictions served through the batched SoA kernel (DESIGN.md §16) —
+  /// the observable proof the per-poll batching path is actually engaged.
+  std::uint64_t batched_predicts() const noexcept {
+    return m_.batched_predicts->value();
+  }
+
   /// High-water mark of any connection's queued reply bytes — the
   /// observable guarantee that write backpressure bounds the queue (stays
   /// within write_budget_bytes + one frame no matter how slow a reader is).
@@ -432,6 +451,8 @@ class PredictionServer {
     obs::Counter* brownout_replies = nullptr;
     obs::Counter* drain_rejections = nullptr;
     obs::Counter* completion_hook_errors = nullptr;
+    /// Predictions served by the batched kernel path (cs2p_stats-visible).
+    obs::Counter* batched_predicts = nullptr;
     obs::Gauge* active_connections = nullptr;
     obs::Gauge* live_sessions = nullptr;
     obs::Gauge* draining = nullptr;
@@ -444,9 +465,16 @@ class PredictionServer {
     /// paths (BYE and eviction) — eviction used to bypass all duration
     /// accounting.
     obs::Histogram* session_seconds = nullptr;
+    /// Width of each batched round submitted to the engine (how much
+    /// per-poll frame batching actually coalesces under real traffic).
+    obs::Histogram* batch_size = nullptr;
 
     static MetricHandles create(obs::MetricsRegistry& registry);
   };
+
+  /// One extracted frame moving through a batch round (defined in
+  /// server.cpp; workers keep a reused thread_local round buffer of these).
+  struct RoundFrame;
 
   void accept_loop();
   void dispatch_connection(FdHandle connection);
@@ -454,7 +482,20 @@ class PredictionServer {
   void adopt_inbox(Worker& worker);
   /// Returns false when the connection must be closed.
   bool handle_io(Worker& worker, Connection& conn, short revents);
-  bool process_read_buffer(Worker& worker, Connection& conn);
+  /// Pops one complete frame off the connection's read buffer into
+  /// `payload` (counting the request and refreshing the idle clock, exactly
+  /// like the old inline path). Returns false when no complete frame is
+  /// buffered; throws ProtocolError on a malformed header (stream desync —
+  /// the caller closes the connection).
+  bool extract_frame(Connection& conn, std::string& payload);
+  /// Drains every readable connection in rounds: one frame per connection
+  /// per round (preserving per-connection order and the backpressure
+  /// budget), each round handled as a batch until no frames remain.
+  void run_batch_rounds(Worker& worker);
+  /// Parses, dispatches (scalar verbs inline, OBSERVE/PREDICT through the
+  /// engine's batch API under one multi-shard session lock), and emits every
+  /// reply of one round.
+  void handle_round(Worker& worker, std::vector<RoundFrame>& round);
   bool flush_write(Worker& worker, Connection& conn);
   /// Counts/times/traces every pending reply whose bytes are fully on the
   /// wire (end_offset <= write_pos).

@@ -46,6 +46,41 @@ SessionTable::Shard& SessionTable::shard_for(std::uint64_t id) noexcept {
   return *shards_[mix64(id) & shard_mask_];
 }
 
+std::size_t SessionTable::shard_index(std::uint64_t id) const noexcept {
+  return mix64(id) & shard_mask_;
+}
+
+std::uint32_t SessionTable::Shard::acquire_slot() {
+  if (free_head != kNoSlot) {
+    const std::uint32_t i = free_head;
+    Slot& s = slot(i);
+    free_head = s.next_free;
+    s.next_free = kNoSlot;
+    return i;
+  }
+  if (allocated == slabs.size() * kSlabSlots)
+    slabs.push_back(std::make_unique<Slab>());
+  return allocated++;
+}
+
+void SessionTable::Shard::release_slot(std::uint32_t i) {
+  Slot& s = slot(i);
+  s.id = 0;
+  s.live = false;
+  s.entry = Entry{};  // predictor, model pin, and history die here, not later
+  s.next_free = free_head;
+  free_head = i;
+}
+
+std::size_t SessionTable::arena_slots() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    total += shard->allocated;
+  }
+  return total;
+}
+
 std::unique_lock<std::mutex> SessionTable::lock_shard(Shard& shard) noexcept {
   std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
   if (!lock.owns_lock()) {
@@ -59,10 +94,11 @@ std::unique_lock<std::mutex> SessionTable::lock_shard(Shard& shard) noexcept {
 bool SessionTable::erase(std::uint64_t id, bool* traced) {
   Shard& shard = shard_for(id);
   const auto lock = lock_shard(shard);
-  const auto it = shard.entries.find(id);
-  if (it == shard.entries.end()) return false;
-  if (traced != nullptr) *traced = it->second.traced;
-  shard.entries.erase(it);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end()) return false;
+  if (traced != nullptr) *traced = shard.slot(it->second).entry.traced;
+  shard.release_slot(it->second);
+  shard.index.erase(it);
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -73,10 +109,11 @@ bool SessionTable::erase(std::uint64_t id, const EvictCallback& on_erase,
   Entry removed;
   {
     const auto lock = lock_shard(shard);
-    const auto it = shard.entries.find(id);
-    if (it == shard.entries.end()) return false;
-    removed = std::move(it->second);
-    shard.entries.erase(it);
+    const auto it = shard.index.find(id);
+    if (it == shard.index.end()) return false;
+    removed = std::move(shard.slot(it->second).entry);
+    shard.release_slot(it->second);
+    shard.index.erase(it);
     size_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (traced != nullptr) *traced = removed.traced;
@@ -90,37 +127,32 @@ SessionTable::EvictStats SessionTable::evict_tick(Clock::time_point now,
   const int ttl = ttl_ms_.load(std::memory_order_relaxed);
   if (ttl <= 0) return stats;
   const auto deadline = now - std::chrono::milliseconds(ttl);
-  std::vector<std::uint64_t> expired;
   std::vector<std::pair<std::uint64_t, Entry>> removed;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    expired.clear();
     removed.clear();
     {
       const auto lock = lock_shard(shard);
-      const std::size_t buckets = shard.entries.bucket_count();
-      if (buckets == 0 || shard.entries.empty()) continue;
-      if (shard.cursor >= buckets) shard.cursor = 0;
-      const std::size_t start = shard.cursor;
+      if (shard.allocated == 0 || shard.index.empty()) continue;
+      if (shard.cursor >= shard.allocated) shard.cursor = 0;
+      const std::uint32_t start = shard.cursor;
       std::size_t scanned = 0;
-      // Whole buckets at a time (chains are short under the default load
-      // factor), stopping once the budget is met — the lock hold is bounded
-      // by the budget plus one bucket's chain, never by the table size.
+      // A linear walk over the slot arena (live and free slots alike),
+      // stopping once the budget is met — the lock hold is bounded by the
+      // budget, never by the table size, and the walk order is the arena's
+      // memory order.
       do {
-        for (auto it = shard.entries.begin(shard.cursor);
-             it != shard.entries.end(shard.cursor); ++it) {
-          ++scanned;
-          if (it->second.last_used < deadline) expired.push_back(it->first);
+        const std::uint32_t i = shard.cursor;
+        Slot& slot = shard.slot(i);
+        ++scanned;
+        if (slot.live && slot.entry.last_used < deadline) {
+          removed.emplace_back(slot.id, std::move(slot.entry));
+          shard.index.erase(slot.id);
+          shard.release_slot(i);
+          size_.fetch_sub(1, std::memory_order_relaxed);
         }
-        shard.cursor = (shard.cursor + 1) % buckets;
+        shard.cursor = (shard.cursor + 1) % shard.allocated;
       } while (scanned < config_.evict_scan_budget && shard.cursor != start);
-      for (const std::uint64_t id : expired) {
-        const auto it = shard.entries.find(id);
-        if (it == shard.entries.end()) continue;
-        removed.emplace_back(id, std::move(it->second));
-        shard.entries.erase(it);
-        size_.fetch_sub(1, std::memory_order_relaxed);
-      }
       std::size_t seen = max_scanned_.load(std::memory_order_relaxed);
       while (scanned > seen &&
              !max_scanned_.compare_exchange_weak(seen, scanned,

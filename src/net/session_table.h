@@ -13,22 +13,39 @@
 //     `owner` reference keeps a swapped-out engine alive until the last
 //     session created from it says BYE or expires.
 //   - TTL eviction is incremental and amortized: one evict_tick() examines
-//     at most `evict_scan_budget` entries per shard (resuming from a
-//     per-shard bucket cursor), so no lock is ever held for a scan of the
+//     at most `evict_scan_budget` arena slots per shard (resuming from a
+//     per-shard slot cursor), so no lock is ever held for a scan of the
 //     whole table — the full-table sweep the old accept loop ran under one
 //     global mutex is gone by construction.
 //   - with_session() runs the caller's closure under the owning shard's
 //     lock, so a session touched from several connections (HELLO on one,
 //     OBSERVE on another — sessions migrate freely between connections)
-//     always sees one coherent filter state.
+//     always sees one coherent filter state. with_sessions() is the batch
+//     variant: it locks every owning shard (in shard-index order, so
+//     concurrent batches never deadlock) and exposes the whole group at
+//     once — what lets the server advance a poll round's sessions through
+//     one batched engine call.
+//
+// Storage (DESIGN.md §16): entries live in per-shard slab arenas — fixed
+// 64-slot slabs, index-stable for the table's lifetime, with a freelist
+// recycling slots on erase/evict. The hash map per shard holds only
+// id -> slot index. A batch therefore touches a handful of contiguous slabs
+// instead of pointer-chasing one heap node per session, and long-running
+// servers stop exercising the allocator on session churn. A released slot's
+// Entry is reset to a default-constructed Entry immediately (predictor and
+// model pin freed, history cleared) — reuse can never leak a previous
+// session's belief state.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -106,7 +123,12 @@ class SessionTable {
     Entry entry = make(id);
     Shard& shard = shard_for(id);
     const auto lock = lock_shard(shard);
-    shard.entries.emplace(id, std::move(entry));
+    const std::uint32_t slot_index = shard.acquire_slot();
+    Slot& slot = shard.slot(slot_index);
+    slot.id = id;
+    slot.live = true;
+    slot.entry = std::move(entry);
+    shard.index.emplace(id, slot_index);
     size_.fetch_add(1, std::memory_order_relaxed);
     return id;
   }
@@ -119,10 +141,36 @@ class SessionTable {
   bool with_session(std::uint64_t id, Fn&& fn) {
     Shard& shard = shard_for(id);
     const auto lock = lock_shard(shard);
-    const auto it = shard.entries.find(id);
-    if (it == shard.entries.end()) return false;
-    fn(it->second);
+    const auto it = shard.index.find(id);
+    if (it == shard.index.end()) return false;
+    fn(shard.slot(it->second).entry);
     return true;
+  }
+
+  /// Batch lookup (DESIGN.md §16): locks every shard owning one of `ids`
+  /// (in ascending shard-index order — concurrent batches cannot deadlock,
+  /// and single-shard operations still take one lock at a time underneath),
+  /// then runs `fn(entries)` with entries[k] pointing at the session of
+  /// ids[k], or nullptr when unknown. Pointers are valid only inside `fn`.
+  /// `ids` must not contain duplicates (the batch kernel's sequential-
+  /// dependence rule; callers route duplicates through with_session).
+  template <typename Fn>
+  void with_sessions(std::span<const std::uint64_t> ids, Fn&& fn) {
+    std::vector<std::size_t> order;
+    order.reserve(ids.size());
+    for (const std::uint64_t id : ids) order.push_back(shard_index(id));
+    std::sort(order.begin(), order.end());
+    order.erase(std::unique(order.begin(), order.end()), order.end());
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(order.size());
+    for (const std::size_t s : order) locks.push_back(lock_shard(*shards_[s]));
+    std::vector<Entry*> entries(ids.size(), nullptr);
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      Shard& shard = *shards_[shard_index(ids[k])];
+      const auto it = shard.index.find(ids[k]);
+      if (it != shard.index.end()) entries[k] = &shard.slot(it->second).entry;
+    }
+    fn(std::span<Entry* const>(entries.data(), entries.size()));
   }
 
   /// Removes the session. Returns true if it existed; `*traced` (optional)
@@ -168,24 +216,63 @@ class SessionTable {
     return contentions_.load(std::memory_order_relaxed);
   }
 
-  /// Largest number of entries ever examined under one eviction lock hold —
-  /// the observable guarantee that eviction is incremental (stays around
-  /// evict_scan_budget no matter how large the table grows).
+  /// Largest number of arena slots ever examined under one eviction lock
+  /// hold — the observable guarantee that eviction is incremental (stays
+  /// around evict_scan_budget no matter how large the table grows).
   std::size_t max_scanned_in_one_hold() const noexcept {
     return max_scanned_.load(std::memory_order_relaxed);
   }
 
+  /// Arena slots allocated across all shards (the high-water session count,
+  /// rounded up to slab granularity). Slabs never shrink; erase/evict
+  /// recycles slots through per-shard freelists — a stable value under
+  /// session churn is the observable proof of slot reuse.
+  std::size_t arena_slots() const;
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Slots per slab: 64 entries per allocation keeps slab bookkeeping
+  /// negligible while capping the largest single arena allocation.
+  static constexpr std::size_t kSlabSlots = 64;
+
+  struct Slot {
+    std::uint64_t id = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+    Entry entry;
+  };
+  struct Slab {
+    std::array<Slot, kSlabSlots> slots;
+  };
+
   struct alignas(64) Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Entry> entries;
-    /// Bucket index where the next evict_tick resumes scanning.
-    std::size_t cursor = 0;
+    /// id -> arena slot index; the slot holds the Entry itself.
+    std::unordered_map<std::uint64_t, std::uint32_t> index;
+    /// Index-stable slab arena (slabs are never freed or moved).
+    std::vector<std::unique_ptr<Slab>> slabs;
+    std::uint32_t free_head = kNoSlot;
+    /// Slots ever handed out; the eviction scan's upper bound.
+    std::uint32_t allocated = 0;
+    /// Slot index where the next evict_tick resumes scanning.
+    std::uint32_t cursor = 0;
     /// Contention counter of this shard (null without a registry).
     obs::Counter* contention = nullptr;
+
+    Slot& slot(std::uint32_t i) noexcept {
+      return slabs[i / kSlabSlots]->slots[i % kSlabSlots];
+    }
+    /// Pops the freelist, or carves a fresh slot (growing by one slab when
+    /// the arena is full). Caller holds the shard lock.
+    std::uint32_t acquire_slot();
+    /// Resets the slot's Entry to default (dropping the predictor, model
+    /// pin, and history — no state survives into the next tenant) and
+    /// pushes it onto the freelist. Caller holds the shard lock.
+    void release_slot(std::uint32_t i);
   };
 
   Shard& shard_for(std::uint64_t id) noexcept;
+  std::size_t shard_index(std::uint64_t id) const noexcept;
   std::unique_lock<std::mutex> lock_shard(Shard& shard) noexcept;
 
   SessionTableConfig config_;

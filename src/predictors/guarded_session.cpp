@@ -20,11 +20,21 @@ GuardedSessionPredictor::GuardedSessionPredictor(
     const SurpriseBaseline& baseline, const GuardrailConfig& config,
     PredictionRule rule, std::uint8_t static_flags, EventCallback on_event,
     const GuardrailMetrics* metrics)
-    : filter_(model, rule),
+    : GuardedSessionPredictor(HmmKernel::create(model), initial_value,
+                              global_fallback_mbps, baseline, config, rule,
+                              static_flags, std::move(on_event), metrics) {}
+
+GuardedSessionPredictor::GuardedSessionPredictor(
+    std::shared_ptr<const HmmKernel> kernel, double initial_value,
+    double global_fallback_mbps, const SurpriseBaseline& baseline,
+    const GuardrailConfig& config, PredictionRule rule,
+    std::uint8_t static_flags, EventCallback on_event,
+    const GuardrailMetrics* metrics)
+    : filter_(kernel, rule),
       initial_value_(initial_value),
       global_fallback_mbps_(global_fallback_mbps),
       config_(config),
-      sanitizer_(spike_ceiling(model, config), metrics),
+      sanitizer_(spike_ceiling(kernel->model(), config), metrics),
       monitor_(baseline, config),
       static_flags_(static_flags),
       on_event_(std::move(on_event)),
@@ -67,22 +77,45 @@ double GuardedSessionPredictor::predict(unsigned steps_ahead) const {
 }
 
 void GuardedSessionPredictor::observe(double throughput_mbps) {
+  // Scalar observe IS the batch protocol run inline — one code path, so the
+  // two can never drift.
+  const BatchObservePlan plan = begin_batch_observe(throughput_mbps);
+  if (plan.kind != BatchObservePlan::Kind::kFilter) return;
+  filter_.observe(plan.value);
+  finish_batch_observe();
+}
+
+BatchObservePlan GuardedSessionPredictor::begin_batch_observe(
+    double throughput_mbps) {
   const ObservationSanitizer::Result sample = sanitizer_.sanitize(throughput_mbps);
-  if (!sample.accepted()) return;  // poisoned sample: belief unchanged
+  if (!sample.accepted())  // poisoned sample: belief unchanged
+    return {BatchObservePlan::Kind::kConsumed, nullptr, 0.0};
 
   recent_samples_.push_back(sample.value);
   if (config_.fallback_window > 0 &&
       recent_samples_.size() > config_.fallback_window)
     recent_samples_.pop_front();
 
-  const bool was_degraded = degraded();
-  filter_.observe(sample.value);
+  was_degraded_before_batch_ = degraded();
+  return {BatchObservePlan::Kind::kFilter, &filter_, sample.value};
+}
+
+void GuardedSessionPredictor::finish_batch_observe() {
   monitor_.record(filter_.last_log_likelihood());
   const bool now_degraded = degraded();
-  if (on_event_ && was_degraded != now_degraded) {
+  if (on_event_ && was_degraded_before_batch_ != now_degraded) {
     on_event_(now_degraded ? GuardrailEvent::kTripped : GuardrailEvent::kRecovered,
               now_degraded);
   }
+}
+
+const OnlineHmmFilter* GuardedSessionPredictor::batch_predict_filter(
+    unsigned steps_ahead) const {
+  (void)steps_ahead;
+  // Degraded sessions serve the fallback chain (with its counter/metric side
+  // effects) and cold starts serve initial_value_ — both scalar-only.
+  if (degraded() || filter_.observations() == 0) return nullptr;
+  return &filter_;
 }
 
 std::optional<double> GuardedSessionPredictor::predict_brownout(

@@ -67,6 +67,17 @@ class GuardedSessionPredictor final : public SessionPredictor {
                           std::uint8_t static_flags = serve_flags::kPrimary,
                           EventCallback on_event = nullptr,
                           const GuardrailMetrics* metrics = nullptr);
+
+  /// Serving-tier constructor: shares a prebuilt SoA kernel with every other
+  /// session pinned to the same model (hmm/kernel.h).
+  GuardedSessionPredictor(std::shared_ptr<const HmmKernel> kernel,
+                          double initial_value, double global_fallback_mbps,
+                          const SurpriseBaseline& baseline,
+                          const GuardrailConfig& config,
+                          PredictionRule rule = PredictionRule::kMleState,
+                          std::uint8_t static_flags = serve_flags::kPrimary,
+                          EventCallback on_event = nullptr,
+                          const GuardrailMetrics* metrics = nullptr);
   ~GuardedSessionPredictor() override;
 
   GuardedSessionPredictor(const GuardedSessionPredictor&) = delete;
@@ -93,6 +104,13 @@ class GuardedSessionPredictor final : public SessionPredictor {
     return monitor_.state() != GuardrailState::kHealthy;
   }
 
+  /// Batched-inference hooks: observe() is literally begin + filter advance
+  /// + finish, so the batched and scalar paths share every guardrail
+  /// decision (sanitizer verdicts, surprise scoring, trip/recover events).
+  BatchObservePlan begin_batch_observe(double throughput_mbps) override;
+  void finish_batch_observe() override;
+  const OnlineHmmFilter* batch_predict_filter(unsigned steps_ahead) const override;
+
   GuardrailState guardrail_state() const noexcept { return monitor_.state(); }
   Stats stats() const;
 
@@ -115,6 +133,9 @@ class GuardedSessionPredictor final : public SessionPredictor {
   const GuardrailMetrics* metrics_;
   std::deque<double> recent_samples_;  ///< accepted samples, fallback window
   mutable std::size_t fallback_predictions_ = 0;
+  /// degraded() snapshot taken in begin_batch_observe, consumed by
+  /// finish_batch_observe (valid only between the two).
+  bool was_degraded_before_batch_ = false;
 };
 
 }  // namespace cs2p

@@ -20,6 +20,13 @@ class HmmSessionPredictor final : public SessionPredictor {
                       PredictionRule rule = PredictionRule::kMleState)
       : filter_(model, rule), initial_value_(initial_value) {}
 
+  /// Serving-tier constructor: shares one SoA kernel across every session
+  /// pinned to the same model (hmm/kernel.h).
+  HmmSessionPredictor(std::shared_ptr<const HmmKernel> kernel,
+                      double initial_value,
+                      PredictionRule rule = PredictionRule::kMleState)
+      : filter_(std::move(kernel), rule), initial_value_(initial_value) {}
+
   std::optional<double> predict_initial() const override { return initial_value_; }
 
   double predict(unsigned steps_ahead) const override {
@@ -34,6 +41,15 @@ class HmmSessionPredictor final : public SessionPredictor {
     const double ll = filter_.last_log_likelihood();
     if (std::isnan(ll)) return std::nullopt;
     return ll;
+  }
+
+  BatchObservePlan begin_batch_observe(double throughput_mbps) override {
+    return {BatchObservePlan::Kind::kFilter, &filter_, throughput_mbps};
+  }
+
+  const OnlineHmmFilter* batch_predict_filter(unsigned) const override {
+    // Cold start serves initial_value_ through the scalar path.
+    return filter_.observations() == 0 ? nullptr : &filter_;
   }
 
   /// Exposed for diagnostics (pilot bench reports predicted rebuffering from

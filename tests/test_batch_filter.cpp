@@ -1,0 +1,225 @@
+// Batched HMM inference (DESIGN.md §16): BatchHmmFilter and the engine's
+// observe_batch / predict_batch must be numerically indistinguishable from
+// the scalar path. The property tests drive random models and random streams
+// (including degenerate outliers) through both paths side by side and hold
+// every observable — prediction, belief, log-likelihood, degenerate-update
+// count — to 1e-9. Observations and beliefs agree bit-for-bit (shared
+// expression tree, hmm/kernel.h); batched predictions extract from the
+// unnormalized projected mass and may differ from the scalar result by a
+// couple of ulp on the posterior-mean rule.
+
+#include "hmm/batch_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "hmm/kernel.h"
+#include "hmm/online_filter.h"
+#include "predictors/guarded_session.h"
+#include "predictors/hmm_session.h"
+#include "util/rng.h"
+
+namespace cs2p {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// A random valid model: stochastic rows by normalizing uniform draws,
+/// well-spread means, sigmas well above the kernel floor.
+GaussianHmm random_model(Rng& rng, std::size_t n) {
+  GaussianHmm model;
+  model.initial.resize(n);
+  double sum = 0.0;
+  for (auto& p : model.initial) sum += (p = rng.uniform(0.05, 1.0));
+  for (auto& p : model.initial) p /= sum;
+  model.transition = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      row += (model.transition(i, j) = rng.uniform(0.05, 1.0));
+    for (std::size_t j = 0; j < n; ++j) model.transition(i, j) /= row;
+  }
+  model.states.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    model.states[i].mean = 0.5 + 1.5 * static_cast<double>(i) +
+                           rng.uniform(0.0, 1.0);
+    model.states[i].sigma = rng.uniform(0.05, 1.0);
+  }
+  return model;
+}
+
+/// A stream sample: usually near a random state mean, occasionally an
+/// absurd outlier that zeroes every emission (the degenerate-update path).
+double random_sample(Rng& rng, const GaussianHmm& model) {
+  if (rng.uniform() < 0.08) return 1e12;
+  const auto& s = model.states[rng.uniform_index(model.num_states())];
+  return s.mean + s.sigma * rng.gaussian();
+}
+
+TEST(BatchFilter, MatchesScalarOnRandomModelsAndStreams) {
+  Rng rng(0xba7c4ed5eedULL);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(7);  // 2..8 states
+    const std::size_t width = 1 + rng.uniform_index(33);  // 1..33 lanes
+    const auto kernel = HmmKernel::create(random_model(rng, n));
+
+    std::vector<OnlineHmmFilter> scalar;
+    std::vector<OnlineHmmFilter> batched;
+    for (std::size_t b = 0; b < width; ++b) {
+      const PredictionRule rule = (b % 2 == 0) ? PredictionRule::kMleState
+                                               : PredictionRule::kPosteriorMean;
+      scalar.emplace_back(kernel, rule);
+      batched.emplace_back(kernel, rule);
+    }
+
+    BatchHmmFilter batch;
+    std::vector<OnlineHmmFilter*> lanes(width);
+    std::vector<const OnlineHmmFilter*> const_lanes(width);
+    for (std::size_t b = 0; b < width; ++b) {
+      lanes[b] = &batched[b];
+      const_lanes[b] = &batched[b];
+    }
+    std::vector<double> observations(width);
+    std::vector<double> predictions(width);
+
+    for (int step = 0; step < 20; ++step) {
+      for (std::size_t b = 0; b < width; ++b)
+        observations[b] = random_sample(rng, kernel->model());
+      for (std::size_t b = 0; b < width; ++b)
+        scalar[b].observe(observations[b]);
+      batch.observe(*kernel, lanes, observations);
+
+      for (std::size_t b = 0; b < width; ++b) {
+        ASSERT_EQ(batched[b].observations(), scalar[b].observations());
+        ASSERT_EQ(batched[b].degenerate_updates(),
+                  scalar[b].degenerate_updates());
+        const double ll_s = scalar[b].last_log_likelihood();
+        const double ll_b = batched[b].last_log_likelihood();
+        if (std::isfinite(ll_s)) {
+          ASSERT_NEAR(ll_b, ll_s, kTol);
+        } else {
+          ASSERT_EQ(ll_b, ll_s);  // both -inf on a degenerate update
+        }
+        for (std::size_t x = 0; x < n; ++x)
+          ASSERT_NEAR(batched[b].belief()[x], scalar[b].belief()[x], kTol);
+      }
+
+      // Horizons across and beyond the precomputed power cache.
+      for (const unsigned steps : {1u, 3u, HmmKernel::kMaxCachedPowers + 4}) {
+        batch.predict(*kernel, const_lanes, steps, predictions);
+        for (std::size_t b = 0; b < width; ++b)
+          ASSERT_NEAR(predictions[b], scalar[b].predict(steps), kTol)
+              << "trial " << trial << " step " << step << " lane " << b
+              << " horizon " << steps;
+      }
+    }
+  }
+}
+
+TEST(BatchFilter, PredictRejectsZeroSteps) {
+  const auto kernel = HmmKernel::create(
+      GaussianHmm{{0.6, 0.4},
+                  Matrix{{0.9, 0.1}, {0.2, 0.8}},
+                  {{1.0, 0.1}, {5.0, 0.5}}});
+  OnlineHmmFilter filter(kernel);
+  const OnlineHmmFilter* lanes[] = {&filter};
+  double out[1];
+  BatchHmmFilter batch;
+  EXPECT_THROW(batch.predict(*kernel, lanes, 0, out), std::invalid_argument);
+}
+
+/// The engine's batch API over a mixed predictor population: plain HMM
+/// sessions, guarded sessions (some tripping their guardrail mid-stream),
+/// and cold-start sessions, spread over two distinct kernels. Every item's
+/// prediction must match an identically-driven scalar twin.
+TEST(BatchFilter, EngineBatchMatchesScalarAcrossPredictorMix) {
+  Rng rng(0x5eedf00dULL);
+  const auto kernel_a = HmmKernel::create(random_model(rng, 4));
+  const auto kernel_b = HmmKernel::create(random_model(rng, 6));
+
+  GuardrailConfig guard;
+  guard.enabled = true;
+  guard.window = 4;
+  guard.min_observations = 2;
+  guard.confirm_observations = 2;
+  const SurpriseBaseline baseline{-1.0, 1.0};
+
+  // Twin populations: index-matched, identically constructed.
+  std::vector<std::unique_ptr<SessionPredictor>> via_batch;
+  std::vector<std::unique_ptr<SessionPredictor>> via_scalar;
+  const auto add_pair = [&](auto make) {
+    via_batch.push_back(make());
+    via_scalar.push_back(make());
+  };
+  for (int i = 0; i < 6; ++i) {
+    const auto& kernel = (i % 2 == 0) ? kernel_a : kernel_b;
+    add_pair([&] {
+      return std::make_unique<HmmSessionPredictor>(kernel, 2.0);
+    });
+    add_pair([&] {
+      return std::make_unique<GuardedSessionPredictor>(kernel, 2.0, 1.5,
+                                                       baseline, guard);
+    });
+  }
+
+  std::vector<ObserveBatchItem> items(via_batch.size());
+  for (int round = 0; round < 15; ++round) {
+    for (std::size_t i = 0; i < via_batch.size(); ++i) {
+      const auto& model =
+          (i / 2 % 2 == 0) ? kernel_a->model() : kernel_b->model();
+      const double w = random_sample(rng, model);
+      items[i] = {via_batch[i].get(), w, 0.0, false};
+      via_scalar[i]->observe(w);
+    }
+    const BatchStats stats = Cs2pEngine::observe_batch(items);
+    EXPECT_EQ(stats.batched + stats.scalar, items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ASSERT_NEAR(items[i].prediction, via_scalar[i]->predict(1), kTol)
+          << "round " << round << " item " << i;
+      const auto ll_b = via_batch[i]->last_log_likelihood();
+      const auto ll_s = via_scalar[i]->last_log_likelihood();
+      ASSERT_EQ(ll_b.has_value(), ll_s.has_value());
+      if (ll_b.has_value()) {
+        if (std::isfinite(*ll_s)) {
+          ASSERT_NEAR(*ll_b, *ll_s, kTol);
+        } else {
+          ASSERT_EQ(*ll_b, *ll_s);  // both -inf on a degenerate update
+        }
+      }
+      ASSERT_EQ(via_batch[i]->serve_flags(), via_scalar[i]->serve_flags())
+          << "round " << round << " item " << i;
+    }
+
+    std::vector<PredictBatchItem> predicts(items.size());
+    const unsigned steps = 1 + static_cast<unsigned>(rng.uniform_index(20));
+    for (std::size_t i = 0; i < items.size(); ++i)
+      predicts[i] = {via_batch[i].get(), steps, 0.0, false};
+    Cs2pEngine::predict_batch(predicts);
+    for (std::size_t i = 0; i < predicts.size(); ++i)
+      ASSERT_NEAR(predicts[i].prediction, via_scalar[i]->predict(steps), kTol)
+          << "round " << round << " item " << i << " horizon " << steps;
+  }
+}
+
+/// Cold-start predictors never enter the kernel batch: predict_batch must
+/// serve their initial value through the scalar path and say so in stats.
+TEST(BatchFilter, ColdStartPredictsInitialValueViaScalarPath) {
+  const auto kernel = HmmKernel::create(
+      GaussianHmm{{0.6, 0.4},
+                  Matrix{{0.9, 0.1}, {0.2, 0.8}},
+                  {{1.0, 0.1}, {5.0, 0.5}}});
+  HmmSessionPredictor cold(kernel, 7.25);
+  PredictBatchItem item{&cold, 1, 0.0, false};
+  const BatchStats stats = Cs2pEngine::predict_batch({&item, 1});
+  EXPECT_EQ(stats.scalar, 1u);
+  EXPECT_EQ(stats.batched, 0u);
+  EXPECT_FALSE(item.via_batch_kernel);
+  EXPECT_DOUBLE_EQ(item.prediction, 7.25);
+}
+
+}  // namespace
+}  // namespace cs2p

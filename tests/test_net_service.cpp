@@ -13,11 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include "hmm/kernel.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "predictors/hmm_session.h"
 #include "predictors/predictor.h"
 
 namespace cs2p {
@@ -46,6 +48,25 @@ class EchoPlusOneModel final : public PredictorModel {
 SessionFeatures features() {
   return {"ISP0", "AS0", "P0", "C0", "S0", "Pfx0"};
 }
+
+/// HMM-backed model whose sessions share one SoA kernel — the shape that
+/// makes the server's per-poll batch path (DESIGN.md §16) engage.
+class SharedKernelHmmModel final : public PredictorModel {
+ public:
+  SharedKernelHmmModel()
+      : kernel_(HmmKernel::create(
+            GaussianHmm{{0.6, 0.4},
+                        Matrix{{0.9, 0.1}, {0.2, 0.8}},
+                        {{1.0, 0.1}, {5.0, 0.5}}})) {}
+  std::string name() const override { return "SharedKernelHmm"; }
+  std::unique_ptr<SessionPredictor> make_session(
+      const SessionContext&) const override {
+    return std::make_unique<HmmSessionPredictor>(kernel_, 2.0);
+  }
+
+ private:
+  std::shared_ptr<const HmmKernel> kernel_;
+};
 
 TEST(PredictionService, HelloObservePredictBye) {
   PredictionServer server(std::make_shared<EchoPlusOneModel>());
@@ -93,6 +114,28 @@ TEST(PredictionService, MultipleSessionsAreIsolated) {
   client.observe(b.session_id, 20.0);
   EXPECT_DOUBLE_EQ(client.predict(a.session_id, 1), 11.0);
   EXPECT_DOUBLE_EQ(client.predict(b.session_id, 1), 21.0);
+}
+
+// OBSERVE/PREDICT on kernel-backed sessions must be served through the
+// batched inference path and show up in its telemetry — the end-to-end proof
+// that per-poll frame batching is live, not just unit-tested.
+TEST(PredictionService, HmmSessionsServeThroughBatchedKernelPath) {
+  PredictionServer server(std::make_shared<SharedKernelHmmModel>());
+  PredictionClient client(server.port());
+  const auto a = client.hello(features(), 0.0);
+  const auto b = client.hello(features(), 0.0);
+  EXPECT_DOUBLE_EQ(client.observe(a.session_id, 1.0), 1.0);  // MLE state 0
+  EXPECT_DOUBLE_EQ(client.observe(b.session_id, 5.0), 5.0);  // MLE state 1
+  EXPECT_DOUBLE_EQ(client.predict(a.session_id, 1), 1.0);
+  EXPECT_GE(server.batched_predicts(), 3u);
+
+  const StatsResponse stats = client.stats();
+  EXPECT_NE(stats.exposition.find("cs2p_server_batched_predicts_total"),
+            std::string::npos);
+  EXPECT_NE(stats.exposition.find("cs2p_server_batch_size"),
+            std::string::npos);
+  client.bye(a.session_id);
+  client.bye(b.session_id);
 }
 
 TEST(PredictionService, ConcurrentClients) {

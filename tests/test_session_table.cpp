@@ -134,6 +134,84 @@ TEST(SessionTable, RecentlyTouchedEntriesSurviveEviction) {
   EXPECT_FALSE(table.with_session(expired, [](SessionTable::Entry&) {}));
 }
 
+// Arena lifetime rules (DESIGN.md §16): TTL eviction returns slots to the
+// shard freelists, a same-size refill reuses them without growing the arena,
+// and a reused slot carries nothing of its previous occupant — the entry is
+// reset at release time, so stale predictor beliefs cannot leak into a new
+// session that happens to land on the same slot.
+TEST(SessionTable, ArenaSlotsReusedAfterEvictWithoutStaleState) {
+  constexpr std::size_t kSessions = 500;
+  // One shard: freelists are per-shard, so with a single shard a same-size
+  // refill must reuse exactly the evicted generation's slots.
+  SessionTable table({.shards = 1, .ttl_ms = 1'000, .evict_scan_budget = 64});
+  const auto now = Clock::now();
+  const auto stale = now - std::chrono::seconds(10);
+
+  for (std::size_t i = 0; i < kSessions; ++i)
+    table.emplace([&](std::uint64_t) {
+      auto entry = bare_entry(stale, /*traced=*/true);
+      entry.start_hour = 13.0;
+      entry.observations = {1.0, 2.0, 3.0};
+      return entry;
+    });
+  const std::size_t high_water = table.arena_slots();
+  EXPECT_GE(high_water, kSessions);
+
+  std::size_t ticks = 0;
+  while (table.size() > 0) {
+    table.evict_tick(now);
+    ASSERT_LT(++ticks, 10'000u);
+  }
+  // Eviction freed the slots but not the arena: capacity is retained.
+  EXPECT_EQ(table.arena_slots(), high_water);
+
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kSessions; ++i)
+    ids.push_back(table.emplace([&](std::uint64_t) {
+      return bare_entry(now);  // untraced, no history
+    }));
+  // Every new session landed on a recycled slot — zero arena growth.
+  EXPECT_EQ(table.arena_slots(), high_water);
+  // And none of them inherited the evicted generation's state.
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(table.with_session(id, [&](SessionTable::Entry& entry) {
+      EXPECT_FALSE(entry.traced);
+      EXPECT_EQ(entry.start_hour, 0.0);
+      EXPECT_TRUE(entry.observations.empty());
+      EXPECT_EQ(entry.predictor, nullptr);
+      EXPECT_EQ(entry.owner, nullptr);
+    }));
+  }
+}
+
+// with_sessions: the batch path's multi-session lookup locks each involved
+// shard once, hands back entries in id order, and reports misses as null.
+TEST(SessionTable, WithSessionsResolvesHitsAndMissesInOrder) {
+  SessionTable table({.shards = 4, .ttl_ms = 0});
+  const auto now = Clock::now();
+  const std::uint64_t a =
+      table.emplace([&](std::uint64_t) { return bare_entry(now, true); });
+  const std::uint64_t b =
+      table.emplace([&](std::uint64_t) { return bare_entry(now, false); });
+  const std::uint64_t gone =
+      table.emplace([&](std::uint64_t) { return bare_entry(now); });
+  ASSERT_TRUE(table.erase(gone));
+
+  const std::uint64_t ids[] = {b, gone, a};
+  bool ran = false;
+  table.with_sessions(ids, [&](std::span<SessionTable::Entry* const> entries) {
+    ran = true;
+    ASSERT_EQ(entries.size(), 3u);
+    ASSERT_NE(entries[0], nullptr);
+    EXPECT_FALSE(entries[0]->traced);
+    EXPECT_EQ(entries[1], nullptr);
+    ASSERT_NE(entries[2], nullptr);
+    EXPECT_TRUE(entries[2]->traced);
+    entries[0]->last_used = now;  // writable under the shard locks
+  });
+  EXPECT_TRUE(ran);
+}
+
 TEST(SessionTable, TtlDisabledNeverEvicts) {
   SessionTable table({.shards = 2, .ttl_ms = 0});
   const auto stale = Clock::now() - std::chrono::hours(24);
